@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: RSFQ vs ERSFQ bias (paper Sections 2.1.2 and 5.4.5).
+ *
+ * RSFQ's resistive bias network burns ~1.2 uW per junction regardless
+ * of activity; ERSFQ replaces it with limiting junctions and series
+ * inductance, removing the static power at a 1.4x area cost.  This
+ * table shows where each option wins for the paper's blocks.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/dpu.hh"
+#include "core/fir.hh"
+#include "core/pe.hh"
+#include "metrics/power.hh"
+#include "sim/netlist.hh"
+#include "util/table.hh"
+
+using namespace usfq;
+
+int
+main()
+{
+    bench::banner("Ablation: RSFQ vs ERSFQ biasing",
+                  "ERSFQ removes the uW-scale bias power at 1.4x "
+                  "area (paper [33, 54])");
+
+    struct Block
+    {
+        const char *name;
+        int jj;
+        double active_nw; // representative active power
+    };
+
+    Netlist nl;
+    auto &pe = nl.create<ProcessingElement>("pe", EpochConfig(8));
+    auto &dpu32 = nl.create<DotProductUnit>("dpu", 32,
+                                            DpuMode::Bipolar);
+    const auto fir32 =
+        static_cast<int>(usfqFirAreaJJ(32, 8, DpuMode::Bipolar));
+    const auto fir256 =
+        static_cast<int>(usfqFirAreaJJ(256, 8, DpuMode::Bipolar));
+
+    const Block blocks[] = {
+        {"bipolar multiplier", 46, 100},
+        {"balancer", 60, 170},
+        {"PE", pe.jjCount(), 800},
+        {"DPU-32", dpu32.jjCount(), 8450},
+        {"FIR 32x8", fir32, 30000},
+        {"FIR 256x8", fir256, 240000},
+    };
+
+    Table table("Power and area per bias choice",
+                {"Block", "JJs (RSFQ)", "JJs (ERSFQ)",
+                 "Active [uW]", "RSFQ bias [uW]", "RSFQ total [uW]",
+                 "ERSFQ total [uW]", "Power saved"});
+    for (const auto &b : blocks) {
+        const double bias = metrics::passivePower(b.jj) * 1e6;
+        const double active_uw = b.active_nw * 1e-3;
+        table.row()
+            .cell(b.name)
+            .cell(b.jj)
+            .cell(static_cast<std::int64_t>(
+                b.jj * metrics::kErsfqAreaFactor))
+            .cell(active_uw, 4)
+            .cell(bias, 4)
+            .cell(bias + active_uw, 4)
+            .cell(active_uw, 4)
+            .cell(bench::times((bias + active_uw) / active_uw));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nBias power dwarfs switching power at every scale: "
+                 "the 1.4x ERSFQ area premium buys two to three "
+                 "orders of magnitude in power -- and cryo-cooled "
+                 "sensor frontends (IR/x-ray) skip the cooling bill "
+                 "entirely (paper Section 5.4.5).\n";
+    return 0;
+}

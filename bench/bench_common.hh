@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ */
+
+#ifndef USFQ_BENCH_COMMON_HH
+#define USFQ_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace usfq::bench
+{
+
+/** Banner naming the experiment and the paper's claim it checks. */
+inline void
+banner(const char *experiment, const char *paper_claim)
+{
+    std::printf("================================================="
+                "=============================\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper: %s\n", paper_claim);
+    std::printf("================================================="
+                "=============================\n\n");
+}
+
+/** "x.xx x" multiplier-style ratio. */
+inline std::string
+times(double ratio)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx", ratio);
+    return buf;
+}
+
+/** Percentage saving of @p ours against @p theirs. */
+inline double
+savingsPct(double ours, double theirs)
+{
+    return theirs > 0 ? (1.0 - ours / theirs) * 100.0 : 0.0;
+}
+
+} // namespace usfq::bench
+
+#endif // USFQ_BENCH_COMMON_HH

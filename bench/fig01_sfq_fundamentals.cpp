@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 1 reproduction: SFQ fundamentals at the device level.
+ * (b) the ps-wide, mV-amplitude, flux-quantized SFQ pulse from an RCSJ
+ * junction; (c) the storage SQUID's set/reset with its persistent
+ * current -- the physics everything above rests on.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "analog/circuits.hh"
+#include "analog/rsj.hh"
+#include "analog/waveform.hh"
+#include "bench_common.hh"
+
+using namespace usfq;
+using namespace usfq::analog;
+
+int
+main()
+{
+    bench::banner("Fig. 1: SFQ fundamentals (RCSJ device level)",
+                  "ps-wide, mV-scale pulses carrying exactly one "
+                  "Phi0; the SQUID stores one fluxon as a persistent "
+                  "current");
+
+    const JunctionParams jp;
+    std::printf("junction (MIT-LL SFQ5ee class): Ic = %.0f uA, "
+                "R = %.2f Ohm, C = %.2f pF, beta_c = %.2f\n\n",
+                jp.ic * 1e6, jp.r, jp.c * 1e12, jp.betaC());
+
+    // (b) one SFQ pulse.
+    Junction jj(jp);
+    jj.run(60e-12, 1e-14, [](double t) {
+        double i = 0.7 * 100e-6 * std::min(1.0, t / 10e-12);
+        if (t > 25e-12 && t < 31e-12)
+            i += 0.6 * 100e-6;
+        return i;
+    });
+    const auto &w = jj.trace();
+    double fwhm_samples = 0;
+    for (double v : w.v)
+        fwhm_samples += v > w.peakAbs() / 2;
+    std::printf("Fig. 1b -- the SFQ pulse: peak %.2f mV, FWHM %.1f "
+                "ps, area %.4f x Phi0 (exactly one flux quantum)\n",
+                w.peakAbs() * 1e3, fwhm_samples * 1e-14 * 1e12,
+                w.integral(15e-12, 60e-12) / kPhi0);
+    printAscii(std::cout, {{"V_jj(t)", w}}, 100, 5);
+
+    // (c) the storage SQUID.
+    SquidLoop squid;
+    squid.run(200e-12, {40e-12}, {130e-12});
+    std::printf("\nFig. 1c -- the SQUID: S pulse at 40 ps stores one "
+                "fluxon; R pulse at 130 ps resets and kicks J2 "
+                "(readout peak %.2f mV); final stored fluxons: %d\n",
+                squid.outputTrace().peakAbs() * 1e3,
+                squid.storedFluxons());
+
+    SquidLoop stored;
+    stored.run(100e-12, {40e-12}, {});
+    std::printf("persistent current after set: %.1f uA circulating "
+                "(the \"1\" state)\n",
+                stored.loopCurrent() * 1e6);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 4 reproduction: latency and area of the U-SFQ multiplier versus
+ * binary multipliers across 2..16 bits.
+ *
+ * Paper claims checked here:
+ *  - the unary multiplier area is constant (46 JJs) while binary area
+ *    grows linearly with bits;
+ *  - 25x-200x less area than the wave-pipelined baseline;
+ *  - 370x less area than the 17 kJJ bit-parallel multiplier [37], which
+ *    in turn is ~6x faster at 8 bits;
+ *  - unary latency 2^B * t_INV (t_INV = 9 ps, 111 GHz peak rate) grows
+ *    exponentially and beats WP binary below ~8 bits.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/multiplier.hh"
+#include "sim/netlist.hh"
+#include "soa/table2.hh"
+#include "util/table.hh"
+
+using namespace usfq;
+
+int
+main()
+{
+    bench::banner("Fig. 4: U-SFQ multiplier vs binary multipliers",
+                  "25x-200x area savings vs WP; 370x vs the BP "
+                  "multiplier [37] at 6x the latency");
+
+    // The unary multiplier netlist (bipolar, resolution-independent).
+    Netlist nl;
+    auto &mult = nl.create<BipolarMultiplier>("mult");
+    const int unary_jj = mult.jjCount();
+    const double t_inv_ps = 9.0;
+
+    const auto area_fit = soa::areaFit(soa::Unit::Multiplier);
+    const auto lat_fit = soa::latencyFit(soa::Unit::Multiplier);
+    const auto &bp = soa::bitParallelMultiplier8();
+
+    Table table("Fig. 4 series",
+                {"Bits", "Unary JJs", "Binary-WP JJs (fit)",
+                 "Area savings", "Unary lat (ns)",
+                 "Binary-WP lat (ns)", "Faster"});
+    for (int bits = 2; bits <= 16; bits += 2) {
+        const double unary_lat_ns =
+            std::ldexp(1.0, bits) * t_inv_ps * 1e-3;
+        const double bin_jj = std::max(area_fit(bits), 200.0);
+        const double bin_lat_ns = lat_fit(bits) * 1e-3;
+        table.row()
+            .cell(bits)
+            .cell(unary_jj)
+            .cell(bin_jj, 4)
+            .cell(bench::times(bin_jj / unary_jj))
+            .cell(unary_lat_ns, 3)
+            .cell(bin_lat_ns, 3)
+            .cell(unary_lat_ns < bin_lat_ns ? "unary" : "binary");
+    }
+    table.print(std::cout);
+
+    std::cout << "\nChecks against the paper:\n";
+    std::cout << "  unary multiplier area: " << unary_jj
+              << " JJs (constant in bits)\n";
+    std::cout << "  vs BP [37] at 8 bits: "
+              << bench::times(static_cast<double>(bp.jjCount) /
+                              unary_jj)
+              << " area savings (paper: 370x)\n";
+    const double unary8_ns = 256 * t_inv_ps * 1e-3;
+    std::cout << "  BP latency advantage at 8 bits: "
+              << bench::times(unary8_ns * 1e3 /
+                              (1000.0 / 48.0 * 8))
+              << " (paper: ~6x faster than U-SFQ)\n";
+    std::cout << "  area savings vs WP fit: "
+              << bench::times(std::max(area_fit(2), 200.0) / unary_jj)
+              << " at 2 bits to "
+              << bench::times(area_fit(16) / unary_jj)
+              << " at 16 bits (paper: 25x-200x)\n";
+    return 0;
+}

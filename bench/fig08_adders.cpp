@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 8 reproduction: latency and area of the unary adders (2:1
+ * merger, proposed balancer) against binary adders over 4..16 bits.
+ *
+ * Paper claims: both unary options save large area with a latency
+ * penalty; the balancer yields 11x-200x area savings vs the binary
+ * adder across 4..16 bits.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/adder.hh"
+#include "sim/netlist.hh"
+#include "soa/table2.hh"
+#include "util/table.hh"
+
+using namespace usfq;
+
+int
+main()
+{
+    bench::banner("Fig. 8: unary vs binary adders",
+                  "balancer saves 11x-200x area vs binary for 4-16 "
+                  "bits, at 2^B * t_BFF latency");
+
+    Netlist nl;
+    auto &merger = nl.create<MergerTreeAdder>("m", 2);
+    auto &balancer = nl.create<Balancer>("b");
+    const int merger_jj = merger.jjCount();
+    const int balancer_jj = balancer.jjCount();
+
+    const auto area_fit = soa::areaFit(soa::Unit::Adder);
+    const auto lat_fit = soa::latencyFit(soa::Unit::Adder);
+    const double t_bff_ps =
+        ticksToPs(TreeCountingNetwork::safeSpacing());
+    const double t_merge_ps =
+        ticksToPs(MergerTreeAdder::safeSpacing(2));
+
+    Table table("Fig. 8 series",
+                {"Bits", "Binary JJs (fit)", "Merger JJs",
+                 "Balancer JJs", "Balancer savings", "Binary lat (ns)",
+                 "Merger lat (ns)", "Balancer lat (ns)"});
+    for (int bits = 4; bits <= 16; bits += 2) {
+        const double bin_jj = std::max(area_fit(bits), 100.0);
+        const double n = std::ldexp(1.0, bits);
+        table.row()
+            .cell(bits)
+            .cell(bin_jj, 4)
+            .cell(merger_jj)
+            .cell(balancer_jj)
+            .cell(bench::times(bin_jj / balancer_jj))
+            .cell(lat_fit(bits) * 1e-3, 3)
+            .cell(n * t_merge_ps * 1e-3, 3)
+            .cell(n * t_bff_ps * 1e-3, 3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nChecks against the paper:\n"
+              << "  merger adder: " << merger_jj
+              << " JJs; balancer: " << balancer_jj << " JJs\n"
+              << "  balancer savings: "
+              << bench::times(931.0 / balancer_jj)
+              << " vs the 4-bit BP adder [23] up to "
+              << bench::times(16683.0 / balancer_jj)
+              << " vs the 16-bit WP adder [8] (paper: 11x-200x)\n"
+              << "  balancer latency constraint: one pulse per t_BFF"
+              << " = " << t_bff_ps << " ps -> 2^B * t_BFF per epoch\n";
+    return 0;
+}

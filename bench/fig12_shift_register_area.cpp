@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 12 reproduction: JJ count of the four shift-register options
+ * over 8..16 bits (8-word registers, the scale of [21]).
+ *
+ * Paper claims: B2RC conversion costs ~3.2x the binary register; the
+ * DFF-based RL chain grows as 2^B; the integrator buffer is the
+ * cheapest RL option at 2.5x binary for 8 bits and 1.3x for 16 bits.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/shift_register.hh"
+#include "util/table.hh"
+
+using namespace usfq;
+
+int
+main()
+{
+    bench::banner("Fig. 12: shift-register area in JJs (8 words)",
+                  "binary < integrator buffer < B2RC << DFF-based RL; "
+                  "buffer overhead 2.5x at 8 bits, 1.3x at 16");
+
+    const int words = 8;
+    Table table("Fig. 12 series",
+                {"Bits", "Binary", "B2RC", "DFF-RL", "Buffer",
+                 "Buffer/Binary", "B2RC/Binary"});
+    for (int bits = 8; bits <= 16; ++bits) {
+        const auto binary = binaryShiftRegisterJJs(words, bits);
+        const auto b2rc = b2rcShiftRegisterJJs(words, bits);
+        const auto dff_rl = dffRlShiftRegisterJJs(words, bits);
+        const auto buffer = integratorShiftRegisterJJs(words, bits);
+        table.row()
+            .cell(bits)
+            .cell(binary)
+            .cell(b2rc)
+            .cell(static_cast<std::int64_t>(dff_rl))
+            .cell(buffer)
+            .cell(static_cast<double>(buffer) / binary, 3)
+            .cell(static_cast<double>(b2rc) / binary, 3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nChecks against the paper:\n"
+              << "  B2RC overhead at 8 bits: "
+              << bench::times(
+                     static_cast<double>(b2rcShiftRegisterJJs(8, 8)) /
+                     binaryShiftRegisterJJs(8, 8))
+              << " (paper: up to 3.2x)\n"
+              << "  buffer overhead: "
+              << bench::times(static_cast<double>(
+                                  integratorShiftRegisterJJs(8, 8)) /
+                              binaryShiftRegisterJJs(8, 8))
+              << " at 8 bits, "
+              << bench::times(static_cast<double>(
+                                  integratorShiftRegisterJJs(8, 16)) /
+                              binaryShiftRegisterJJs(8, 16))
+              << " at 16 bits (paper: 2.5x and 1.3x)\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 18 reproduction: FIR latency, throughput, area, and efficiency
+ * (throughput per JJ) for 32- and 256-tap filters over 4..16 bits,
+ * unary vs wave-pipelined binary, with the bit-parallel 8-bit point.
+ *
+ * Paper claims: unary latency is tap-independent and wins below 9
+ * bits (32 taps) / 12 bits (256 taps); 32-tap unary area wins beyond
+ * 9 bits while 256-tap unary always needs more area; unary efficiency
+ * is higher below ~12 bits and grows with taps.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "baseline/binary_models.hh"
+#include "bench_common.hh"
+#include "core/fir.hh"
+#include "util/table.hh"
+
+using namespace usfq;
+
+int
+main()
+{
+    bench::banner("Fig. 18: unary vs binary FIR (32 & 256 taps)",
+                  "latency crossovers at ~9 bits (32 taps) and ~12 "
+                  "bits (256 taps); efficiency rises with taps");
+
+    for (int taps : {32, 256}) {
+        Table table("taps = " + std::to_string(taps),
+                    {"Bits", "U lat (us)", "B lat (us)",
+                     "U thr (GOPs)", "B thr (GOPs)", "U JJs", "B JJs",
+                     "U eff (kOPs/JJ)", "B eff (kOPs/JJ)", "U wins"});
+        for (int bits = 4; bits <= 16; ++bits) {
+            const UsfqFirConfig ucfg{.taps = taps, .bits = bits};
+            const UsfqFirModel unary(
+                std::vector<double>(static_cast<std::size_t>(taps),
+                                    0.5 / taps),
+                ucfg);
+            const baseline::BinaryFir binary{taps, bits};
+
+            const double u_lat = unary.latencyUs();
+            const double b_lat = binary.latencyPs() * 1e-6;
+            table.row()
+                .cell(bits)
+                .cell(u_lat, 4)
+                .cell(b_lat, 4)
+                .cell(unary.throughputOps() * 1e-9, 4)
+                .cell(binary.throughputOps() * 1e-9, 4)
+                .cell(static_cast<std::int64_t>(unary.areaJJ()))
+                .cell(binary.areaJJ(), 5)
+                .cell(unary.efficiencyOpsPerJJ() * 1e-3, 4)
+                .cell(binary.efficiencyOpsPerJJ() * 1e-3, 4)
+                .cell(u_lat < b_lat ? "latency" : "-");
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // Crossover summary + BP anchor.
+    auto unary_us = [](int bits) {
+        return std::ldexp(1.0, bits) * bits * 20e-6;
+    };
+    auto crossover = [&](int taps) {
+        for (int bits = 4; bits <= 16; ++bits) {
+            if (unary_us(bits) >
+                baseline::BinaryFir{taps, bits}.latencyPs() * 1e-6)
+                return bits;
+        }
+        return 17;
+    };
+    std::cout << "latency crossover (first bits where binary wins): "
+              << crossover(32) << " bits at 32 taps (paper: 9), "
+              << crossover(256) << " bits at 256 taps (paper: 12)\n";
+
+    const baseline::BinaryFir bp32{32, 8,
+                                   baseline::BinaryArch::BitParallel};
+    const baseline::BinaryFir bp256{256, 8,
+                                    baseline::BinaryArch::BitParallel};
+    std::cout << "8-bit BP FIR latency: " << bp32.latencyPs() * 1e-3
+              << " ns (32 taps), " << bp256.latencyPs() * 1e-3
+              << " ns (256 taps) vs unary " << unary_us(8) * 1e3
+              << " ns -> unary beats BP at 256 taps only (paper "
+                 "agrees)\n";
+    return 0;
+}

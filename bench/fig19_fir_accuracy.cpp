@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Fig. 19 reproduction: FIR accuracy under errors.
+ *
+ *  (a) SNR vs error rate for the binary filter (bit flips) and the
+ *      U-SFQ filter under error types (i) lost stream pulses,
+ *      (ii) lost RL pulses, (iii) RL jitter.
+ *  (b) distribution of binary SNR at a 1% error rate (bit-weight
+ *      dependence).
+ *  (c) effect of errors on the recovered spectrum.
+ *
+ * Paper claims: ~10 dB binary drop early and +30 dB degradation by
+ * 30%%, vs only ~4 dB for U-SFQ (i)/(iii); (ii) hits harder; golden
+ * SNR 25.7 dB, 24 dB at 16 bits, 15 dB at 6 bits.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "baseline/fixed_point_fir.hh"
+#include "bench_common.hh"
+#include "core/fir.hh"
+#include "dsp/fft.hh"
+#include "dsp/fir_design.hh"
+#include "dsp/signal.hh"
+#include "dsp/snr.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace usfq;
+
+namespace
+{
+
+constexpr double kFs = 20000.0;
+constexpr int kTaps = 16;
+constexpr int kBits = 16;
+
+std::vector<double>
+makeInput(std::size_t n)
+{
+    return dsp::scaleToPeak(
+        dsp::sineMixture({{1000.0}, {7000.0}, {8000.0}, {9000.0}}, kFs,
+                         n),
+        0.45);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto h = dsp::designLowpass(kTaps, 2500.0, kFs);
+    const auto x = makeInput(4096);
+    const auto golden = dsp::firFilter(h, x);
+
+    bench::banner("Fig. 19: FIR accuracy under errors",
+                  "binary collapses with error rate; U-SFQ loses only "
+                  "~4 dB at 30% for errors (i)/(iii)");
+
+    std::cout << "golden reference SNR: "
+              << dsp::snrOfTone(golden, kFs, 1000.0)
+              << " dB (paper: 25.7 dB)\n";
+    {
+        UsfqFirModel q16(h, {.taps = kTaps, .bits = 16});
+        UsfqFirModel q6(h, {.taps = kTaps, .bits = 6});
+        std::cout << "quantized (error-free): 16 bits "
+                  << dsp::snrOfTone(q16.filter(x), kFs, 1000.0)
+                  << " dB (paper ~24), 6 bits "
+                  << dsp::snrOfTone(q6.filter(x), kFs, 1000.0)
+                  << " dB (paper ~15)\n\n";
+    }
+
+    // --- (a) SNR vs error rate ----------------------------------------
+    Table table("Fig. 19a: SNR [dB] vs error rate",
+                {"Error rate %", "Binary (bit flips)",
+                 "U-SFQ (i) pulse loss", "U-SFQ (iii) RL jitter",
+                 "U-SFQ (ii) RL loss"});
+    for (double rate : {0.0, 0.01, 0.05, 0.10, 0.20, 0.30}) {
+        baseline::FixedPointFir binary(h, kBits);
+        binary.setErrorRate(rate, 17);
+        UsfqFirModel u_i(h, {.taps = kTaps, .bits = kBits,
+                             .pulseLossRate = rate, .seed = 17});
+        UsfqFirModel u_iii(h, {.taps = kTaps, .bits = kBits,
+                               .rlJitterRate = rate, .seed = 18});
+        UsfqFirModel u_ii(h, {.taps = kTaps, .bits = kBits,
+                              .rlLossRate = rate, .seed = 19});
+        table.row()
+            .cell(rate * 100, 3)
+            .cell(dsp::snrOfTone(binary.filter(x), kFs, 1000.0), 4)
+            .cell(dsp::snrOfTone(u_i.filter(x), kFs, 1000.0), 4)
+            .cell(dsp::snrOfTone(u_iii.filter(x), kFs, 1000.0), 4)
+            .cell(dsp::snrOfTone(u_ii.filter(x), kFs, 1000.0), 4);
+    }
+    table.print(std::cout);
+
+    // Interpretation against the paper's baseline: our golden filter
+    // is cleaner (~55 dB) than the paper's (25.7 dB), so the unary
+    // noise floors must be composed with their golden to compare.
+    {
+        UsfqFirModel u30(h, {.taps = kTaps, .bits = kBits,
+                             .pulseLossRate = 0.30, .seed = 17});
+        const double floor30 =
+            dsp::snrOfTone(u30.filter(x), kFs, 1000.0);
+        const double composed =
+            -10.0 * std::log10(std::pow(10.0, -25.7 / 10.0) +
+                               std::pow(10.0, -floor30 / 10.0));
+        std::cout << "\ncomposed with the paper's 25.7 dB golden: "
+                     "U-SFQ (i) at 30% loses "
+                  << 25.7 - composed
+                  << " dB (paper: ~4 dB); binary loses the signal "
+                     "entirely.\n";
+    }
+
+    // --- (b) binary SNR distribution at 1% --------------------------------
+    RunningStats dist;
+    std::vector<double> samples;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        baseline::FixedPointFir binary(h, kBits);
+        binary.setErrorRate(0.01, seed);
+        const double snr =
+            dsp::snrOfTone(binary.filter(x), kFs, 1000.0);
+        dist.add(snr);
+        samples.push_back(snr);
+    }
+    std::cout << "\nFig. 19b: binary SNR at 1% errors over 40 seeds: "
+              << "mean " << dist.mean() << " dB, sd " << dist.stddev()
+              << ", min " << dist.min() << ", max " << dist.max()
+              << "\n  (large variance: the damage depends on which "
+                 "bit flips -- paper's wide distribution)\n";
+
+    // --- (c) spectra -----------------------------------------------------
+    std::cout << "\nFig. 19c: spectral peak at 1 kHz vs error rate "
+                 "(U-SFQ pulse loss):\n";
+    for (double rate : {0.0, 0.25, 0.50}) {
+        UsfqFirModel fir(h, {.taps = kTaps, .bits = kBits,
+                             .pulseLossRate = rate, .seed = 23});
+        const auto y = fir.filter(x);
+        const auto mag = dsp::magnitudeSpectrum(y);
+        const std::size_t n_fft = mag.size() * 2;
+        const auto k = static_cast<std::size_t>(
+            1000.0 / kFs * static_cast<double>(n_fft) + 0.5);
+        double peak = 0.0, stop = 0.0;
+        for (std::size_t j = k - 4; j <= k + 4; ++j)
+            peak = std::max(peak, mag[j]);
+        for (double f : {7000.0, 8000.0, 9000.0}) {
+            const auto kk = static_cast<std::size_t>(
+                f / kFs * static_cast<double>(n_fft) + 0.5);
+            for (std::size_t j = kk - 4; j <= kk + 4; ++j)
+                stop = std::max(stop, mag[j]);
+        }
+        std::cout << "  " << rate * 100 << "% errors: 1 kHz peak "
+                  << peak << ", worst stop-band peak " << stop
+                  << " (" << 20.0 * std::log10(stop / peak)
+                  << " dB below)\n";
+    }
+    return 0;
+}

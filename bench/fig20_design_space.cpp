@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fig. 20 reproduction: the taps x bits design space.  Three heatmaps
+ * (latency, area, efficiency) showing where the U-SFQ FIR gains over
+ * the wave-pipelined binary FIR, with the IR-sensor and SDR regions
+ * and the RTL-2832U class point highlighted.
+ *
+ * Paper claims: IR sensors (~30 taps, 6-8 bits) get 13-78%% latency,
+ * ~40%% area, and 62-89%% efficiency gains; an RTL-2832U-class SDR
+ * filter costs ~60%% more area but wins ~80%% efficiency via ~90%%
+ * lower latency.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/binary_models.hh"
+#include "bench_common.hh"
+#include "core/fir.hh"
+
+using namespace usfq;
+
+namespace
+{
+
+const std::vector<int> kTaps{4,  8,  16,  32,  64,
+                             128, 256, 512, 1024};
+constexpr int kBitsLo = 4, kBitsHi = 16;
+
+double
+unaryLatencyPs(int bits)
+{
+    return std::ldexp(1.0, bits) * bits * 20.0;
+}
+
+double
+gainPct(double unary, double binary, bool higher_is_better)
+{
+    if (higher_is_better)
+        return (unary / binary - 1.0) * 100.0;
+    return (1.0 - unary / binary) * 100.0;
+}
+
+char
+glyph(double gain)
+{
+    if (gain <= 0)
+        return '.';
+    if (gain < 20)
+        return '2';
+    if (gain < 40)
+        return '4';
+    if (gain < 60)
+        return '6';
+    if (gain < 80)
+        return '8';
+    return '#';
+}
+
+void
+printMap(const char *title,
+         double (*metric)(int taps, int bits))
+{
+    std::printf("%s\n  ('.' = binary wins; digits = unary gain "
+                "decile; '#' >= 80%%)\n\n  bits ", title);
+    for (int taps : kTaps)
+        std::printf("%5d", taps);
+    std::printf("   <- taps\n");
+    for (int bits = kBitsHi; bits >= kBitsLo; --bits) {
+        std::printf("  %4d ", bits);
+        for (int taps : kTaps)
+            std::printf("    %c", glyph(metric(taps, bits)));
+        // Region annotations per the paper.
+        if (bits == 7)
+            std::printf("   IR sensors: ~30 taps, 6-8 bits");
+        if (bits == 10)
+            std::printf("   SDR: 200-900 taps, 7-14 bits");
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+double
+latencyGain(int taps, int bits)
+{
+    return gainPct(unaryLatencyPs(bits),
+                   baseline::BinaryFir{taps, bits}.latencyPs(), false);
+}
+
+double
+areaGain(int taps, int bits)
+{
+    return gainPct(static_cast<double>(usfqFirAreaJJ(taps, bits)),
+                   baseline::BinaryFir{taps, bits}.areaJJ(), false);
+}
+
+double
+efficiencyGain(int taps, int bits)
+{
+    const double u_eff =
+        taps / (unaryLatencyPs(bits) * 1e-12) /
+        static_cast<double>(usfqFirAreaJJ(taps, bits));
+    return gainPct(u_eff,
+                   baseline::BinaryFir{taps, bits}.efficiencyOpsPerJJ(),
+                   true);
+}
+
+void
+referencePoint(const char *label, int taps, int bits)
+{
+    std::printf("  %-28s (%4d taps, %2d bits): latency %+6.1f%%, "
+                "area %+6.1f%%, efficiency %+7.1f%%\n",
+                label, taps, bits, latencyGain(taps, bits),
+                areaGain(taps, bits), efficiencyGain(taps, bits));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 20: design-space heatmaps (unary gain % over "
+                  "WP binary FIR)",
+                  "colored regions = unary gain; IR sensors and SDR "
+                  "marked; RTL-2832U class point evaluated");
+
+    printMap("(a) latency gain", latencyGain);
+    printMap("(b) area gain", areaGain);
+    printMap("(c) efficiency gain (throughput per JJ)", efficiencyGain);
+
+    std::printf("application reference points:\n");
+    referencePoint("IR sensor filter", 32, 7);
+    referencePoint("IR sensor filter (8 bits)", 32, 8);
+    referencePoint("RTL-2832U-class SDR", 256, 8);
+    referencePoint("RSP-class SDR", 512, 12);
+    std::printf("\npaper: IR sensors gain 13-78%% latency / ~40%% "
+                "area / 62-89%% efficiency; the RTL-class filter "
+                "pays ~60%% area for ~80%% better efficiency.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 21 reproduction: active power of the bipolar multiplier as a
+ * function of the RL operand (swept -1..1) for pulse streams encoding
+ * -1, 0, and +1.
+ *
+ * Paper claims: for stream = +1 power rises with the RL value, for -1
+ * it falls, and for 0 it stays flat; bounded between ~68 nW and
+ * ~135 nW.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/encoding.hh"
+#include "core/multiplier.hh"
+#include "metrics/power.hh"
+#include "sim/trace.hh"
+#include "sfq/sources.hh"
+
+using namespace usfq;
+
+namespace
+{
+
+/** Simulate one epoch; return active power in nW. */
+double
+activePowerNw(const EpochConfig &cfg, double stream_value,
+              double rl_value)
+{
+    Netlist nl;
+    auto &mult = nl.create<BipolarMultiplier>("m");
+    auto &src_e = nl.create<PulseSource>("e");
+    auto &src_a = nl.create<PulseSource>("a");
+    auto &src_b = nl.create<PulseSource>("b");
+    auto &src_clk = nl.create<PulseSource>("clk");
+    PulseTrace out;
+    src_e.out.connect(mult.epoch());
+    src_a.out.connect(mult.streamIn());
+    src_b.out.connect(mult.rlIn());
+    src_clk.out.connect(mult.clkIn());
+    mult.out().connect(out.input());
+
+    src_e.pulseAt(0);
+    src_a.pulsesAt(
+        cfg.streamTimes(cfg.streamCountOfBipolar(stream_value)));
+    src_b.pulseAt(cfg.rlArrival(cfg.rlIdOfBipolar(rl_value)));
+    src_clk.pulsesAt(BipolarMultiplier::gridClockTimes(cfg, 0));
+    nl.queue().run();
+
+    return metrics::activePower(nl.totalSwitches(), cfg.duration()) *
+           1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 21: bipolar multiplier active power",
+                  "rising for stream=+1, falling for -1, flat for 0; "
+                  "bounded ~68-135 nW");
+
+    const EpochConfig cfg(8); // 9 ps slots: the 111 GHz operating point
+
+    std::printf("  RL in   stream=-1   stream=0   stream=+1   [nW]\n");
+    double lo = 1e9, hi = 0.0;
+    for (double rl = -1.0; rl <= 1.001; rl += 0.25) {
+        const double p_m1 = activePowerNw(cfg, -1.0, rl);
+        const double p_0 = activePowerNw(cfg, 0.0, rl);
+        const double p_p1 = activePowerNw(cfg, 1.0, rl);
+        std::printf("  %+5.2f   %9.1f   %8.1f   %9.1f\n", rl, p_m1,
+                    p_0, p_p1);
+        for (double p : {p_m1, p_0, p_p1}) {
+            lo = std::min(lo, p);
+            hi = std::max(hi, p);
+        }
+    }
+    std::printf("\nbounds: %.0f nW .. %.0f nW (paper: 68 nW .. "
+                "135 nW)\n",
+                lo, hi);
+    std::printf("trend checks: stream=+1 grows with RL (%+.1f nW over "
+                "the sweep), stream=-1 shrinks (%+.1f), stream=0 is "
+                "flat (%+.1f)\n",
+                activePowerNw(cfg, 1.0, 1.0) -
+                    activePowerNw(cfg, 1.0, -1.0),
+                activePowerNw(cfg, -1.0, 1.0) -
+                    activePowerNw(cfg, -1.0, -1.0),
+                activePowerNw(cfg, 0.0, 1.0) -
+                    activePowerNw(cfg, 0.0, -1.0));
+    return 0;
+}

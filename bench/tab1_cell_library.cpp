@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 1 reproduction: the RSFQ cell library this repository
+ * implements, with the behavioral contract, junction count and delay
+ * of each gate (paper Table 1 / Fig. 1d, refs [11, 58]).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "sfq/params.hh"
+#include "util/table.hh"
+
+using namespace usfq;
+
+int
+main()
+{
+    bench::banner("Table 1: the implemented RSFQ cell library",
+                  "splitter/merger/JTL interconnect; DFF, DFF2, TFF2, "
+                  "NDRO, inverter storage gates; FA; BFF");
+
+    Table table("Cells (see src/sfq/cells.hh for the contracts)",
+                {"Cell", "JJs", "Delay (ps)", "Behavioral contract"});
+    auto row = [&](const char *name, int jj, Tick delay,
+                   const char *contract) {
+        table.row().cell(name).cell(jj).cell(ticksToPs(delay), 3)
+            .cell(contract);
+    };
+    using namespace cell;
+    row("JTL", kJtlJJs, kJtlDelay,
+        "buffer: retransmits and sharpens each pulse");
+    row("Splitter", kSplitterJJs, kSplitterDelay,
+        "one input pulse -> a pulse at both outputs");
+    row("Merger", kMergerJJs, kMergerDelay,
+        "pulse at either input -> output; collisions absorbed");
+    row("DFF", kDffJJs, kDffDelay,
+        "D stores one fluxon; CLK reads destructively");
+    row("DFF2", kDff2JJs, kDff2Delay,
+        "A sets; C1 (C2) resets and emits at Y1 (Y2)");
+    row("TFF", kTffJJs, kTffDelay,
+        "one output pulse per two input pulses");
+    row("TFF2", kTff2JJs, kTff2Delay,
+        "alternates incoming pulses between the two outputs");
+    row("NDRO", kNdroJJs, kNdroDelay,
+        "S sets, R resets; CLK reads without altering the loop");
+    row("Inverter", kInverterJJs, kInverterDelay,
+        "emits on CLK iff no data pulse arrived since the last CLK");
+    row("BFF", kBffJJs, kBffDelay,
+        "four-input quantizing loop; 12 ps transition dead time");
+    row("FA", kFirstArrivalJJs, kFirstArrivalDelay,
+        "fires once, at the first input pulse (race-logic MIN)");
+    row("LA", kLastArrivalJJs, kLastArrivalDelay,
+        "fires once both inputs arrived (race-logic MAX)");
+    row("Inhibit", kNdroJJs, kNdroDelay,
+        "passes IN unless INH arrived first (race-logic <)");
+    row("Mux", kMuxJJs, kMuxDelay,
+        "passes the selected data input");
+    row("Demux", kDemuxJJs, kMuxDelay,
+        "routes data to the selected output");
+    table.print(std::cout);
+
+    std::cout << "\nPaper-pinned timing: t_INV = "
+              << ticksToPs(kInverterDelay) << " ps, t_TFF2 = "
+              << ticksToPs(kTff2Delay) << " ps, t_BFF = "
+              << ticksToPs(kBffDeadTime)
+              << " ps dead time; merger collision window = "
+              << ticksToPs(kMergerCollisionWindow) << " ps.\n";
+    return 0;
+}

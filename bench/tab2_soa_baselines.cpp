@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 2 reproduction: the published RSFQ adders and multipliers that
+ * form the binary baseline, plus the least-squares fits the paper
+ * draws as dashed lines.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "soa/table2.hh"
+#include "util/table.hh"
+
+using namespace usfq;
+
+int
+main()
+{
+    bench::banner("Table 2: state of the art for RSFQ multipliers "
+                  "and adders",
+                  "ten published designs; dashed-line baselines are "
+                  "linear fits over the non-BP entries");
+
+    Table table("Table 2", {"Ref.", "Unit", "Bits", "JJ count",
+                            "Latency (ps)", "Arch.", "Technology"});
+    for (const auto &e : soa::table2()) {
+        table.row()
+            .cell(e.ref)
+            .cell(e.unit == soa::Unit::Adder ? "Adder" : "Multiplier")
+            .cell(e.bits)
+            .cell(e.jjCount)
+            .cell(e.latencyPs, 4)
+            .cell(soa::archName(e.arch))
+            .cell(e.technology);
+    }
+    table.print(std::cout);
+
+    Table fits("Dashed-line fits (JJs = a*bits + b; latency on the "
+               "fastest-per-width WP frontier)",
+               {"Unit", "area slope", "area intercept", "area R2",
+                "latency slope", "latency intercept"});
+    for (auto unit : {soa::Unit::Adder, soa::Unit::Multiplier}) {
+        const auto area = soa::areaFit(unit);
+        const auto lat = soa::latencyFit(unit);
+        fits.row()
+            .cell(unit == soa::Unit::Adder ? "Adder" : "Multiplier")
+            .cell(area.slope, 4)
+            .cell(area.intercept, 4)
+            .cell(area.r2, 3)
+            .cell(lat.slope, 4)
+            .cell(lat.intercept, 4);
+    }
+    fits.print(std::cout);
+
+    std::cout << "\nAnchor points used elsewhere: BP multiplier [37] "
+              << soa::bitParallelMultiplier8().jjCount
+              << " JJs @ 48 GHz; BP adder [23] "
+              << soa::bitParallelAdder4().jjCount << " JJs.\n";
+    return 0;
+}

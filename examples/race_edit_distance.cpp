@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Race-logic dynamic programming on SFQ pulses: edit distance computed
+ * by a wavefront racing through a lattice of first-arrival (MIN) cells
+ * -- the temporal-computing style (Madhavan et al.) the paper's U-SFQ
+ * representation extends toward general arithmetic.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/racelogic.hh"
+#include "sim/trace.hh"
+
+using namespace usfq;
+
+int
+main()
+{
+    std::printf("Race-logic edit distance: a pulse wavefront sweeps "
+                "the DP lattice;\nthe far corner fires at "
+                "distance x %lld ps.\n\n",
+                static_cast<long long>(
+                    ticksToPs(RaceLogicEditDistance::kUnitDelay)));
+
+    const std::vector<std::pair<std::string, std::string>> pairs = {
+        {"kitten", "sitting"}, {"gattaca", "gatacca"},
+        {"superconductor", "semiconductor"}, {"race", "logic"},
+        {"asplos", "asplos"},
+    };
+
+    std::printf("  %-16s %-16s | DP ref | race logic | lattice JJs | "
+                "time-to-answer\n",
+                "A", "B");
+    for (const auto &[a, b] : pairs) {
+        Netlist nl;
+        auto &grid = nl.create<RaceLogicEditDistance>("ed", a, b);
+        PulseTrace done;
+        grid.done().connect(done.input());
+        const Tick t0 = 10 * kPicosecond;
+        nl.queue().schedule(t0,
+                            [&grid, t0] { grid.start().receive(t0); });
+        nl.queue().run();
+        const int raced = grid.decode(t0, done.times().front());
+        std::printf("  %-16s %-16s | %6d | %10d | %11d | %7.2f ns\n",
+                    a.c_str(), b.c_str(),
+                    editDistanceReference(a, b), raced, grid.jjCount(),
+                    ticksToNs(done.times().front() - t0));
+    }
+
+    std::printf("\nEach lattice node is two 8-JJ first-arrival cells: "
+                "a binary MIN datapath would need >4 kJJ per node "
+                "(paper Section 2.2.1).\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Software-defined-radio channel filter on the U-SFQ FIR: the paper's
+ * SDR motivation (200-900 taps, 7-14 bits) on a concrete workload --
+ * isolate one 200 kHz FM channel from a 2 MHz band with a 256-tap
+ * filter, then compare the accelerator against the binary baseline and
+ * the RTL-2832U-class operating point of Fig. 20.
+ */
+
+#include <cstdio>
+
+#include "baseline/binary_models.hh"
+#include "core/fir.hh"
+#include "dsp/fir_design.hh"
+#include "dsp/signal.hh"
+#include "dsp/snr.hh"
+
+using namespace usfq;
+
+int
+main()
+{
+    const double fs = 2.0e6;       // 2 MHz IF band
+    const double channel = 100e3;  // wanted carrier
+    const int taps = 256;
+    const int bits = 10;
+
+    std::printf("U-SFQ SDR channel filter: %d taps, %d bits, "
+                "fs = %.1f MHz\n\n",
+                taps, bits, fs / 1e6);
+
+    // Wanted channel at 100 kHz among adjacent-channel interferers.
+    const auto x = dsp::scaleToPeak(
+        dsp::sineMixture({{channel, 1.0},
+                          {300e3, 1.0},
+                          {500e3, 1.0},
+                          {700e3, 0.8},
+                          {900e3, 0.6}},
+                         fs, 8192),
+        0.45);
+    const auto h = dsp::designLowpass(taps, 180e3, fs);
+
+    UsfqFirModel fir(h, {.taps = taps, .bits = bits});
+    const auto y = fir.filter(x);
+
+    std::printf("channel isolation (SNR of the %g kHz carrier):\n",
+                channel / 1e3);
+    std::printf("  input     : %6.2f dB\n",
+                dsp::snrOfTone(x, fs, channel));
+    std::printf("  U-SFQ out : %6.2f dB\n\n",
+                dsp::snrOfTone(y, fs, channel));
+
+    // Accelerator economics vs the binary baseline (Fig. 20's SDR
+    // region).
+    const baseline::BinaryFir binary{taps, bits};
+    std::printf("accelerator comparison (per output sample):\n");
+    std::printf("  %-12s %12s %14s %16s\n", "", "latency", "area JJs",
+                "kOPs per JJ");
+    std::printf("  %-12s %9.2f ns %14lld %16.2f\n", "U-SFQ",
+                fir.latencyUs() * 1e3, fir.areaJJ(),
+                fir.efficiencyOpsPerJJ() * 1e-3);
+    std::printf("  %-12s %9.2f ns %14.0f %16.2f\n", "binary WP",
+                binary.latencyPs() * 1e-3, binary.areaJJ(),
+                binary.efficiencyOpsPerJJ() * 1e-3);
+
+    const double sample_budget_ns = 1e9 / fs;
+    std::printf("\nreal-time budget at fs: %.0f ns/sample -> U-SFQ "
+                "%s, binary %s\n",
+                sample_budget_ns,
+                fir.latencyUs() * 1e3 < sample_budget_ns ? "meets it"
+                                                         : "misses it",
+                binary.latencyPs() * 1e-3 < sample_budget_ns
+                    ? "meets it"
+                    : "misses it");
+    std::printf("(paper Fig. 20: the RTL-2832U-class point trades "
+                "~60%% extra area for ~80%% better efficiency via "
+                "~90%% lower latency.)\n");
+    return 0;
+}

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * usfq_calc: a tiny calculator whose every operation executes on a
+ * freshly built U-SFQ pulse netlist -- multiplication on the NDRO
+ * multiplier, addition on a balancer, min/max on the race-logic
+ * first-/last-arrival cells.  A tour of the whole block API.
+ *
+ * Grammar (values in [0, 1]):
+ *   expr   := term (('+' | 'min' | 'max') term)*
+ *   term   := factor ('*' factor)*
+ *   factor := number | '(' expr ')'
+ *
+ * Addition is the paper's scaled addition: a + b evaluates on the
+ * balancer as (a+b)/2 and is rescaled by 2 afterwards (saturating at
+ * the representation's 1.0 ceiling, which the tool reports).
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/adder.hh"
+#include "core/encoding.hh"
+#include "core/multiplier.hh"
+#include "sim/trace.hh"
+#include "sfq/cells.hh"
+#include "sfq/sources.hh"
+
+using namespace usfq;
+
+namespace
+{
+
+const EpochConfig kCfg(8, 24 * kPicosecond); // balancer-safe slots
+
+/** a * b on the unipolar multiplier netlist. */
+double
+mulOnHardware(double a, double b)
+{
+    Netlist nl;
+    auto &mult = nl.create<UnipolarMultiplier>("mult");
+    auto &se = nl.create<PulseSource>("e");
+    auto &sa = nl.create<PulseSource>("a");
+    auto &sb = nl.create<PulseSource>("b");
+    PulseTrace out;
+    se.out.connect(mult.epoch());
+    sa.out.connect(mult.streamIn());
+    sb.out.connect(mult.rlIn());
+    mult.out().connect(out.input());
+    se.pulseAt(0);
+    sa.pulsesAt(kCfg.streamTimes(kCfg.streamCountOfUnipolar(a)));
+    sb.pulseAt(kCfg.rlArrival(kCfg.rlIdOfUnipolar(b)));
+    nl.queue().run();
+    return kCfg.decodeUnipolar(out.count());
+}
+
+/** (a + b) on a balancer, rescaled from the (a+b)/2 stream. */
+double
+addOnHardware(double a, double b)
+{
+    Netlist nl;
+    auto &bal = nl.create<Balancer>("bal");
+    auto &sa = nl.create<PulseSource>("a");
+    auto &sb = nl.create<PulseSource>("b");
+    PulseTrace out;
+    sa.out.connect(bal.inA());
+    sb.out.connect(bal.inB());
+    bal.y1().connect(out.input());
+    sa.pulsesAt(kCfg.streamTimes(kCfg.streamCountOfUnipolar(a)));
+    sb.pulsesAt(kCfg.streamTimes(kCfg.streamCountOfUnipolar(b)));
+    nl.queue().run();
+    const double half = kCfg.decodeUnipolar(out.count());
+    return std::min(1.0, 2.0 * half);
+}
+
+/** min/max on the race-logic FA/LA cells. */
+double
+raceOnHardware(double a, double b, bool take_min)
+{
+    Netlist nl;
+    PulseTrace out;
+    auto &sa = nl.create<PulseSource>("a");
+    auto &sb = nl.create<PulseSource>("b");
+    OutputPort *result = nullptr;
+    FirstArrival *fa = nullptr;
+    LastArrival *la = nullptr;
+    if (take_min) {
+        fa = &nl.create<FirstArrival>("fa");
+        sa.out.connect(fa->inA);
+        sb.out.connect(fa->inB);
+        result = &fa->out;
+    } else {
+        la = &nl.create<LastArrival>("la");
+        sa.out.connect(la->inA);
+        sb.out.connect(la->inB);
+        result = &la->out;
+    }
+    result->connect(out.input());
+    sa.pulseAt(kCfg.rlArrival(kCfg.rlIdOfUnipolar(a)));
+    sb.pulseAt(kCfg.rlArrival(kCfg.rlIdOfUnipolar(b)));
+    nl.queue().run();
+    const Tick delay = take_min ? cell::kFirstArrivalDelay
+                                : cell::kLastArrivalDelay;
+    return kCfg.rlUnipolar(kCfg.rlSlotOf(
+        out.times().front() - EpochConfig::kRlPulseOffset - delay));
+}
+
+/** Recursive-descent parser evaluating on hardware as it goes. */
+class Calculator
+{
+  public:
+    explicit Calculator(std::string text) : s(std::move(text)) {}
+
+    double
+    evaluate()
+    {
+        const double v = expr();
+        skipSpace();
+        if (pos != s.size())
+            std::fprintf(stderr, "parse error at '%s'\n",
+                         s.c_str() + pos);
+        return v;
+    }
+
+    int operations() const { return ops; }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos < s.size() && std::isspace(
+                                     static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    eat(const std::string &tok)
+    {
+        skipSpace();
+        if (s.compare(pos, tok.size(), tok) == 0) {
+            pos += tok.size();
+            return true;
+        }
+        return false;
+    }
+
+    double
+    factor()
+    {
+        skipSpace();
+        if (eat("(")) {
+            const double v = expr();
+            eat(")");
+            return v;
+        }
+        std::size_t used = 0;
+        const double v = std::stod(s.substr(pos), &used);
+        pos += used;
+        return v;
+    }
+
+    double
+    term()
+    {
+        double v = factor();
+        while (eat("*")) {
+            ++ops;
+            v = mulOnHardware(v, factor());
+        }
+        return v;
+    }
+
+    double
+    expr()
+    {
+        double v = term();
+        for (;;) {
+            if (eat("+")) {
+                ++ops;
+                v = addOnHardware(v, term());
+            } else if (eat("min")) {
+                ++ops;
+                v = raceOnHardware(v, term(), true);
+            } else if (eat("max")) {
+                ++ops;
+                v = raceOnHardware(v, term(), false);
+            } else {
+                return v;
+            }
+        }
+    }
+
+    std::string s;
+    std::size_t pos = 0;
+    int ops = 0;
+};
+
+void
+demo(const std::string &expression, double ideal)
+{
+    Calculator calc(expression);
+    const double got = calc.evaluate();
+    std::printf("  %-34s = %7.4f  (ideal %7.4f, err %+8.4f, %d "
+                "netlist ops)\n",
+                expression.c_str(), got, ideal, got - ideal,
+                calc.operations());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("usfq_calc: every *, +, min, max runs on a pulse "
+                "netlist (8-bit epochs, %d slots)\n\n",
+                kCfg.nmax());
+    demo("0.5 * 0.75", 0.5 * 0.75);
+    demo("0.25 + 0.5", 0.75);
+    demo("0.3 min 0.6", 0.3);
+    demo("0.3 max 0.6", 0.6);
+    demo("(0.5 * 0.5) + (0.25 * 0.75)", 0.25 + 0.1875);
+    demo("(0.9 min 0.4) * 0.5", 0.2);
+    demo("0.8 * 0.8 * 0.8", 0.512);
+    demo("(0.2 + 0.3) max (0.6 * 0.7)", 0.5);
+    std::printf("\nEvery value is re-encoded between operations "
+                "(stream for *, + and RL for min/max) -- the format "
+                "conversions of paper Section 5.4 in action.\n");
+    return 0;
+}

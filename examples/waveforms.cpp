@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Device-level showcase: simulate a single junction, a JTL hop, the
+ * storage SQUID of Fig. 1c, and the integrator buffer of Fig. 11 with
+ * the RSJ solver and print ASCII oscillograms.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "analog/circuits.hh"
+#include "analog/rsj.hh"
+#include "analog/waveform.hh"
+
+using namespace usfq;
+using namespace usfq::analog;
+
+int
+main()
+{
+    std::printf("RSJ device-level waveforms (WRspice-substitute)\n\n");
+
+    const JunctionParams jp;
+    std::printf("junction: Ic = %.0f uA, R = %.1f Ohm, C = %.2f pF, "
+                "beta_c = %.2f, f_plasma = %.0f GHz\n\n",
+                jp.ic * 1e6, jp.r, jp.c * 1e12, jp.betaC(),
+                jp.plasmaOmega() / (2 * M_PI) * 1e-9);
+
+    // --- one SFQ pulse (paper Fig. 1b) --------------------------------
+    Junction jj(jp);
+    jj.run(60e-12, 1e-14, [](double t) {
+        double i = 0.7 * 100e-6 * std::min(1.0, t / 10e-12);
+        if (t > 25e-12 && t < 31e-12)
+            i += 0.6 * 100e-6;
+        return i;
+    });
+    std::printf("single junction: %d fluxon, pulse area %.3f x Phi0, "
+                "peak %.2f mV\n",
+                jj.fluxons(),
+                jj.trace().integral(15e-12, 60e-12) / kPhi0,
+                jj.trace().peakAbs() * 1e3);
+    printAscii(std::cout, {{"V_jj [2 ps/div]", jj.trace()}}, 90, 5);
+
+    // --- JTL fluxon propagation ---------------------------------------
+    JtlChain jtl(5);
+    jtl.runWithInputPulse(1.5 * 100e-6, 5e-12, 20e-12, 150e-12);
+    std::printf("\nJTL: fluxon hops, per-stage delay %.1f ps\n",
+                (jtl.arrivalTime(4) - jtl.arrivalTime(0)) / 4 * 1e12);
+    printAscii(std::cout,
+               {{"V(jj0)", jtl.junctionTrace(0)},
+                {"V(jj4)", jtl.junctionTrace(4)}},
+               90, 4);
+
+    // --- SQUID set / reset (paper Fig. 1c) -----------------------------
+    SquidLoop squid;
+    squid.run(200e-12, {40e-12}, {130e-12});
+    std::printf("\nSQUID: set at 40 ps, reset at 130 ps -> stored "
+                "fluxons now %d, output pulse peak %.2f mV\n",
+                squid.storedFluxons(),
+                squid.outputTrace().peakAbs() * 1e3);
+    printAscii(std::cout, {{"V(J2) readout", squid.outputTrace()}}, 90,
+               4);
+
+    // --- integrator buffer ramp (paper Fig. 11) -------------------------
+    PulseIntegrator integ(6, 20e-12);
+    const double t_in = 9 * 20e-12;
+    integ.run(t_in);
+    std::printf("\nintegrator buffer (6 bits): input at %.0f ps, "
+                "output at %.0f ps (one epoch = %.0f ps later), "
+                "peak I_L = %.0f uA, L = %.1f nH\n",
+                t_in * 1e12, integ.outputTime() * 1e12,
+                integ.epoch() * 1e12, integ.peakCurrent() * 1e6,
+                integ.inductance() * 1e9);
+    printAscii(std::cout, {{"I_L ramp", integ.inductorCurrent()}}, 90,
+               5);
+
+    return 0;
+}

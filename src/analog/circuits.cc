@@ -1,0 +1,226 @@
+#include "analog/circuits.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace usfq::analog
+{
+
+namespace
+{
+constexpr double kTwoPi = 2.0 * M_PI;
+} // namespace
+
+// --- JtlChain ----------------------------------------------------------------
+
+JtlChain::JtlChain(int num_junctions, JunctionParams params,
+                   double inductance, double bias_fraction)
+    : jp(params), lInd(inductance), bias(bias_fraction * params.ic)
+{
+    if (num_junctions < 2)
+        fatal("JtlChain: need at least 2 junctions");
+    phi.assign(static_cast<std::size_t>(num_junctions), 0.0);
+    dphi.assign(static_cast<std::size_t>(num_junctions), 0.0);
+    traces.resize(static_cast<std::size_t>(num_junctions));
+    arrivals.assign(static_cast<std::size_t>(num_junctions), -1.0);
+}
+
+void
+JtlChain::step(double dt, double i_in)
+{
+    // Semi-implicit Euler on the coupled phase system: accurate enough
+    // at dt << 1/omega_p and unconditionally simple.  (RK4 is used for
+    // the single-junction model where we check pulse areas precisely.)
+    const double k_phi = kPhi0 / kTwoPi;
+    const std::size_t n = phi.size();
+    // Soft-start the bias so power-on does not ring the junctions.
+    const double ramped_bias = bias * std::min(1.0, now / 10e-12);
+    std::vector<double> acc(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double i_node = ramped_bias - jp.ic * std::sin(phi[i]) -
+                        k_phi / jp.r * dphi[i];
+        if (i == 0)
+            i_node += i_in;
+        if (i > 0)
+            i_node -= k_phi * (phi[i] - phi[i - 1]) / lInd;
+        if (i + 1 < n)
+            i_node -= k_phi * (phi[i] - phi[i + 1]) / lInd;
+        acc[i] = i_node / (jp.c * k_phi);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        dphi[i] += dt * acc[i];
+        phi[i] += dt * dphi[i];
+        if (arrivals[i] < 0 && phi[i] > M_PI)
+            arrivals[i] = now;
+        traces[i].t.push_back(now);
+        traces[i].v.push_back(k_phi * dphi[i]);
+    }
+    now += dt;
+}
+
+void
+JtlChain::runWithInputPulse(double amplitude, double width, double start,
+                            double duration, double dt)
+{
+    const auto steps = static_cast<std::size_t>(duration / dt);
+    for (std::size_t s = 0; s < steps; ++s) {
+        // Raised-cosine current pulse at node 0.
+        double i_in = 0.0;
+        if (now >= start && now <= start + width) {
+            i_in = amplitude * 0.5 *
+                   (1.0 - std::cos(kTwoPi * (now - start) / width));
+        }
+        step(dt, i_in);
+    }
+}
+
+const Waveform &
+JtlChain::junctionTrace(int i) const
+{
+    return traces.at(static_cast<std::size_t>(i));
+}
+
+int
+JtlChain::fluxons(int i) const
+{
+    return static_cast<int>(std::floor(
+        phi.at(static_cast<std::size_t>(i)) / kTwoPi + 0.5));
+}
+
+double
+JtlChain::arrivalTime(int i) const
+{
+    return arrivals.at(static_cast<std::size_t>(i));
+}
+
+// --- SquidLoop ------------------------------------------------------------------
+
+SquidLoop::SquidLoop(JunctionParams params, double loop_l,
+                     double bias_fraction)
+    : jp(params), lLoop(loop_l), bias(bias_fraction * params.ic)
+{
+}
+
+void
+SquidLoop::run(double duration, const std::vector<double> &s_pulses,
+               const std::vector<double> &r_pulses, double dt)
+{
+    const double k_phi = kPhi0 / kTwoPi;
+    const double width = 8e-12;
+    const double amp = 1.6 * jp.ic;
+
+    auto drive = [&](const std::vector<double> &times, double t_abs) {
+        double i = 0.0;
+        for (double t0 : times) {
+            if (t_abs >= t0 && t_abs <= t0 + width)
+                i += amp * 0.5 *
+                     (1.0 - std::cos(kTwoPi * (t_abs - t0) / width));
+        }
+        return i;
+    };
+
+    const auto steps = static_cast<std::size_t>(duration / dt);
+    for (std::size_t s = 0; s < steps; ++s) {
+        // Soft-start the bias over the first 10 ps so power-on does not
+        // ring the plasma resonance (real bias networks ramp slowly).
+        const double ramp = std::min(1.0, now / 10e-12);
+        const double i_loop = k_phi * (phi1 - phi2) / lLoop;
+        const double i_s = drive(s_pulses, now);
+        const double i_r = drive(r_pulses, now);
+
+        const double a1 = (ramp * bias / 2 + i_s -
+                           jp.ic * std::sin(phi1) -
+                           k_phi / jp.r * dphi1 - i_loop) /
+                          (jp.c * k_phi);
+        const double a2 = (ramp * bias / 2 + i_r -
+                           jp.ic * std::sin(phi2) -
+                           k_phi / jp.r * dphi2 + i_loop) /
+                          (jp.c * k_phi);
+        dphi1 += dt * a1;
+        phi1 += dt * dphi1;
+        dphi2 += dt * a2;
+        phi2 += dt * dphi2;
+        now += dt;
+
+        trace1.t.push_back(now);
+        trace1.v.push_back(k_phi * dphi1);
+        trace2.t.push_back(now);
+        trace2.v.push_back(k_phi * dphi2);
+    }
+}
+
+double
+SquidLoop::loopCurrent() const
+{
+    return kPhi0 / kTwoPi * (phi1 - phi2) / lLoop;
+}
+
+int
+SquidLoop::storedFluxons() const
+{
+    return static_cast<int>(std::floor((phi1 - phi2) / kTwoPi + 0.5));
+}
+
+// --- PulseIntegrator ------------------------------------------------------------
+
+PulseIntegrator::PulseIntegrator(int bits, double slot_s, double ic)
+    : nbits(bits), slot(slot_s), icComp(ic)
+{
+    if (bits < 1 || bits > 20)
+        fatal("PulseIntegrator: %d bits unsupported", bits);
+    // Ic must be reached after half an epoch of one-Phi0-per-slot
+    // charging: Ic = (2^bits / 2) * Phi0 / L.
+    const double half_slots = std::ldexp(1.0, bits) / 2.0;
+    lInd = half_slots * kPhi0 / icComp;
+}
+
+double
+PulseIntegrator::epoch() const
+{
+    return std::ldexp(1.0, nbits) * slot;
+}
+
+void
+PulseIntegrator::run(double t_in)
+{
+    ramp = {};
+    tOut = -1.0;
+
+    const double d_i = kPhi0 / lInd; // current step per clock pulse
+    const auto half = static_cast<int>(std::ldexp(1.0, nbits) / 2.0);
+
+    double i_l = 0.0;
+    double t = 0.0;
+    auto record = [&] {
+        ramp.t.push_back(t);
+        ramp.v.push_back(i_l);
+    };
+    record();
+
+    // Idle until the RL pulse closes switch (1).
+    t = t_in;
+    record();
+    // Charge one Phi0 per clock slot until J1 reaches Ic.
+    for (int k = 0; k < half; ++k) {
+        t += slot;
+        i_l += d_i;
+        record();
+    }
+    // J1 kicked back: discharge at the same rate until J2 trips.
+    for (int k = 0; k < half; ++k) {
+        t += slot;
+        i_l -= d_i;
+        record();
+    }
+    tOut = t;
+    record();
+}
+
+double
+PulseIntegrator::peakCurrent() const
+{
+    return ramp.peakAbs();
+}
+
+} // namespace usfq::analog

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Canonical SFQ circuits at the device level: a biased JTL chain, the
+ * SQUID storage loop of Fig. 1c, and the inductor integrator of the
+ * paper's RL buffer (Figs. 10b/11).  These are the reproduction's
+ * WRspice testbenches: they validate that the behavioral cell models
+ * rest on physically sensible devices.
+ */
+
+#ifndef USFQ_ANALOG_CIRCUITS_HH
+#define USFQ_ANALOG_CIRCUITS_HH
+
+#include <vector>
+
+#include "analog/rsj.hh"
+
+namespace usfq::analog
+{
+
+/**
+ * A chain of identical biased junctions coupled by inductors: the
+ * Josephson transmission line.  An input current pulse at node 0
+ * launches a fluxon that hops junction to junction.
+ */
+class JtlChain
+{
+  public:
+    /**
+     * @param num_junctions chain length (>= 2)
+     * @param params        junction parameters
+     * @param inductance    coupling inductance between stages, H
+     * @param bias_fraction DC bias as a fraction of Ic (typ. 0.7)
+     */
+    JtlChain(int num_junctions, JunctionParams params = {},
+             double inductance = 10e-12, double bias_fraction = 0.7);
+
+    /** Inject a current pulse (A, s) at node 0 and simulate. */
+    void runWithInputPulse(double amplitude, double width, double start,
+                           double duration, double dt = 1e-14);
+
+    /** Voltage trace of junction @p i. */
+    const Waveform &junctionTrace(int i) const;
+
+    /** 2*pi phase slips completed by junction @p i. */
+    int fluxons(int i) const;
+
+    /**
+     * Fluxon arrival time at junction @p i: time its phase first passed
+     * pi (mid-slip), or a negative value if it never switched.
+     */
+    double arrivalTime(int i) const;
+
+    int size() const { return static_cast<int>(phi.size()); }
+
+  private:
+    void step(double dt, double i_in);
+
+    JunctionParams jp;
+    double lInd;
+    double bias;
+    double now = 0.0;
+    std::vector<double> phi;
+    std::vector<double> dphi;
+    std::vector<Waveform> traces;
+    std::vector<double> arrivals;
+};
+
+/**
+ * The RSFQ storage SQUID (paper Fig. 1c): two junctions closed by a
+ * loop inductance.  A pulse at S sets the persistent current clockwise
+ * (state "1"); a pulse at R reverts it and kicks J2 (the readout pulse).
+ */
+class SquidLoop
+{
+  public:
+    /**
+     * @param params junction parameters
+     * @param loop_l loop inductance, H (beta_L ~ 4 by default)
+     * @param bias_fraction DC bias as a fraction of Ic
+     */
+    SquidLoop(JunctionParams params = {}, double loop_l = 40e-12,
+              double bias_fraction = 0.6);
+
+    /** Simulate @p duration with optional input pulses at S and/or R. */
+    void run(double duration, const std::vector<double> &s_pulses,
+             const std::vector<double> &r_pulses, double dt = 1e-14);
+
+    /** Persistent loop current, A (sign encodes the stored bit). */
+    double loopCurrent() const;
+
+    /** Stored flux in units of Phi0 (rounded). */
+    int storedFluxons() const;
+
+    /** Voltage trace of J2 (the output junction). */
+    const Waveform &outputTrace() const { return trace2; }
+
+    /** Voltage trace of J1. */
+    const Waveform &inputTrace() const { return trace1; }
+
+  private:
+    JunctionParams jp;
+    double lLoop;
+    double bias;
+    double now = 0.0;
+    double phi1 = 0.0, dphi1 = 0.0;
+    double phi2 = 0.0, dphi2 = 0.0;
+    Waveform trace1, trace2;
+};
+
+/**
+ * The integrator of the paper's RL buffer (Fig. 10b): a large inductor
+ * accumulates one Phi0 per clock pulse from the moment the RL input
+ * arrives; comparator junction J1 trips at Ic (half an epoch), then the
+ * inductor discharges at the same rate until J2 trips and emits the
+ * output -- one full epoch after the input.
+ */
+class PulseIntegrator
+{
+  public:
+    /**
+     * @param bits   epoch resolution: 2^bits clock slots per epoch
+     * @param slot_s clock period, s
+     * @param ic     comparator critical current, A
+     */
+    PulseIntegrator(int bits, double slot_s, double ic = 100e-6);
+
+    /** Inductance chosen so Ic is reached in half an epoch, H. */
+    double inductance() const { return lInd; }
+
+    /** Epoch duration, s. */
+    double epoch() const;
+
+    /**
+     * Simulate one buffered pulse: input at @p t_in (s, within the
+     * epoch).  Fills the inductor-current waveform and records the
+     * output pulse time.
+     */
+    void run(double t_in);
+
+    /** Inductor current waveform (paper Fig. 11, bottom). */
+    const Waveform &inductorCurrent() const { return ramp; }
+
+    /** Time of the regenerated output pulse, s. */
+    double outputTime() const { return tOut; }
+
+    /** Peak inductor current reached, A. */
+    double peakCurrent() const;
+
+  private:
+    int nbits;
+    double slot;
+    double icComp;
+    double lInd;
+    Waveform ramp;
+    double tOut = -1.0;
+};
+
+} // namespace usfq::analog
+
+#endif // USFQ_ANALOG_CIRCUITS_HH

@@ -1,0 +1,126 @@
+#include "analog/rsj.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace usfq::analog
+{
+
+double
+JunctionParams::betaC() const
+{
+    return 2.0 * M_PI * ic * r * r * c / kPhi0;
+}
+
+double
+JunctionParams::plasmaOmega() const
+{
+    return std::sqrt(2.0 * M_PI * ic / (kPhi0 * c));
+}
+
+double
+Waveform::peakAbs() const
+{
+    double peak = 0.0;
+    for (double x : v)
+        peak = std::max(peak, std::fabs(x));
+    return peak;
+}
+
+double
+Waveform::integral() const
+{
+    if (t.size() < 2)
+        return 0.0;
+    double area = 0.0;
+    for (std::size_t i = 1; i < t.size(); ++i)
+        area += 0.5 * (v[i] + v[i - 1]) * (t[i] - t[i - 1]);
+    return area;
+}
+
+double
+Waveform::integral(double t0, double t1) const
+{
+    double area = 0.0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if (t[i] < t0 || t[i - 1] > t1)
+            continue;
+        area += 0.5 * (v[i] + v[i - 1]) * (t[i] - t[i - 1]);
+    }
+    return area;
+}
+
+Junction::Junction(JunctionParams params)
+    : jp(params)
+{
+    if (jp.ic <= 0 || jp.r <= 0 || jp.c <= 0)
+        fatal("Junction: parameters must be positive");
+}
+
+double
+Junction::voltage() const
+{
+    return kPhi0 / (2.0 * M_PI) * dphi;
+}
+
+int
+Junction::fluxons() const
+{
+    return static_cast<int>(std::floor(phi / (2.0 * M_PI) + 0.5));
+}
+
+void
+Junction::reset()
+{
+    phi = 0.0;
+    dphi = 0.0;
+    now = 0.0;
+    wave = {};
+}
+
+void
+Junction::run(double duration, double dt,
+              const std::function<double(double)> &i_ext)
+{
+    if (dt <= 0 || duration <= 0)
+        fatal("Junction::run: need positive dt and duration");
+
+    const double k_phi = kPhi0 / (2.0 * M_PI);
+    // phi'' = (I_ext - Ic sin(phi) - (k_phi / R) phi') / (C k_phi)
+    auto accel = [&](double p, double dp, double t_abs) {
+        return (i_ext(t_abs) - jp.ic * std::sin(p) -
+                k_phi / jp.r * dp) /
+               (jp.c * k_phi);
+    };
+
+    const auto steps = static_cast<std::size_t>(duration / dt);
+    wave.t.reserve(wave.t.size() + steps);
+    wave.v.reserve(wave.v.size() + steps);
+
+    for (std::size_t s = 0; s < steps; ++s) {
+        // Classic RK4 on the (phi, dphi) system.
+        const double k1p = dphi;
+        const double k1v = accel(phi, dphi, now);
+        const double k2p = dphi + 0.5 * dt * k1v;
+        const double k2v =
+            accel(phi + 0.5 * dt * k1p, dphi + 0.5 * dt * k1v,
+                  now + 0.5 * dt);
+        const double k3p = dphi + 0.5 * dt * k2v;
+        const double k3v =
+            accel(phi + 0.5 * dt * k2p, dphi + 0.5 * dt * k2v,
+                  now + 0.5 * dt);
+        const double k4p = dphi + dt * k3v;
+        const double k4v =
+            accel(phi + dt * k3p, dphi + dt * k3v, now + dt);
+
+        phi += dt / 6.0 * (k1p + 2 * k2p + 2 * k3p + k4p);
+        dphi += dt / 6.0 * (k1v + 2 * k2v + 2 * k3v + k4v);
+        now += dt;
+
+        wave.t.push_back(now);
+        wave.v.push_back(voltage());
+    }
+}
+
+} // namespace usfq::analog

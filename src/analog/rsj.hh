@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Device-level Josephson-junction model: the resistively- and
+ * capacitively-shunted junction (RCSJ) used by WRspice/JoSIM for
+ * digital SFQ design.  This is the substitution for the paper's
+ * WRspice + MIT-LL SFQ5ee runs (see DESIGN.md): it produces the
+ * picosecond, flux-quantized voltage pulses and junction kickback the
+ * paper's device figures show.
+ *
+ * Dynamics per junction (phase phi, voltage V = (Phi0/2pi) dphi/dt):
+ *
+ *   C (Phi0/2pi) phi'' + (Phi0/2pi)/R phi' + Ic sin(phi) = I_ext(t)
+ */
+
+#ifndef USFQ_ANALOG_RSJ_HH
+#define USFQ_ANALOG_RSJ_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace usfq::analog
+{
+
+/** Magnetic flux quantum, Wb (V*s). */
+constexpr double kPhi0 = 2.067833848e-15;
+
+/** Junction parameters (MIT-LL SFQ5ee-class defaults). */
+struct JunctionParams
+{
+    double ic = 100e-6;  ///< Critical current, A.
+    double r = 3.3;      ///< Shunt resistance, Ohm (beta_c ~ 1).
+    double c = 0.3e-12;  ///< Capacitance, F.
+
+    /** Stewart-McCumber damping parameter. */
+    double betaC() const;
+
+    /** Plasma angular frequency, rad/s. */
+    double plasmaOmega() const;
+};
+
+/** A sampled waveform: times in seconds plus one value series. */
+struct Waveform
+{
+    std::vector<double> t;
+    std::vector<double> v;
+
+    /** Peak absolute value. */
+    double peakAbs() const;
+
+    /** Time integral (trapezoidal), e.g. pulse area in V*s. */
+    double integral() const;
+
+    /** Integral restricted to [t0, t1]. */
+    double integral(double t0, double t1) const;
+};
+
+/**
+ * One RCSJ junction integrated with fixed-step RK4 under an arbitrary
+ * external current drive.
+ */
+class Junction
+{
+  public:
+    explicit Junction(JunctionParams params = {});
+
+    const JunctionParams &params() const { return jp; }
+
+    /** Phase (rad). */
+    double phase() const { return phi; }
+
+    /** Voltage (V). */
+    double voltage() const;
+
+    /** Number of completed 2*pi phase slips so far. */
+    int fluxons() const;
+
+    /** Reset to phi = 0 at rest. */
+    void reset();
+
+    /**
+     * Integrate for @p duration seconds with step @p dt under external
+     * current @p i_ext(t) (t absolute).  Appends to the voltage trace.
+     */
+    void run(double duration, double dt,
+             const std::function<double(double)> &i_ext);
+
+    /** The accumulated voltage trace. */
+    const Waveform &trace() const { return wave; }
+
+    /** Current absolute time (s). */
+    double time() const { return now; }
+
+  private:
+    JunctionParams jp;
+    double phi = 0.0;
+    double dphi = 0.0; ///< dphi/dt
+    double now = 0.0;
+    Waveform wave;
+};
+
+} // namespace usfq::analog
+
+#endif // USFQ_ANALOG_RSJ_HH

@@ -1,0 +1,90 @@
+#include "analog/waveform.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace usfq::analog
+{
+
+Waveform
+renderPulseTrain(const std::vector<Tick> &pulses, Tick until, Tick dt,
+                 double tau_ps)
+{
+    if (dt <= 0)
+        fatal("renderPulseTrain: dt must be positive");
+    const double tau = tau_ps * 1e-12;
+    Waveform w;
+    const auto samples = static_cast<std::size_t>(until / dt) + 1;
+    w.t.reserve(samples);
+    w.v.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+        const double t_abs =
+            ticksToSeconds(static_cast<Tick>(s) * dt);
+        double v = 0.0;
+        for (Tick p : pulses) {
+            const double dt_p = t_abs - ticksToSeconds(p);
+            if (dt_p >= 0 && dt_p < 10 * tau)
+                v += kPhi0 / (tau * tau) * dt_p * std::exp(-dt_p / tau);
+        }
+        w.t.push_back(t_abs);
+        w.v.push_back(v);
+    }
+    return w;
+}
+
+void
+printAscii(std::ostream &os,
+           const std::vector<std::pair<std::string, Waveform>> &traces,
+           int width, int height)
+{
+    if (traces.empty())
+        return;
+    double t_max = 0.0;
+    for (const auto &[name, w] : traces)
+        if (!w.t.empty())
+            t_max = std::max(t_max, w.t.back());
+    if (t_max <= 0.0)
+        return;
+
+    for (const auto &[name, w] : traces) {
+        double v_min = 0.0, v_max = 0.0;
+        for (double v : w.v) {
+            v_min = std::min(v_min, v);
+            v_max = std::max(v_max, v);
+        }
+        const double span = std::max(v_max - v_min, 1e-30);
+
+        // Column-wise peak-hold resampling so ps pulses stay visible.
+        std::vector<double> col_hi(static_cast<std::size_t>(width),
+                                   v_min);
+        std::vector<double> col_lo(static_cast<std::size_t>(width),
+                                   v_max);
+        for (std::size_t i = 0; i < w.t.size(); ++i) {
+            auto c = static_cast<std::size_t>(
+                std::min<double>(width - 1, w.t[i] / t_max * width));
+            col_hi[c] = std::max(col_hi[c], w.v[i]);
+            col_lo[c] = std::min(col_lo[c], w.v[i]);
+        }
+
+        os << name << "  [" << formatNumber(v_min) << " .. "
+           << formatNumber(v_max) << "]\n";
+        for (int row = height - 1; row >= 0; --row) {
+            const double lo = v_min + span * row / height;
+            const double hi = v_min + span * (row + 1) / height;
+            os << "  |";
+            for (int c = 0; c < width; ++c) {
+                const auto cc = static_cast<std::size_t>(c);
+                const bool hit = col_hi[cc] >= lo && col_lo[cc] < hi;
+                os << (hit ? '#' : ' ');
+            }
+            os << "|\n";
+        }
+        os << "  +" << std::string(static_cast<std::size_t>(width), '-')
+           << "+  0 .. " << formatNumber(t_max * 1e9) << " ns\n";
+    }
+}
+
+} // namespace usfq::analog

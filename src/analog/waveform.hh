@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Waveform synthesis: render event-level pulse trains from the
+ * behavioral simulator into SFQ-shaped analog voltage traces (for the
+ * Fig. 7 / Fig. 11-style outputs) and print ASCII oscillograms.
+ */
+
+#ifndef USFQ_ANALOG_WAVEFORM_HH
+#define USFQ_ANALOG_WAVEFORM_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analog/rsj.hh"
+#include "util/types.hh"
+
+namespace usfq::analog
+{
+
+/**
+ * Render pulse times into a sampled voltage trace.  Each pulse is the
+ * canonical SFQ shape v(t) = (Phi0/tau^2) t exp(-t/tau), whose area is
+ * exactly one Phi0.
+ *
+ * @param pulses pulse times (simulator ticks)
+ * @param until  trace end (ticks)
+ * @param dt     sample interval (ticks)
+ * @param tau_ps pulse time constant in ps (width ~2 tau)
+ */
+Waveform renderPulseTrain(const std::vector<Tick> &pulses, Tick until,
+                          Tick dt = 100, double tau_ps = 1.0);
+
+/**
+ * Print an ASCII oscillogram of one or more named traces sharing a time
+ * axis, as the benches' stand-in for the paper's waveform figures.
+ *
+ * @param width  plot columns
+ * @param height rows per trace
+ */
+void printAscii(std::ostream &os,
+                const std::vector<std::pair<std::string, Waveform>> &traces,
+                int width = 100, int height = 6);
+
+} // namespace usfq::analog
+
+#endif // USFQ_ANALOG_WAVEFORM_HH

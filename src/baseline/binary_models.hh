@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Analytic models of the binary SFQ baseline architectures the paper
+ * compares against (Sections 5.2-5.4).
+ *
+ * The binary accelerator uses a single shared multiply-accumulate unit
+ * ("the number of binary multipliers and adders that can be practically
+ * deployed is restricted to 1-4" -- paper Section 5.3, citing [21]),
+ * fed from DFF-shift-register memory that is read bit-serially.
+ *
+ * Unit areas and datapath latencies come from the Table 2 fits
+ * (src/soa); the memory service time is calibrated so the binary FIR
+ * hits the crossovers the paper reports (latency advantage for the
+ * unary FIR below 9 bits at 32 taps and below 12 bits at 256 taps; 56%
+ * latency saving at 8 bits / 32 taps).  See DESIGN.md section 4.
+ */
+
+#ifndef USFQ_BASELINE_BINARY_MODELS_HH
+#define USFQ_BASELINE_BINARY_MODELS_HH
+
+#include "soa/table2.hh"
+
+namespace usfq::baseline
+{
+
+/** Which binary implementation style a model describes. */
+enum class BinaryArch
+{
+    WavePipelined,
+    BitParallel,
+};
+
+/** Area (JJs) and latency (ps) of one arithmetic unit. */
+struct UnitModel
+{
+    double areaJJ = 0.0;
+    double latencyPs = 0.0;
+};
+
+/** Wave-pipelined multiplier at @p bits (Table 2 fits). */
+UnitModel wpMultiplier(int bits);
+
+/** Wave-pipelined adder at @p bits (Table 2 fits). */
+UnitModel wpAdder(int bits);
+
+/** Bit-parallel multiplier scaled from the 8-bit design of [37]. */
+UnitModel bpMultiplier(int bits);
+
+/** Bit-parallel adder scaled from the 4-bit design of [23]. */
+UnitModel bpAdder(int bits);
+
+/** One MAC unit (multiplier + adder) of the given style. */
+UnitModel macUnit(int bits, BinaryArch arch);
+
+/**
+ * Per-bit memory service time of the DFF-shift-register operand store,
+ * ps.  Calibrated to the paper's FIR crossovers (WP) and to its
+ * BP-vs-unary FIR verdicts (BP).
+ */
+double memoryServicePsPerBit(BinaryArch arch);
+
+/**
+ * The binary PE of Fig. 14: one MAC datapath.  Latency excludes memory
+ * (the paper's per-PE latency comparison); the FIR model below includes
+ * it.
+ */
+struct BinaryPe
+{
+    int bits;
+    BinaryArch arch = BinaryArch::WavePipelined;
+
+    double areaJJ() const;
+    double latencyPs() const;
+    /** MACs per second of the single PE. */
+    double throughputOps() const;
+};
+
+/**
+ * The binary DPU of Fig. 16: one shared MAC plus per-element B-bit
+ * double-buffered DFF input registers.
+ */
+struct BinaryDpu
+{
+    int length;
+    int bits;
+    BinaryArch arch = BinaryArch::WavePipelined;
+
+    double areaJJ() const;
+    /** Time for one full L-element dot product, ps. */
+    double latencyPs() const;
+};
+
+/**
+ * The binary FIR of Fig. 18: one shared MAC, DFF shift-register sample
+ * and coefficient storage, bit-serial memory access.
+ */
+struct BinaryFir
+{
+    int taps;
+    int bits;
+    BinaryArch arch = BinaryArch::WavePipelined;
+
+    double areaJJ() const;
+    /** Time for one output sample (all taps), ps. */
+    double latencyPs() const;
+    /** MAC operations per second. */
+    double throughputOps() const;
+    /** Throughput per junction (the paper's efficiency metric). */
+    double efficiencyOpsPerJJ() const;
+};
+
+} // namespace usfq::baseline
+
+#endif // USFQ_BASELINE_BINARY_MODELS_HH

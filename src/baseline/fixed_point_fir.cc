@@ -1,0 +1,77 @@
+#include "baseline/fixed_point_fir.hh"
+
+#include "util/logging.hh"
+
+namespace usfq::baseline
+{
+
+FixedPointFir::FixedPointFir(const std::vector<double> &coefficients,
+                             int bits)
+    : nbits(bits), rng(1)
+{
+    if (coefficients.empty())
+        fatal("FixedPointFir: no coefficients");
+    h.reserve(coefficients.size());
+    for (double c : coefficients)
+        h.emplace_back(c, bits);
+}
+
+void
+FixedPointFir::setErrorRate(double rate, std::uint64_t seed)
+{
+    errorRate = rate;
+    rng.seed(seed);
+}
+
+FixedPoint
+FixedPointFir::maybeCorrupt(FixedPoint value)
+{
+    // The error rate is per *output sample* (the paper's axis: "three
+    // errors cause the SNR to drop ~10 dB"), so each of the `taps` MAC
+    // results flips a random bit with rate/taps probability.
+    const double per_mac = errorRate / static_cast<double>(h.size());
+    if (per_mac > 0.0 && rng.bernoulli(per_mac)) {
+        const int bit =
+            static_cast<int>(rng.uniformInt(0, value.bits() - 1));
+        return value.withBitFlipped(bit);
+    }
+    return value;
+}
+
+double
+FixedPointFir::step(const std::vector<double> &window)
+{
+    FixedPoint acc(nbits);
+    for (std::size_t k = 0; k < h.size(); ++k) {
+        const double xv = k < window.size() ? window[k] : 0.0;
+        const FixedPoint x(xv, nbits);
+        acc = acc + maybeCorrupt(h[k] * x);
+    }
+    return acc.toDouble();
+}
+
+std::vector<double>
+FixedPointFir::filter(const std::vector<double> &x)
+{
+    std::vector<double> y(x.size());
+    std::vector<double> window(h.size(), 0.0);
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        for (std::size_t k = h.size() - 1; k > 0; --k)
+            window[k] = window[k - 1];
+        window[0] = x[n];
+        y[n] = step(window);
+    }
+    return y;
+}
+
+std::vector<double>
+FixedPointFir::quantizedCoefficients() const
+{
+    std::vector<double> out;
+    out.reserve(h.size());
+    for (const auto &c : h)
+        out.push_back(c.toDouble());
+    return out;
+}
+
+} // namespace usfq::baseline

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Functional model of the binary fixed-point FIR baseline used in the
+ * accuracy study (paper Section 5.4.1, Fig. 19): B-bit two's-complement
+ * datapath with random bit-flip fault injection on MAC results.
+ */
+
+#ifndef USFQ_BASELINE_FIXED_POINT_FIR_HH
+#define USFQ_BASELINE_FIXED_POINT_FIR_HH
+
+#include <vector>
+
+#include "util/fixed_point.hh"
+#include "util/random.hh"
+
+namespace usfq::baseline
+{
+
+/**
+ * A direct-form FIR filter computed in B-bit fixed point.
+ *
+ * Coefficients and samples are quantized on entry; products and the
+ * accumulator stay at B bits (inputs are pre-scaled to avoid overflow,
+ * as in the paper).  With a non-zero error rate, each tap product gets
+ * a uniformly random bit flipped with that probability -- the paper's
+ * binary error model, where a flip's impact depends on the bit weight.
+ */
+class FixedPointFir
+{
+  public:
+    /** Quantize @p coefficients to @p bits. */
+    FixedPointFir(const std::vector<double> &coefficients, int bits);
+
+    int bits() const { return nbits; }
+    int taps() const { return static_cast<int>(h.size()); }
+
+    /** Enable fault injection: bit-flip probability per output sample. */
+    void setErrorRate(double rate, std::uint64_t seed = 1);
+
+    /** Filter an entire signal; returns the decoded output samples. */
+    std::vector<double> filter(const std::vector<double> &x);
+
+    /** Filter one sample given its history window (x[n], x[n-1], ...). */
+    double step(const std::vector<double> &window);
+
+    /** Quantized coefficient values (for inspection). */
+    std::vector<double> quantizedCoefficients() const;
+
+  private:
+    FixedPoint maybeCorrupt(FixedPoint value);
+
+    std::vector<FixedPoint> h;
+    int nbits;
+    double errorRate = 0.0;
+    Rng rng;
+};
+
+} // namespace usfq::baseline
+
+#endif // USFQ_BASELINE_FIXED_POINT_FIR_HH

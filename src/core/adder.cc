@@ -1,0 +1,312 @@
+#include "core/adder.hh"
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+namespace
+{
+
+void
+checkFanIn(const char *what, int m)
+{
+    if (m < 2 || (m & (m - 1)) != 0)
+        fatal("%s: fan-in %d must be a power of two >= 2", what, m);
+}
+
+/** C-wire skews inside the balancer: the near DFF2 is read first so a
+ *  simultaneous C1/C2 pair reads disjoint cells (see Balancer ctor). */
+constexpr Tick kCNear = 2 * kPicosecond;
+constexpr Tick kCFar = 4 * kPicosecond;
+
+} // namespace
+
+// --- MergerTreeAdder -------------------------------------------------------
+
+MergerTreeAdder::MergerTreeAdder(Netlist &nl, const std::string &name,
+                                 int num_inputs)
+    : Component(nl, name), fanIn(num_inputs)
+{
+    checkFanIn("MergerTreeAdder", num_inputs);
+
+    // Build bottom-up: leaves first, then reduce pairwise to the root.
+    std::vector<Merger *> level;
+    for (int i = 0; i < num_inputs / 2; ++i) {
+        mergers.push_back(std::make_unique<Merger>(
+            nl, name + ".m0_" + std::to_string(i)));
+        Merger *m = mergers.back().get();
+        leafPorts.push_back(&m->inA);
+        leafPorts.push_back(&m->inB);
+        level.push_back(m);
+    }
+    int depth = 1;
+    while (level.size() > 1) {
+        std::vector<Merger *> next;
+        for (std::size_t i = 0; i < level.size(); i += 2) {
+            mergers.push_back(std::make_unique<Merger>(
+                nl, name + ".m" + std::to_string(depth) + "_" +
+                        std::to_string(i / 2)));
+            Merger *parent = mergers.back().get();
+            level[i]->out.connect(parent->inA);
+            level[i + 1]->out.connect(parent->inB);
+            next.push_back(parent);
+        }
+        level = std::move(next);
+        ++depth;
+    }
+}
+
+InputPort &
+MergerTreeAdder::in(int i)
+{
+    if (i < 0 || i >= fanIn)
+        panic("MergerTreeAdder %s: input %d out of range", name().c_str(),
+              i);
+    return *leafPorts[static_cast<std::size_t>(i)];
+}
+
+OutputPort &
+MergerTreeAdder::out()
+{
+    return mergers.back()->out;
+}
+
+int
+MergerTreeAdder::jjCount() const
+{
+    return static_cast<int>(mergers.size()) * cell::kMergerJJs;
+}
+
+void
+MergerTreeAdder::reset()
+{
+    for (auto &m : mergers)
+        m->reset();
+}
+
+std::uint64_t
+MergerTreeAdder::collisions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &m : mergers)
+        total += m->collisions();
+    return total;
+}
+
+Tick
+MergerTreeAdder::safeSpacing(int num_inputs)
+{
+    // The root wire carries all M streams; each merger needs its
+    // recovery window between any two pulses (paper Fig. 5c).
+    return static_cast<Tick>(num_inputs) *
+           (cell::kMergerCollisionWindow + 1);
+}
+
+// --- BalancerRoutingUnit -----------------------------------------------------
+
+BalancerRoutingUnit::BalancerRoutingUnit(Netlist &nl,
+                                         const std::string &name,
+                                         Tick dead_time)
+    : Component(nl, name),
+      inA(this->name() + ".a", [this](Tick t) { onPulse(t); }),
+      inB(this->name() + ".b", [this](Tick t) { onPulse(t); }),
+      c1(this->name() + ".c1", &nl.queue()),
+      c2(this->name() + ".c2", &nl.queue()),
+      deadTime(dead_time)
+{
+}
+
+void
+BalancerRoutingUnit::onPulse(Tick t)
+{
+    if (lastTransition != kTickInvalid && t > lastTransition &&
+        t < lastTransition + deadTime) {
+        // Quantizing loop mid-transition: the pulse is not registered
+        // (paper case (iii)).
+        ++ignored;
+        return;
+    }
+    // A pulse exactly coincident with the previous one is the paper's
+    // case (ii): the loop absorbs both, producing one C1 and one C2.
+    recordSwitches(cell::sw::kBffTransition);
+    (toggled ? c2 : c1).emit(t + cell::kBffDelay);
+    toggled = !toggled;
+    lastTransition = t;
+}
+
+int
+BalancerRoutingUnit::jjCount() const
+{
+    // BFF + two input splitters (A -> S1/R2, B -> S2/R1) + the Q/!Q
+    // merger per side (Fig. 6f).
+    return cell::kBffJJs + 2 * cell::kSplitterJJs + 2 * cell::kMergerJJs;
+}
+
+void
+BalancerRoutingUnit::reset()
+{
+    toggled = false;
+    lastTransition = kTickInvalid;
+    ignored = 0;
+}
+
+// --- Balancer -------------------------------------------------------------
+
+Balancer::Balancer(Netlist &nl, const std::string &name)
+    : Component(nl, name),
+      splA(nl, name + ".splA"),
+      splB(nl, name + ".splB"),
+      dff2R(nl, name + ".dff2R"),
+      dff2L(nl, name + ".dff2L"),
+      routing(nl, name + ".route"),
+      mergY1(nl, name + ".mergY1"),
+      mergY2(nl, name + ".mergY2")
+{
+    splA.out1.connect(dff2R.a);
+    splA.out2.connect(routing.inA);
+    splB.out1.connect(dff2L.a);
+    splB.out2.connect(routing.inB);
+
+    // Each control line reads its near DFF2 first; when C1 and C2 fire
+    // together (simultaneous A+B) the near reads hit disjoint cells, so
+    // one pulse appears on each output.
+    routing.c1.connect(dff2R.c1, kCNear);
+    routing.c1.connect(dff2L.c1, kCFar);
+    routing.c2.connect(dff2L.c2, kCNear);
+    routing.c2.connect(dff2R.c2, kCFar);
+
+    // Output wires compensate the near/far read skew so every pulse
+    // leaves the balancer with the same total latency -- otherwise the
+    // 2 ps smear accumulates through a counting tree and lands inside
+    // downstream dead-time windows.
+    const Tick comp = kCFar - kCNear;
+    dff2R.y1.connect(mergY1.inA, comp); // read early via C1-near
+    dff2L.y1.connect(mergY1.inB);
+    dff2R.y2.connect(mergY2.inA);
+    dff2L.y2.connect(mergY2.inB, comp); // read early via C2-near
+}
+
+int
+Balancer::jjCount() const
+{
+    return splA.jjCount() + splB.jjCount() + dff2R.jjCount() +
+           dff2L.jjCount() + routing.jjCount() + mergY1.jjCount() +
+           mergY2.jjCount();
+}
+
+void
+Balancer::reset()
+{
+    dff2R.reset();
+    dff2L.reset();
+    routing.reset();
+    mergY1.reset();
+    mergY2.reset();
+}
+
+// --- MergerTff2Balancer ------------------------------------------------------
+
+MergerTff2Balancer::MergerTff2Balancer(Netlist &nl, const std::string &name)
+    : Component(nl, name),
+      merger(nl, name + ".merge"),
+      tff2(nl, name + ".tff2")
+{
+    merger.out.connect(tff2.in);
+}
+
+int
+MergerTff2Balancer::jjCount() const
+{
+    return merger.jjCount() + tff2.jjCount();
+}
+
+void
+MergerTff2Balancer::reset()
+{
+    merger.reset();
+    tff2.reset();
+}
+
+// --- TreeCountingNetwork -----------------------------------------------------
+
+TreeCountingNetwork::TreeCountingNetwork(Netlist &nl,
+                                         const std::string &name,
+                                         int num_inputs)
+    : Component(nl, name), fanIn(num_inputs)
+{
+    checkFanIn("TreeCountingNetwork", num_inputs);
+
+    std::vector<Balancer *> level;
+    for (int i = 0; i < num_inputs / 2; ++i) {
+        nodes.push_back(std::make_unique<Balancer>(
+            nl, name + ".b0_" + std::to_string(i)));
+        Balancer *b = nodes.back().get();
+        leafPorts.push_back(&b->inA());
+        leafPorts.push_back(&b->inB());
+        level.push_back(b);
+    }
+    int depth = 1;
+    while (level.size() > 1) {
+        std::vector<Balancer *> next;
+        for (std::size_t i = 0; i < level.size(); i += 2) {
+            nodes.push_back(std::make_unique<Balancer>(
+                nl, name + ".b" + std::to_string(depth) + "_" +
+                        std::to_string(i / 2)));
+            Balancer *parent = nodes.back().get();
+            level[i]->y1().connect(parent->inA());
+            level[i + 1]->y1().connect(parent->inB());
+            next.push_back(parent);
+        }
+        level = std::move(next);
+        ++depth;
+    }
+}
+
+InputPort &
+TreeCountingNetwork::in(int i)
+{
+    if (i < 0 || i >= fanIn)
+        panic("TreeCountingNetwork %s: input %d out of range",
+              name().c_str(), i);
+    return *leafPorts[static_cast<std::size_t>(i)];
+}
+
+OutputPort &
+TreeCountingNetwork::out()
+{
+    return nodes.back()->y1();
+}
+
+int
+TreeCountingNetwork::jjCount() const
+{
+    int total = 0;
+    for (const auto &b : nodes)
+        total += b->jjCount();
+    return total;
+}
+
+void
+TreeCountingNetwork::reset()
+{
+    for (auto &b : nodes)
+        b->reset();
+}
+
+std::uint64_t
+TreeCountingNetwork::ignoredInputs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : nodes)
+        total += b->ignoredInputs();
+    return total;
+}
+
+Tick
+TreeCountingNetwork::safeSpacing()
+{
+    return cell::kBffDeadTime;
+}
+
+} // namespace usfq

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * U-SFQ addition (paper Section 4.2).
+ *
+ * Two families:
+ *
+ *  (A) Merger-based: an M:1 tree of confluence buffers.  Cheap (5 JJs
+ *      per node) but pulses that arrive inside a merger's collision
+ *      window are lost, so the architecture must slow the streams down.
+ *
+ *  (B) Balancer-based counting networks: the paper's proposed balancer
+ *      is a 2:2 element that tolerates simultaneous arrivals.  It is
+ *      built from an output stage (two DFF2s facing each other through
+ *      mergers) and a routing unit (a B-flip-flop Mealy machine).  An
+ *      M:1 tree of balancers computes (sum of inputs) / M on its output
+ *      with at most +/-0.5 pulse rounding per level.
+ */
+
+#ifndef USFQ_CORE_ADDER_HH
+#define USFQ_CORE_ADDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sfq/cells.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+/**
+ * M:1 tree of merger cells (M a power of two).  The output carries the
+ * union of all input pulses minus any collision losses.
+ */
+class MergerTreeAdder : public Component
+{
+  public:
+    MergerTreeAdder(Netlist &nl, const std::string &name, int num_inputs);
+
+    /** Input port @p i (0-based). */
+    InputPort &in(int i);
+
+    OutputPort &out();
+
+    int numInputs() const { return fanIn; }
+
+    int jjCount() const override;
+    void reset() override;
+
+    /** Pulses lost to collisions anywhere in the tree. */
+    std::uint64_t collisions() const;
+
+    /**
+     * Minimum safe spacing between pulses on any single input so that
+     * no collisions can occur for M merged streams (paper Fig. 5c): the
+     * tree serializes M streams onto one wire, so spacing scales with M.
+     */
+    static Tick safeSpacing(int num_inputs);
+
+  private:
+    int fanIn;
+    // mergers[0] is the output node; levels are stored breadth-first.
+    std::vector<std::unique_ptr<Merger>> mergers;
+    std::vector<InputPort *> leafPorts;
+};
+
+/**
+ * The balancer's routing unit: the Mealy machine of paper Fig. 6c
+ * implemented by a B-flip-flop with input splitters and Q/!Q mergers
+ * (Fig. 6f).
+ *
+ * A pulse at either input emits C1 if the quantizing loop is "0" and C2
+ * if it is "1", then toggles the loop.  Two pulses at the same instant
+ * are both registered (one C1, one C2).  A pulse arriving while the
+ * loop is mid-transition (within t_BFF of the previous one) is ignored
+ * -- the paper's case (iii), which slowly biases the balancer.
+ */
+class BalancerRoutingUnit : public Component
+{
+  public:
+    BalancerRoutingUnit(Netlist &nl, const std::string &name,
+                        Tick dead_time = cell::kBffDeadTime);
+
+    InputPort inA;
+    InputPort inB;
+    OutputPort c1;
+    OutputPort c2;
+
+    int jjCount() const override;
+    void reset() override;
+
+    bool state() const { return toggled; }
+    std::uint64_t ignoredInputs() const { return ignored; }
+
+  private:
+    void onPulse(Tick t);
+
+    Tick deadTime;
+    bool toggled = false;
+    Tick lastTransition = kTickInvalid;
+    std::uint64_t ignored = 0;
+};
+
+/**
+ * The paper's 2:2 balancer (Fig. 6a/b/f): routing unit + output stage.
+ *
+ * Alternates input pulses between y1 and y2 (y1 first) and passes a
+ * simultaneous pair as one pulse on each output, so each output carries
+ * (N_A + N_B) / 2 pulses.  Inputs must be spaced at least t_BFF apart
+ * for exact behaviour.
+ */
+class Balancer : public Component
+{
+  public:
+    Balancer(Netlist &nl, const std::string &name);
+
+    InputPort &inA() { return splA.in; }
+    InputPort &inB() { return splB.in; }
+    OutputPort &y1() { return mergY1.out; }
+    OutputPort &y2() { return mergY2.out; }
+
+    int jjCount() const override;
+    void reset() override;
+
+    /** Routing-unit pulses ignored due to the BFF dead time. */
+    std::uint64_t ignoredInputs() const { return routing.ignoredInputs(); }
+
+  private:
+    Splitter splA;
+    Splitter splB;
+    Dff2 dff2R; ///< set by A
+    Dff2 dff2L; ///< set by B
+    BalancerRoutingUnit routing;
+    Merger mergY1;
+    Merger mergY2;
+};
+
+/**
+ * The cheaper balancer of [31]: a merger followed by a TFF2.  17 JJs,
+ * but a simultaneous input pair collides in the merger and loses one
+ * pulse -- the failure mode the paper's balancer eliminates.
+ */
+class MergerTff2Balancer : public Component
+{
+  public:
+    MergerTff2Balancer(Netlist &nl, const std::string &name);
+
+    InputPort &inA() { return merger.inA; }
+    InputPort &inB() { return merger.inB; }
+    OutputPort &y1() { return tff2.q1; }
+    OutputPort &y2() { return tff2.q2; }
+
+    int jjCount() const override;
+    void reset() override;
+
+    std::uint64_t collisions() const { return merger.collisions(); }
+
+  private:
+    Merger merger;
+    Tff2 tff2;
+};
+
+/**
+ * M:1 tree counting network of balancers (paper Fig. 6d): M inputs (a
+ * power of two), one output carrying (sum of input pulses) / M.
+ * The y1 output chains level to level; y2 outputs terminate.
+ */
+class TreeCountingNetwork : public Component
+{
+  public:
+    TreeCountingNetwork(Netlist &nl, const std::string &name,
+                        int num_inputs);
+
+    InputPort &in(int i);
+    OutputPort &out();
+
+    int numInputs() const { return fanIn; }
+    int numBalancers() const { return static_cast<int>(nodes.size()); }
+
+    int jjCount() const override;
+    void reset() override;
+
+    /** Total routing-unit pulses ignored across all balancers. */
+    std::uint64_t ignoredInputs() const;
+
+    /**
+     * Minimum safe spacing between pulses on any single input: one
+     * balancer dead time (t_BFF); the tree halves rates level by level
+     * so deeper levels are automatically safe.  Sets the adder latency
+     * 2^B * t_BFF of paper Fig. 8.
+     */
+    static Tick safeSpacing();
+
+  private:
+    int fanIn;
+    std::vector<std::unique_ptr<Balancer>> nodes; ///< breadth-first
+    std::vector<InputPort *> leafPorts;
+};
+
+} // namespace usfq
+
+#endif // USFQ_CORE_ADDER_HH

@@ -1,0 +1,154 @@
+#include "core/bitonic.hh"
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+BitonicCountingNetwork::BitonicCountingNetwork(Netlist &nl_in,
+                                               const std::string &name,
+                                               int width)
+    : Component(nl_in, name), nl(nl_in), w(width)
+{
+    if (width < 2 || (width & (width - 1)) != 0)
+        fatal("BitonicCountingNetwork %s: width %d must be a power of "
+              "two >= 2",
+              name.c_str(), width);
+
+    std::vector<OutputPort *> wires;
+    for (int i = 0; i < width; ++i) {
+        inputs.push_back(std::make_unique<Jtl>(
+            nl, name + ".in" + std::to_string(i)));
+        wires.push_back(&inputs.back()->out);
+    }
+    outputs = bitonic(name + ".b", std::move(wires));
+}
+
+std::vector<OutputPort *>
+BitonicCountingNetwork::bitonic(const std::string &name,
+                                std::vector<OutputPort *> wires)
+{
+    const std::size_t n = wires.size();
+    if (n == 1)
+        return wires;
+    // Two half-width bitonic networks feed Merger[n].
+    std::vector<OutputPort *> top(wires.begin(),
+                                  wires.begin() +
+                                      static_cast<long>(n / 2));
+    std::vector<OutputPort *> bottom(wires.begin() +
+                                         static_cast<long>(n / 2),
+                                     wires.end());
+    auto top_out = bitonic(name + "t", std::move(top));
+    auto bot_out = bitonic(name + "u", std::move(bottom));
+    std::vector<OutputPort *> merged;
+    merged.reserve(n);
+    merged.insert(merged.end(), top_out.begin(), top_out.end());
+    merged.insert(merged.end(), bot_out.begin(), bot_out.end());
+    return merger(name + "m", std::move(merged));
+}
+
+std::vector<OutputPort *>
+BitonicCountingNetwork::merger(const std::string &name,
+                               std::vector<OutputPort *> wires)
+{
+    const std::size_t n = wires.size();
+    if (n == 2) {
+        nodes.push_back(std::make_unique<Balancer>(nl, name));
+        Balancer &b = *nodes.back();
+        wires[0]->connect(b.inA());
+        wires[1]->connect(b.inB());
+        return {&b.y1(), &b.y2()};
+    }
+
+    // Even wires of the top half + odd wires of the bottom half go to
+    // the first sub-merger; the rest to the second (AHS construction).
+    std::vector<OutputPort *> first, second;
+    for (std::size_t i = 0; i < n / 2; ++i)
+        (i % 2 == 0 ? first : second).push_back(wires[i]);
+    for (std::size_t i = n / 2; i < n; ++i)
+        (i % 2 == 1 ? first : second).push_back(wires[i]);
+
+    auto out1 = merger(name + "a", std::move(first));
+    auto out2 = merger(name + "b", std::move(second));
+
+    // Final layer: balancer between out1[i] and out2[i].
+    std::vector<OutputPort *> result(n, nullptr);
+    for (std::size_t i = 0; i < n / 2; ++i) {
+        nodes.push_back(std::make_unique<Balancer>(
+            nl, name + ".f" + std::to_string(i)));
+        Balancer &b = *nodes.back();
+        out1[i]->connect(b.inA());
+        out2[i]->connect(b.inB());
+        result[2 * i] = &b.y1();
+        result[2 * i + 1] = &b.y2();
+    }
+    return result;
+}
+
+InputPort &
+BitonicCountingNetwork::in(int i)
+{
+    if (i < 0 || i >= w)
+        panic("BitonicCountingNetwork %s: input %d out of range",
+              name().c_str(), i);
+    return inputs[static_cast<std::size_t>(i)]->in;
+}
+
+OutputPort &
+BitonicCountingNetwork::out(int i)
+{
+    if (i < 0 || i >= w)
+        panic("BitonicCountingNetwork %s: output %d out of range",
+              name().c_str(), i);
+    return *outputs[static_cast<std::size_t>(i)];
+}
+
+int
+BitonicCountingNetwork::jjCount() const
+{
+    int total = 0;
+    for (const auto &j : inputs)
+        total += j->jjCount();
+    for (const auto &b : nodes)
+        total += b->jjCount();
+    return total;
+}
+
+void
+BitonicCountingNetwork::reset()
+{
+    for (auto &b : nodes)
+        b->reset();
+}
+
+std::uint64_t
+BitonicCountingNetwork::ignoredInputs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : nodes)
+        total += b->ignoredInputs();
+    return total;
+}
+
+int
+BitonicCountingNetwork::balancersFor(int width)
+{
+    int k = 0;
+    for (int m = 1; m < width; m <<= 1)
+        ++k;
+    return width / 2 * k * (k + 1) / 2;
+}
+
+std::vector<int>
+BitonicCountingNetwork::stepCounts(int width, int total)
+{
+    std::vector<int> counts(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i)
+        counts[static_cast<std::size_t>(i)] =
+            (total - i + width - 1) / width > 0
+                ? (total - i + width - 1) / width
+                : 0;
+    return counts;
+}
+
+} // namespace usfq

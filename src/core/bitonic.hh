@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bitonic counting network (Aspnes, Herlihy & Shavit [4] -- the
+ * counting-network reference the paper builds on).
+ *
+ * Where the paper's M:1 tree discards half of each balancer's output,
+ * the full bitonic network balances *all* w outputs: in any quiescent
+ * state the output counts satisfy the step property
+ *     0 <= out[i] - out[j] <= 1   for i < j,
+ * i.e. out[i] = ceil((N - i) / w) for N total pulses.  This gives a
+ * w-way pulse distributor/averager at w/2 * k(k+1)/2 balancers
+ * (k = log2 w) -- the design alternative to the tree that DESIGN.md's
+ * ablation study quantifies.
+ */
+
+#ifndef USFQ_CORE_BITONIC_HH
+#define USFQ_CORE_BITONIC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adder.hh"
+#include "sfq/cells.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+/**
+ * Bitonic[w] counting network of the paper's balancers; w a power of
+ * two.  Inputs are buffered through JTLs; every output is exposed.
+ */
+class BitonicCountingNetwork : public Component
+{
+  public:
+    BitonicCountingNetwork(Netlist &nl, const std::string &name,
+                           int width);
+
+    int width() const { return w; }
+    int numBalancers() const { return static_cast<int>(nodes.size()); }
+
+    InputPort &in(int i);
+    OutputPort &out(int i);
+
+    int jjCount() const override;
+    void reset() override;
+
+    /** Routing-unit pulses ignored due to dead-time violations. */
+    std::uint64_t ignoredInputs() const;
+
+    /** Balancers of a width-w bitonic network: (w/2)*k*(k+1)/2. */
+    static int balancersFor(int width);
+
+    /**
+     * Quiescent-state output counts for @p total input pulses: the
+     * step property ceil((total - i) / w).
+     */
+    static std::vector<int> stepCounts(int width, int total);
+
+  private:
+    /** Recursively wire Merger[w] over the given wires. */
+    std::vector<OutputPort *>
+    merger(const std::string &name, std::vector<OutputPort *> wires);
+
+    /** Recursively wire Bitonic[w] over the given wires. */
+    std::vector<OutputPort *>
+    bitonic(const std::string &name, std::vector<OutputPort *> wires);
+
+    Netlist &nl;
+    int w;
+    std::vector<std::unique_ptr<Jtl>> inputs;
+    std::vector<std::unique_ptr<Balancer>> nodes;
+    std::vector<OutputPort *> outputs;
+};
+
+} // namespace usfq
+
+#endif // USFQ_CORE_BITONIC_HH

@@ -1,0 +1,71 @@
+#include "core/converters.hh"
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+PulseCounter::PulseCounter(Netlist &nl, const std::string &name,
+                           int bits)
+    : Component(nl, name),
+      clearIn(this->name() + ".clear",
+              [this](Tick) {
+                  recordSwitches(2);
+                  total = 0;
+                  for (auto &s : stages)
+                      s->reset();
+              }),
+      nbits(bits)
+{
+    if (bits < 1 || bits > 32)
+        fatal("PulseCounter %s: %d bits unsupported", name.c_str(),
+              bits);
+    inJtl = std::make_unique<Jtl>(nl, name + ".jtl");
+    for (int k = 0; k < bits; ++k) {
+        stages.push_back(std::make_unique<Tff>(
+            nl, name + ".tff" + std::to_string(k)));
+        if (k == 0)
+            inJtl->out.connect(stages[0]->in);
+        else
+            stages[static_cast<std::size_t>(k - 1)]->out.connect(
+                stages[static_cast<std::size_t>(k)]->in);
+    }
+    // Tap the input for the unwrapped total (diagnostics only).
+    tapPort = std::make_unique<InputPort>(
+        name + ".tap", [this](Tick) { ++total; });
+    inJtl->out.connect(*tapPort);
+}
+
+InputPort &
+PulseCounter::in()
+{
+    return inJtl->in;
+}
+
+int
+PulseCounter::value() const
+{
+    int v = 0;
+    for (int k = 0; k < nbits; ++k)
+        v |= stages[static_cast<std::size_t>(k)]->state() ? 1 << k : 0;
+    return v;
+}
+
+int
+PulseCounter::jjCount() const
+{
+    int total_jj = inJtl->jjCount();
+    for (const auto &s : stages)
+        total_jj += s->jjCount();
+    return total_jj;
+}
+
+void
+PulseCounter::reset()
+{
+    total = 0;
+    for (auto &s : stages)
+        s->reset();
+}
+
+} // namespace usfq

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Output-format converters (paper Section 5.4, "For the FIR output, we
+ * could use an SFQ pulse counter to convert to binary representation
+ * ... or the integrator ... to convert pulse streams to RL"):
+ *
+ *  - PulseCounter: a TFF ripple counter accumulating a pulse stream
+ *    into a binary word readable at epoch end.
+ *  - StreamToRlConverter: the Fig. 10 integrator operated as a
+ *    stream-to-race-logic converter (count re-emitted as arrival time).
+ *    (PulseToRlIntegrator in core/pe.hh is that circuit; this header
+ *    re-exports it under the conversion-centric name.)
+ */
+
+#ifndef USFQ_CORE_CONVERTERS_HH
+#define USFQ_CORE_CONVERTERS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pe.hh"
+#include "sfq/cells.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+/**
+ * B-bit SFQ pulse counter: a ripple chain of TFFs.  Each input pulse
+ * advances the count (mod 2^bits); value() reads the TFF states, and a
+ * readout pulse emits nothing but a diagnostic -- physically the word
+ * would be shifted out through DFFs.
+ */
+class PulseCounter : public Component
+{
+  public:
+    PulseCounter(Netlist &nl, const std::string &name, int bits);
+
+    InputPort &in();
+
+    /** Clear the count (epoch marker). */
+    InputPort clearIn;
+
+    int bits() const { return nbits; }
+
+    /** Current count, mod 2^bits. */
+    int value() const;
+
+    /** Pulses absorbed since the last clear (not wrapped). */
+    std::uint64_t totalPulses() const { return total; }
+
+    /** True if the count wrapped past 2^bits - 1 since the last clear. */
+    bool overflowed() const { return total >> nbits; }
+
+    int jjCount() const override;
+    void reset() override;
+
+  private:
+    int nbits;
+    std::uint64_t total = 0;
+    std::vector<std::unique_ptr<Tff>> stages;
+    std::unique_ptr<Jtl> inJtl;
+    std::unique_ptr<InputPort> tapPort;
+};
+
+/** Stream-to-RL converter: the integrator of Fig. 10 (see core/pe.hh). */
+using StreamToRlConverter = PulseToRlIntegrator;
+
+} // namespace usfq
+
+#endif // USFQ_CORE_CONVERTERS_HH

@@ -1,0 +1,142 @@
+#include "core/dpu.hh"
+#include "core/fanout.hh"
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+DotProductUnit::DotProductUnit(Netlist &nl, const std::string &name,
+                               int length, DpuMode mode)
+    : Component(nl, name),
+      numElems(length),
+      dpuMode(mode),
+      epochPort(this->name() + ".epoch", nullptr),
+      clkPort(this->name() + ".clk", nullptr)
+{
+    if (length < 1)
+        fatal("DotProductUnit %s: need at least one element",
+              name.c_str());
+
+    int padded = 2;
+    while (padded < length)
+        padded <<= 1;
+    tree = std::make_unique<TreeCountingNetwork>(nl, name + ".tree",
+                                                 padded);
+
+    std::vector<InputPort *> epoch_dsts;
+    std::vector<InputPort *> clk_dsts;
+    for (int i = 0; i < length; ++i) {
+        const std::string mname = name + ".m" + std::to_string(i);
+        if (mode == DpuMode::Unipolar) {
+            unipolar.push_back(
+                std::make_unique<UnipolarMultiplier>(nl, mname));
+            unipolar.back()->out().connect(tree->in(i));
+            epoch_dsts.push_back(&unipolar.back()->epoch());
+        } else {
+            bipolar.push_back(
+                std::make_unique<BipolarMultiplier>(nl, mname));
+            bipolar.back()->out().connect(tree->in(i));
+            epoch_dsts.push_back(&bipolar.back()->epoch());
+            clk_dsts.push_back(&bipolar.back()->clkIn());
+        }
+    }
+
+    // Physical fanout: delay-balanced splitter trees, so every
+    // multiplier sees the epoch marker (and grid clock) at the same
+    // instant -- lane skew would otherwise break the exact pulse
+    // coincidence the counting tree depends on.
+    auto distribute = [&](const std::string &net,
+                          const std::vector<InputPort *> &dsts,
+                          InputPort &port) {
+        if (dsts.empty())
+            return;
+        InputPort *head =
+            buildBalancedFanout(nl, name + "." + net, dsts, fanout);
+        port.setHandler([head](Tick t) { head->receive(t); });
+    };
+    distribute("efan", epoch_dsts, epochPort);
+    distribute("cfan", clk_dsts, clkPort);
+}
+
+InputPort &
+DotProductUnit::rlIn(int i)
+{
+    if (i < 0 || i >= numElems)
+        panic("DotProductUnit %s: element %d out of range",
+              name().c_str(), i);
+    return dpuMode == DpuMode::Unipolar
+               ? unipolar[static_cast<std::size_t>(i)]->rlIn()
+               : bipolar[static_cast<std::size_t>(i)]->rlIn();
+}
+
+InputPort &
+DotProductUnit::streamIn(int i)
+{
+    if (i < 0 || i >= numElems)
+        panic("DotProductUnit %s: element %d out of range",
+              name().c_str(), i);
+    return dpuMode == DpuMode::Unipolar
+               ? unipolar[static_cast<std::size_t>(i)]->streamIn()
+               : bipolar[static_cast<std::size_t>(i)]->streamIn();
+}
+
+int
+DotProductUnit::jjCount() const
+{
+    int total = tree->jjCount();
+    for (const auto &m : unipolar)
+        total += m->jjCount();
+    for (const auto &m : bipolar)
+        total += m->jjCount();
+    for (const auto &s : fanout)
+        total += s->jjCount();
+    return total;
+}
+
+void
+DotProductUnit::reset()
+{
+    tree->reset();
+    for (auto &m : unipolar)
+        m->reset();
+    for (auto &m : bipolar)
+        m->reset();
+}
+
+int
+DotProductUnit::expectedCount(const EpochConfig &cfg, DpuMode mode,
+                              const std::vector<int> &stream_counts,
+                              const std::vector<int> &rl_ids)
+{
+    if (stream_counts.size() != rl_ids.size())
+        panic("DotProductUnit::expectedCount: operand size mismatch");
+    std::size_t padded = 2;
+    while (padded < stream_counts.size())
+        padded <<= 1;
+    std::vector<int> products(padded, 0);
+    for (std::size_t i = 0; i < stream_counts.size(); ++i) {
+        products[i] =
+            mode == DpuMode::Unipolar
+                ? unipolarProductCount(cfg, stream_counts[i], rl_ids[i])
+                : bipolarProductCount(cfg, stream_counts[i], rl_ids[i]);
+    }
+    // Padded inputs carry no pulses (a bipolar -1); decode()
+    // compensates for their contribution.
+    return treeNetworkCount(products);
+}
+
+double
+DotProductUnit::decode(const EpochConfig &cfg, DpuMode mode, int length,
+                       int padded_length, std::size_t count)
+{
+    const double mean = cfg.decodeUnipolar(count);
+    if (mode == DpuMode::Unipolar)
+        return mean * padded_length;
+    // Bipolar: each element's stream decodes as 2p-1; silent padded
+    // elements read as -1, so add their contribution back.
+    return (2.0 * mean - 1.0) * padded_length +
+           (padded_length - length);
+}
+
+} // namespace usfq

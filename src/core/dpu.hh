@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The U-SFQ dot-product unit (paper Section 5.3, Fig. 15): L parallel
+ * multipliers (RL operands a_i against pulse-stream operands b_i)
+ * feeding an L:1 tree counting network, so the output stream encodes
+ * (a.b) / L.  Unipolar and bipolar variants share the structure; the
+ * bipolar one adds the complement-regenerating inverter per element
+ * and a slot-rate grid clock.
+ */
+
+#ifndef USFQ_CORE_DPU_HH
+#define USFQ_CORE_DPU_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adder.hh"
+#include "core/encoding.hh"
+#include "core/multiplier.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+/** Data representation of a DPU instance. */
+enum class DpuMode
+{
+    Unipolar,
+    Bipolar,
+};
+
+/**
+ * The dot-product unit.  Element count is padded internally to the
+ * next power of two for the counting tree; padded inputs contribute
+ * zero and the decode divisor is paddedLength().
+ */
+class DotProductUnit : public Component
+{
+  public:
+    DotProductUnit(Netlist &nl, const std::string &name, int length,
+                   DpuMode mode = DpuMode::Unipolar);
+
+    int length() const { return numElems; }
+    int paddedLength() const { return tree->numInputs(); }
+    DpuMode mode() const { return dpuMode; }
+
+    /** Epoch marker input (fans out to every multiplier). */
+    InputPort &epochIn() { return epochPort; }
+
+    /** Grid clock input (bipolar mode only; fans out to inverters). */
+    InputPort &clkIn() { return clkPort; }
+
+    /** RL operand a_i. */
+    InputPort &rlIn(int i);
+
+    /** Pulse-stream operand b_i. */
+    InputPort &streamIn(int i);
+
+    /** Result pulse stream: count / N_max decodes to (a.b)/paddedLength. */
+    OutputPort &out() { return tree->out(); }
+
+    int jjCount() const override;
+    void reset() override;
+
+    /** Ignored routing-unit pulses in the tree (error diagnostics). */
+    std::uint64_t ignoredInputs() const { return tree->ignoredInputs(); }
+
+    /**
+     * Functional model: output pulse count for per-element stream
+     * counts and RL ids.
+     */
+    static int expectedCount(const EpochConfig &cfg, DpuMode mode,
+                             const std::vector<int> &stream_counts,
+                             const std::vector<int> &rl_ids);
+
+    /**
+     * Decode an output pulse count to the dot-product value.  In
+     * bipolar mode the silent padded elements each read as -1 and are
+     * compensated using @p length vs @p padded_length.
+     */
+    static double decode(const EpochConfig &cfg, DpuMode mode,
+                         int length, int padded_length,
+                         std::size_t count);
+
+  private:
+    int numElems;
+    DpuMode dpuMode;
+    InputPort epochPort;
+    InputPort clkPort;
+    std::vector<std::unique_ptr<UnipolarMultiplier>> unipolar;
+    std::vector<std::unique_ptr<BipolarMultiplier>> bipolar;
+    std::vector<std::unique_ptr<Splitter>> fanout;
+    std::unique_ptr<TreeCountingNetwork> tree;
+};
+
+} // namespace usfq
+
+#endif // USFQ_CORE_DPU_HH

@@ -1,0 +1,191 @@
+#include "core/encoding.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+EpochConfig::EpochConfig(int bits, Tick slot_width)
+    : nbits(bits), slot(slot_width)
+{
+    if (bits < 1 || bits > 20)
+        fatal("EpochConfig: resolution %d bits out of supported range "
+              "1..20", bits);
+    if (slot_width <= 0)
+        fatal("EpochConfig: slot width must be positive");
+}
+
+Tick
+EpochConfig::rlTime(int id) const
+{
+    if (id < 0 || id > nmax())
+        panic("EpochConfig: RL id %d out of range 0..%d", id, nmax());
+    return static_cast<Tick>(id) * slot;
+}
+
+int
+EpochConfig::rlSlotOf(Tick t) const
+{
+    if (t < 0)
+        return 0;
+    const Tick id = (t + slot / 2) / slot;
+    return static_cast<int>(std::min<Tick>(id, nmax()));
+}
+
+int
+EpochConfig::rlIdOfUnipolar(double value) const
+{
+    const double clamped = std::clamp(value, 0.0, 1.0);
+    return static_cast<int>(std::lround(clamped * nmax()));
+}
+
+int
+EpochConfig::rlIdOfBipolar(double value) const
+{
+    return rlIdOfUnipolar((std::clamp(value, -1.0, 1.0) + 1.0) / 2.0);
+}
+
+double
+EpochConfig::rlUnipolar(int id) const
+{
+    return static_cast<double>(id) / nmax();
+}
+
+double
+EpochConfig::rlBipolar(int id) const
+{
+    return 2.0 * rlUnipolar(id) - 1.0;
+}
+
+int
+EpochConfig::streamCountOfUnipolar(double value) const
+{
+    const double clamped = std::clamp(value, 0.0, 1.0);
+    return static_cast<int>(std::lround(clamped * nmax()));
+}
+
+int
+EpochConfig::streamCountOfBipolar(double value) const
+{
+    return streamCountOfUnipolar((std::clamp(value, -1.0, 1.0) + 1.0) / 2.0);
+}
+
+double
+EpochConfig::decodeUnipolar(std::size_t count) const
+{
+    return static_cast<double>(count) / nmax();
+}
+
+double
+EpochConfig::decodeBipolar(std::size_t count) const
+{
+    return 2.0 * decodeUnipolar(count) - 1.0;
+}
+
+std::vector<int>
+EpochConfig::streamSlots(int count) const
+{
+    const int n_slots = nmax();
+    if (count < 0 || count > n_slots)
+        panic("EpochConfig: stream count %d out of range 0..%d", count,
+              n_slots);
+    std::vector<int> slots;
+    slots.reserve(static_cast<std::size_t>(count));
+    // Euclidean rhythm: slot i fires iff the running total
+    // floor((i+1)*count/n) advances.
+    std::int64_t acc = 0;
+    for (int i = 0; i < n_slots; ++i) {
+        const std::int64_t next =
+            static_cast<std::int64_t>(i + 1) * count / n_slots;
+        if (next > acc)
+            slots.push_back(i);
+        acc = next;
+    }
+    return slots;
+}
+
+std::vector<int>
+EpochConfig::complementSlots(int count) const
+{
+    const auto occupied = streamSlots(count);
+    std::vector<int> rest;
+    rest.reserve(static_cast<std::size_t>(nmax() - count));
+    std::size_t j = 0;
+    for (int i = 0; i < nmax(); ++i) {
+        if (j < occupied.size() && occupied[j] == i)
+            ++j;
+        else
+            rest.push_back(i);
+    }
+    return rest;
+}
+
+Tick
+EpochConfig::slotCenter(int slot_index, Tick start) const
+{
+    return start + static_cast<Tick>(slot_index) * slot + slot / 2;
+}
+
+std::vector<Tick>
+EpochConfig::streamTimes(int count, Tick start) const
+{
+    const auto slots = streamSlots(count);
+    std::vector<Tick> times;
+    times.reserve(slots.size());
+    for (int s : slots)
+        times.push_back(slotCenter(s, start));
+    return times;
+}
+
+int
+unipolarProductCount(const EpochConfig &cfg, int n, int rl_id)
+{
+    // Stream pulses sit at slot centers; the RL pulse lands on the
+    // slot boundary rl_id, so exactly the pulses in slots < rl_id
+    // pass.  For the Euclidean rhythm the prefix count telescopes to
+    // floor(rl_id * n / N) -- no need to materialize the slots.
+    if (n < 0 || n > cfg.nmax())
+        panic("unipolarProductCount: stream count %d out of range", n);
+    if (rl_id < 0 || rl_id > cfg.nmax())
+        panic("unipolarProductCount: RL id %d out of range", rl_id);
+    return static_cast<int>(static_cast<std::int64_t>(rl_id) * n /
+                            cfg.nmax());
+}
+
+int
+bipolarProductCount(const EpochConfig &cfg, int n, int rl_id)
+{
+    // O1 = A&B: stream pulses before the RL arrival.
+    const int o1 = unipolarProductCount(cfg, n, rl_id);
+    // O2 = !A&!B: complement pulses at or after the RL arrival.  The
+    // complement has N-n pulses total, of which (rl_id - o1) lie
+    // before the RL pulse.
+    const int o2 = (cfg.nmax() - n) - (rl_id - o1);
+    return o1 + o2;
+}
+
+int
+treeNetworkCount(std::vector<int> inputs)
+{
+    if (inputs.empty())
+        panic("treeNetworkCount: no inputs");
+    if ((inputs.size() & (inputs.size() - 1)) != 0)
+        panic("treeNetworkCount: %zu inputs (need a power of two)",
+              inputs.size());
+    while (inputs.size() > 1) {
+        std::vector<int> next;
+        next.reserve(inputs.size() / 2);
+        for (std::size_t i = 0; i < inputs.size(); i += 2) {
+            // A balancer sends the first of each pulse pair to Y1, so
+            // the Y1 chain carries the ceiling half.
+            next.push_back((inputs[i] + inputs[i + 1] + 1) / 2);
+        }
+        inputs = std::move(next);
+    }
+    return inputs.front();
+}
+
+} // namespace usfq

@@ -1,0 +1,73 @@
+#include "core/fanout.hh"
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+namespace
+{
+
+struct Node
+{
+    InputPort *port;
+    Tick compensation;
+};
+
+int
+depthFor(std::size_t n)
+{
+    int d = 0;
+    std::size_t span = 1;
+    while (span < n) {
+        span <<= 1;
+        ++d;
+    }
+    return d;
+}
+
+Node
+build(Netlist &nl, const std::string &name,
+      const std::vector<InputPort *> &dsts, std::size_t lo,
+      std::size_t hi, int levels_left, int &next_id,
+      std::vector<std::unique_ptr<Splitter>> &store)
+{
+    const std::size_t n = hi - lo;
+    if (n == 1) {
+        // A leaf reached early gets compensating wire length so every
+        // destination sees the same total delay.
+        return {dsts[lo],
+                static_cast<Tick>(levels_left) * cell::kSplitterDelay};
+    }
+    store.push_back(std::make_unique<Splitter>(
+        nl, name + ".fan" + std::to_string(next_id++)));
+    Splitter &s = *store.back();
+    const std::size_t mid = lo + (n + 1) / 2;
+    const Node left = build(nl, name, dsts, lo, mid, levels_left - 1,
+                            next_id, store);
+    const Node right = build(nl, name, dsts, mid, hi, levels_left - 1,
+                             next_id, store);
+    s.out1.connect(*left.port, left.compensation);
+    s.out2.connect(*right.port, right.compensation);
+    return {&s.in, 0};
+}
+
+} // namespace
+
+InputPort *
+buildBalancedFanout(Netlist &nl, const std::string &name,
+                    const std::vector<InputPort *> &dsts,
+                    std::vector<std::unique_ptr<Splitter>> &store)
+{
+    if (dsts.empty())
+        panic("buildBalancedFanout: no destinations");
+    if (dsts.size() == 1)
+        return dsts.front();
+    int next_id = static_cast<int>(store.size());
+    const Node root = build(nl, name, dsts, 0, dsts.size(),
+                            depthFor(dsts.size()), next_id, store);
+    // The root is a splitter input: zero compensation by construction.
+    return root.port;
+}
+
+} // namespace usfq

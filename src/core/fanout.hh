@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Delay-balanced splitter-tree fanout.
+ *
+ * U-SFQ arithmetic relies on same-slot pulses from different lanes
+ * arriving at shared balancers *exactly* coincidentally (the balancer
+ * resolves exact coincidence losslessly; a few-ps skew lands inside
+ * its dead time instead).  Distribution networks therefore must reach
+ * every destination with identical total delay: a balanced splitter
+ * tree whose shallower leaves get compensating wire length.
+ */
+
+#ifndef USFQ_CORE_FANOUT_HH
+#define USFQ_CORE_FANOUT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sfq/cells.hh"
+#include "sim/netlist.hh"
+#include "sim/port.hh"
+
+namespace usfq
+{
+
+/**
+ * Build a delay-balanced splitter tree over @p dsts.
+ *
+ * Splitters are appended to @p store (the caller owns them and counts
+ * their JJs).  Returns the tree's root input; every destination sees
+ * the same total delay of ceil(log2(n)) splitter hops.
+ */
+InputPort *buildBalancedFanout(
+    Netlist &nl, const std::string &name,
+    const std::vector<InputPort *> &dsts,
+    std::vector<std::unique_ptr<Splitter>> &store);
+
+} // namespace usfq
+
+#endif // USFQ_CORE_FANOUT_HH

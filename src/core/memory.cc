@@ -1,0 +1,182 @@
+#include "core/memory.hh"
+
+#include <cmath>
+
+#include "core/fanout.hh"
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+CoefficientBank::CoefficientBank(Netlist &nl, const std::string &name,
+                                 int words, int bits)
+    : Component(nl, name),
+      numWords(words),
+      nbits(bits),
+      epochJtl(nl, name + ".ejtl")
+{
+    if (words < 1)
+        fatal("CoefficientBank %s: need at least one word", name.c_str());
+    if (bits < 1 || bits > 20)
+        fatal("CoefficientBank %s: %d bits unsupported", name.c_str(),
+              bits);
+
+    // Shared divider chain (the uniform PNM front end).
+    for (int k = 0; k < bits; ++k) {
+        dividers.push_back(std::make_unique<Tff2>(
+            nl, name + ".tff2_" + std::to_string(k)));
+        if (k > 0)
+            dividers[static_cast<std::size_t>(k - 1)]->q1.connect(
+                dividers[static_cast<std::size_t>(k)]->in);
+    }
+    dividers.back()->q1.connect(epochJtl.in);
+
+    // Words: NDRO gates + merger cascade.
+    for (int w = 0; w < words; ++w) {
+        auto word = std::make_unique<Word>();
+        const std::string wname = name + ".w" + std::to_string(w);
+        for (int k = 0; k < bits; ++k) {
+            word->gates.push_back(std::make_unique<Ndro>(
+                nl, wname + ".gate" + std::to_string(k)));
+        }
+        for (int k = 1; k < bits; ++k) {
+            word->mergers.push_back(std::make_unique<Merger>(
+                nl, wname + ".mrg" + std::to_string(k)));
+            Merger &m = *word->mergers.back();
+            if (k == 1)
+                word->gates[0]->q.connect(m.inA);
+            else
+                word->mergers[word->mergers.size() - 2]->out.connect(
+                    m.inA);
+            word->gates[static_cast<std::size_t>(k)]->q.connect(m.inB);
+        }
+        if (bits == 1) {
+            word->outJtl =
+                std::make_unique<Jtl>(nl, wname + ".jtl");
+            word->gates[0]->q.connect(word->outJtl->in);
+        }
+        bank.push_back(std::move(word));
+    }
+
+    // Per-stage fanout of the divided clock to every word's gate: a
+    // delay-balanced splitter tree so all words' streams stay exactly
+    // slot-aligned (required for lossless balancing downstream).
+    for (int k = 0; k < bits; ++k) {
+        std::vector<InputPort *> dsts;
+        dsts.reserve(static_cast<std::size_t>(words));
+        for (int w = 0; w < words; ++w)
+            dsts.push_back(&bank[static_cast<std::size_t>(w)]
+                                ->gates[static_cast<std::size_t>(k)]
+                                ->clk);
+        InputPort *head = buildBalancedFanout(
+            nl, name + ".st" + std::to_string(k), dsts, fanoutTree);
+        dividers[static_cast<std::size_t>(k)]->q2.connect(*head);
+    }
+}
+
+InputPort &
+CoefficientBank::clkIn()
+{
+    return dividers.front()->in;
+}
+
+OutputPort &
+CoefficientBank::out(int w)
+{
+    if (w < 0 || w >= numWords)
+        panic("CoefficientBank %s: word %d out of range", name().c_str(),
+              w);
+    Word &word = *bank[static_cast<std::size_t>(w)];
+    if (nbits == 1)
+        return word.outJtl->out;
+    return word.mergers.back()->out;
+}
+
+OutputPort &
+CoefficientBank::epochOut()
+{
+    return epochJtl.out;
+}
+
+void
+CoefficientBank::program(int w, int value)
+{
+    if (w < 0 || w >= numWords)
+        fatal("CoefficientBank %s: word %d out of range", name().c_str(),
+              w);
+    if (value < 0 || value > maxValue())
+        fatal("CoefficientBank %s: value %d out of range 0..%d",
+              name().c_str(), value, maxValue());
+    Word &word = *bank[static_cast<std::size_t>(w)];
+    for (int k = 0; k < nbits; ++k)
+        word.gates[static_cast<std::size_t>(k)]->preset(
+            (value >> (nbits - 1 - k)) & 1);
+}
+
+void
+CoefficientBank::programUnipolar(int w, double value)
+{
+    const double clamped = std::clamp(value, 0.0, 1.0);
+    // Streams top out at 2^bits - 1 pulses (the all-ones word).
+    program(w, static_cast<int>(std::lround(clamped * maxValue())));
+}
+
+void
+CoefficientBank::programBipolar(int w, double value)
+{
+    programUnipolar(w, (std::clamp(value, -1.0, 1.0) + 1.0) / 2.0);
+}
+
+int
+CoefficientBank::storedValue(int w) const
+{
+    if (w < 0 || w >= numWords)
+        panic("CoefficientBank: word %d out of range", w);
+    const Word &word = *bank[static_cast<std::size_t>(w)];
+    int value = 0;
+    for (int k = 0; k < nbits; ++k)
+        value |= word.gates[static_cast<std::size_t>(k)]->state()
+                     ? 1 << (nbits - 1 - k)
+                     : 0;
+    return value;
+}
+
+int
+CoefficientBank::jjCount() const
+{
+    int total = epochJtl.jjCount();
+    for (const auto &d : dividers)
+        total += d->jjCount();
+    for (const auto &s : fanoutTree)
+        total += s->jjCount();
+    for (const auto &w : bank) {
+        for (const auto &g : w->gates)
+            total += g->jjCount();
+        for (const auto &m : w->mergers)
+            total += m->jjCount();
+        if (w->outJtl)
+            total += w->outJtl->jjCount();
+    }
+    return total;
+}
+
+void
+CoefficientBank::reset()
+{
+    // Stored coefficients survive a reset (they are the memory); only
+    // the clocking state clears.
+    for (auto &d : dividers)
+        d->reset();
+    for (auto &w : bank)
+        for (auto &m : w->mergers)
+            m->reset();
+}
+
+int
+CoefficientBank::binaryBankJJs(int words, int bits)
+{
+    return words * bits * cell::kNdroJJs;
+}
+
+} // namespace usfq

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Coefficient memory for U-SFQ accelerators (paper Section 4.3).
+ *
+ * DSP coefficients are written rarely and read every epoch, so the bank
+ * stores them in NDRO loops (non-destructive readout).  A shared TFF2
+ * clock-divider chain (the front half of the uniform PNM) produces the
+ * binary-weighted phase streams; each stored word gates those streams
+ * with its NDRO bits and merges them into its coefficient pulse stream.
+ * The divider chain plus per-word mergers are the "10% clocking/merger
+ * overhead" the paper quotes against a plain binary NDRO bank.
+ */
+
+#ifndef USFQ_CORE_MEMORY_HH
+#define USFQ_CORE_MEMORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sfq/cells.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+/**
+ * A bank of @p words coefficient words of @p bits bits, each readable
+ * as a pulse stream of its value per epoch of 2^bits clock periods.
+ */
+class CoefficientBank : public Component
+{
+  public:
+    CoefficientBank(Netlist &nl, const std::string &name, int words,
+                    int bits);
+
+    int words() const { return numWords; }
+    int bits() const { return nbits; }
+    int maxValue() const { return (1 << nbits) - 1; }
+
+    /** Low-frequency clock input (period T_CLK = bits * t_TFF2). */
+    InputPort &clkIn();
+
+    /** Pulse-stream output of word @p w. */
+    OutputPort &out(int w);
+
+    /** Divided clock CLK / 2^bits: the epoch marker. */
+    OutputPort &epochOut();
+
+    /** Store an integer value (0 .. 2^bits - 1) into word @p w. */
+    void program(int w, int value);
+
+    /** Store a unipolar value in [0, 1] (quantized to the grid). */
+    void programUnipolar(int w, double value);
+
+    /** Store a bipolar value in [-1, 1]. */
+    void programBipolar(int w, double value);
+
+    /** Read back the stored integer value of word @p w. */
+    int storedValue(int w) const;
+
+    int jjCount() const override;
+    void reset() override;
+
+    /** JJs of a plain binary NDRO bank of the same capacity. */
+    static int binaryBankJJs(int words, int bits);
+
+  private:
+    struct Word
+    {
+        std::vector<std::unique_ptr<Ndro>> gates;   // one per bit
+        std::vector<std::unique_ptr<Merger>> mergers;
+        std::unique_ptr<Jtl> outJtl; // used when bits == 1
+    };
+
+    int numWords;
+    int nbits;
+    std::vector<std::unique_ptr<Tff2>> dividers;      // shared chain
+    std::vector<std::unique_ptr<Splitter>> fanoutTree; // per-stage fanout
+    std::vector<std::unique_ptr<Word>> bank;
+    Jtl epochJtl;
+};
+
+} // namespace usfq
+
+#endif // USFQ_CORE_MEMORY_HH

@@ -1,0 +1,94 @@
+#include "core/multiplier.hh"
+
+namespace usfq
+{
+
+// --- UnipolarMultiplier -------------------------------------------------
+
+UnipolarMultiplier::UnipolarMultiplier(Netlist &nl, const std::string &name)
+    : Component(nl, name),
+      ndro(nl, name + ".ndro"),
+      outJtl(nl, name + ".jtl")
+{
+    ndro.q.connect(outJtl.in);
+}
+
+int
+UnipolarMultiplier::jjCount() const
+{
+    return ndro.jjCount() + outJtl.jjCount();
+}
+
+void
+UnipolarMultiplier::reset()
+{
+    ndro.reset();
+}
+
+// --- BipolarMultiplier ---------------------------------------------------
+
+namespace
+{
+/**
+ * Path-balancing delay on B -> bottom-NDRO set: the complement stream is
+ * regenerated through the inverter (t_INV after the grid clock), so the
+ * set pulse is retarded by the same amount to keep the !A-vs-!B race
+ * aligned with the slot grid.
+ */
+constexpr Tick kBotSetSkew = 9 * kPicosecond;
+} // namespace
+
+BipolarMultiplier::BipolarMultiplier(Netlist &nl, const std::string &name)
+    : Component(nl, name),
+      splA(nl, name + ".splA"),
+      splB(nl, name + ".splB"),
+      splE(nl, name + ".splE"),
+      ndroTop(nl, name + ".ndroT"),
+      ndroBot(nl, name + ".ndroB"),
+      inv(nl, name + ".inv"),
+      outMerger(nl, name + ".merge")
+{
+    // O1 = A AND B: stream pulses arriving before the RL pulse pass.
+    splA.out1.connect(ndroTop.clk);
+    splB.out1.connect(ndroTop.r);
+    splE.out1.connect(ndroTop.s);
+
+    // O2 = !A AND !B: the inverter regenerates the complement stream,
+    // which passes the bottom NDRO once B has set it.
+    splA.out2.connect(inv.d);
+    inv.q.connect(ndroBot.clk);
+    splB.out2.connect(ndroBot.s, kBotSetSkew);
+    splE.out2.connect(ndroBot.r);
+
+    ndroTop.q.connect(outMerger.inA);
+    ndroBot.q.connect(outMerger.inB);
+}
+
+int
+BipolarMultiplier::jjCount() const
+{
+    return splA.jjCount() + splB.jjCount() + splE.jjCount() +
+           ndroTop.jjCount() + ndroBot.jjCount() + inv.jjCount() +
+           outMerger.jjCount();
+}
+
+void
+BipolarMultiplier::reset()
+{
+    ndroTop.reset();
+    ndroBot.reset();
+    inv.reset();
+    outMerger.reset();
+}
+
+std::vector<Tick>
+BipolarMultiplier::gridClockTimes(const EpochConfig &cfg, Tick start)
+{
+    std::vector<Tick> times;
+    times.reserve(static_cast<std::size_t>(cfg.nmax()));
+    for (int s = 0; s < cfg.nmax(); ++s)
+        times.push_back(cfg.slotCenter(s, start) + kGridClockOffset);
+    return times;
+}
+
+} // namespace usfq

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The U-SFQ multipliers (paper Section 4.1, Fig. 3c).
+ *
+ * Unipolar: an NDRO whose loop is set by the epoch marker E and reset
+ * by the race-logic operand B; the pulse-stream operand A drives the
+ * non-destructive read port, so exactly the A pulses arriving before B
+ * pass through.  The surviving pulse count encodes p_A * p_B.
+ *
+ * Bipolar: the stochastic-computing XNOR construction.  The top NDRO
+ * passes A-and-B; a clocked inverter regenerates the complement stream
+ * !A, and the bottom NDRO (set by B's arrival, cleared by E) passes
+ * !A-and-!B; a merger combines both, giving (A AND B) OR (!A AND !B).
+ */
+
+#ifndef USFQ_CORE_MULTIPLIER_HH
+#define USFQ_CORE_MULTIPLIER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/encoding.hh"
+#include "sfq/cells.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+/**
+ * Unipolar U-SFQ multiplier: one NDRO plus an output JTL.
+ *
+ * Ports: epoch() (E), rlIn() (operand B as an RL pulse), streamIn()
+ * (operand A as a pulse stream), out() (product pulse stream).
+ */
+class UnipolarMultiplier : public Component
+{
+  public:
+    UnipolarMultiplier(Netlist &nl, const std::string &name);
+
+    InputPort &epoch() { return ndro.s; }
+    InputPort &rlIn() { return ndro.r; }
+    InputPort &streamIn() { return ndro.clk; }
+    OutputPort &out() { return outJtl.out; }
+
+    int jjCount() const override;
+    void reset() override;
+
+    /** Expected product pulse count (pure functional model). */
+    static int
+    expectedCount(const EpochConfig &cfg, int stream_count, int rl_id)
+    {
+        return unipolarProductCount(cfg, stream_count, rl_id);
+    }
+
+  private:
+    Ndro ndro;
+    Jtl outJtl;
+};
+
+/**
+ * Bipolar U-SFQ multiplier (XNOR of stream A and RL operand B).
+ *
+ * Requires a grid clock at the maximum stream rate (one pulse per slot,
+ * offset kGridClockOffset past the slot center) to drive the
+ * complement-regenerating inverter; gridClockTimes() produces it.
+ */
+class BipolarMultiplier : public Component
+{
+  public:
+    BipolarMultiplier(Netlist &nl, const std::string &name);
+
+    InputPort &epoch() { return splE.in; }
+    InputPort &rlIn() { return splB.in; }
+    InputPort &streamIn() { return splA.in; }
+    InputPort &clkIn() { return inv.clk; }
+    OutputPort &out() { return outMerger.out; }
+
+    int jjCount() const override;
+    void reset() override;
+
+    /** Grid-clock offset past each slot center. */
+    static constexpr Tick kGridClockOffset = 4 * kPicosecond;
+
+    /** One grid-clock pulse per slot for an epoch starting at @p start. */
+    static std::vector<Tick> gridClockTimes(const EpochConfig &cfg,
+                                            Tick start = 0);
+
+    /** Expected product pulse count (pure functional model). */
+    static int
+    expectedCount(const EpochConfig &cfg, int stream_count, int rl_id)
+    {
+        return bipolarProductCount(cfg, stream_count, rl_id);
+    }
+
+  private:
+    Splitter splA;
+    Splitter splB;
+    Splitter splE;
+    Ndro ndroTop;
+    Ndro ndroBot;
+    Inverter inv;
+    Merger outMerger;
+};
+
+} // namespace usfq
+
+#endif // USFQ_CORE_MULTIPLIER_HH

@@ -1,0 +1,155 @@
+#include "core/pe.hh"
+
+#include "core/fanout.hh"
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+namespace
+{
+/**
+ * Wire lag on the integrator's epoch marker: lets pulses launched at
+ * the very end of an epoch drain through the multiplier/balancer
+ * pipeline (~25 ps) before the integrator converts and restarts.
+ */
+constexpr Tick kIntegratorEpochLag = 30 * kPicosecond;
+} // namespace
+
+// --- PulseToRlIntegrator ----------------------------------------------------
+
+PulseToRlIntegrator::PulseToRlIntegrator(Netlist &nl,
+                                         const std::string &name,
+                                         const EpochConfig &cfg_in)
+    : Component(nl, name),
+      in(this->name() + ".in",
+         [this](Tick) {
+             // One Phi0 into the integrating inductor per pulse.
+             recordSwitches(2);
+             if (counter < cfg.nmax())
+                 ++counter;
+         }),
+      epochIn(this->name() + ".epoch",
+              [this](Tick t) {
+                  recordSwitches(cell::switchesPerOp(jjCount()));
+                  const int slot = counter;
+                  counter = 0;
+                  out.emit(t + cfg.rlTime(slot) +
+                           EpochConfig::kRlPulseOffset);
+              }),
+      out(this->name() + ".out", &nl.queue()),
+      cfg(cfg_in)
+{
+}
+
+void
+PulseToRlIntegrator::reset()
+{
+    counter = 0;
+}
+
+// --- ProcessingElement ---------------------------------------------------------
+
+ProcessingElement::ProcessingElement(Netlist &nl, const std::string &name,
+                                     const EpochConfig &cfg)
+    : Component(nl, name),
+      splE(nl, name + ".splE"),
+      mult(nl, name + ".mult"),
+      in3Jtl(nl, name + ".in3jtl",
+             cell::kNdroDelay + cell::kJtlDelay),
+      bal(nl, name + ".bal"),
+      integ(nl, name + ".integ", cfg)
+{
+    splE.out1.connect(mult.epoch());
+    splE.out2.connect(integ.epochIn, kIntegratorEpochLag);
+    mult.out().connect(bal.inA());
+    // In3 is delayed to match the multiplier's NDRO+JTL path so that
+    // same-slot pulses reach the balancer coincidentally (which it
+    // resolves losslessly).
+    in3Jtl.out.connect(bal.inB());
+    bal.y1().connect(integ.in);
+}
+
+int
+ProcessingElement::jjCount() const
+{
+    return splE.jjCount() + mult.jjCount() + in3Jtl.jjCount() +
+           bal.jjCount() + integ.jjCount();
+}
+
+void
+ProcessingElement::reset()
+{
+    mult.reset();
+    bal.reset();
+    integ.reset();
+}
+
+int
+ProcessingElement::expectedSlot(const EpochConfig &cfg, int in1_id,
+                                int in2_count, int in3_count)
+{
+    const int product = unipolarProductCount(cfg, in2_count, in1_id);
+    const int slot = treeNetworkCount({product, in3_count});
+    return std::min(slot, cfg.nmax());
+}
+
+// --- PeChain ------------------------------------------------------------------
+
+PeChain::PeChain(Netlist &nl, const std::string &name, int length,
+                 const EpochConfig &cfg)
+    : Component(nl, name),
+      epochPort(this->name() + ".epoch", nullptr)
+{
+    if (length < 1)
+        fatal("PeChain %s: need at least one PE", name.c_str());
+
+    std::vector<InputPort *> epoch_dsts;
+    for (int k = 0; k < length; ++k) {
+        pes.push_back(std::make_unique<ProcessingElement>(
+            nl, name + ".pe" + std::to_string(k), cfg));
+        epoch_dsts.push_back(&pes.back()->epoch());
+        if (k > 0)
+            pes[static_cast<std::size_t>(k - 1)]->out().connect(
+                pes[static_cast<std::size_t>(k)]->in1());
+    }
+    InputPort *head =
+        buildBalancedFanout(nl, name + ".efan", epoch_dsts, fanout);
+    epochPort.setHandler([head](Tick t) { head->receive(t); });
+}
+
+InputPort &
+PeChain::streamIn(int k)
+{
+    if (k < 0 || k >= length())
+        panic("PeChain %s: PE %d out of range", name().c_str(), k);
+    return pes[static_cast<std::size_t>(k)]->in2();
+}
+
+InputPort &
+PeChain::accumIn(int k)
+{
+    if (k < 0 || k >= length())
+        panic("PeChain %s: PE %d out of range", name().c_str(), k);
+    return pes[static_cast<std::size_t>(k)]->in3();
+}
+
+int
+PeChain::jjCount() const
+{
+    int total = 0;
+    for (const auto &pe : pes)
+        total += pe->jjCount();
+    for (const auto &s : fanout)
+        total += s->jjCount();
+    return total;
+}
+
+void
+PeChain::reset()
+{
+    for (auto &pe : pes)
+        pe->reset();
+}
+
+} // namespace usfq

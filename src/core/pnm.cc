@@ -1,0 +1,204 @@
+#include "core/pnm.hh"
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+PulseNumberMultiplier::PulseNumberMultiplier(Netlist &nl,
+                                             const std::string &name,
+                                             int bits)
+    : Component(nl, name), nbits(bits)
+{
+    if (bits < 1 || bits > 20)
+        fatal("PulseNumberMultiplier %s: %d bits unsupported",
+              name.c_str(), bits);
+}
+
+// --- ClassicPnm --------------------------------------------------------------
+
+ClassicPnm::ClassicPnm(Netlist &nl, const std::string &name, int bits)
+    : PulseNumberMultiplier(nl, name, bits),
+      epochJtl(nl, name + ".ejtl")
+{
+    for (int k = 0; k < bits; ++k) {
+        dividers.push_back(
+            std::make_unique<Tff>(nl, name + ".tff" + std::to_string(k)));
+        taps.push_back(std::make_unique<Splitter>(
+            nl, name + ".tap" + std::to_string(k)));
+        gates.push_back(std::make_unique<Ndro>(
+            nl, name + ".gate" + std::to_string(k)));
+
+        dividers[static_cast<std::size_t>(k)]->out.connect(
+            taps[static_cast<std::size_t>(k)]->in);
+        taps[static_cast<std::size_t>(k)]->out1.connect(
+            gates[static_cast<std::size_t>(k)]->clk);
+        if (k > 0) {
+            taps[static_cast<std::size_t>(k - 1)]->out2.connect(
+                dividers[static_cast<std::size_t>(k)]->in);
+        }
+    }
+    taps.back()->out2.connect(epochJtl.in);
+
+    // Merger cascade combining the gated taps into one stream.  The
+    // tap wires carry a per-stage layout skew (passive line length) so
+    // that bursts from simultaneously-firing stages stay outside the
+    // merger recovery window -- the bunching survives, which is exactly
+    // the classic PNM's non-uniformity (Fig. 9a).
+    for (int k = 1; k < bits; ++k) {
+        mergers.push_back(std::make_unique<Merger>(
+            nl, name + ".mrg" + std::to_string(k)));
+        Merger &m = *mergers.back();
+        if (k == 1)
+            gates[0]->q.connect(m.inA);
+        else
+            mergers[mergers.size() - 2]->out.connect(m.inA);
+        gates[static_cast<std::size_t>(k)]->q.connect(
+            m.inB, static_cast<Tick>(k) * 4 * kPicosecond);
+    }
+}
+
+InputPort &
+ClassicPnm::clkIn()
+{
+    return dividers.front()->in;
+}
+
+OutputPort &
+ClassicPnm::out()
+{
+    return mergers.empty() ? gates.front()->q : mergers.back()->out;
+}
+
+OutputPort &
+ClassicPnm::epochOut()
+{
+    return epochJtl.out;
+}
+
+void
+ClassicPnm::program(int value)
+{
+    if (value < 0 || value > maxValue())
+        fatal("ClassicPnm %s: value %d out of range 0..%d",
+              name().c_str(), value, maxValue());
+    // Stage k carries CLK / 2^(k+1): weight 2^(bits-1-k).
+    for (int k = 0; k < nbits; ++k)
+        gates[static_cast<std::size_t>(k)]->preset(
+            (value >> (nbits - 1 - k)) & 1);
+}
+
+int
+ClassicPnm::jjCount() const
+{
+    int total = epochJtl.jjCount();
+    for (const auto &d : dividers)
+        total += d->jjCount();
+    for (const auto &t : taps)
+        total += t->jjCount();
+    for (const auto &g : gates)
+        total += g->jjCount();
+    for (const auto &m : mergers)
+        total += m->jjCount();
+    return total;
+}
+
+void
+ClassicPnm::reset()
+{
+    for (auto &d : dividers)
+        d->reset();
+    for (auto &g : gates)
+        g->reset();
+    for (auto &m : mergers)
+        m->reset();
+}
+
+// --- UniformPnm -----------------------------------------------------------------
+
+UniformPnm::UniformPnm(Netlist &nl, const std::string &name, int bits)
+    : PulseNumberMultiplier(nl, name, bits),
+      epochJtl(nl, name + ".ejtl")
+{
+    for (int k = 0; k < bits; ++k) {
+        dividers.push_back(std::make_unique<Tff2>(
+            nl, name + ".tff2_" + std::to_string(k)));
+        gates.push_back(std::make_unique<Ndro>(
+            nl, name + ".gate" + std::to_string(k)));
+
+        // q2 (the even phase) feeds the stream; q1 continues the chain.
+        dividers[static_cast<std::size_t>(k)]->q2.connect(
+            gates[static_cast<std::size_t>(k)]->clk);
+        if (k > 0) {
+            dividers[static_cast<std::size_t>(k - 1)]->q1.connect(
+                dividers[static_cast<std::size_t>(k)]->in);
+        }
+    }
+    dividers.back()->q1.connect(epochJtl.in);
+
+    for (int k = 1; k < bits; ++k) {
+        mergers.push_back(std::make_unique<Merger>(
+            nl, name + ".mrg" + std::to_string(k)));
+        Merger &m = *mergers.back();
+        if (k == 1)
+            gates[0]->q.connect(m.inA);
+        else
+            mergers[mergers.size() - 2]->out.connect(m.inA);
+        gates[static_cast<std::size_t>(k)]->q.connect(m.inB);
+    }
+}
+
+InputPort &
+UniformPnm::clkIn()
+{
+    return dividers.front()->in;
+}
+
+OutputPort &
+UniformPnm::out()
+{
+    return mergers.empty() ? gates.front()->q : mergers.back()->out;
+}
+
+OutputPort &
+UniformPnm::epochOut()
+{
+    return epochJtl.out;
+}
+
+void
+UniformPnm::program(int value)
+{
+    if (value < 0 || value > maxValue())
+        fatal("UniformPnm %s: value %d out of range 0..%d",
+              name().c_str(), value, maxValue());
+    for (int k = 0; k < nbits; ++k)
+        gates[static_cast<std::size_t>(k)]->preset(
+            (value >> (nbits - 1 - k)) & 1);
+}
+
+int
+UniformPnm::jjCount() const
+{
+    int total = epochJtl.jjCount();
+    for (const auto &d : dividers)
+        total += d->jjCount();
+    for (const auto &g : gates)
+        total += g->jjCount();
+    for (const auto &m : mergers)
+        total += m->jjCount();
+    return total;
+}
+
+void
+UniformPnm::reset()
+{
+    for (auto &d : dividers)
+        d->reset();
+    for (auto &g : gates)
+        g->reset();
+    for (auto &m : mergers)
+        m->reset();
+}
+
+} // namespace usfq

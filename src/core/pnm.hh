@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Pulse Number Multipliers (paper Section 4.3, Fig. 9): programmable
+ * generators that turn a low-frequency clock into an n-pulse stream per
+ * epoch of 2^B clock periods.
+ *
+ * ClassicPnm (Fig. 9a) taps a chain of TFF clock dividers: stage k
+ * yields CLK / 2^(k+1), gated by an NDRO holding bit (B-1-k) of the
+ * programmed value.  Taps of different stages fire almost together
+ * (separated only by accumulated cell delay), so the stream is bursty.
+ *
+ * UniformPnm (Fig. 9b) replaces each TFF+splitter with a TFF2: one
+ * output continues the divider chain, the other contributes to the
+ * stream.  Consecutive stages then fire on disjoint clock phases and
+ * the resulting stream approaches a uniform rate.
+ *
+ * Both expose the final divided clock (CLK / 2^B) as the epoch marker.
+ */
+
+#ifndef USFQ_CORE_PNM_HH
+#define USFQ_CORE_PNM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sfq/cells.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+/** Common interface of the two PNM flavours. */
+class PulseNumberMultiplier : public Component
+{
+  public:
+    PulseNumberMultiplier(Netlist &nl, const std::string &name, int bits);
+
+    /** Resolution in bits (number of divider stages). */
+    int bits() const { return nbits; }
+
+    /** Largest programmable value, 2^bits - 1. */
+    int maxValue() const { return (1 << nbits) - 1; }
+
+    /** The low-frequency clock input. */
+    virtual InputPort &clkIn() = 0;
+
+    /** The generated pulse stream. */
+    virtual OutputPort &out() = 0;
+
+    /** The divided clock CLK / 2^bits: the epoch marker. */
+    virtual OutputPort &epochOut() = 0;
+
+    /** Program the pulse count per epoch (0 .. 2^bits - 1). */
+    virtual void program(int value) = 0;
+
+  protected:
+    int nbits;
+};
+
+/** The classic TFF-chain PNM of [32, 46, 48] (paper Fig. 9a). */
+class ClassicPnm : public PulseNumberMultiplier
+{
+  public:
+    ClassicPnm(Netlist &nl, const std::string &name, int bits);
+
+    InputPort &clkIn() override;
+    OutputPort &out() override;
+    OutputPort &epochOut() override;
+    void program(int value) override;
+
+    int jjCount() const override;
+    void reset() override;
+
+  private:
+    std::vector<std::unique_ptr<Tff>> dividers;
+    std::vector<std::unique_ptr<Splitter>> taps;
+    std::vector<std::unique_ptr<Ndro>> gates;
+    std::vector<std::unique_ptr<Merger>> mergers;
+    Jtl epochJtl;
+};
+
+/** The paper's uniform-rate PNM built from TFF2 cells (Fig. 9b). */
+class UniformPnm : public PulseNumberMultiplier
+{
+  public:
+    UniformPnm(Netlist &nl, const std::string &name, int bits);
+
+    InputPort &clkIn() override;
+    OutputPort &out() override;
+    OutputPort &epochOut() override;
+    void program(int value) override;
+
+    int jjCount() const override;
+    void reset() override;
+
+  private:
+    std::vector<std::unique_ptr<Tff2>> dividers;
+    std::vector<std::unique_ptr<Ndro>> gates;
+    std::vector<std::unique_ptr<Merger>> mergers;
+    Jtl epochJtl;
+};
+
+} // namespace usfq
+
+#endif // USFQ_CORE_PNM_HH

@@ -1,0 +1,141 @@
+#include "core/racelogic.hh"
+
+#include <algorithm>
+
+#include "sim/trace.hh"
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+int
+editDistanceReference(const std::string &a, const std::string &b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<int> prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = static_cast<int>(j);
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = static_cast<int>(i);
+        for (std::size_t j = 1; j <= m; ++j) {
+            const int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1,
+                               prev[j - 1] + cost});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+RaceLogicEditDistance::RaceLogicEditDistance(Netlist &nl,
+                                             const std::string &name,
+                                             const std::string &a,
+                                             const std::string &b)
+    : Component(nl, name),
+      n(static_cast<int>(a.size())),
+      m(static_cast<int>(b.size()))
+{
+    if (a.empty() || b.empty())
+        fatal("RaceLogicEditDistance %s: strings must be non-empty",
+              name.c_str());
+    const Tick d = kUnitDelay;
+
+    // Wires of node (i,j), flattened; node (0,0) is the source JTL.
+    std::vector<OutputPort *> wire(
+        static_cast<std::size_t>((n + 1) * (m + 1)), nullptr);
+    auto at = [this](int i, int j) {
+        return static_cast<std::size_t>(i * (m + 1) + j);
+    };
+
+    source = std::make_unique<Jtl>(nl, name + ".src");
+    wire[at(0, 0)] = &source->out;
+
+    // Boundary rows: +D per insertion/deletion step.
+    for (int i = 1; i <= n; ++i) {
+        boundary.push_back(std::make_unique<Jtl>(
+            nl, name + ".r" + std::to_string(i)));
+        wire[at(i - 1, 0)]->connect(boundary.back()->in,
+                                    d - cell::kJtlDelay);
+        wire[at(i, 0)] = &boundary.back()->out;
+    }
+    for (int j = 1; j <= m; ++j) {
+        boundary.push_back(std::make_unique<Jtl>(
+            nl, name + ".c" + std::to_string(j)));
+        wire[at(0, j - 1)]->connect(boundary.back()->in,
+                                    d - cell::kJtlDelay);
+        wire[at(0, j)] = &boundary.back()->out;
+    }
+
+    // Inner lattice: two first-arrival (MIN) cells per node.
+    for (int i = 1; i <= n; ++i) {
+        for (int j = 1; j <= m; ++j) {
+            const Tick diag_cost =
+                a[static_cast<std::size_t>(i - 1)] ==
+                        b[static_cast<std::size_t>(j - 1)]
+                    ? 0
+                    : d;
+            minCells.push_back(std::make_unique<FirstArrival>(
+                nl, name + ".fa1_" + std::to_string(i) + "_" +
+                        std::to_string(j)));
+            FirstArrival &fa1 = *minCells.back();
+            minCells.push_back(std::make_unique<FirstArrival>(
+                nl, name + ".fa2_" + std::to_string(i) + "_" +
+                        std::to_string(j)));
+            FirstArrival &fa2 = *minCells.back();
+
+            wire[at(i - 1, j - 1)]->connect(fa1.inA, diag_cost);
+            wire[at(i - 1, j)]->connect(fa1.inB, d);
+            fa1.out.connect(fa2.inA);
+            wire[at(i, j - 1)]->connect(fa2.inB, d);
+            wire[at(i, j)] = &fa2.out;
+        }
+    }
+    corner = wire[at(n, m)];
+}
+
+int
+RaceLogicEditDistance::decode(Tick t_start, Tick t_done) const
+{
+    // Cell skew along any path is << D/2, so rounding recovers the
+    // exact unit count.
+    const double units = static_cast<double>(t_done - t_start) /
+                         static_cast<double>(kUnitDelay);
+    return static_cast<int>(units + 0.5);
+}
+
+int
+RaceLogicEditDistance::jjCount() const
+{
+    int total = source->jjCount();
+    for (const auto &j : boundary)
+        total += j->jjCount();
+    for (const auto &f : minCells)
+        total += f->jjCount();
+    return total;
+}
+
+void
+RaceLogicEditDistance::reset()
+{
+    for (auto &f : minCells)
+        f->reset();
+}
+
+int
+raceLogicEditDistance(const std::string &a, const std::string &b)
+{
+    Netlist nl;
+    auto &grid = nl.create<RaceLogicEditDistance>("ed", a, b);
+    PulseTrace done;
+    grid.done().connect(done.input());
+    const Tick t0 = 10 * kPicosecond;
+    nl.queue().schedule(t0, [&grid, t0] { grid.start().receive(t0); });
+    nl.queue().run();
+    if (done.count() != 1)
+        panic("raceLogicEditDistance: expected one output pulse, got "
+              "%zu",
+              done.count());
+    return grid.decode(t0, done.times().front());
+}
+
+} // namespace usfq

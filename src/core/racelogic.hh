@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Race-logic dynamic programming (Madhavan et al. [29], the temporal
+ * paradigm the paper extends): a wavefront of SFQ pulses sweeps a
+ * lattice of first-arrival (MIN) cells and fixed delays, computing an
+ * edit-distance table in a single pass -- the computation class where
+ * pure race logic shines, complementing the paper's arithmetic-centric
+ * U-SFQ blocks.
+ *
+ * Node (i,j) fires at time
+ *   t(i,j) = min( t(i-1,j) + D, t(i,j-1) + D,
+ *                 t(i-1,j-1) + cost(i,j) * D )
+ * with D one delay unit and cost 0/1 for match/substitute; the arrival
+ * time of the far corner *is* the Levenshtein distance.  D is chosen
+ * three orders above the cell delays so propagation skew never flips a
+ * min decision.
+ */
+
+#ifndef USFQ_CORE_RACELOGIC_HH
+#define USFQ_CORE_RACELOGIC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sfq/cells.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+/** Classic dynamic-programming Levenshtein distance (reference). */
+int editDistanceReference(const std::string &a, const std::string &b);
+
+/**
+ * The race-logic edit-distance lattice for a fixed string pair.
+ *
+ * Drive one pulse into start(); the pulse at done() arrives
+ * distance * unitDelay() later (plus negligible cell skew).
+ */
+class RaceLogicEditDistance : public Component
+{
+  public:
+    /** One DP delay unit: large against the 3 ps FA cell delay. */
+    static constexpr Tick kUnitDelay = 1000 * kPicosecond;
+
+    RaceLogicEditDistance(Netlist &nl, const std::string &name,
+                          const std::string &a, const std::string &b);
+
+    /** Inject the epoch pulse here. */
+    InputPort &start() { return source->in; }
+
+    /** The far-corner output: fires at distance * unit. */
+    OutputPort &done() { return *corner; }
+
+    Tick unitDelay() const { return kUnitDelay; }
+
+    /** Decode an arrival time into the distance. */
+    int decode(Tick t_start, Tick t_done) const;
+
+    int rows() const { return n; }
+    int cols() const { return m; }
+
+    int jjCount() const override;
+    void reset() override;
+
+  private:
+    int n, m;
+    std::unique_ptr<Jtl> source;
+    std::vector<std::unique_ptr<Jtl>> boundary;
+    std::vector<std::unique_ptr<FirstArrival>> minCells;
+    OutputPort *corner = nullptr;
+};
+
+/**
+ * Convenience: build the lattice on a private netlist, race the
+ * wavefront, and return the decoded distance.
+ */
+int raceLogicEditDistance(const std::string &a, const std::string &b);
+
+} // namespace usfq
+
+#endif // USFQ_CORE_RACELOGIC_HH

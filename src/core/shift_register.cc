@@ -1,0 +1,288 @@
+#include "core/shift_register.hh"
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+// --- BinaryToRlConverter ---------------------------------------------------
+
+BinaryToRlConverter::BinaryToRlConverter(Netlist &nl,
+                                         const std::string &name,
+                                         int bits)
+    : Component(nl, name),
+      epochIn(this->name() + ".epoch",
+              [this](Tick t) {
+                  counter = 0;
+                  armed = true;
+                  recordSwitches(2);
+                  if (target == 0) {
+                      armed = false;
+                      out.emit(t + cell::kDffDelay);
+                  }
+              }),
+      clkIn(this->name() + ".clk",
+            [this](Tick t) {
+                if (!armed)
+                    return;
+                recordSwitches(cell::sw::kToggle);
+                if (++counter == target) {
+                    armed = false;
+                    out.emit(t + cell::kDffDelay);
+                }
+            }),
+      out(this->name() + ".out", &nl.queue()),
+      nbits(bits)
+{
+    if (bits < 1 || bits > 20)
+        fatal("BinaryToRlConverter %s: %d bits unsupported", name.c_str(),
+              bits);
+}
+
+void
+BinaryToRlConverter::program(int value)
+{
+    if (value < 0 || value > (1 << nbits))
+        fatal("BinaryToRlConverter %s: value %d out of range 0..%d",
+              name().c_str(), value, 1 << nbits);
+    target = value;
+}
+
+int
+BinaryToRlConverter::jjCount() const
+{
+    return jjsFor(nbits);
+}
+
+void
+BinaryToRlConverter::reset()
+{
+    counter = 0;
+    armed = false;
+}
+
+// --- DffRlShiftStage -----------------------------------------------------------
+
+DffRlShiftStage::DffRlShiftStage(Netlist &nl, const std::string &name,
+                                 int bits)
+    : Component(nl, name),
+      in(this->name() + ".in",
+         [this](Tick) {
+             // The pulse parks on the first DFF's data input at once.
+             recordSwitches(cell::sw::kStore);
+             reg.front() = true;
+         }),
+      clkIn(this->name() + ".clk",
+            [this](Tick t) {
+                // All DFFs read out concurrently: the whole chain is
+                // clocked, which is the DFF-RL option's power hog.
+                recordSwitches(stages() * cell::sw::kReadMiss);
+                if (reg.back())
+                    out.emit(t + cell::kDffDelay);
+                reg.pop_back();
+                reg.push_front(false);
+            }),
+      out(this->name() + ".out", &nl.queue())
+{
+    if (bits < 1 || bits > 16)
+        fatal("DffRlShiftStage %s: %d bits unsupported", name.c_str(),
+              bits);
+    reg.assign(static_cast<std::size_t>(1) << bits, false);
+}
+
+int
+DffRlShiftStage::jjCount() const
+{
+    return static_cast<int>(reg.size()) * cell::kDffJJs;
+}
+
+void
+DffRlShiftStage::reset()
+{
+    reg.assign(reg.size(), false);
+}
+
+// --- IntegratorBuffer -------------------------------------------------------------
+
+IntegratorBuffer::IntegratorBuffer(Netlist &nl, const std::string &name,
+                                   Tick period)
+    : Component(nl, name),
+      in(this->name() + ".in",
+         [this](Tick t) {
+             // Charging for half an epoch to J1's critical current, then
+             // discharging back to J2's threshold, reproduces the pulse
+             // one full epoch later (paper Fig. 11).
+             recordSwitches(cell::switchesPerOp(kJJs));
+             out.emit(t + epochPeriod);
+         }),
+      out(this->name() + ".out", &nl.queue()),
+      epochPeriod(period)
+{
+    if (period <= 0)
+        fatal("IntegratorBuffer %s: period must be positive",
+              name.c_str());
+}
+
+int
+IntegratorBuffer::jjCount() const
+{
+    return kJJs;
+}
+
+// --- RlMemoryCell ------------------------------------------------------------------
+
+RlMemoryCell::RlMemoryCell(Netlist &nl, const std::string &name,
+                           Tick period)
+    : Component(nl, name),
+      selA(this->name() + ".selA", nullptr),
+      selB(this->name() + ".selB", nullptr),
+      demux(nl, name + ".demux"),
+      bufA(nl, name + ".bufA", period),
+      bufB(nl, name + ".bufB", period),
+      mux(nl, name + ".mux")
+{
+    demux.out0.connect(bufA.in);
+    demux.out1.connect(bufB.in);
+    bufA.out.connect(mux.in0);
+    bufB.out.connect(mux.in1);
+
+    // Control wiring: selA = "fill A, drain B".
+    selA.setHandler([this](Tick t) {
+        demux.sel0.receive(t);
+        mux.sel1.receive(t);
+    });
+    selB.setHandler([this](Tick t) {
+        demux.sel1.receive(t);
+        mux.sel0.receive(t);
+    });
+}
+
+int
+RlMemoryCell::jjCount() const
+{
+    return demux.jjCount() + bufA.jjCount() + bufB.jjCount() +
+           mux.jjCount();
+}
+
+void
+RlMemoryCell::reset()
+{
+    demux.reset();
+    mux.reset();
+}
+
+// --- RlShiftRegister ---------------------------------------------------------------
+
+RlShiftRegister::RlShiftRegister(Netlist &nl, const std::string &name,
+                                 int depth, Tick period)
+    : Component(nl, name),
+      toggler(nl, name + ".tff2"),
+      epochPort(this->name() + ".epoch",
+                [this](Tick t) { onEpoch(t); })
+{
+    if (depth < 1)
+        fatal("RlShiftRegister %s: depth must be >= 1", name.c_str());
+
+    for (int k = 0; k < depth; ++k) {
+        cells.push_back(std::make_unique<RlMemoryCell>(
+            nl, name + ".cell" + std::to_string(k), period));
+    }
+    for (int k = 0; k + 1 < depth; ++k) {
+        tapSplitters.push_back(std::make_unique<Splitter>(
+            nl, name + ".tap" + std::to_string(k)));
+        cells[static_cast<std::size_t>(k)]->out().connect(
+            tapSplitters.back()->in);
+        tapSplitters.back()->out2.connect(
+            cells[static_cast<std::size_t>(k + 1)]->in());
+    }
+}
+
+InputPort &
+RlShiftRegister::in()
+{
+    return cells.front()->in();
+}
+
+InputPort &
+RlShiftRegister::epochIn()
+{
+    return epochPort;
+}
+
+OutputPort &
+RlShiftRegister::tapOut(int k)
+{
+    if (k < 0 || k >= depth())
+        panic("RlShiftRegister %s: tap %d out of range", name().c_str(),
+              k);
+    if (k + 1 == depth())
+        return cells.back()->out();
+    return tapSplitters[static_cast<std::size_t>(k)]->out1;
+}
+
+void
+RlShiftRegister::onEpoch(Tick t)
+{
+    // One shared TFF2-class toggler drives every cell's interleave.
+    recordSwitches(cell::switchesPerOp(cell::kTff2JJs));
+    phase = !phase;
+    for (auto &c : cells) {
+        if (phase)
+            c->selA.receive(t);
+        else
+            c->selB.receive(t);
+    }
+}
+
+int
+RlShiftRegister::jjCount() const
+{
+    int total = toggler.jjCount();
+    for (const auto &c : cells)
+        total += c->jjCount();
+    for (const auto &s : tapSplitters)
+        total += s->jjCount();
+    return total;
+}
+
+void
+RlShiftRegister::reset()
+{
+    phase = false;
+    toggler.reset();
+    for (auto &c : cells)
+        c->reset();
+}
+
+// --- Fig. 12 area models ---------------------------------------------------------
+
+int
+binaryShiftRegisterJJs(int words, int bits)
+{
+    return words * bits * cell::kDffJJs;
+}
+
+int
+b2rcShiftRegisterJJs(int words, int bits)
+{
+    return binaryShiftRegisterJJs(words, bits) +
+           words * BinaryToRlConverter::jjsFor(bits);
+}
+
+long long
+dffRlShiftRegisterJJs(int words, int bits)
+{
+    return static_cast<long long>(words) * (1LL << bits) * cell::kDffJJs;
+}
+
+int
+integratorShiftRegisterJJs(int words, int bits)
+{
+    (void)bits; // JJ count is resolution-independent (only L scales).
+    const int cell_jj = 2 * IntegratorBuffer::kJJs + cell::kMuxJJs +
+                        cell::kDemuxJJs;
+    const int taps = words > 1 ? (words - 1) * cell::kSplitterJJs : 0;
+    return words * cell_jj + cell::kTff2JJs + taps;
+}
+
+} // namespace usfq

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Race-logic shift registers (paper Section 4.4): the delay line (z^-1)
+ * every streaming accelerator needs, in the four design points the
+ * paper compares.
+ *
+ *  (i)   Binary DFF bank + binary-to-RL converters (B2RC [22]):
+ *        ~3.2x the area of a plain binary shift register.
+ *  (ii)  DFF-based RL delay chain: one DFF per time slot, so area grows
+ *        as 2^B -- worse than B2RCs beyond a few bits.
+ *  (iii) The paper's integrator-based RL buffer: an inductor integrates
+ *        clock pulses between the RL input and a comparator JJ,
+ *        reproducing the pulse one epoch later at constant JJ cost.
+ *  (iv)  A memory cell interleaves two integrator buffers through an
+ *        RSFQ demux/mux pair so a new value can enter every epoch; a
+ *        chain of memory cells forms the RL shift register.
+ */
+
+#ifndef USFQ_CORE_SHIFT_REGISTER_HH
+#define USFQ_CORE_SHIFT_REGISTER_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sfq/cells.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+/**
+ * Binary-to-RL converter [22]: an interleaved chain of TFFs and DFFs
+ * acting as a programmable down-counter.  After the epoch marker it
+ * counts grid-clock pulses and emits one pulse when the programmed
+ * count is reached -- i.e. an RL pulse at slot `value`.
+ */
+class BinaryToRlConverter : public Component
+{
+  public:
+    BinaryToRlConverter(Netlist &nl, const std::string &name, int bits);
+
+    InputPort epochIn; ///< Arms the counter (epoch start).
+    InputPort clkIn;   ///< Slot-rate clock.
+    OutputPort out;    ///< RL pulse at the programmed slot.
+
+    int bits() const { return nbits; }
+
+    /** Set the slot (0 .. 2^bits) at which to emit. */
+    void program(int value);
+
+    int jjCount() const override;
+    void reset() override;
+
+    /** JJs per converter: one TFF + DFF pair per bit. */
+    static int
+    jjsFor(int bits)
+    {
+        return bits * (cell::kTffJJs + cell::kDffJJs);
+    }
+
+  private:
+    int nbits;
+    int target = 0;
+    int counter = 0;
+    bool armed = false;
+};
+
+/**
+ * DFF-based RL delay chain (paper Fig. 10a): 2^bits DFFs clocked at the
+ * slot rate delay a pulse by exactly one epoch.  Modeled behaviourally
+ * with the exact register semantics; area is the full DFF chain.
+ */
+class DffRlShiftStage : public Component
+{
+  public:
+    DffRlShiftStage(Netlist &nl, const std::string &name, int bits);
+
+    InputPort in;    ///< RL pulse to delay.
+    InputPort clkIn; ///< Slot-rate clock.
+    OutputPort out;  ///< The pulse, 2^bits clocks later.
+
+    int stages() const { return static_cast<int>(reg.size()); }
+
+    int jjCount() const override;
+    void reset() override;
+
+  private:
+    std::deque<bool> reg;
+};
+
+/**
+ * The paper's integrator-based RL buffer (Fig. 10b/c): delays an RL
+ * pulse by exactly one epoch period at a constant ~48 JJ cost
+ * (two NDRO switches, two DFFs, the two comparator junctions J1/J2,
+ * and interconnect); the inductor itself adds no junctions.
+ */
+class IntegratorBuffer : public Component
+{
+  public:
+    IntegratorBuffer(Netlist &nl, const std::string &name, Tick period);
+
+    InputPort in;
+    OutputPort out;
+
+    /** The epoch period this buffer is tuned for (L, I_c, clock). */
+    Tick period() const { return epochPeriod; }
+
+    int jjCount() const override;
+    void reset() override {}
+
+    /** Itemized junction count of the Fig. 10c control circuit. */
+    static constexpr int kJJs =
+        2 * cell::kNdroJJs   // switches (1) and (2)
+        + 2 * cell::kDffJJs  // first-pulse filters at La / Lb
+        + 2                  // comparator junctions J1, J2
+        + cell::kSplitterJJs // clock tap
+        + cell::kMergerJJs   // charge/discharge combine
+        + 2 * cell::kJtlJJs; // input/output buffering
+
+  private:
+    Tick epochPeriod;
+};
+
+/**
+ * RL memory cell (paper Fig. 10d): two integrator buffers interleaved
+ * through an RSFQ demux/mux pair [57], so one buffer absorbs the
+ * current epoch's pulse while the other replays last epoch's.
+ *
+ * The selection lines selA/selB are driven once per epoch by the
+ * owning shift register (selA routes input to buffer A and output from
+ * buffer B).
+ */
+class RlMemoryCell : public Component
+{
+  public:
+    RlMemoryCell(Netlist &nl, const std::string &name, Tick period);
+
+    InputPort &in() { return demux.in; }
+    OutputPort &out() { return mux.out; }
+
+    /** Route input to buffer A, output from buffer B. */
+    InputPort selA;
+    /** Route input to buffer B, output from buffer A. */
+    InputPort selB;
+
+    int jjCount() const override;
+    void reset() override;
+
+  private:
+    Demux demux;
+    IntegratorBuffer bufA;
+    IntegratorBuffer bufB;
+    Mux mux;
+};
+
+/**
+ * The complete RL shift register: a chain of memory cells with an
+ * epoch-toggled interleave control (one TFF2 shared by the chain).
+ * tapIn(k)/tapOut(k) expose the z^-k delayed copies for FIR taps.
+ */
+class RlShiftRegister : public Component
+{
+  public:
+    /**
+     * @param depth  number of z^-1 stages
+     * @param period epoch period the integrators are tuned for
+     */
+    RlShiftRegister(Netlist &nl, const std::string &name, int depth,
+                    Tick period);
+
+    /** RL input of the chain. */
+    InputPort &in();
+
+    /** Epoch marker input: toggles the double-buffer interleave. */
+    InputPort &epochIn();
+
+    /** Output of stage @p k (delayed k+1 epochs). */
+    OutputPort &tapOut(int k);
+
+    int depth() const { return static_cast<int>(cells.size()); }
+
+    int jjCount() const override;
+    void reset() override;
+
+  private:
+    void onEpoch(Tick t);
+
+    std::vector<std::unique_ptr<RlMemoryCell>> cells;
+    std::vector<std::unique_ptr<Splitter>> tapSplitters;
+    Tff2 toggler;
+    InputPort epochPort;
+    bool phase = false;
+};
+
+// --- Area models for the Fig. 12 comparison --------------------------------
+
+/** Plain binary shift register: words x bits DFFs. */
+int binaryShiftRegisterJJs(int words, int bits);
+
+/** Binary shift register + one B2RC per word (option i). */
+int b2rcShiftRegisterJJs(int words, int bits);
+
+/** DFF-based RL delay chain per word (option ii). */
+long long dffRlShiftRegisterJJs(int words, int bits);
+
+/** Integrator-buffer memory cells + shared interleave (option iii). */
+int integratorShiftRegisterJJs(int words, int bits);
+
+} // namespace usfq
+
+#endif // USFQ_CORE_SHIFT_REGISTER_HH

@@ -1,0 +1,83 @@
+#include "dsp/fft.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace usfq::dsp
+{
+
+std::size_t
+nextPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+fft(std::vector<std::complex<double>> &data)
+{
+    const std::size_t n = data.size();
+    if (n == 0 || (n & (n - 1)) != 0)
+        fatal("fft: size %zu is not a power of two", n);
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = -2.0 * M_PI / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const auto u = data[i + k];
+                const auto v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+void
+ifft(std::vector<std::complex<double>> &data)
+{
+    for (auto &c : data)
+        c = std::conj(c);
+    fft(data);
+    const double n = static_cast<double>(data.size());
+    for (auto &c : data)
+        c = std::conj(c) / n;
+}
+
+std::vector<double>
+magnitudeSpectrum(const std::vector<double> &x)
+{
+    const std::size_t n = nextPow2(std::max<std::size_t>(x.size(), 2));
+    std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+    for (std::size_t i = 0; i < x.size(); ++i)
+        buf[i] = {x[i], 0.0};
+    fft(buf);
+    std::vector<double> mag(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k)
+        mag[k] = std::abs(buf[k]) / static_cast<double>(x.size());
+    return mag;
+}
+
+double
+binFrequency(std::size_t k, std::size_t n_fft, double fs)
+{
+    return static_cast<double>(k) * fs / static_cast<double>(n_fft);
+}
+
+} // namespace usfq::dsp

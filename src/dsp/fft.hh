@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Radix-2 FFT and spectrum helpers for the frequency-response plots of
+ * Fig. 19c and the SNR measurement.
+ */
+
+#ifndef USFQ_DSP_FFT_HH
+#define USFQ_DSP_FFT_HH
+
+#include <complex>
+#include <vector>
+
+namespace usfq::dsp
+{
+
+/** In-place iterative radix-2 FFT; size must be a power of two. */
+void fft(std::vector<std::complex<double>> &data);
+
+/** Inverse FFT (normalized). */
+void ifft(std::vector<std::complex<double>> &data);
+
+/**
+ * One-sided magnitude spectrum of a real signal, zero-padded to the
+ * next power of two.  Returns n/2 bins; bin k is frequency k*fs/n.
+ */
+std::vector<double> magnitudeSpectrum(const std::vector<double> &x);
+
+/** Frequency of spectrum bin @p k for padded length @p n_fft. */
+double binFrequency(std::size_t k, std::size_t n_fft, double fs);
+
+/** Next power of two >= n. */
+std::size_t nextPow2(std::size_t n);
+
+} // namespace usfq::dsp
+
+#endif // USFQ_DSP_FFT_HH

@@ -1,0 +1,63 @@
+#include "dsp/fir_design.hh"
+
+#include <cmath>
+#include <complex>
+
+#include "util/logging.hh"
+
+namespace usfq::dsp
+{
+
+std::vector<double>
+designLowpass(int taps, double cutoff_hz, double fs)
+{
+    if (taps < 1)
+        fatal("designLowpass: need at least one tap");
+    if (cutoff_hz <= 0 || cutoff_hz >= fs / 2)
+        fatal("designLowpass: cutoff must be in (0, fs/2)");
+
+    const double fc = cutoff_hz / fs; // normalized
+    const double m = (taps - 1) / 2.0;
+    std::vector<double> h(static_cast<std::size_t>(taps));
+    double sum = 0.0;
+    for (int n = 0; n < taps; ++n) {
+        const double k = n - m;
+        const double sinc =
+            k == 0.0 ? 2.0 * fc
+                     : std::sin(2.0 * M_PI * fc * k) / (M_PI * k);
+        const double window =
+            0.54 - 0.46 * std::cos(2.0 * M_PI * n / (taps - 1));
+        h[static_cast<std::size_t>(n)] = sinc * window;
+        sum += h[static_cast<std::size_t>(n)];
+    }
+    // Normalize to unity DC gain.
+    for (double &c : h)
+        c /= sum;
+    return h;
+}
+
+std::vector<double>
+firFilter(const std::vector<double> &h, const std::vector<double> &x)
+{
+    std::vector<double> y(x.size(), 0.0);
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < h.size() && k <= n; ++k)
+            acc += h[k] * x[n - k];
+        y[n] = acc;
+    }
+    return y;
+}
+
+double
+magnitudeAt(const std::vector<double> &h, double freq_hz, double fs)
+{
+    const double w = 2.0 * M_PI * freq_hz / fs;
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t k = 0; k < h.size(); ++k)
+        acc += h[k] * std::exp(std::complex<double>(
+                          0.0, -w * static_cast<double>(k)));
+    return std::abs(acc);
+}
+
+} // namespace usfq::dsp

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * FIR filter design and the double-precision reference filter: the
+ * "golden" Octave model of the paper's accuracy study.
+ */
+
+#ifndef USFQ_DSP_FIR_DESIGN_HH
+#define USFQ_DSP_FIR_DESIGN_HH
+
+#include <vector>
+
+namespace usfq::dsp
+{
+
+/**
+ * Windowed-sinc low-pass design.
+ *
+ * @param taps     filter length N
+ * @param cutoff_hz -6 dB cutoff
+ * @param fs       sample rate
+ * @return N coefficients, Hamming-windowed, unity DC gain
+ */
+std::vector<double> designLowpass(int taps, double cutoff_hz, double fs);
+
+/** Direct-form FIR in double precision (the golden reference). */
+std::vector<double> firFilter(const std::vector<double> &h,
+                              const std::vector<double> &x);
+
+/** Magnitude response |H(f)| at @p freq_hz. */
+double magnitudeAt(const std::vector<double> &h, double freq_hz,
+                   double fs);
+
+} // namespace usfq::dsp
+
+#endif // USFQ_DSP_FIR_DESIGN_HH

@@ -1,0 +1,57 @@
+#include "dsp/signal.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace usfq::dsp
+{
+
+std::vector<double>
+sineMixture(const std::vector<Tone> &tones, double fs, std::size_t n)
+{
+    if (fs <= 0)
+        fatal("sineMixture: sample rate must be positive");
+    std::vector<double> x(n, 0.0);
+    for (const auto &tone : tones) {
+        const double w = 2.0 * M_PI * tone.freqHz / fs;
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] += tone.amplitude *
+                    std::sin(w * static_cast<double>(i) + tone.phase);
+    }
+    return x;
+}
+
+std::vector<double>
+sine(double freq_hz, double fs, std::size_t n, double amplitude,
+     double phase)
+{
+    return sineMixture({{freq_hz, amplitude, phase}}, fs, n);
+}
+
+std::vector<double>
+scaleToPeak(std::vector<double> x, double peak)
+{
+    double max_abs = 0.0;
+    for (double v : x)
+        max_abs = std::max(max_abs, std::fabs(v));
+    if (max_abs == 0.0)
+        return x;
+    const double k = peak / max_abs;
+    for (double &v : x)
+        v *= k;
+    return x;
+}
+
+double
+rms(const std::vector<double> &x)
+{
+    if (x.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : x)
+        s += v * v;
+    return std::sqrt(s / static_cast<double>(x.size()));
+}
+
+} // namespace usfq::dsp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Test-signal generation for the FIR accuracy study (paper §5.4.1):
+ * superposed sinusoids, scaling, and windows.
+ */
+
+#ifndef USFQ_DSP_SIGNAL_HH
+#define USFQ_DSP_SIGNAL_HH
+
+#include <vector>
+
+namespace usfq::dsp
+{
+
+/** One sinusoidal component: frequency (Hz) and amplitude. */
+struct Tone
+{
+    double freqHz;
+    double amplitude = 1.0;
+    double phase = 0.0;
+};
+
+/** Sum of sinusoids sampled at @p fs for @p n samples. */
+std::vector<double> sineMixture(const std::vector<Tone> &tones, double fs,
+                                std::size_t n);
+
+/** A single sinusoid. */
+std::vector<double> sine(double freq_hz, double fs, std::size_t n,
+                         double amplitude = 1.0, double phase = 0.0);
+
+/** Scale a signal so its peak magnitude is @p peak (avoids overflow). */
+std::vector<double> scaleToPeak(std::vector<double> x, double peak);
+
+/** Root-mean-square value. */
+double rms(const std::vector<double> &x);
+
+} // namespace usfq::dsp
+
+#endif // USFQ_DSP_SIGNAL_HH

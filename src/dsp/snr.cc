@@ -1,0 +1,68 @@
+#include "dsp/snr.hh"
+
+#include <cmath>
+
+#include "dsp/fft.hh"
+#include "util/logging.hh"
+
+namespace usfq::dsp
+{
+
+double
+snrOfTone(const std::vector<double> &x, double fs, double tone_hz,
+          double tolerance_hz)
+{
+    // AC-couple (a DC offset would leak through the window into the
+    // low bins), then Hann-window to confine spectral leakage to the
+    // tone's neighbourhood.
+    double mean = 0.0;
+    for (double v : x)
+        mean += v;
+    mean /= std::max<std::size_t>(x.size(), 1);
+    std::vector<double> windowed(x.size());
+    const double n1 = std::max<double>(1.0, x.size() - 1.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double w =
+            0.5 * (1.0 - std::cos(2.0 * M_PI * i / n1));
+        windowed[i] = (x[i] - mean) * w;
+    }
+    const auto mag = magnitudeSpectrum(windowed);
+    const std::size_t n_fft = mag.size() * 2;
+
+    double signal = 0.0, noise = 0.0;
+    for (std::size_t k = 1; k < mag.size(); ++k) {
+        const double f = binFrequency(k, n_fft, fs);
+        const double p = mag[k] * mag[k];
+        if (std::fabs(f - tone_hz) <= tolerance_hz)
+            signal += p;
+        else
+            noise += p;
+    }
+    if (noise <= 0.0)
+        return 200.0; // effectively perfect
+    if (signal <= 0.0)
+        return -200.0;
+    return 10.0 * std::log10(signal / noise);
+}
+
+double
+snrVsReference(const std::vector<double> &y,
+               const std::vector<double> &ref, std::size_t skip)
+{
+    if (y.size() != ref.size())
+        fatal("snrVsReference: size mismatch %zu vs %zu", y.size(),
+              ref.size());
+    double sig = 0.0, err = 0.0;
+    for (std::size_t i = skip; i < y.size(); ++i) {
+        sig += ref[i] * ref[i];
+        const double e = y[i] - ref[i];
+        err += e * e;
+    }
+    if (err <= 0.0)
+        return 200.0;
+    if (sig <= 0.0)
+        return -200.0;
+    return 10.0 * std::log10(sig / err);
+}
+
+} // namespace usfq::dsp

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Signal-to-noise measurement for the FIR accuracy study: the SNR of a
+ * recovered tone against everything else in the band, plus the
+ * SNR-versus-reference variant.
+ */
+
+#ifndef USFQ_DSP_SNR_HH
+#define USFQ_DSP_SNR_HH
+
+#include <vector>
+
+namespace usfq::dsp
+{
+
+/**
+ * SNR (dB) of the tone at @p tone_hz in @p x sampled at @p fs: power in
+ * the bins within @p tolerance_hz of the tone versus all other bins
+ * (DC excluded).  Matches the paper's "SNR of the sinusoidal obtained
+ * at the FIR output".
+ */
+double snrOfTone(const std::vector<double> &x, double fs, double tone_hz,
+                 double tolerance_hz = 150.0);
+
+/**
+ * SNR (dB) of @p y against a reference @p ref: power of ref over power
+ * of (y - ref), with the first @p skip samples (filter warm-up)
+ * excluded.
+ */
+double snrVsReference(const std::vector<double> &y,
+                      const std::vector<double> &ref,
+                      std::size_t skip = 0);
+
+} // namespace usfq::dsp
+
+#endif // USFQ_DSP_SNR_HH

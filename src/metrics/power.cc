@@ -1,0 +1,32 @@
+#include "metrics/power.hh"
+
+#include "util/logging.hh"
+
+namespace usfq::metrics
+{
+
+double
+activePower(std::uint64_t switches, Tick duration)
+{
+    if (duration <= 0)
+        fatal("activePower: duration must be positive");
+    return static_cast<double>(switches) * kSwitchEnergyJ /
+           ticksToSeconds(duration);
+}
+
+double
+passivePower(int jj_count)
+{
+    return jj_count * kBiasPowerPerJJ;
+}
+
+PowerReport
+measure(const Netlist &netlist, Tick duration)
+{
+    PowerReport report;
+    report.activeW = activePower(netlist.totalSwitches(), duration);
+    report.passiveW = passivePower(netlist.totalJJs());
+    return report;
+}
+
+} // namespace usfq::metrics

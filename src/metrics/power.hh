@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The power model (paper Sections 2.1.2 and 5.4.5).
+ *
+ * Active power: each JJ switching event dissipates E_sw = I_c * Phi0
+ * (~0.2 aJ at 100 uA); active power is switch count x E_sw / time.
+ * Passive power: the RSFQ resistive bias network burns a constant
+ * ~1.2 uW per junction; the ERSFQ/eSFQ option removes it at a 1.4x
+ * area cost (paper [33, 54]).  Cooling is excluded, as in the paper.
+ */
+
+#ifndef USFQ_METRICS_POWER_HH
+#define USFQ_METRICS_POWER_HH
+
+#include <cstdint>
+
+#include "sim/netlist.hh"
+#include "util/types.hh"
+
+namespace usfq::metrics
+{
+
+/** Energy per JJ switching event at I_c = 100 uA, J. */
+constexpr double kSwitchEnergyJ = 100e-6 * 2.067833848e-15;
+
+/** RSFQ static bias dissipation per junction, W. */
+constexpr double kBiasPowerPerJJ = 1.2e-6;
+
+/** ERSFQ: bias resistors replaced by JJs/inductors (paper [33]). */
+constexpr double kErsfqAreaFactor = 1.4;
+
+/** Active + passive breakdown, W. */
+struct PowerReport
+{
+    double activeW = 0.0;
+    double passiveW = 0.0;
+
+    double total() const { return activeW + passiveW; }
+};
+
+/** Active power of @p switches switching events over @p duration. */
+double activePower(std::uint64_t switches, Tick duration);
+
+/** Passive (bias) power of a @p jj_count design in RSFQ. */
+double passivePower(int jj_count);
+
+/**
+ * Power of a finished simulation: active from the netlist's switch
+ * counter over @p duration, passive from its JJ count.
+ */
+PowerReport measure(const Netlist &netlist, Tick duration);
+
+} // namespace usfq::metrics
+
+#endif // USFQ_METRICS_POWER_HH

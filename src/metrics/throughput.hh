@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Throughput and efficiency helpers (paper §5.4.2/5.4.4): operations
+ * per second and the throughput-per-JJ efficiency metric.
+ */
+
+#ifndef USFQ_METRICS_THROUGHPUT_HH
+#define USFQ_METRICS_THROUGHPUT_HH
+
+#include "util/types.hh"
+
+namespace usfq::metrics
+{
+
+/** Operations per second given @p ops completed in @p duration. */
+inline double
+opsPerSecond(double ops, Tick duration)
+{
+    return ops / ticksToSeconds(duration);
+}
+
+/** Throughput in GOPs. */
+inline double
+gops(double ops, Tick duration)
+{
+    return opsPerSecond(ops, duration) * 1e-9;
+}
+
+/** The paper's efficiency metric: throughput per junction. */
+inline double
+opsPerJJ(double ops_per_second, int jj_count)
+{
+    return jj_count > 0 ? ops_per_second / jj_count : 0.0;
+}
+
+} // namespace usfq::metrics
+
+#endif // USFQ_METRICS_THROUGHPUT_HH

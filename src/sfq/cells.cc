@@ -1,0 +1,426 @@
+#include "sfq/cells.hh"
+
+namespace usfq
+{
+
+// --- Jtl ----------------------------------------------------------------
+
+Jtl::Jtl(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      in(this->name() + ".in",
+         [this](Tick t) {
+             recordSwitches(cell::sw::kJtl);
+             out.emit(t + delay);
+         }),
+      out(this->name() + ".out", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+// --- Splitter -------------------------------------------------------------
+
+Splitter::Splitter(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      in(this->name() + ".in",
+         [this](Tick t) {
+             recordSwitches(cell::sw::kSplitter);
+             out1.emit(t + delay);
+             out2.emit(t + delay);
+         }),
+      out1(this->name() + ".out1", &nl.queue()),
+      out2(this->name() + ".out2", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+// --- Merger ---------------------------------------------------------------
+
+Merger::Merger(Netlist &nl, std::string name, Tick delay_in,
+               Tick collision_window)
+    : Component(nl, std::move(name)),
+      inA(this->name() + ".a", [this](Tick t) { onPulse(t); }),
+      inB(this->name() + ".b", [this](Tick t) { onPulse(t); }),
+      out(this->name() + ".out", &nl.queue()),
+      delay(delay_in),
+      window(collision_window),
+      lastAccepted(-window - 1)
+{
+}
+
+void
+Merger::onPulse(Tick t)
+{
+    if (t - lastAccepted <= window) {
+        // Second pulse inside the cell's recovery window: absorbed.
+        recordSwitches(cell::sw::kMergerAbsorb);
+        ++collisionCount;
+        return;
+    }
+    recordSwitches(cell::sw::kMergerForward);
+    lastAccepted = t;
+    out.emit(t + delay);
+}
+
+void
+Merger::reset()
+{
+    lastAccepted = -window - 1;
+    collisionCount = 0;
+}
+
+// --- Dff --------------------------------------------------------------------
+
+Dff::Dff(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      d(this->name() + ".d",
+        [this](Tick) {
+            recordSwitches(cell::sw::kStore);
+            stored = true;
+        }),
+      clk(this->name() + ".clk",
+          [this](Tick t) {
+              recordSwitches(stored ? cell::sw::kReadHit
+                                    : cell::sw::kReadMiss);
+              if (stored) {
+                  stored = false;
+                  q.emit(t + delay);
+              }
+          }),
+      q(this->name() + ".q", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+Dff::reset()
+{
+    stored = false;
+}
+
+// --- Dff2 ---------------------------------------------------------------------
+
+Dff2::Dff2(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      a(this->name() + ".a",
+        [this](Tick) {
+            recordSwitches(cell::sw::kStore);
+            stored = true;
+        }),
+      c1(this->name() + ".c1", [this](Tick t) { read(t, y1); }),
+      c2(this->name() + ".c2", [this](Tick t) { read(t, y2); }),
+      y1(this->name() + ".y1", &nl.queue()),
+      y2(this->name() + ".y2", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+Dff2::read(Tick t, OutputPort &port)
+{
+    recordSwitches(stored ? cell::sw::kReadHit : cell::sw::kReadMiss);
+    if (stored) {
+        stored = false;
+        port.emit(t + delay);
+    }
+}
+
+void
+Dff2::reset()
+{
+    stored = false;
+}
+
+// --- Tff ---------------------------------------------------------------------
+
+Tff::Tff(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      in(this->name() + ".in",
+         [this](Tick t) {
+             recordSwitches(cell::sw::kToggle);
+             toggled = !toggled;
+             if (!toggled)
+                 out.emit(t + delay); // every second pulse escapes
+         }),
+      out(this->name() + ".out", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+Tff::reset()
+{
+    toggled = false;
+}
+
+// --- Tff2 -----------------------------------------------------------------
+
+Tff2::Tff2(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      in(this->name() + ".in",
+         [this](Tick t) {
+             recordSwitches(cell::sw::kToggle);
+             OutputPort &port = next2 ? q2 : q1;
+             next2 = !next2;
+             port.emit(t + delay);
+         }),
+      q1(this->name() + ".q1", &nl.queue()),
+      q2(this->name() + ".q2", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+Tff2::reset()
+{
+    next2 = false;
+}
+
+// --- Ndro --------------------------------------------------------------------
+
+Ndro::Ndro(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      s(this->name() + ".s",
+        [this](Tick) {
+            recordSwitches(cell::sw::kStore);
+            stored = true;
+        }),
+      r(this->name() + ".r",
+        [this](Tick) {
+            recordSwitches(cell::sw::kStore);
+            stored = false;
+        }),
+      clk(this->name() + ".clk",
+          [this](Tick t) {
+              recordSwitches(stored ? cell::sw::kReadHit
+                                    : cell::sw::kReadMiss);
+              if (stored)
+                  q.emit(t + delay);
+          }),
+      q(this->name() + ".q", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+Ndro::reset()
+{
+    stored = false;
+}
+
+// --- Inverter ----------------------------------------------------------------
+
+Inverter::Inverter(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      d(this->name() + ".d",
+        [this](Tick) {
+            recordSwitches(cell::sw::kInverterData);
+            sawData = true;
+        }),
+      clk(this->name() + ".clk",
+          [this](Tick t) {
+              recordSwitches(sawData ? cell::sw::kInverterSuppressed
+                                     : cell::sw::kInverterEmit);
+              if (!sawData)
+                  q.emit(t + delay);
+              sawData = false;
+          }),
+      q(this->name() + ".q", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+Inverter::reset()
+{
+    sawData = false;
+}
+
+// --- Bff ---------------------------------------------------------------------
+
+Bff::Bff(Netlist &nl, std::string name, Tick dead_time, Tick delay_in)
+    : Component(nl, std::move(name)),
+      s1(this->name() + ".s1", [this](Tick t) { handle(t, true, q1, nq1); }),
+      r1(this->name() + ".r1",
+         [this](Tick t) { handle(t, false, q1, nq1); }),
+      s2(this->name() + ".s2", [this](Tick t) { handle(t, true, q2, nq2); }),
+      r2(this->name() + ".r2",
+         [this](Tick t) { handle(t, false, q2, nq2); }),
+      q1(this->name() + ".q1", &nl.queue()),
+      nq1(this->name() + ".nq1", &nl.queue()),
+      q2(this->name() + ".q2", &nl.queue()),
+      nq2(this->name() + ".nq2", &nl.queue()),
+      deadTime(dead_time),
+      delay(delay_in)
+{
+}
+
+void
+Bff::handle(Tick t, bool set, OutputPort &on_change, OutputPort &on_escape)
+{
+    if (t < busyUntil) {
+        // Quantizing loop still transitioning: the pulse is not
+        // registered by the loop (paper case (iii)).
+        ++ignored;
+        return;
+    }
+    recordSwitches(cell::sw::kBffTransition);
+    if (loop != set) {
+        loop = set;
+        busyUntil = t + deadTime;
+        on_change.emit(t + delay);
+    } else {
+        on_escape.emit(t + delay);
+    }
+}
+
+void
+Bff::reset()
+{
+    loop = false;
+    busyUntil = -1;
+    ignored = 0;
+}
+
+// --- FirstArrival -----------------------------------------------------------
+
+FirstArrival::FirstArrival(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      inA(this->name() + ".a", [this](Tick t) { onPulse(t); }),
+      inB(this->name() + ".b", [this](Tick t) { onPulse(t); }),
+      out(this->name() + ".out", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+FirstArrival::onPulse(Tick t)
+{
+    recordSwitches(cell::sw::kArrival);
+    if (fired)
+        return;
+    fired = true;
+    out.emit(t + delay);
+}
+
+void
+FirstArrival::reset()
+{
+    fired = false;
+}
+
+// --- LastArrival --------------------------------------------------------------
+
+LastArrival::LastArrival(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      inA(this->name() + ".a", [this](Tick t) { onPulse(t, true); }),
+      inB(this->name() + ".b", [this](Tick t) { onPulse(t, false); }),
+      out(this->name() + ".out", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+LastArrival::onPulse(Tick t, bool is_a)
+{
+    recordSwitches(cell::sw::kArrival);
+    if (is_a)
+        seenA = true;
+    else
+        seenB = true;
+    if (seenA && seenB && !fired) {
+        fired = true;
+        out.emit(t + delay);
+    }
+}
+
+void
+LastArrival::reset()
+{
+    seenA = false;
+    seenB = false;
+    fired = false;
+}
+
+// --- Inhibit --------------------------------------------------------------------
+
+Inhibit::Inhibit(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      in(this->name() + ".in",
+         [this](Tick t) {
+             recordSwitches(blocked ? cell::sw::kReadMiss
+                                    : cell::sw::kReadHit);
+             if (!blocked)
+                 out.emit(t + delay);
+         }),
+      inh(this->name() + ".inh",
+          [this](Tick) {
+              recordSwitches(cell::sw::kStore);
+              blocked = true;
+          }),
+      rst(this->name() + ".rst",
+          [this](Tick) {
+              recordSwitches(cell::sw::kStore);
+              blocked = false;
+          }),
+      out(this->name() + ".out", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+Inhibit::reset()
+{
+    blocked = false;
+}
+
+// --- Demux ---------------------------------------------------------------------
+
+Demux::Demux(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      in(this->name() + ".in",
+         [this](Tick t) {
+             recordSwitches(cell::sw::kRoute);
+             (sel ? out1 : out0).emit(t + delay);
+         }),
+      sel0(this->name() + ".sel0", [this](Tick) { sel = false; }),
+      sel1(this->name() + ".sel1", [this](Tick) { sel = true; }),
+      out0(this->name() + ".out0", &nl.queue()),
+      out1(this->name() + ".out1", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+Demux::reset()
+{
+    sel = false;
+}
+
+// --- Mux ------------------------------------------------------------------------
+
+Mux::Mux(Netlist &nl, std::string name, Tick delay_in)
+    : Component(nl, std::move(name)),
+      in0(this->name() + ".in0", [this](Tick t) { onData(t, false); }),
+      in1(this->name() + ".in1", [this](Tick t) { onData(t, true); }),
+      sel0(this->name() + ".sel0", [this](Tick) { sel = false; }),
+      sel1(this->name() + ".sel1", [this](Tick) { sel = true; }),
+      out(this->name() + ".out", &nl.queue()),
+      delay(delay_in)
+{
+}
+
+void
+Mux::onData(Tick t, bool from1)
+{
+    recordSwitches(cell::sw::kRoute);
+    if (from1 == sel)
+        out.emit(t + delay);
+}
+
+void
+Mux::reset()
+{
+    sel = false;
+}
+
+} // namespace usfq

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Behavioral models of the RSFQ cell library (paper Table 1, Fig. 1d).
+ *
+ * Each cell is an event-driven state machine with the pulse semantics of
+ * its SQUID-level implementation: storage cells hold one flux quantum,
+ * the merger loses colliding pulses, the inverter is a clocked NOT, the
+ * TFF2 demultiplexes pulses over two outputs, and the BFF is a
+ * four-input quantizing loop with a dead time during state transitions.
+ *
+ * Area is reported per cell in Josephson junctions (sfq/params.hh);
+ * switching activity is recorded into the owning Netlist for the power
+ * model.
+ */
+
+#ifndef USFQ_SFQ_CELLS_HH
+#define USFQ_SFQ_CELLS_HH
+
+#include <string>
+
+#include "sfq/params.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+#include "sim/port.hh"
+
+namespace usfq
+{
+
+/** Josephson transmission line: a buffer that retransmits each pulse. */
+class Jtl : public Component
+{
+  public:
+    Jtl(Netlist &nl, std::string name, Tick delay = cell::kJtlDelay);
+
+    InputPort in;
+    OutputPort out;
+
+    int jjCount() const override { return cell::kJtlJJs; }
+
+  private:
+    Tick delay;
+};
+
+/** Splitter: one input pulse produces a pulse at both outputs. */
+class Splitter : public Component
+{
+  public:
+    Splitter(Netlist &nl, std::string name,
+             Tick delay = cell::kSplitterDelay);
+
+    InputPort in;
+    OutputPort out1;
+    OutputPort out2;
+
+    int jjCount() const override { return cell::kSplitterJJs; }
+
+  private:
+    Tick delay;
+};
+
+/**
+ * Merger (confluence buffer): a pulse at either input produces an output
+ * pulse -- unless it arrives within the collision window of the previous
+ * accepted pulse, in which case it is absorbed (paper Fig. 5b).
+ */
+class Merger : public Component
+{
+  public:
+    Merger(Netlist &nl, std::string name, Tick delay = cell::kMergerDelay,
+           Tick collision_window = cell::kMergerCollisionWindow);
+
+    InputPort inA;
+    InputPort inB;
+    OutputPort out;
+
+    int jjCount() const override { return cell::kMergerJJs; }
+    void reset() override;
+
+    /** Pulses lost to collisions since the last reset. */
+    std::uint64_t collisions() const { return collisionCount; }
+
+  private:
+    void onPulse(Tick t);
+
+    Tick delay;
+    Tick window;
+    Tick lastAccepted;
+    std::uint64_t collisionCount = 0;
+};
+
+/**
+ * D flip-flop: a data pulse stores one flux quantum; a clock pulse reads
+ * it destructively (output pulse iff the loop held a "1").
+ */
+class Dff : public Component
+{
+  public:
+    Dff(Netlist &nl, std::string name, Tick delay = cell::kDffDelay);
+
+    InputPort d;
+    InputPort clk;
+    OutputPort q;
+
+    int jjCount() const override { return cell::kDffJJs; }
+    void reset() override;
+
+    bool state() const { return stored; }
+
+  private:
+    Tick delay;
+    bool stored = false;
+};
+
+/**
+ * Dual-read DFF (paper Table 1): input A sets the SQUID; a pulse at C1
+ * (C2) resets it and emits at Y1 (Y2) iff it was set.
+ */
+class Dff2 : public Component
+{
+  public:
+    Dff2(Netlist &nl, std::string name, Tick delay = cell::kDff2Delay);
+
+    InputPort a;
+    InputPort c1;
+    InputPort c2;
+    OutputPort y1;
+    OutputPort y2;
+
+    int jjCount() const override { return cell::kDff2JJs; }
+    void reset() override;
+
+    bool state() const { return stored; }
+
+  private:
+    void read(Tick t, OutputPort &port);
+
+    Tick delay;
+    bool stored = false;
+};
+
+/** Toggle flip-flop: emits one output pulse for every two input pulses. */
+class Tff : public Component
+{
+  public:
+    Tff(Netlist &nl, std::string name, Tick delay = cell::kTffDelay);
+
+    InputPort in;
+    OutputPort out;
+
+    int jjCount() const override { return cell::kTffJJs; }
+    void reset() override;
+
+    bool state() const { return toggled; }
+
+  private:
+    Tick delay;
+    bool toggled = false;
+};
+
+/**
+ * Dual-port toggle flip-flop (paper Table 1): distributes incoming
+ * pulses through alternating output ports -- a 1:2 pulse demultiplexer.
+ * The first pulse exits at q1, the second at q2, and so on.
+ */
+class Tff2 : public Component
+{
+  public:
+    Tff2(Netlist &nl, std::string name, Tick delay = cell::kTff2Delay);
+
+    InputPort in;
+    OutputPort q1;
+    OutputPort q2;
+
+    int jjCount() const override { return cell::kTff2JJs; }
+    void reset() override;
+
+  private:
+    Tick delay;
+    bool next2 = false;
+};
+
+/**
+ * Non-destructive read-out cell: S sets the loop, R resets it, and a
+ * pulse at CLK emits at Q iff the loop is set -- without altering it.
+ * This is the paper's memory bit and the heart of the U-SFQ multiplier.
+ */
+class Ndro : public Component
+{
+  public:
+    Ndro(Netlist &nl, std::string name, Tick delay = cell::kNdroDelay);
+
+    InputPort s;
+    InputPort r;
+    InputPort clk;
+    OutputPort q;
+
+    int jjCount() const override { return cell::kNdroJJs; }
+    void reset() override;
+
+    bool state() const { return stored; }
+    /** Directly preset the loop (programming a memory bit). */
+    void preset(bool value) { stored = value; }
+
+  private:
+    Tick delay;
+    bool stored = false;
+};
+
+/**
+ * Clocked inverter: emits at Q on a clock pulse iff no data pulse
+ * arrived since the previous clock.  Delay is the paper's t_INV = 9 ps.
+ */
+class Inverter : public Component
+{
+  public:
+    Inverter(Netlist &nl, std::string name,
+             Tick delay = cell::kInverterDelay);
+
+    InputPort d;
+    InputPort clk;
+    OutputPort q;
+
+    int jjCount() const override { return cell::kInverterJJs; }
+    void reset() override;
+
+  private:
+    Tick delay;
+    bool sawData = false;
+};
+
+/**
+ * B flip-flop [43]: a single quantizing loop with two stationary states
+ * and four inputs.  S1/R1 and S2/R2 act on the same loop; a transition
+ * emits at the corresponding Q output, a no-op input escapes at the
+ * corresponding !Q output.  While the loop is transitioning (t_BFF), new
+ * inputs are ignored by the loop (paper §4.2 case (iii)).
+ */
+class Bff : public Component
+{
+  public:
+    Bff(Netlist &nl, std::string name, Tick dead_time = cell::kBffDeadTime,
+        Tick delay = cell::kBffDelay);
+
+    InputPort s1;
+    InputPort r1;
+    InputPort s2;
+    InputPort r2;
+    OutputPort q1;
+    OutputPort nq1;
+    OutputPort q2;
+    OutputPort nq2;
+
+    int jjCount() const override { return cell::kBffJJs; }
+    void reset() override;
+
+    bool state() const { return loop; }
+    /** Inputs ignored because the loop was transitioning. */
+    std::uint64_t ignoredInputs() const { return ignored; }
+
+  private:
+    void handle(Tick t, bool set, OutputPort &on_change,
+                OutputPort &on_escape);
+
+    Tick deadTime;
+    Tick delay;
+    bool loop = false;
+    Tick busyUntil = -1;
+    std::uint64_t ignored = 0;
+};
+
+/**
+ * First-arrival (FA) cell: emits one pulse at the first input pulse of
+ * the epoch -- the race-logic MIN operator (paper Fig. 2a).
+ */
+class FirstArrival : public Component
+{
+  public:
+    FirstArrival(Netlist &nl, std::string name,
+                 Tick delay = cell::kFirstArrivalDelay);
+
+    InputPort inA;
+    InputPort inB;
+    OutputPort out;
+
+    int jjCount() const override { return cell::kFirstArrivalJJs; }
+    void reset() override;
+
+  private:
+    void onPulse(Tick t);
+
+    Tick delay;
+    bool fired = false;
+};
+
+/**
+ * Last-arrival (LA) cell: emits when both inputs have arrived, at the
+ * later arrival time -- the race-logic MAX operator.  Not used by the
+ * paper's accelerators but part of the temporal-logic toolbox [51].
+ */
+class LastArrival : public Component
+{
+  public:
+    LastArrival(Netlist &nl, std::string name,
+                Tick delay = cell::kLastArrivalDelay);
+
+    InputPort inA;
+    InputPort inB;
+    OutputPort out;
+
+    int jjCount() const override { return cell::kLastArrivalJJs; }
+    void reset() override;
+
+  private:
+    void onPulse(Tick t, bool is_a);
+
+    Tick delay;
+    bool seenA = false;
+    bool seenB = false;
+    bool fired = false;
+};
+
+/**
+ * Inhibit cell: passes pulses at IN unless a pulse arrived at INH
+ * first (the race-logic "if A before B" primitive of the temporal
+ * toolbox [51]).  The epoch marker re-arms it via RST.
+ */
+class Inhibit : public Component
+{
+  public:
+    Inhibit(Netlist &nl, std::string name,
+            Tick delay = cell::kNdroDelay);
+
+    InputPort in;   ///< data pulses
+    InputPort inh;  ///< blocks all subsequent data pulses
+    InputPort rst;  ///< re-arm (epoch marker)
+    OutputPort out;
+
+    int jjCount() const override { return cell::kNdroJJs; }
+    void reset() override;
+
+    bool inhibited() const { return blocked; }
+
+  private:
+    Tick delay;
+    bool blocked = false;
+};
+
+/**
+ * RSFQ demultiplexer [57]: routes data pulses to out0 or out1 according
+ * to a select loop driven by sel0/sel1 pulses.
+ */
+class Demux : public Component
+{
+  public:
+    Demux(Netlist &nl, std::string name, Tick delay = cell::kMuxDelay);
+
+    InputPort in;
+    InputPort sel0; ///< Route subsequent pulses to out0.
+    InputPort sel1; ///< Route subsequent pulses to out1.
+    OutputPort out0;
+    OutputPort out1;
+
+    int jjCount() const override { return cell::kDemuxJJs; }
+    void reset() override;
+
+    bool selected() const { return sel; }
+
+  private:
+    Tick delay;
+    bool sel = false;
+};
+
+/**
+ * RSFQ multiplexer [57]: passes pulses from the selected data input to
+ * the single output; pulses on the deselected input are blocked.
+ */
+class Mux : public Component
+{
+  public:
+    Mux(Netlist &nl, std::string name, Tick delay = cell::kMuxDelay);
+
+    InputPort in0;
+    InputPort in1;
+    InputPort sel0; ///< Select input 0.
+    InputPort sel1; ///< Select input 1.
+    OutputPort out;
+
+    int jjCount() const override { return cell::kMuxJJs; }
+    void reset() override;
+
+    bool selected() const { return sel; }
+
+  private:
+    void onData(Tick t, bool from1);
+
+    Tick delay;
+    bool sel = false;
+};
+
+} // namespace usfq
+
+#endif // USFQ_SFQ_CELLS_HH

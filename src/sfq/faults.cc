@@ -1,0 +1,48 @@
+#include "sfq/faults.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace usfq
+{
+
+FaultInjector::FaultInjector(Netlist &nl, const std::string &name,
+                             const FaultConfig &config)
+    : Component(nl, name),
+      in(this->name() + ".in",
+         [this](Tick t) {
+             if (cfg.dropProbability > 0.0 &&
+                 rng.bernoulli(cfg.dropProbability)) {
+                 ++droppedCount;
+                 return;
+             }
+             Tick when = t;
+             if (cfg.jitterSigmaPs > 0.0) {
+                 // A wire cannot advance a pulse: jitter is a
+                 // half-normal extra delay.
+                 const double shift_ps = std::fabs(
+                     rng.gaussian(0.0, cfg.jitterSigmaPs));
+                 when += psToTicks(shift_ps);
+             }
+             // Ordering: never before the previous pulse on this wire.
+             when = std::max({when, queue().now(), lastEmitted + 1});
+             lastEmitted = when;
+             ++passedCount;
+             out.emit(when);
+         }),
+      out(this->name() + ".out", &nl.queue()),
+      cfg(config),
+      rng(config.seed)
+{
+}
+
+void
+FaultInjector::reset()
+{
+    rng.seed(cfg.seed);
+    lastEmitted = -1;
+    droppedCount = 0;
+    passedCount = 0;
+}
+
+} // namespace usfq

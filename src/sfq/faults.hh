@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Pulse-level fault injection: the physical error mechanisms of the
+ * paper's Section 5.4.1 -- flux trapping (lost pulses) and delay
+ * variation (jitter) -- as a drop-in wire element, so the accuracy
+ * study can be repeated on real netlists rather than only on the
+ * functional model.
+ */
+
+#ifndef USFQ_SFQ_FAULTS_HH
+#define USFQ_SFQ_FAULTS_HH
+
+#include <string>
+
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+#include "sim/port.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace usfq
+{
+
+/** Fault configuration of one wire. */
+struct FaultConfig
+{
+    /** Probability of silently dropping each pulse. */
+    double dropProbability = 0.0;
+    /** Gaussian arrival jitter, standard deviation in ps. */
+    double jitterSigmaPs = 0.0;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * A wire segment that loses and jitters pulses.  Insert between any
+ * OutputPort and InputPort; contributes no junctions (it models the
+ * non-idealities of the passive interconnect and cell margins).
+ */
+class FaultInjector : public Component
+{
+  public:
+    FaultInjector(Netlist &nl, const std::string &name,
+                  const FaultConfig &config);
+
+    InputPort in;
+    OutputPort out;
+
+    int jjCount() const override { return 0; }
+    void reset() override;
+
+    std::uint64_t dropped() const { return droppedCount; }
+    std::uint64_t passed() const { return passedCount; }
+
+  private:
+    FaultConfig cfg;
+    Rng rng;
+    Tick lastEmitted = -1;
+    std::uint64_t droppedCount = 0;
+    std::uint64_t passedCount = 0;
+};
+
+} // namespace usfq
+
+#endif // USFQ_SFQ_FAULTS_HH

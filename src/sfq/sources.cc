@@ -1,0 +1,46 @@
+#include "sfq/sources.hh"
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+PulseSource::PulseSource(Netlist &nl, std::string name)
+    : Component(nl, std::move(name)),
+      out(this->name() + ".out", &nl.queue())
+{
+}
+
+void
+PulseSource::pulseAt(Tick when)
+{
+    if (when < queue().now())
+        panic("PulseSource %s: pulse in the past", name().c_str());
+    queue().schedule(when, [this, when] { out.emit(when); });
+}
+
+void
+PulseSource::pulsesAt(const std::vector<Tick> &times)
+{
+    for (Tick t : times)
+        pulseAt(t);
+}
+
+ClockSource::ClockSource(Netlist &nl, std::string name)
+    : Component(nl, std::move(name)),
+      out(this->name() + ".out", &nl.queue())
+{
+}
+
+void
+ClockSource::program(Tick start, Tick period, std::uint64_t count)
+{
+    if (period <= 0)
+        panic("ClockSource %s: period must be positive", name().c_str());
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Tick when = start + static_cast<Tick>(i) * period;
+        queue().schedule(when, [this, when] { out.emit(when); });
+    }
+}
+
+} // namespace usfq

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Stimulus components: programmable pulse sources and periodic clocks
+ * used to drive netlists from test benches and accelerators.
+ */
+
+#ifndef USFQ_SFQ_SOURCES_HH
+#define USFQ_SFQ_SOURCES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+#include "sim/port.hh"
+
+namespace usfq
+{
+
+/**
+ * Emits pulses at an explicit list of times.  Stimulus only: contributes
+ * no JJs (it stands for the chip's input pads / external driver).
+ */
+class PulseSource : public Component
+{
+  public:
+    PulseSource(Netlist &nl, std::string name);
+
+    OutputPort out;
+
+    /** Schedule one pulse at absolute time @p when. */
+    void pulseAt(Tick when);
+
+    /** Schedule a pulse per entry of @p times (absolute). */
+    void pulsesAt(const std::vector<Tick> &times);
+
+    int jjCount() const override { return 0; }
+};
+
+/**
+ * Periodic pulse source: @p count pulses starting at @p start with the
+ * given @p period.  Stands for the external clock input.
+ */
+class ClockSource : public Component
+{
+  public:
+    ClockSource(Netlist &nl, std::string name);
+
+    OutputPort out;
+
+    /** Schedule the pulse train. */
+    void program(Tick start, Tick period, std::uint64_t count);
+
+    int jjCount() const override { return 0; }
+};
+
+} // namespace usfq
+
+#endif // USFQ_SFQ_SOURCES_HH

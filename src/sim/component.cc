@@ -1,0 +1,26 @@
+#include "sim/component.hh"
+
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+Component::Component(Netlist &netlist, std::string name)
+    : owner(netlist), instName(std::move(name))
+{
+}
+
+EventQueue &
+Component::queue()
+{
+    return owner.queue();
+}
+
+void
+Component::recordSwitches(int n)
+{
+    switchCount += static_cast<std::uint64_t>(n);
+    owner.addSwitches(static_cast<std::uint64_t>(n));
+}
+
+} // namespace usfq

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Base class for everything instantiated inside a Netlist: SFQ cells and
+ * the composite U-SFQ blocks built from them.
+ */
+
+#ifndef USFQ_SIM_COMPONENT_HH
+#define USFQ_SIM_COMPONENT_HH
+
+#include <string>
+
+namespace usfq
+{
+
+class Netlist;
+class EventQueue;
+
+/**
+ * A named simulation object owned by a Netlist.
+ *
+ * Components report their Josephson-junction count (the paper's area
+ * metric) and can be reset between computing epochs.
+ */
+class Component
+{
+  public:
+    Component(Netlist &netlist, std::string name);
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Hierarchical instance name. */
+    const std::string &name() const { return instName; }
+
+    /** Owning netlist. */
+    Netlist &netlist() { return owner; }
+    const Netlist &netlist() const { return owner; }
+
+    /** The event queue this component runs on. */
+    EventQueue &queue();
+
+    /** Number of Josephson junctions in this component (area metric). */
+    virtual int jjCount() const = 0;
+
+    /** Return to the power-on state (clears stored flux, SQUID states). */
+    virtual void reset() {}
+
+    /**
+     * JJ switching events recorded by THIS component since its last
+     * counter clear (composite blocks report only their own glue; the
+     * cells they contain count separately).
+     */
+    std::uint64_t localSwitches() const { return switchCount; }
+
+    /** Clear the local switching counter. */
+    void clearLocalSwitches() { switchCount = 0; }
+
+  protected:
+    /** Record @p n JJ switching events for the power model. */
+    void recordSwitches(int n);
+
+  private:
+    Netlist &owner;
+    std::string instName;
+    std::uint64_t switchCount = 0;
+};
+
+} // namespace usfq
+
+#endif // USFQ_SIM_COMPONENT_HH

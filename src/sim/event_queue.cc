@@ -1,0 +1,60 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < currentTick)
+        panic("EventQueue: scheduling in the past (%lld < %lld)",
+              static_cast<long long>(when),
+              static_cast<long long>(currentTick));
+    events.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+std::uint64_t
+EventQueue::run(Tick until)
+{
+    std::uint64_t n = 0;
+    while (!events.empty() && events.top().when <= until) {
+        // Copy out before pop so the callback may schedule new events.
+        Event ev = events.top();
+        events.pop();
+        currentTick = ev.when;
+        ev.cb();
+        ++n;
+        ++executedCount;
+    }
+    if (events.empty() && until != INT64_MAX && currentTick < until)
+        currentTick = until;
+    return n;
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+    Event ev = events.top();
+    events.pop();
+    currentTick = ev.when;
+    ev.cb();
+    ++executedCount;
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    events = {};
+    currentTick = 0;
+    nextSeq = 0;
+    executedCount = 0;
+}
+
+} // namespace usfq

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic discrete-event queue: the heart of the pulse-level SFQ
+ * simulator.
+ *
+ * Events are closures scheduled at integer femtosecond ticks.  Events at
+ * equal ticks execute in scheduling order (a monotonically increasing
+ * sequence number breaks ties), so simulations are bit-exact across runs
+ * and platforms.
+ */
+
+#ifndef USFQ_SIM_EVENT_QUEUE_HH
+#define USFQ_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace usfq
+{
+
+/**
+ * A time-ordered queue of callback events.
+ *
+ * The queue is single-threaded by design; SFQ netlists are small enough
+ * that determinism and simplicity beat parallelism here.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. */
+    Tick now() const { return currentTick; }
+
+    /** Schedule @p cb at absolute time @p when (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb) {
+        schedule(currentTick + delay, std::move(cb));
+    }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events.size(); }
+
+    /** True if no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Run until the queue drains or @p until is reached (inclusive).
+     * Returns the number of events executed.
+     */
+    std::uint64_t run(Tick until = INT64_MAX);
+
+    /** Execute exactly one event if any is pending; returns true if so. */
+    bool step();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+    /** Total events executed since construction/reset. */
+    std::uint64_t executed() const { return executedCount; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executedCount = 0;
+};
+
+} // namespace usfq
+
+#endif // USFQ_SIM_EVENT_QUEUE_HH

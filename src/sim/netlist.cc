@@ -1,0 +1,29 @@
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+
+Netlist::Netlist(std::string name)
+    : netName(std::move(name))
+{
+}
+
+int
+Netlist::totalJJs() const
+{
+    int total = 0;
+    for (const auto &c : components)
+        total += c->jjCount();
+    return total;
+}
+
+void
+Netlist::resetAll()
+{
+    eq.reset();
+    for (auto &c : components)
+        c->reset();
+    switchEvents = 0;
+}
+
+} // namespace usfq

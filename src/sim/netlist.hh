@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Netlist: owner of components, the event queue, and the bookkeeping
+ * (JJ area, switching activity) the evaluation metrics are computed from.
+ */
+
+#ifndef USFQ_SIM_NETLIST_HH
+#define USFQ_SIM_NETLIST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/component.hh"
+#include "sim/event_queue.hh"
+
+namespace usfq
+{
+
+/**
+ * A flat container of components sharing one event queue.
+ *
+ * Hierarchy lives in instance names ("dpu.mult3.ndro"); ownership is
+ * flat, which keeps teardown trivial and iteration fast.
+ */
+class Netlist
+{
+  public:
+    explicit Netlist(std::string name = "top");
+
+    /** Construct a component in place; the netlist takes ownership. */
+    template <typename T, typename... Args>
+    T &
+    create(Args &&...args)
+    {
+        auto ptr = std::make_unique<T>(*this, std::forward<Args>(args)...);
+        T &ref = *ptr;
+        components.push_back(std::move(ptr));
+        return ref;
+    }
+
+    /** The shared event queue. */
+    EventQueue &queue() { return eq; }
+    const EventQueue &queue() const { return eq; }
+
+    /** Netlist name (prefix for diagnostics). */
+    const std::string &name() const { return netName; }
+
+    /** Total JJ count over all components — the paper's area metric. */
+    int totalJJs() const;
+
+    /** Number of owned components. */
+    std::size_t numComponents() const { return components.size(); }
+
+    /** Reset every component and clear the event queue and counters. */
+    void resetAll();
+
+    /** Record JJ switching events (called by Component). */
+    void addSwitches(std::uint64_t n) { switchEvents += n; }
+
+    /** Total JJ switching events since the last resetAll(). */
+    std::uint64_t totalSwitches() const { return switchEvents; }
+
+    /** Iterate over components (const). */
+    const std::vector<std::unique_ptr<Component>> &
+    all() const
+    {
+        return components;
+    }
+
+  private:
+    std::string netName;
+    EventQueue eq;
+    std::vector<std::unique_ptr<Component>> components;
+    std::uint64_t switchEvents = 0;
+};
+
+} // namespace usfq
+
+#endif // USFQ_SIM_NETLIST_HH

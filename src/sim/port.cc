@@ -1,0 +1,54 @@
+#include "sim/port.hh"
+
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+InputPort::InputPort(std::string name, Handler handler)
+    : portName(std::move(name)), onPulse(std::move(handler))
+{
+}
+
+void
+InputPort::receive(Tick when)
+{
+    ++delivered;
+    if (onPulse)
+        onPulse(when);
+}
+
+OutputPort::OutputPort(std::string name, EventQueue *queue)
+    : portName(std::move(name)), eq(queue)
+{
+}
+
+void
+OutputPort::connect(InputPort &dst, Tick delay)
+{
+    if (delay < 0)
+        panic("OutputPort %s: negative wire delay", portName.c_str());
+    connections.push_back(Connection{&dst, delay});
+}
+
+void
+OutputPort::emit(Tick when)
+{
+    if (!eq)
+        panic("OutputPort %s: emit() before bind()", portName.c_str());
+    ++emitted;
+    for (const auto &c : connections) {
+        InputPort *dst = c.dst;
+        const Tick arrival = when + c.delay;
+        eq->schedule(arrival, [dst, arrival] { dst->receive(arrival); });
+    }
+}
+
+void
+OutputPort::emitNow()
+{
+    emit(eq ? eq->now() : 0);
+}
+
+} // namespace usfq

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Pulse ports: the wiring abstraction between SFQ cells.
+ *
+ * An SFQ "signal" is a sequence of instantaneous pulses.  An InputPort
+ * invokes its owner's handler when a pulse arrives; an OutputPort fans
+ * out to any number of InputPorts, each connection with its own wire
+ * delay (a JTL/PTL segment).
+ */
+
+#ifndef USFQ_SIM_PORT_HH
+#define USFQ_SIM_PORT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace usfq
+{
+
+class EventQueue;
+
+/**
+ * Destination of pulses.  The handler receives the arrival time (equal
+ * to EventQueue::now() at delivery).
+ */
+class InputPort
+{
+  public:
+    using Handler = std::function<void(Tick)>;
+
+    InputPort() = default;
+
+    /** Create with a handler and a diagnostic name. */
+    InputPort(std::string name, Handler handler);
+
+    /** Replace the handler (used by cells wiring themselves up). */
+    void setHandler(Handler handler) { onPulse = std::move(handler); }
+
+    /** Deliver a pulse now. */
+    void receive(Tick when);
+
+    /** Total pulses delivered to this port. */
+    std::uint64_t pulseCount() const { return delivered; }
+
+    const std::string &name() const { return portName; }
+
+  private:
+    std::string portName;
+    Handler onPulse;
+    std::uint64_t delivered = 0;
+};
+
+/**
+ * Source of pulses.  Connections carry a per-wire delay; emit()
+ * schedules one delivery event per connection.
+ */
+class OutputPort
+{
+  public:
+    OutputPort() = default;
+
+    /** Create bound to the event queue that will carry its pulses. */
+    OutputPort(std::string name, EventQueue *queue);
+
+    /** Bind to an event queue (for two-phase construction). */
+    void bind(EventQueue *queue) { eq = queue; }
+
+    /** Connect to @p dst with the given wire delay. */
+    void connect(InputPort &dst, Tick delay = 0);
+
+    /** Emit a pulse at time @p when (defaults to now). */
+    void emit(Tick when);
+
+    /** Emit a pulse immediately. */
+    void emitNow();
+
+    /** Total pulses emitted from this port. */
+    std::uint64_t pulseCount() const { return emitted; }
+
+    /** Number of fan-out connections. */
+    std::size_t fanout() const { return connections.size(); }
+
+    const std::string &name() const { return portName; }
+
+  private:
+    struct Connection
+    {
+        InputPort *dst;
+        Tick delay;
+    };
+
+    std::string portName;
+    EventQueue *eq = nullptr;
+    std::vector<Connection> connections;
+    std::uint64_t emitted = 0;
+};
+
+} // namespace usfq
+
+#endif // USFQ_SIM_PORT_HH

@@ -1,0 +1,45 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+
+namespace usfq
+{
+
+PulseTrace::PulseTrace(std::string name)
+    : traceName(std::move(name)),
+      port(traceName + ".in", [this](Tick t) { pulses.push_back(t); })
+{
+}
+
+std::size_t
+PulseTrace::countInWindow(Tick from, Tick to) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        pulses.begin(), pulses.end(),
+        [from, to](Tick t) { return t >= from && t < to; }));
+}
+
+Tick
+PulseTrace::first() const
+{
+    return pulses.empty() ? kTickInvalid : pulses.front();
+}
+
+Tick
+PulseTrace::last() const
+{
+    return pulses.empty() ? kTickInvalid : pulses.back();
+}
+
+Tick
+PulseTrace::minSpacing() const
+{
+    if (pulses.size() < 2)
+        return kTickInvalid;
+    Tick best = INT64_MAX;
+    for (std::size_t i = 1; i < pulses.size(); ++i)
+        best = std::min(best, pulses[i] - pulses[i - 1]);
+    return best;
+}
+
+} // namespace usfq

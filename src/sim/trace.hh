@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Pulse trace recording: capture pulse arrival times on any wire for
+ * decoding results, checking timing, and rendering waveforms.
+ */
+
+#ifndef USFQ_SIM_TRACE_HH
+#define USFQ_SIM_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/port.hh"
+#include "util/types.hh"
+
+namespace usfq
+{
+
+/**
+ * A pulse sink that records arrival times.  Connect any OutputPort to
+ * trace.input() to capture its pulses.
+ */
+class PulseTrace
+{
+  public:
+    explicit PulseTrace(std::string name = "trace");
+
+    /** The input port to connect observed wires to. */
+    InputPort &input() { return port; }
+
+    /** All recorded pulse times, in arrival order. */
+    const std::vector<Tick> &times() const { return pulses; }
+
+    /** Total recorded pulses. */
+    std::size_t count() const { return pulses.size(); }
+
+    /** Pulses in [from, to). */
+    std::size_t countInWindow(Tick from, Tick to) const;
+
+    /** Time of the first pulse, or kTickInvalid if none. */
+    Tick first() const;
+
+    /** Time of the last pulse, or kTickInvalid if none. */
+    Tick last() const;
+
+    /** Smallest spacing between consecutive pulses (kTickInvalid if <2). */
+    Tick minSpacing() const;
+
+    /** Forget all recorded pulses. */
+    void clear() { pulses.clear(); }
+
+    const std::string &name() const { return traceName; }
+
+  private:
+    std::string traceName;
+    InputPort port;
+    std::vector<Tick> pulses;
+};
+
+} // namespace usfq
+
+#endif // USFQ_SIM_TRACE_HH

@@ -1,0 +1,58 @@
+#include "sim/vcd.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+void
+writeVcd(std::ostream &os,
+         const std::vector<std::pair<std::string, const PulseTrace *>>
+             &traces,
+         Tick pulse_width, const std::string &module)
+{
+    if (pulse_width <= 0)
+        fatal("writeVcd: pulse width must be positive");
+
+    os << "$date reproduction run $end\n";
+    os << "$version usfq pulse simulator $end\n";
+    os << "$timescale 1fs $end\n";
+    os << "$scope module " << module << " $end\n";
+
+    // VCD identifier codes: printable ASCII starting at '!'.
+    std::vector<char> ids;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        const char id = static_cast<char>('!' + i);
+        ids.push_back(id);
+        os << "$var wire 1 " << id << ' ' << traces[i].first
+           << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    // Merge all edges into a time-ordered change list.
+    std::map<Tick, std::vector<std::pair<char, bool>>> changes;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        for (Tick t : traces[i].second->times()) {
+            changes[t].emplace_back(ids[i], true);
+            changes[t + pulse_width].emplace_back(ids[i], false);
+        }
+    }
+
+    os << "#0\n$dumpvars\n";
+    for (char id : ids)
+        os << '0' << id << '\n';
+    os << "$end\n";
+
+    for (const auto &[t, edges] : changes) {
+        if (t == 0)
+            continue;
+        os << '#' << t << '\n';
+        for (const auto &[id, level] : edges)
+            os << (level ? '1' : '0') << id << '\n';
+    }
+}
+
+} // namespace usfq

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * VCD (Value Change Dump) export of pulse traces, viewable in GTKWave
+ * and friends.  SFQ pulses are instantaneous, so each pulse is
+ * rendered as a one-tick-wide high on its signal.
+ */
+
+#ifndef USFQ_SIM_VCD_HH
+#define USFQ_SIM_VCD_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace usfq
+{
+
+/**
+ * Write a set of named pulse traces as a VCD document.
+ *
+ * @param os          destination stream
+ * @param traces      (signal name, trace) pairs
+ * @param pulse_width rendered pulse width in ticks (default 1 ps)
+ * @param module      VCD scope name
+ */
+void writeVcd(std::ostream &os,
+              const std::vector<std::pair<std::string,
+                                          const PulseTrace *>> &traces,
+              Tick pulse_width = kPicosecond,
+              const std::string &module = "usfq");
+
+} // namespace usfq
+
+#endif // USFQ_SIM_VCD_HH

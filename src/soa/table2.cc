@@ -1,0 +1,133 @@
+#include "soa/table2.hh"
+
+#include "util/logging.hh"
+
+namespace usfq::soa
+{
+
+const std::vector<Entry> &
+table2()
+{
+    static const std::vector<Entry> data = {
+        // Adders.
+        {"[23]", Unit::Adder, 4, 931, 50, Arch::BitParallel,
+         "KOPTI 1.0kA/cm2 Nb"},
+        {"[41]", Unit::Adder, 8, 6581, 588, Arch::WavePipelined,
+         "AIST-STP2"},
+        {"[8]*", Unit::Adder, 8, 4351, 222, Arch::WavePipelined, "NG"},
+        {"[8]", Unit::Adder, 16, 16683, 255, Arch::WavePipelined, "NG"},
+        {"[9]", Unit::Adder, 16, 9941, 352, Arch::WavePipelined,
+         "ISTEC 1.0um 10kA/cm2"},
+        // Multipliers.
+        {"[40]", Unit::Multiplier, 4, 2308, 1250, Arch::SystolicArray,
+         "NEC 2.5kA/cm2"},
+        {"[40]", Unit::Multiplier, 8, 4616, 2540, Arch::SystolicArray,
+         "**"},
+        {"[37]", Unit::Multiplier, 8, 17000, 333, Arch::BitParallel,
+         "1um Nb/AlOx/Nb"},
+        {"[10]", Unit::Multiplier, 8, 5948, 447, Arch::WavePipelined,
+         "ISTEC 1.0um 10kA/cm2"},
+        {"[40]", Unit::Multiplier, 16, 9232, 5120, Arch::SystolicArray,
+         "**"},
+    };
+    return data;
+}
+
+std::vector<Entry>
+entries(Unit unit)
+{
+    std::vector<Entry> out;
+    for (const auto &e : table2())
+        if (e.unit == unit)
+            out.push_back(e);
+    return out;
+}
+
+std::vector<Entry>
+entries(Unit unit, Arch arch)
+{
+    std::vector<Entry> out;
+    for (const auto &e : table2())
+        if (e.unit == unit && e.arch == arch)
+            out.push_back(e);
+    return out;
+}
+
+LinearFit
+areaFit(Unit unit)
+{
+    std::vector<double> xs, ys;
+    for (const auto &e : table2()) {
+        if (e.unit != unit || e.arch == Arch::BitParallel)
+            continue;
+        xs.push_back(e.bits);
+        ys.push_back(e.jjCount);
+    }
+    return fitLine(xs, ys);
+}
+
+LinearFit
+latencyFit(Unit unit)
+{
+    // The state-of-the-art frontier: the fastest wave-pipelined design
+    // at each published width (several early designs are much slower
+    // than later ones at the same width).
+    auto wp = entries(unit, Arch::WavePipelined);
+    std::vector<double> xs, ys;
+    for (const auto &e : wp) {
+        bool best = true;
+        for (const auto &other : wp)
+            if (other.bits == e.bits &&
+                other.latencyPs < e.latencyPs)
+                best = false;
+        if (best) {
+            xs.push_back(e.bits);
+            ys.push_back(e.latencyPs);
+        }
+    }
+    if (xs.size() >= 2)
+        return fitLine(xs, ys);
+    if (xs.size() == 1) {
+        // A single frontier point: scale through the origin.
+        LinearFit fit;
+        fit.slope = ys.front() / xs.front();
+        fit.intercept = 0.0;
+        fit.r2 = 1.0;
+        return fit;
+    }
+    panic("latencyFit: no wave-pipelined entries");
+}
+
+const Entry &
+bitParallelMultiplier8()
+{
+    for (const auto &e : table2())
+        if (e.unit == Unit::Multiplier && e.arch == Arch::BitParallel)
+            return e;
+    panic("bitParallelMultiplier8: missing entry");
+}
+
+const Entry &
+bitParallelAdder4()
+{
+    for (const auto &e : table2())
+        if (e.unit == Unit::Adder && e.arch == Arch::BitParallel)
+            return e;
+    panic("bitParallelAdder4: missing entry");
+}
+
+const char *
+archName(Arch arch)
+{
+    switch (arch) {
+      case Arch::BitParallel:
+        return "BP";
+      case Arch::WavePipelined:
+        return "WP";
+      case Arch::SystolicArray:
+        return "SA";
+    }
+    return "?";
+}
+
+} // namespace usfq::soa

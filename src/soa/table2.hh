@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The paper's Table 2: published RSFQ adders and multipliers used as
+ * the binary baseline throughout the evaluation, plus the least-squares
+ * fits drawn as dashed lines in Figs. 4, 8, 14, 16 and 18.
+ */
+
+#ifndef USFQ_SOA_TABLE2_HH
+#define USFQ_SOA_TABLE2_HH
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace usfq::soa
+{
+
+/** Datapath architecture of a published design. */
+enum class Arch
+{
+    BitParallel,   ///< every cell clocked (BP)
+    WavePipelined, ///< clock-free data waves (WP)
+    SystolicArray, ///< systolic multiplier (SA)
+};
+
+/** What the unit computes. */
+enum class Unit
+{
+    Adder,
+    Multiplier,
+};
+
+/** One published design point. */
+struct Entry
+{
+    std::string ref;   ///< citation key, e.g. "[37]"
+    Unit unit;
+    int bits;
+    int jjCount;
+    double latencyPs;
+    Arch arch;
+    std::string technology;
+};
+
+/** The full Table 2 dataset. */
+const std::vector<Entry> &table2();
+
+/** Entries filtered by unit (and optionally architecture). */
+std::vector<Entry> entries(Unit unit);
+std::vector<Entry> entries(Unit unit, Arch arch);
+
+/**
+ * Least-squares JJ-count-vs-bits fit over every non-bit-parallel entry
+ * of @p unit: the paper's dashed area baseline.
+ */
+LinearFit areaFit(Unit unit);
+
+/**
+ * Latency-vs-bits fit for the wave-pipelined entries of @p unit.  With
+ * a single WP multiplier point, the multiplier fit is the
+ * through-origin scaling latency = (447/8) * bits of [10].
+ */
+LinearFit latencyFit(Unit unit);
+
+/** The 48 GHz, 17 kJJ 8-bit bit-parallel multiplier of [37]. */
+const Entry &bitParallelMultiplier8();
+
+/** The 4-bit bit-parallel adder of [23] (scaled linearly for B > 4). */
+const Entry &bitParallelAdder4();
+
+/** Short human-readable architecture name. */
+const char *archName(Arch arch);
+
+} // namespace usfq::soa
+
+#endif // USFQ_SOA_TABLE2_HH

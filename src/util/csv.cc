@@ -1,0 +1,59 @@
+#include "util/csv.hh"
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace usfq
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> headers)
+    : out(path), columns(headers.size())
+{
+    if (!out.is_open())
+        return;
+    writeRow(headers);
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string escaped = "\"";
+    for (char c : field) {
+        if (c == '"')
+            escaped += '"';
+        escaped += c;
+    }
+    escaped += '"';
+    return escaped;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    if (!out.is_open())
+        return;
+    if (fields.size() != columns)
+        warn("CsvWriter: row has %zu fields, expected %zu", fields.size(),
+             columns);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out << ',';
+        out << escape(fields[i]);
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &fields)
+{
+    std::vector<std::string> formatted;
+    formatted.reserve(fields.size());
+    for (double v : fields)
+        formatted.push_back(formatNumber(v, 8));
+    writeRow(formatted);
+}
+
+} // namespace usfq

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal CSV emission for bench outputs that downstream plotting
+ * scripts can consume.
+ */
+
+#ifndef USFQ_UTIL_CSV_HH
+#define USFQ_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace usfq
+{
+
+/**
+ * Streams rows to a CSV file; the header is written on construction.
+ * Writing is best-effort: if the path cannot be opened the writer is
+ * inert (benches still print their tables to stdout).
+ */
+class CsvWriter
+{
+  public:
+    CsvWriter(const std::string &path, std::vector<std::string> headers);
+
+    /** True if the output file opened successfully. */
+    bool ok() const { return out.is_open(); }
+
+    /** Write one row of already-formatted fields. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Write one row of doubles. */
+    void writeRow(const std::vector<double> &fields);
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::ofstream out;
+    std::size_t columns;
+};
+
+} // namespace usfq
+
+#endif // USFQ_UTIL_CSV_HH

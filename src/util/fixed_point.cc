@@ -1,0 +1,135 @@
+#include "util/fixed_point.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+namespace
+{
+
+void
+checkBits(int bits)
+{
+    if (bits < 2 || bits > 32)
+        panic("FixedPoint: unsupported width %d (need 2..32)", bits);
+}
+
+} // namespace
+
+FixedPoint::FixedPoint(int bits)
+    : nbits(bits), rawValue(0)
+{
+    checkBits(bits);
+}
+
+FixedPoint::FixedPoint(double value, int bits)
+    : nbits(bits)
+{
+    checkBits(bits);
+    const double scale = static_cast<double>(std::int64_t{1} << (bits - 1));
+    rawValue = clampRaw(std::llround(value * scale));
+}
+
+FixedPoint
+FixedPoint::fromRaw(std::int64_t raw, int bits)
+{
+    FixedPoint fp(bits);
+    fp.rawValue = fp.clampRaw(raw);
+    return fp;
+}
+
+double
+FixedPoint::toDouble() const
+{
+    const double scale = static_cast<double>(std::int64_t{1} << (nbits - 1));
+    return static_cast<double>(rawValue) / scale;
+}
+
+double
+FixedPoint::lsb() const
+{
+    return 1.0 / static_cast<double>(std::int64_t{1} << (nbits - 1));
+}
+
+std::int64_t
+FixedPoint::clampRaw(std::int64_t v) const
+{
+    const std::int64_t hi = (std::int64_t{1} << (nbits - 1)) - 1;
+    const std::int64_t lo = -(std::int64_t{1} << (nbits - 1));
+    if (v > hi)
+        return hi;
+    if (v < lo)
+        return lo;
+    return v;
+}
+
+FixedPoint
+FixedPoint::operator+(const FixedPoint &other) const
+{
+    if (other.nbits != nbits)
+        panic("FixedPoint: width mismatch %d vs %d", nbits, other.nbits);
+    return fromRaw(rawValue + other.rawValue, nbits);
+}
+
+FixedPoint
+FixedPoint::operator-(const FixedPoint &other) const
+{
+    if (other.nbits != nbits)
+        panic("FixedPoint: width mismatch %d vs %d", nbits, other.nbits);
+    return fromRaw(rawValue - other.rawValue, nbits);
+}
+
+FixedPoint
+FixedPoint::operator*(const FixedPoint &other) const
+{
+    if (other.nbits != nbits)
+        panic("FixedPoint: width mismatch %d vs %d", nbits, other.nbits);
+    // Full product has 2*(nbits-1) fractional bits; shift back with
+    // round-to-nearest.
+    const std::int64_t prod = rawValue * other.rawValue;
+    const int shift = nbits - 1;
+    const std::int64_t bias = std::int64_t{1} << (shift - 1);
+    std::int64_t scaled;
+    if (prod >= 0)
+        scaled = (prod + bias) >> shift;
+    else
+        scaled = -((-prod + bias) >> shift);
+    return fromRaw(scaled, nbits);
+}
+
+FixedPoint
+FixedPoint::withBitFlipped(int bit) const
+{
+    if (bit < 0 || bit >= nbits)
+        panic("FixedPoint: bit %d out of range for %d-bit value", bit, nbits);
+    // Flip in the nbits-wide two's-complement view, then sign-extend.
+    std::uint64_t mask = (std::uint64_t{1} << nbits) - 1;
+    std::uint64_t u = static_cast<std::uint64_t>(rawValue) & mask;
+    u ^= std::uint64_t{1} << bit;
+    // Sign-extend.
+    std::int64_t v;
+    if (u & (std::uint64_t{1} << (nbits - 1)))
+        v = static_cast<std::int64_t>(u | ~mask);
+    else
+        v = static_cast<std::int64_t>(u);
+    FixedPoint fp(nbits);
+    fp.rawValue = v; // already in range by construction
+    return fp;
+}
+
+FixedPoint
+FixedPoint::maxValue(int bits)
+{
+    return fromRaw((std::int64_t{1} << (bits - 1)) - 1, bits);
+}
+
+FixedPoint
+FixedPoint::minValue(int bits)
+{
+    return fromRaw(-(std::int64_t{1} << (bits - 1)), bits);
+}
+
+} // namespace usfq

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Signed fixed-point arithmetic used by the binary RSFQ baseline models.
+ *
+ * The paper's binary accelerators use B-bit two's-complement fixed point
+ * in [-1, 1).  FixedPoint captures exactly that: a raw integer of
+ * configurable width with saturation, rounding-to-nearest quantization,
+ * and bit-flip fault injection (the paper's binary error model).
+ */
+
+#ifndef USFQ_UTIL_FIXED_POINT_HH
+#define USFQ_UTIL_FIXED_POINT_HH
+
+#include <cstdint>
+
+namespace usfq
+{
+
+/**
+ * A B-bit two's-complement fixed-point value in [-1, 1).
+ *
+ * The value is raw / 2^(bits-1); bits may be 2..32.  All arithmetic
+ * saturates at the representable range, matching a hardware datapath
+ * with overflow clamping.
+ */
+class FixedPoint
+{
+  public:
+    /** Construct the zero value with the given width. */
+    explicit FixedPoint(int bits = 8);
+
+    /** Quantize a real value (round to nearest, saturate). */
+    FixedPoint(double value, int bits);
+
+    /** Construct directly from a raw integer (clamped to range). */
+    static FixedPoint fromRaw(std::int64_t raw, int bits);
+
+    /** Width in bits. */
+    int bits() const { return nbits; }
+
+    /** Raw two's-complement integer. */
+    std::int64_t raw() const { return rawValue; }
+
+    /** Real value raw / 2^(bits-1). */
+    double toDouble() const;
+
+    /** Smallest representable increment, 2^-(bits-1). */
+    double lsb() const;
+
+    /** Saturating add; operands must share the same width. */
+    FixedPoint operator+(const FixedPoint &other) const;
+
+    /** Saturating subtract. */
+    FixedPoint operator-(const FixedPoint &other) const;
+
+    /**
+     * Fixed-point multiply: full-precision product rescaled back to this
+     * operand's width with round-to-nearest and saturation.
+     */
+    FixedPoint operator*(const FixedPoint &other) const;
+
+    bool operator==(const FixedPoint &other) const = default;
+
+    /** Flip a single bit (0 = LSB .. bits-1 = sign) -- fault injection. */
+    FixedPoint withBitFlipped(int bit) const;
+
+    /** Largest representable value, (2^(bits-1) - 1) / 2^(bits-1). */
+    static FixedPoint maxValue(int bits);
+
+    /** Most negative representable value, -1.0. */
+    static FixedPoint minValue(int bits);
+
+  private:
+    std::int64_t clampRaw(std::int64_t v) const;
+
+    int nbits;
+    std::int64_t rawValue;
+};
+
+} // namespace usfq
+
+#endif // USFQ_UTIL_FIXED_POINT_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user-caused conditions (bad configuration) and
+ * exits cleanly; warn()/inform() report without stopping.
+ */
+
+#ifndef USFQ_UTIL_LOGGING_HH
+#define USFQ_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace usfq
+{
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal invariant violated: print and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Unrecoverable user error: print and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+} // namespace usfq
+
+#endif // USFQ_UTIL_LOGGING_HH

@@ -1,0 +1,120 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+inline std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &s : state)
+        s = splitmix64(sm);
+    haveSpareGaussian = false;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformInt: empty range [%lld, %lld]",
+              static_cast<long long>(lo), static_cast<long long>(hi));
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    // Rejection sampling for an unbiased draw.
+    const std::uint64_t limit = (~0ULL / span) * span;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % span);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::gaussian()
+{
+    if (haveSpareGaussian) {
+        haveSpareGaussian = false;
+        return spareGaussian;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spareGaussian = mag * std::sin(2.0 * M_PI * u2);
+    haveSpareGaussian = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+} // namespace usfq

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * A xoshiro256** generator seeded by SplitMix64.  Every stochastic piece
+ * of the repository (error injection, workload generation) draws from an
+ * explicitly-seeded Rng so results are reproducible run to run.
+ */
+
+#ifndef USFQ_UTIL_RANDOM_HH
+#define USFQ_UTIL_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace usfq
+{
+
+/**
+ * xoshiro256** pseudo-random generator (Blackman & Vigna).
+ *
+ * Satisfies UniformRandomBitGenerator so it can also be used with
+ * <random> distributions.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Reseed the generator. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    std::uint64_t operator()() { return next(); }
+
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ULL; }
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool bernoulli(double p);
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+  private:
+    std::array<std::uint64_t, 4> state;
+    bool haveSpareGaussian = false;
+    double spareGaussian = 0.0;
+};
+
+} // namespace usfq
+
+#endif // USFQ_UTIL_RANDOM_HH

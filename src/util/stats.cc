@@ -1,0 +1,119 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+}
+
+double
+RunningStats::mean() const
+{
+    return n ? m : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return n ? lo : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return n ? hi : 0.0;
+}
+
+LinearFit
+fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        panic("fitLine: size mismatch %zu vs %zu", xs.size(), ys.size());
+    if (xs.size() < 2)
+        panic("fitLine: need at least 2 points, got %zu", xs.size());
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    if (denom == 0.0) {
+        fit.slope = 0.0;
+        fit.intercept = sy / n;
+        fit.r2 = 0.0;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double ss_tot = syy - sy * sy / n;
+    double ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double e = ys[i] - fit(xs[i]);
+        ss_res += e * e;
+    }
+    fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        panic("percentile: empty input");
+    std::sort(values.begin(), values.end());
+    const double rank =
+        (p / 100.0) * static_cast<double>(values.size() - 1);
+    const std::size_t lo_idx = static_cast<std::size_t>(rank);
+    const std::size_t hi_idx = std::min(lo_idx + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo_idx);
+    return values[lo_idx] * (1.0 - frac) + values[hi_idx] * frac;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+} // namespace usfq

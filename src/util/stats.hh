@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small statistics helpers: running moments, percentiles, and the
+ * least-squares linear fits used for the paper's dashed baseline lines.
+ */
+
+#ifndef USFQ_UTIL_STATS_HH
+#define USFQ_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace usfq
+{
+
+/** Accumulates count/mean/variance/min/max in a single pass (Welford). */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    std::size_t count() const { return n; }
+    double mean() const;
+    /** Sample variance (n-1 denominator). */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::size_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Result of a least-squares line fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+
+    double operator()(double x) const { return slope * x + intercept; }
+};
+
+/** Least-squares fit over paired samples; needs at least two points. */
+LinearFit fitLine(const std::vector<double> &xs,
+                  const std::vector<double> &ys);
+
+/** p-th percentile (0..100) by linear interpolation of sorted data. */
+double percentile(std::vector<double> values, double p);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &values);
+
+} // namespace usfq
+
+#endif // USFQ_UTIL_STATS_HH

@@ -1,0 +1,117 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+std::string
+formatNumber(double value, int precision)
+{
+    if (std::isnan(value))
+        return "n/a";
+    char buf[64];
+    const double mag = std::fabs(value);
+    if (value == 0.0) {
+        std::snprintf(buf, sizeof(buf), "0");
+    } else if (mag >= 1e6 || mag < 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.*e", precision - 1, value);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    }
+    return buf;
+}
+
+Table::Table(std::string title_in, std::vector<std::string> headers_in)
+    : title(std::move(title_in)), headers(std::move(headers_in))
+{
+}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    if (rows.empty())
+        panic("Table::cell before Table::row");
+    rows.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(const char *value)
+{
+    return cell(std::string(value));
+}
+
+Table &
+Table::cell(std::int64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(int value)
+{
+    return cell(static_cast<std::int64_t>(value));
+}
+
+Table &
+Table::cell(std::size_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatNumber(value, precision));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &r : rows) {
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    auto hline = [&]() {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            os << ' ' << v << std::string(widths[c] - v.size() + 1, ' ')
+               << '|';
+        }
+        os << '\n';
+    };
+
+    if (!title.empty())
+        os << "== " << title << " ==\n";
+    hline();
+    emit(headers);
+    hline();
+    for (const auto &r : rows)
+        emit(r);
+    hline();
+}
+
+} // namespace usfq

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table rendering used by the bench harnesses to print the paper's
+ * tables and figure series in a uniform format.
+ */
+
+#ifndef USFQ_UTIL_TABLE_HH
+#define USFQ_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace usfq
+{
+
+/**
+ * Accumulates rows of strings and renders them with aligned columns.
+ *
+ * Numeric convenience overloads format with a sensible default precision;
+ * callers that need specific formatting pass pre-formatted strings.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given title and column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+    Table &cell(const char *value);
+    /** Append an integer cell. */
+    Table &cell(std::int64_t value);
+    Table &cell(int value);
+    Table &cell(std::size_t value);
+    /** Append a floating cell with @p precision significant digits. */
+    Table &cell(double value, int precision = 4);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return rows.size(); }
+
+  private:
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with engineering-style trimming ("1.23e+04" etc.). */
+std::string formatNumber(double value, int precision = 4);
+
+} // namespace usfq
+
+#endif // USFQ_UTIL_TABLE_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental simulation types: integer time ticks and unit helpers.
+ *
+ * The event kernel operates on integer femtosecond ticks so simulations
+ * are exactly deterministic and immune to floating-point drift.  SFQ cell
+ * delays are a handful of picoseconds, so femtoseconds give three decimal
+ * digits of sub-cell resolution while a 64-bit tick still covers ~106 days
+ * of simulated time.
+ */
+
+#ifndef USFQ_UTIL_TYPES_HH
+#define USFQ_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace usfq
+{
+
+/** Simulation time in integer femtoseconds. */
+using Tick = std::int64_t;
+
+/** One femtosecond, the kernel tick. */
+constexpr Tick kFemtosecond = 1;
+/** One picosecond in ticks. */
+constexpr Tick kPicosecond = 1000;
+/** One nanosecond in ticks. */
+constexpr Tick kNanosecond = 1000 * kPicosecond;
+/** One microsecond in ticks. */
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+
+/** Sentinel for "no time" / unscheduled. */
+constexpr Tick kTickInvalid = -1;
+
+/** Convert a tick count to double-precision seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-15;
+}
+
+/** Convert a tick count to double-precision picoseconds. */
+constexpr double
+ticksToPs(Tick t)
+{
+    return static_cast<double>(t) * 1e-3;
+}
+
+/** Convert a tick count to double-precision nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+/** Convert picoseconds (may be fractional) to the nearest tick. */
+constexpr Tick
+psToTicks(double ps)
+{
+    return static_cast<Tick>(ps * 1e3 + (ps >= 0 ? 0.5 : -0.5));
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return psToTicks(ns * 1e3);
+}
+
+} // namespace usfq
+
+#endif // USFQ_UTIL_TYPES_HH

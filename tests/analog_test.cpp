@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Device-level sanity: the RCSJ junction emits flux-quantized ps
+ * pulses, the JTL propagates fluxons, the SQUID stores one, and the
+ * integrator buffer's ramp matches the paper's Fig. 11 story.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/circuits.hh"
+#include "analog/rsj.hh"
+#include "analog/waveform.hh"
+
+namespace usfq::analog
+{
+namespace
+{
+
+TEST(JunctionParams, DefaultsAreCriticallyDamped)
+{
+    const JunctionParams jp;
+    EXPECT_NEAR(jp.betaC(), 1.0, 0.2);
+    // Plasma frequency in the THz range: ps-scale switching.
+    EXPECT_GT(jp.plasmaOmega(), 5e11);
+    EXPECT_LT(jp.plasmaOmega(), 5e12);
+}
+
+TEST(Junction, SubcriticalBiasDoesNotSwitch)
+{
+    Junction jj;
+    // Soft-started sub-critical bias: no switching, negligible voltage
+    // once settled.
+    jj.run(100e-12, 1e-14, [](double t) {
+        return 0.8 * 100e-6 * std::min(1.0, t / 10e-12);
+    });
+    EXPECT_EQ(jj.fluxons(), 0);
+    const auto &w = jj.trace();
+    double late_peak = 0.0;
+    for (std::size_t i = 0; i < w.t.size(); ++i)
+        if (w.t[i] > 50e-12)
+            late_peak = std::max(late_peak, std::fabs(w.v[i]));
+    EXPECT_LT(late_peak, 5e-5);
+}
+
+TEST(Junction, OvercriticalBiasEmitsPulses)
+{
+    Junction jj;
+    jj.run(100e-12, 1e-14,
+           [](double) { return 1.5 * 100e-6; });
+    EXPECT_GT(jj.fluxons(), 3);
+    // mV-scale pulse amplitude (paper Fig. 1b).
+    EXPECT_GT(jj.trace().peakAbs(), 1e-4);
+}
+
+TEST(Junction, PulseAreaIsOneFluxQuantum)
+{
+    // Drive a single 2*pi slip with a short pulse over sub-critical
+    // bias; the voltage-time area must be Phi0.
+    Junction jj;
+    jj.run(60e-12, 1e-14, [](double t) {
+        double i = 0.7 * 100e-6 * std::min(1.0, t / 10e-12);
+        if (t > 20e-12 && t < 26e-12)
+            i += 0.6 * 100e-6;
+        return i;
+    });
+    EXPECT_EQ(jj.fluxons(), 1);
+    // Integrate after the bias has settled: the single 2*pi slip
+    // carries exactly one flux quantum.
+    EXPECT_NEAR(jj.trace().integral(15e-12, 60e-12), kPhi0,
+                0.05 * kPhi0);
+}
+
+TEST(Junction, PulseWidthIsPicoseconds)
+{
+    Junction jj;
+    jj.run(60e-12, 1e-14, [](double t) {
+        double i = 0.7 * 100e-6 * std::min(1.0, t / 10e-12);
+        if (t > 20e-12 && t < 26e-12)
+            i += 0.6 * 100e-6;
+        return i;
+    });
+    // FWHM: count samples above half peak.
+    const auto &w = jj.trace();
+    const double half = w.peakAbs() / 2;
+    std::size_t above = 0;
+    for (double v : w.v)
+        above += v > half;
+    const double fwhm = static_cast<double>(above) * 1e-14;
+    EXPECT_GT(fwhm, 0.3e-12);
+    EXPECT_LT(fwhm, 6e-12);
+}
+
+TEST(Junction, ResetRestoresGroundState)
+{
+    Junction jj;
+    jj.run(50e-12, 1e-14, [](double) { return 2e-4; });
+    ASSERT_GT(jj.fluxons(), 0);
+    jj.reset();
+    EXPECT_EQ(jj.fluxons(), 0);
+    EXPECT_DOUBLE_EQ(jj.voltage(), 0.0);
+    EXPECT_TRUE(jj.trace().t.empty());
+}
+
+// --- JTL -----------------------------------------------------------------------
+
+TEST(JtlChain, FluxonPropagatesDownTheLine)
+{
+    JtlChain jtl(5);
+    jtl.runWithInputPulse(1.5 * 100e-6, 5e-12, 20e-12, 200e-12);
+    for (int i = 0; i < jtl.size(); ++i)
+        EXPECT_EQ(jtl.fluxons(i), 1) << "junction " << i;
+    // Arrival times strictly increase along the chain.
+    for (int i = 1; i < jtl.size(); ++i)
+        EXPECT_GT(jtl.arrivalTime(i), jtl.arrivalTime(i - 1));
+}
+
+TEST(JtlChain, PerStageDelayIsPicoseconds)
+{
+    JtlChain jtl(6);
+    jtl.runWithInputPulse(1.5 * 100e-6, 5e-12, 20e-12, 300e-12);
+    const double hop =
+        (jtl.arrivalTime(5) - jtl.arrivalTime(1)) / 4.0;
+    EXPECT_GT(hop, 0.5e-12);
+    EXPECT_LT(hop, 15e-12);
+}
+
+TEST(JtlChain, NoInputNoSwitching)
+{
+    JtlChain jtl(4);
+    jtl.runWithInputPulse(0.0, 5e-12, 20e-12, 100e-12);
+    for (int i = 0; i < jtl.size(); ++i)
+        EXPECT_EQ(jtl.fluxons(i), 0);
+}
+
+// --- SQUID -----------------------------------------------------------------------
+
+TEST(SquidLoop, SetStoresOneFluxon)
+{
+    SquidLoop squid;
+    squid.run(100e-12, {30e-12}, {});
+    EXPECT_EQ(squid.storedFluxons(), 1);
+    EXPECT_GT(squid.loopCurrent(), 0.0);
+}
+
+TEST(SquidLoop, SetThenResetRestoresState)
+{
+    SquidLoop squid;
+    squid.run(200e-12, {30e-12}, {120e-12});
+    EXPECT_EQ(squid.storedFluxons(), 0);
+    // The reset kicks J2: an output pulse appears (paper Fig. 1c).
+    EXPECT_GT(squid.outputTrace().peakAbs(), 1e-4);
+}
+
+TEST(SquidLoop, IdleLoopStaysQuiet)
+{
+    SquidLoop squid;
+    squid.run(100e-12, {}, {});
+    EXPECT_EQ(squid.storedFluxons(), 0);
+    EXPECT_LT(squid.outputTrace().peakAbs(), 5e-5);
+}
+
+// --- PulseIntegrator -----------------------------------------------------------
+
+TEST(PulseIntegrator, DelaysByExactlyOneEpoch)
+{
+    const int bits = 6;
+    const double slot = 20e-12;
+    PulseIntegrator integ(bits, slot);
+    const double t_in = 7 * slot;
+    integ.run(t_in);
+    EXPECT_NEAR(integ.outputTime(), t_in + integ.epoch(),
+                slot * 0.51);
+}
+
+TEST(PulseIntegrator, PeakCurrentIsComparatorIc)
+{
+    PulseIntegrator integ(8, 20e-12, 100e-6);
+    integ.run(0.0);
+    EXPECT_NEAR(integ.peakCurrent(), 100e-6, 1e-6);
+}
+
+TEST(PulseIntegrator, InductanceScalesWithResolution)
+{
+    // L = 2^(B-1) Phi0 / Ic: doubles per extra bit (paper: inductance
+    // grows with bits while the JJ count stays constant).
+    PulseIntegrator i8(8, 20e-12), i9(9, 20e-12);
+    EXPECT_NEAR(i9.inductance() / i8.inductance(), 2.0, 1e-9);
+}
+
+TEST(PulseIntegrator, RampIsMonotoneUpThenDown)
+{
+    PulseIntegrator integ(4, 20e-12);
+    integ.run(3 * 20e-12);
+    const auto &w = integ.inductorCurrent();
+    const auto peak_it =
+        std::max_element(w.v.begin(), w.v.end());
+    for (auto it = w.v.begin(); it + 1 < peak_it; ++it)
+        EXPECT_LE(*it, *(it + 1));
+    for (auto it = peak_it; it + 1 < w.v.end(); ++it)
+        EXPECT_GE(*it, *(it + 1));
+}
+
+// --- waveform rendering -------------------------------------------------------
+
+TEST(WaveformRender, PulseAreaIsPhi0)
+{
+    const auto w = renderPulseTrain({100 * usfq::kPicosecond},
+                                    200 * usfq::kPicosecond, 20);
+    EXPECT_NEAR(w.integral(), kPhi0, 0.02 * kPhi0);
+}
+
+TEST(WaveformRender, TwoPulsesTwoPeaks)
+{
+    const auto w = renderPulseTrain(
+        {50 * usfq::kPicosecond, 150 * usfq::kPicosecond},
+        250 * usfq::kPicosecond, 20);
+    EXPECT_NEAR(w.integral(), 2 * kPhi0, 0.04 * kPhi0);
+    // Valley between the pulses returns to ~0.
+    double mid = 0.0;
+    for (std::size_t i = 0; i < w.t.size(); ++i)
+        if (std::fabs(w.t[i] - 100e-12) < 2e-12)
+            mid = std::max(mid, w.v[i]);
+    EXPECT_LT(mid, w.peakAbs() * 0.01);
+}
+
+TEST(WaveformRender, AsciiPlotProducesOutput)
+{
+    std::ostringstream os;
+    const auto w = renderPulseTrain({10 * usfq::kPicosecond},
+                                    50 * usfq::kPicosecond, 20);
+    printAscii(os, {{"test", w}}, 60, 4);
+    EXPECT_NE(os.str().find("test"), std::string::npos);
+    EXPECT_NE(os.str().find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace usfq::analog

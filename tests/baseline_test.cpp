@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests of the Table 2 dataset, its fits, the binary architecture
+ * models, the fixed-point FIR baseline, and the power metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/binary_models.hh"
+#include "baseline/fixed_point_fir.hh"
+#include "dsp/fir_design.hh"
+#include "dsp/signal.hh"
+#include "dsp/snr.hh"
+#include "metrics/power.hh"
+#include "metrics/throughput.hh"
+#include "soa/table2.hh"
+
+namespace usfq
+{
+namespace
+{
+
+// --- Table 2 -------------------------------------------------------------------
+
+TEST(Table2, HasTenPublishedDesigns)
+{
+    EXPECT_EQ(soa::table2().size(), 10u);
+    EXPECT_EQ(soa::entries(soa::Unit::Adder).size(), 5u);
+    EXPECT_EQ(soa::entries(soa::Unit::Multiplier).size(), 5u);
+}
+
+TEST(Table2, KeyEntriesMatchPaper)
+{
+    const auto &bp = soa::bitParallelMultiplier8();
+    EXPECT_EQ(bp.bits, 8);
+    EXPECT_EQ(bp.jjCount, 17000);
+    EXPECT_NEAR(bp.latencyPs, 333.0, 1.0); // 48 GHz pipeline [37]
+    const auto &add = soa::bitParallelAdder4();
+    EXPECT_EQ(add.jjCount, 931);
+}
+
+TEST(Table2, AreaFitsGrowWithBits)
+{
+    const auto mult = soa::areaFit(soa::Unit::Multiplier);
+    const auto add = soa::areaFit(soa::Unit::Adder);
+    EXPECT_GT(mult.slope, 300.0);
+    EXPECT_GT(add.slope, 500.0);
+    // The fits should pass near the published points.
+    EXPECT_NEAR(mult(16), 9232, 4000);
+    EXPECT_NEAR(add(16), 13000, 5000);
+}
+
+TEST(Table2, LatencyFitsReasonable)
+{
+    const auto mult = soa::latencyFit(soa::Unit::Multiplier);
+    EXPECT_NEAR(mult(8), 447.0, 1.0); // single WP point
+    const auto add = soa::latencyFit(soa::Unit::Adder);
+    EXPECT_GT(add(8), 100.0);
+    EXPECT_LT(add(16), 1000.0);
+}
+
+TEST(Table2, ArchNames)
+{
+    EXPECT_STREQ(soa::archName(soa::Arch::BitParallel), "BP");
+    EXPECT_STREQ(soa::archName(soa::Arch::WavePipelined), "WP");
+    EXPECT_STREQ(soa::archName(soa::Arch::SystolicArray), "SA");
+}
+
+// --- binary unit models ------------------------------------------------------------
+
+TEST(BinaryModels, UnitsScaleWithBits)
+{
+    using namespace baseline;
+    EXPECT_LT(wpMultiplier(4).areaJJ, wpMultiplier(8).areaJJ);
+    EXPECT_LT(wpMultiplier(8).areaJJ, wpMultiplier(16).areaJJ);
+    EXPECT_LT(wpAdder(8).latencyPs, wpAdder(16).latencyPs);
+    EXPECT_NEAR(bpMultiplier(8).areaJJ, 17000.0, 1.0);
+}
+
+TEST(BinaryModels, PaperPeArea)
+{
+    // Paper Section 5.2: an 8-bit binary PE requires 9k-17k JJs.
+    const baseline::BinaryPe pe{8};
+    EXPECT_GT(pe.areaJJ(), 9000.0);
+    EXPECT_LT(pe.areaJJ(), 17500.0);
+}
+
+TEST(BinaryModels, FirLatencyCrossoverCalibration)
+{
+    // 32 taps, 8 bits: the unary FIR (2^B * B * 20 ps = 41 ns) should
+    // save roughly half the binary latency (paper: 56%).
+    const baseline::BinaryFir fir{32, 8};
+    const double unary_ns = std::ldexp(1.0, 8) * 8 * 20e-3;
+    const double saving = 1.0 - unary_ns / (fir.latencyPs() * 1e-3);
+    EXPECT_GT(saving, 0.40);
+    EXPECT_LT(saving, 0.70);
+}
+
+TEST(BinaryModels, FirCrossoversMatchPaper)
+{
+    // Unary latency advantage below ~9 bits at 32 taps and ~12 bits at
+    // 256 taps (paper Section 5.4.2).
+    auto unary_ps = [](int bits) {
+        return std::ldexp(1.0, bits) * bits * 20.0;
+    };
+    EXPECT_LT(unary_ps(8), (baseline::BinaryFir{32, 8}.latencyPs()));
+    EXPECT_GT(unary_ps(10), (baseline::BinaryFir{32, 10}.latencyPs()));
+    EXPECT_LT(unary_ps(11), (baseline::BinaryFir{256, 11}.latencyPs()));
+    EXPECT_GT(unary_ps(13), (baseline::BinaryFir{256, 13}.latencyPs()));
+}
+
+TEST(BinaryModels, BitParallelFirVerdicts)
+{
+    // Paper: the U-SFQ FIR beats BP at 256 taps but not at 32 taps
+    // (8-bit class resolutions).
+    auto unary_ps = [](int bits) {
+        return std::ldexp(1.0, bits) * bits * 20.0;
+    };
+    const baseline::BinaryFir bp32{32, 8, baseline::BinaryArch::BitParallel};
+    const baseline::BinaryFir bp256{256, 8,
+                                    baseline::BinaryArch::BitParallel};
+    EXPECT_LT(bp32.latencyPs(), unary_ps(8));  // BP wins at 32 taps
+    EXPECT_GT(bp256.latencyPs(), unary_ps(8)); // unary wins at 256
+}
+
+TEST(BinaryModels, DpuAreaGrowsWithLengthAndBits)
+{
+    using baseline::BinaryDpu;
+    EXPECT_LT((BinaryDpu{32, 8}.areaJJ()), (BinaryDpu{128, 8}.areaJJ()));
+    EXPECT_LT((BinaryDpu{32, 8}.areaJJ()), (BinaryDpu{32, 16}.areaJJ()));
+}
+
+TEST(BinaryModels, ThroughputConsistentWithLatency)
+{
+    const baseline::BinaryFir fir{64, 8};
+    EXPECT_NEAR(fir.throughputOps() * fir.latencyPs() * 1e-12, 64.0,
+                1e-6);
+    EXPECT_GT(fir.efficiencyOpsPerJJ(), 0.0);
+}
+
+// --- fixed-point FIR baseline --------------------------------------------------------
+
+TEST(FixedPointFir, MatchesReferenceAtHighResolution)
+{
+    const double fs = 20000.0;
+    const auto h = dsp::designLowpass(16, 2500.0, fs);
+    const auto x = dsp::scaleToPeak(
+        dsp::sineMixture({{1000.0}, {7000.0}, {8000.0}, {9000.0}}, fs,
+                         2000),
+        0.45);
+    baseline::FixedPointFir fir(h, 16);
+    const auto y = fir.filter(x);
+    const auto ref = dsp::firFilter(h, x);
+    EXPECT_GT(dsp::snrVsReference(y, ref, 16), 40.0);
+}
+
+TEST(FixedPointFir, QuantizationNoiseGrowsAtLowBits)
+{
+    const double fs = 20000.0;
+    const auto h = dsp::designLowpass(16, 2500.0, fs);
+    const auto x = dsp::scaleToPeak(
+        dsp::sineMixture({{1000.0}, {7000.0}, {8000.0}, {9000.0}}, fs,
+                         4000),
+        0.45);
+    const auto ref = dsp::firFilter(h, x);
+
+    baseline::FixedPointFir hi(h, 16), lo(h, 6);
+    const double snr_hi = dsp::snrVsReference(hi.filter(x), ref, 16);
+    const double snr_lo = dsp::snrVsReference(lo.filter(x), ref, 16);
+    EXPECT_GT(snr_hi, snr_lo + 10.0);
+}
+
+TEST(FixedPointFir, BitFlipsDegradeSnrSharply)
+{
+    // The binary error story of Fig. 19: a few percent of flips cost
+    // tens of dB because high-weight bits flip too.
+    const double fs = 20000.0;
+    const auto h = dsp::designLowpass(16, 2500.0, fs);
+    const auto x = dsp::scaleToPeak(
+        dsp::sineMixture({{1000.0}, {7000.0}, {8000.0}, {9000.0}}, fs,
+                         4000),
+        0.45);
+    baseline::FixedPointFir clean(h, 16), faulty(h, 16);
+    faulty.setErrorRate(0.05, 7);
+    const double snr_clean =
+        dsp::snrOfTone(clean.filter(x), fs, 1000.0);
+    const double snr_faulty =
+        dsp::snrOfTone(faulty.filter(x), fs, 1000.0);
+    EXPECT_GT(snr_clean - snr_faulty, 10.0);
+}
+
+TEST(FixedPointFir, ZeroErrorRateIsDeterministic)
+{
+    const auto h = dsp::designLowpass(8, 2500.0, 20000.0);
+    const auto x = dsp::sine(1000.0, 20000.0, 200);
+    baseline::FixedPointFir a(h, 12), b(h, 12);
+    EXPECT_EQ(a.filter(x), b.filter(x));
+}
+
+// --- power metrics -----------------------------------------------------------------
+
+TEST(Power, SwitchEnergyMagnitude)
+{
+    // I_c * Phi0 at 100 uA is ~0.2 aJ: six orders below CMOS (paper).
+    EXPECT_NEAR(metrics::kSwitchEnergyJ, 2.07e-19, 0.01e-19);
+}
+
+TEST(Power, ActivePowerOfKnownActivity)
+{
+    // 55.5 GHz of pulses through ~8 switching JJs: ~92 nW, the paper's
+    // multiplier operating point.
+    const double rate_hz = 55.5e9;
+    const Tick duration = kMicrosecond;
+    const auto switches = static_cast<std::uint64_t>(
+        rate_hz * ticksToSeconds(duration) * 8);
+    EXPECT_NEAR(metrics::activePower(switches, duration), 92e-9,
+                5e-9);
+}
+
+TEST(Power, PassiveDominatesSmallBlocks)
+{
+    // Paper Table 3: passive power is orders of magnitude above active
+    // for these block sizes.
+    const double passive = metrics::passivePower(46);
+    EXPECT_NEAR(passive, 5.5e-5, 1e-5); // ~0.05 mW for the multiplier
+}
+
+TEST(Throughput, Helpers)
+{
+    EXPECT_DOUBLE_EQ(metrics::opsPerSecond(100.0, kMicrosecond), 1e8);
+    EXPECT_DOUBLE_EQ(metrics::gops(100.0, kMicrosecond), 0.1);
+    EXPECT_DOUBLE_EQ(metrics::opsPerJJ(1e9, 1000), 1e6);
+}
+
+} // namespace
+} // namespace usfq

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests of the DSP substrate: signal generation, FIR design, FFT, and
+ * SNR measurement -- the reproduction's stand-in for the paper's
+ * Octave golden models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hh"
+#include "dsp/fir_design.hh"
+#include "dsp/signal.hh"
+#include "dsp/snr.hh"
+
+namespace usfq::dsp
+{
+namespace
+{
+
+constexpr double kFs = 20000.0;
+
+TEST(Signal, SineHasUnitAmplitude)
+{
+    const auto x = sine(1000.0, kFs, 2000);
+    double peak = 0.0;
+    for (double v : x)
+        peak = std::max(peak, std::fabs(v));
+    EXPECT_NEAR(peak, 1.0, 0.01);
+    EXPECT_NEAR(rms(x), 1.0 / std::sqrt(2.0), 0.01);
+}
+
+TEST(Signal, MixtureSumsComponents)
+{
+    const auto x =
+        sineMixture({{1000.0, 1.0}, {7000.0, 1.0}}, kFs, 1000);
+    const auto a = sine(1000.0, kFs, 1000);
+    const auto b = sine(7000.0, kFs, 1000);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(x[i], a[i] + b[i], 1e-12);
+}
+
+TEST(Signal, ScaleToPeak)
+{
+    auto x = sine(500.0, kFs, 500, 4.0);
+    x = scaleToPeak(std::move(x), 0.9);
+    double peak = 0.0;
+    for (double v : x)
+        peak = std::max(peak, std::fabs(v));
+    EXPECT_NEAR(peak, 0.9, 1e-9);
+}
+
+TEST(FirDesign, UnityDcGain)
+{
+    const auto h = designLowpass(16, 2500.0, kFs);
+    double sum = 0.0;
+    for (double c : h)
+        sum += c;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_NEAR(magnitudeAt(h, 0.0, kFs), 1.0, 1e-9);
+}
+
+TEST(FirDesign, LinearPhaseSymmetry)
+{
+    const auto h = designLowpass(17, 3000.0, kFs);
+    for (std::size_t k = 0; k < h.size() / 2; ++k)
+        EXPECT_NEAR(h[k], h[h.size() - 1 - k], 1e-12);
+}
+
+TEST(FirDesign, PassesLowStopsHigh)
+{
+    // The paper's filter: recover 1 kHz, reject 7/8/9 kHz.
+    const auto h = designLowpass(16, 2500.0, kFs);
+    EXPECT_GT(magnitudeAt(h, 1000.0, kFs), 0.8);
+    EXPECT_LT(magnitudeAt(h, 7000.0, kFs), 0.15);
+    EXPECT_LT(magnitudeAt(h, 9000.0, kFs), 0.15);
+}
+
+TEST(FirDesign, FilterRemovesHighTone)
+{
+    const auto h = designLowpass(16, 2500.0, kFs);
+    const auto x =
+        sineMixture({{1000.0, 1.0}, {8000.0, 1.0}}, kFs, 4000);
+    const auto y = firFilter(h, x);
+    // Output should be close to the (delayed) 1 kHz component alone.
+    EXPECT_GT(snrOfTone(y, kFs, 1000.0), 15.0);
+}
+
+TEST(Fft, RecoversSingleToneBin)
+{
+    const std::size_t n = 1024;
+    const auto x = sine(kFs / 16.0, kFs, n); // exactly bin 64
+    const auto mag = magnitudeSpectrum(x);
+    std::size_t peak = 0;
+    for (std::size_t k = 1; k < mag.size(); ++k)
+        if (mag[k] > mag[peak])
+            peak = k;
+    EXPECT_EQ(peak, 64u);
+    // Amplitude-1 sine: |X[k]| / N = 0.5 at the tone bin.
+    EXPECT_NEAR(mag[peak], 0.5, 0.01);
+}
+
+TEST(Fft, ParsevalHolds)
+{
+    std::vector<std::complex<double>> data(256);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = {std::sin(0.1 * static_cast<double>(i)), 0.0};
+    double time_energy = 0.0;
+    for (const auto &c : data)
+        time_energy += std::norm(c);
+    fft(data);
+    double freq_energy = 0.0;
+    for (const auto &c : data)
+        freq_energy += std::norm(c);
+    EXPECT_NEAR(freq_energy / static_cast<double>(data.size()),
+                time_energy, 1e-9 * time_energy + 1e-12);
+}
+
+TEST(Fft, InverseRoundTrip)
+{
+    std::vector<std::complex<double>> data(128);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = {static_cast<double>(i % 7), 0.5};
+    const auto original = data;
+    fft(data);
+    ifft(data);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-9);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo)
+{
+    std::vector<std::complex<double>> data(100);
+    EXPECT_EXIT(fft(data), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(Snr, PureToneIsHigh)
+{
+    const auto x = sine(1000.0, kFs, 4096);
+    EXPECT_GT(snrOfTone(x, kFs, 1000.0), 40.0);
+}
+
+TEST(Snr, AddedNoiseLowersSnr)
+{
+    auto x = sine(1000.0, kFs, 4096);
+    auto noisy = x;
+    for (std::size_t i = 0; i < noisy.size(); ++i)
+        noisy[i] += 0.3 * std::sin(0.7 * static_cast<double>(i));
+    EXPECT_LT(snrOfTone(noisy, kFs, 1000.0),
+              snrOfTone(x, kFs, 1000.0) - 10.0);
+}
+
+TEST(Snr, VsReferenceExactMatchIsHuge)
+{
+    const auto x = sine(1000.0, kFs, 1000);
+    EXPECT_GT(snrVsReference(x, x), 100.0);
+}
+
+TEST(Snr, VsReferenceKnownRatio)
+{
+    const auto ref = sine(1000.0, kFs, 4096);
+    auto y = ref;
+    for (double &v : y)
+        v += 0.1; // DC error with power 0.01 vs signal power 0.5
+    EXPECT_NEAR(snrVsReference(y, ref), 10.0 * std::log10(0.5 / 0.01),
+                0.1);
+}
+
+} // namespace
+} // namespace usfq::dsp

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests of the extension components: the inhibit cell, the pulse
+ * counter (stream-to-binary converter), the VCD exporter, and the
+ * systolic PE chain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/converters.hh"
+#include "core/encoding.hh"
+#include "core/pe.hh"
+#include "sim/trace.hh"
+#include "sim/vcd.hh"
+#include "sfq/cells.hh"
+#include "sfq/sources.hh"
+
+namespace usfq
+{
+namespace
+{
+
+// --- Inhibit -----------------------------------------------------------------
+
+TEST(Inhibit, PassesUntilInhibited)
+{
+    Netlist nl;
+    auto &cell = nl.create<Inhibit>("inh");
+    auto &sd = nl.create<PulseSource>("d");
+    auto &si = nl.create<PulseSource>("i");
+    PulseTrace out;
+    sd.out.connect(cell.in);
+    si.out.connect(cell.inh);
+    cell.out.connect(out.input());
+
+    sd.pulseAt(10 * kPicosecond);   // passes
+    sd.pulseAt(20 * kPicosecond);   // passes
+    si.pulseAt(25 * kPicosecond);   // inhibit
+    sd.pulseAt(30 * kPicosecond);   // blocked
+    sd.pulseAt(40 * kPicosecond);   // blocked
+    nl.queue().run();
+    EXPECT_EQ(out.count(), 2u);
+    EXPECT_TRUE(cell.inhibited());
+}
+
+TEST(Inhibit, ResetRearms)
+{
+    Netlist nl;
+    auto &cell = nl.create<Inhibit>("inh");
+    auto &sd = nl.create<PulseSource>("d");
+    auto &si = nl.create<PulseSource>("i");
+    auto &sr = nl.create<PulseSource>("r");
+    PulseTrace out;
+    sd.out.connect(cell.in);
+    si.out.connect(cell.inh);
+    sr.out.connect(cell.rst);
+    cell.out.connect(out.input());
+
+    si.pulseAt(5 * kPicosecond);
+    sd.pulseAt(10 * kPicosecond);  // blocked
+    sr.pulseAt(20 * kPicosecond);  // re-arm
+    sd.pulseAt(30 * kPicosecond);  // passes
+    nl.queue().run();
+    EXPECT_EQ(out.count(), 1u);
+}
+
+TEST(Inhibit, ImplementsRaceLogicLessThan)
+{
+    // inhibit(A by B) fires iff A < B: the temporal comparison
+    // primitive of [51].
+    auto first_beats = [](Tick a, Tick b) {
+        Netlist nl;
+        auto &cell = nl.create<Inhibit>("inh");
+        auto &sa = nl.create<PulseSource>("a");
+        auto &sb = nl.create<PulseSource>("b");
+        PulseTrace out;
+        sa.out.connect(cell.in);
+        sb.out.connect(cell.inh);
+        cell.out.connect(out.input());
+        sa.pulseAt(a);
+        sb.pulseAt(b);
+        nl.queue().run();
+        return out.count() == 1;
+    };
+    EXPECT_TRUE(first_beats(100, 200));
+    EXPECT_FALSE(first_beats(200, 100));
+}
+
+// --- PulseCounter ----------------------------------------------------------------
+
+TEST(PulseCounter, CountsExactly)
+{
+    Netlist nl;
+    auto &ctr = nl.create<PulseCounter>("ctr", 8);
+    auto &src = nl.create<PulseSource>("s");
+    src.out.connect(ctr.in());
+    for (int k = 0; k < 37; ++k)
+        src.pulseAt((k + 1) * 20 * kPicosecond);
+    nl.queue().run();
+    EXPECT_EQ(ctr.value(), 37);
+    EXPECT_EQ(ctr.totalPulses(), 37u);
+    EXPECT_FALSE(ctr.overflowed());
+}
+
+TEST(PulseCounter, WrapsAndFlagsOverflow)
+{
+    Netlist nl;
+    auto &ctr = nl.create<PulseCounter>("ctr", 4);
+    auto &src = nl.create<PulseSource>("s");
+    src.out.connect(ctr.in());
+    for (int k = 0; k < 19; ++k)
+        src.pulseAt((k + 1) * 20 * kPicosecond);
+    nl.queue().run();
+    EXPECT_EQ(ctr.value(), 3); // 19 mod 16
+    EXPECT_TRUE(ctr.overflowed());
+}
+
+TEST(PulseCounter, ClearRestarts)
+{
+    Netlist nl;
+    auto &ctr = nl.create<PulseCounter>("ctr", 6);
+    auto &src = nl.create<PulseSource>("s");
+    auto &clr = nl.create<PulseSource>("c");
+    src.out.connect(ctr.in());
+    clr.out.connect(ctr.clearIn);
+    for (int k = 0; k < 9; ++k)
+        src.pulseAt((k + 1) * 20 * kPicosecond);
+    clr.pulseAt(300 * kPicosecond);
+    for (int k = 0; k < 5; ++k)
+        src.pulseAt(400 * kPicosecond + k * 20 * kPicosecond);
+    nl.queue().run();
+    EXPECT_EQ(ctr.value(), 5);
+}
+
+TEST(PulseCounter, DecodesAStreamToBinary)
+{
+    // The paper's FIR output conversion: count an epoch's stream.
+    const EpochConfig cfg(6, 20 * kPicosecond);
+    Netlist nl;
+    auto &ctr = nl.create<PulseCounter>("ctr", 6);
+    auto &src = nl.create<PulseSource>("s");
+    src.out.connect(ctr.in());
+    src.pulsesAt(cfg.streamTimes(cfg.streamCountOfUnipolar(0.625)));
+    nl.queue().run();
+    EXPECT_NEAR(cfg.decodeUnipolar(
+                    static_cast<std::size_t>(ctr.value())),
+                0.625, 1.0 / cfg.nmax());
+}
+
+// --- VCD export -----------------------------------------------------------------
+
+TEST(Vcd, EmitsHeaderAndEdges)
+{
+    PulseTrace a("a"), b("b");
+    a.input().receive(10 * kPicosecond);
+    a.input().receive(50 * kPicosecond);
+    b.input().receive(30 * kPicosecond);
+
+    std::ostringstream os;
+    writeVcd(os, {{"sig_a", &a}, {"sig_b", &b}});
+    const std::string vcd = os.str();
+    EXPECT_NE(vcd.find("$timescale 1fs $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 1 ! sig_a $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 1 \" sig_b $end"),
+              std::string::npos);
+    // Rising edge of sig_a at 10 ps = 10000 fs.
+    EXPECT_NE(vcd.find("#10000\n1!"), std::string::npos);
+    // Falling edge one pulse width later.
+    EXPECT_NE(vcd.find("#11000\n0!"), std::string::npos);
+}
+
+TEST(Vcd, EmptyTracesStillValid)
+{
+    PulseTrace a("a");
+    std::ostringstream os;
+    writeVcd(os, {{"quiet", &a}});
+    EXPECT_NE(os.str().find("$enddefinitions"), std::string::npos);
+    EXPECT_NE(os.str().find("$dumpvars"), std::string::npos);
+}
+
+// --- PeChain -------------------------------------------------------------------
+
+TEST(PeChain, AreaIsLengthTimes126PlusFanout)
+{
+    Netlist nl;
+    const EpochConfig cfg(4, 30 * kPicosecond);
+    auto &chain = nl.create<PeChain>("chain", 4, cfg);
+    EXPECT_EQ(chain.length(), 4);
+    EXPECT_EQ(chain.jjCount(), 4 * 126 + 3 * cell::kSplitterJJs);
+}
+
+TEST(PeChain, TwoStageSystolicMac)
+{
+    // Stage 0 computes (1.0 * 0.5)/2 = 0.25; stage 1 multiplies that
+    // by a full stream: out = (0.25 * 1.0)/2 = 0.125 -> slot 2 of 16.
+    const EpochConfig cfg(4, 30 * kPicosecond);
+    Netlist nl;
+    auto &chain = nl.create<PeChain>("chain", 2, cfg);
+    auto &src_e = nl.create<PulseSource>("e");
+    auto &src1 = nl.create<PulseSource>("x");
+    auto &w0 = nl.create<PulseSource>("w0");
+    auto &w1 = nl.create<PulseSource>("w1");
+    PulseTrace out;
+    src_e.out.connect(chain.epochIn());
+    src1.out.connect(chain.rlIn());
+    w0.out.connect(chain.streamIn(0));
+    w1.out.connect(chain.streamIn(1));
+    chain.out().connect(out.input());
+
+    const Tick T = cfg.duration();
+    // Epoch 0: PE0's operands.
+    src_e.pulseAt(0);
+    src1.pulseAt(8 * kPicosecond + cfg.rlTime(15));
+    for (Tick t : cfg.streamTimes(8, 0))
+        w0.pulseAt(t);
+    // Epoch 1: PE1 consumes PE0's RL output with a full stream.
+    src_e.pulseAt(T);
+    for (Tick t : cfg.streamTimes(16, T))
+        w1.pulseAt(t);
+    // Epoch 2: conversion marker for PE1.
+    src_e.pulseAt(2 * T);
+    nl.queue().run();
+
+    int slot = -1;
+    for (Tick t : out.times())
+        if (t > 2 * T)
+            slot = cfg.rlSlotOf(t - 2 * T - 36 * kPicosecond -
+                                EpochConfig::kRlPulseOffset);
+    EXPECT_NEAR(slot, 2, 1);
+}
+
+} // namespace
+} // namespace usfq

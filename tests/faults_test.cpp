@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Pulse-level fault-injection tests: dropped and jittered pulses on
+ * real netlists reproduce the functional error models' behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/encoding.hh"
+#include "core/multiplier.hh"
+#include "sfq/faults.hh"
+#include "sim/trace.hh"
+#include "sfq/sources.hh"
+
+namespace usfq
+{
+namespace
+{
+
+TEST(FaultInjector, ZeroConfigIsTransparent)
+{
+    Netlist nl;
+    auto &fi = nl.create<FaultInjector>("fi", FaultConfig{});
+    auto &src = nl.create<PulseSource>("s");
+    PulseTrace out;
+    src.out.connect(fi.in);
+    fi.out.connect(out.input());
+    for (int k = 0; k < 50; ++k)
+        src.pulseAt((k + 1) * 20 * kPicosecond);
+    nl.queue().run();
+    EXPECT_EQ(out.count(), 50u);
+    EXPECT_EQ(out.minSpacing(), 20 * kPicosecond);
+    EXPECT_EQ(fi.dropped(), 0u);
+}
+
+TEST(FaultInjector, DropRateIsBinomial)
+{
+    Netlist nl;
+    auto &fi = nl.create<FaultInjector>(
+        "fi", FaultConfig{.dropProbability = 0.3, .seed = 5});
+    auto &src = nl.create<PulseSource>("s");
+    PulseTrace out;
+    src.out.connect(fi.in);
+    fi.out.connect(out.input());
+    const int n = 2000;
+    for (int k = 0; k < n; ++k)
+        src.pulseAt((k + 1) * 20 * kPicosecond);
+    nl.queue().run();
+    EXPECT_NEAR(static_cast<double>(out.count()), 0.7 * n,
+                3.0 * std::sqrt(n * 0.3 * 0.7));
+    EXPECT_EQ(fi.dropped() + fi.passed(), static_cast<std::uint64_t>(n));
+}
+
+TEST(FaultInjector, JitterPreservesCountAndOrder)
+{
+    Netlist nl;
+    auto &fi = nl.create<FaultInjector>(
+        "fi", FaultConfig{.jitterSigmaPs = 4.0, .seed = 9});
+    auto &src = nl.create<PulseSource>("s");
+    PulseTrace out;
+    src.out.connect(fi.in);
+    fi.out.connect(out.input());
+    for (int k = 0; k < 200; ++k)
+        src.pulseAt((k + 1) * 40 * kPicosecond);
+    nl.queue().run();
+    ASSERT_EQ(out.count(), 200u);
+    EXPECT_TRUE(std::is_sorted(out.times().begin(),
+                               out.times().end()));
+    // Some pulses must actually have moved.
+    std::size_t moved = 0;
+    for (std::size_t k = 0; k < out.times().size(); ++k)
+        moved += out.times()[k] !=
+                 static_cast<Tick>(k + 1) * 40 * kPicosecond;
+    EXPECT_GT(moved, 150u);
+}
+
+TEST(FaultInjector, ResetRestoresSequence)
+{
+    Netlist nl;
+    auto &fi = nl.create<FaultInjector>(
+        "fi", FaultConfig{.dropProbability = 0.5, .seed = 11});
+    auto &src = nl.create<PulseSource>("s");
+    PulseTrace out;
+    src.out.connect(fi.in);
+    fi.out.connect(out.input());
+
+    auto run_once = [&] {
+        for (int k = 0; k < 100; ++k)
+            src.pulseAt((k + 1) * 20 * kPicosecond);
+        nl.queue().run();
+        auto times = out.times();
+        nl.resetAll();
+        out.clear();
+        return times;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(FaultInjector, StreamLossOnMultiplierMatchesThinning)
+{
+    // The paper's error (i) at the netlist level: drop 30% of the
+    // stream pulses feeding a unipolar multiplier; the product count
+    // thins accordingly.
+    const EpochConfig cfg(8, 20 * kPicosecond);
+    Netlist nl;
+    auto &mult = nl.create<UnipolarMultiplier>("m");
+    auto &fi = nl.create<FaultInjector>(
+        "fi", FaultConfig{.dropProbability = 0.3, .seed = 21});
+    auto &src_e = nl.create<PulseSource>("e");
+    auto &src_a = nl.create<PulseSource>("a");
+    auto &src_b = nl.create<PulseSource>("b");
+    PulseTrace out;
+    src_e.out.connect(mult.epoch());
+    src_a.out.connect(fi.in);
+    fi.out.connect(mult.streamIn());
+    src_b.out.connect(mult.rlIn());
+    mult.out().connect(out.input());
+
+    src_e.pulseAt(0);
+    src_a.pulsesAt(cfg.streamTimes(cfg.nmax())); // full-rate stream
+    src_b.pulseAt(cfg.rlArrival(cfg.nmax() / 2));
+    nl.queue().run();
+
+    const double expected = 0.7 * cfg.nmax() / 2;
+    EXPECT_NEAR(static_cast<double>(out.count()), expected,
+                3.0 * std::sqrt(cfg.nmax() / 2 * 0.3 * 0.7));
+}
+
+TEST(FaultInjector, RlLossOnMultiplierPassesEverything)
+{
+    // Error (ii) at the netlist level: the RL pulse is dropped, the
+    // NDRO never resets, the whole stream passes (value reads as 1).
+    const EpochConfig cfg(6, 20 * kPicosecond);
+    Netlist nl;
+    auto &mult = nl.create<UnipolarMultiplier>("m");
+    auto &fi = nl.create<FaultInjector>(
+        "fi", FaultConfig{.dropProbability = 1.0, .seed = 1});
+    auto &src_e = nl.create<PulseSource>("e");
+    auto &src_a = nl.create<PulseSource>("a");
+    auto &src_b = nl.create<PulseSource>("b");
+    PulseTrace out;
+    src_e.out.connect(mult.epoch());
+    src_a.out.connect(mult.streamIn());
+    src_b.out.connect(fi.in);
+    fi.out.connect(mult.rlIn());
+    mult.out().connect(out.input());
+
+    src_e.pulseAt(0);
+    src_a.pulsesAt(cfg.streamTimes(40));
+    src_b.pulseAt(cfg.rlArrival(8)); // would gate to 5 pulses
+    nl.queue().run();
+    EXPECT_EQ(out.count(), 40u); // everything passed
+}
+
+} // namespace
+} // namespace usfq

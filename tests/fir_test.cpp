@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Tests of the U-SFQ FIR accelerator (paper §5.4): the functional
+ * model against the double-precision golden filter, the error
+ * mechanisms of the accuracy study, the performance/area models, and
+ * the end-to-end pulse-level netlist.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/binary_models.hh"
+#include "baseline/fixed_point_fir.hh"
+#include "core/fir.hh"
+#include "dsp/fir_design.hh"
+#include "dsp/signal.hh"
+#include "dsp/snr.hh"
+#include "sim/trace.hh"
+#include "sfq/sources.hh"
+
+namespace usfq
+{
+namespace
+{
+
+constexpr double kFs = 20000.0;
+
+std::vector<double>
+paperInput(std::size_t n)
+{
+    // x(t): superposition of 1, 7, 8, 9 kHz sines (paper §5.4.1),
+    // scaled to avoid overflow.
+    return dsp::scaleToPeak(
+        dsp::sineMixture({{1000.0}, {7000.0}, {8000.0}, {9000.0}}, kFs,
+                         n),
+        0.45);
+}
+
+// --- functional model vs golden reference --------------------------------------
+
+TEST(UsfqFirModel, QuantizedCoefficientsCloseToDesign)
+{
+    const auto h = dsp::designLowpass(16, 2500.0, kFs);
+    UsfqFirConfig cfg{.taps = 16, .bits = 10};
+    UsfqFirModel fir(h, cfg);
+    const auto q = fir.quantizedCoefficients();
+    for (std::size_t k = 0; k < h.size(); ++k)
+        EXPECT_NEAR(q[k], h[k], 2.0 / (1 << 10));
+}
+
+class FirModelResolution : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FirModelResolution, TracksGoldenWithinQuantization)
+{
+    const int bits = GetParam();
+    const auto h = dsp::designLowpass(16, 2500.0, kFs);
+    const auto x = paperInput(2048);
+    const auto golden = dsp::firFilter(h, x);
+
+    UsfqFirConfig cfg{.taps = 16, .bits = bits};
+    UsfqFirModel fir(h, cfg);
+    const auto y = fir.filter(x);
+
+    // Unary quantization: accuracy improves with resolution.  The
+    // grid is coarser than binary fixed point (per-tap floor rounding
+    // plus counting-tree rounding), so the vs-reference criterion only
+    // bites at moderate resolutions; at low bits the quantization
+    // noise is broadband and the tone criterion (the paper's measure)
+    // is the meaningful one.
+    const double snr = dsp::snrVsReference(y, golden, 16);
+    if (bits >= 12) {
+        EXPECT_GT(snr, 25.0);
+    } else if (bits >= 10) {
+        EXPECT_GT(snr, 9.0);
+    }
+    EXPECT_GT(dsp::snrOfTone(y, kFs, 1000.0), bits >= 8 ? 8.0 : 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, FirModelResolution,
+                         ::testing::Values(6, 8, 10, 12, 14, 16));
+
+TEST(UsfqFirModel, RecoversTheOneKilohertzTone)
+{
+    // The headline experiment: recover 1 kHz from the 1/7/8/9 kHz mix.
+    const auto h = dsp::designLowpass(16, 2500.0, kFs);
+    const auto x = paperInput(4096);
+    UsfqFirConfig cfg{.taps = 16, .bits = 16};
+    UsfqFirModel fir(h, cfg);
+    const auto y = fir.filter(x);
+    // Our Hamming design attenuates the stop band more than the
+    // paper's filter (their golden SNR is 25.7 dB, ours ~55 dB); the
+    // recovered tone must dominate but stay below the golden bound.
+    EXPECT_GT(dsp::snrOfTone(y, kFs, 1000.0), 20.0);
+    EXPECT_LT(dsp::snrOfTone(y, kFs, 1000.0),
+              dsp::snrOfTone(dsp::firFilter(h, x), kFs, 1000.0) + 3.0);
+}
+
+TEST(UsfqFirModel, SnrDegradesWithQuantization)
+{
+    // Paper: ~24 dB at 16 bits vs ~15 dB at 6 bits.
+    const auto h = dsp::designLowpass(16, 2500.0, kFs);
+    const auto x = paperInput(4096);
+    UsfqFirModel hi(h, {.taps = 16, .bits = 16});
+    UsfqFirModel lo(h, {.taps = 16, .bits = 6});
+    const double snr_hi = dsp::snrOfTone(hi.filter(x), kFs, 1000.0);
+    const double snr_lo = dsp::snrOfTone(lo.filter(x), kFs, 1000.0);
+    EXPECT_GT(snr_hi, snr_lo + 3.0);
+}
+
+// --- the Fig. 19 error study ----------------------------------------------------
+
+TEST(UsfqFirModel, PulseLossIsGraceful)
+{
+    // Error (i): 30% pulse-loss rate costs only a few dB (paper: 4 dB)
+    // because every pulse has LSB weight.
+    const auto h = dsp::designLowpass(16, 2500.0, kFs);
+    const auto x = paperInput(4096);
+    UsfqFirModel clean(h, {.taps = 16, .bits = 16});
+    UsfqFirModel faulty(
+        h, {.taps = 16, .bits = 16, .pulseLossRate = 0.30, .seed = 3});
+    const double snr_clean = dsp::snrOfTone(clean.filter(x), kFs,
+                                            1000.0);
+    const double snr_faulty = dsp::snrOfTone(faulty.filter(x), kFs,
+                                             1000.0);
+    // Thinning adds a bounded noise floor: the tone must still
+    // dominate by >25 dB even at a 30% loss rate.
+    EXPECT_GT(snr_faulty, 25.0);
+    EXPECT_LT(snr_faulty, snr_clean);
+    // Composed with the paper's 25.7 dB golden filter, that floor
+    // costs only a few dB -- the paper's "~4 dB at 30%" claim.
+    const double paper_golden = 25.7;
+    const double composed =
+        -10.0 * std::log10(std::pow(10.0, -paper_golden / 10.0) +
+                           std::pow(10.0, -snr_faulty / 10.0));
+    EXPECT_GT(composed, paper_golden - 6.0);
+}
+
+TEST(UsfqFirModel, RlJitterIsGraceful)
+{
+    // Error (iii) behaves like (i).
+    const auto h = dsp::designLowpass(16, 2500.0, kFs);
+    const auto x = paperInput(4096);
+    UsfqFirModel clean(h, {.taps = 16, .bits = 16});
+    UsfqFirModel faulty(
+        h, {.taps = 16, .bits = 16, .rlJitterRate = 0.30, .seed = 5});
+    const double drop = dsp::snrOfTone(clean.filter(x), kFs, 1000.0) -
+                        dsp::snrOfTone(faulty.filter(x), kFs, 1000.0);
+    EXPECT_LT(drop, 8.0);
+}
+
+TEST(UsfqFirModel, RlLossIsSevere)
+{
+    // Error (ii): losing the RL pulse corrupts the whole operand
+    // ("all the information is concentrated in a single pulse").
+    const auto h = dsp::designLowpass(16, 2500.0, kFs);
+    const auto x = paperInput(4096);
+    UsfqFirModel clean(h, {.taps = 16, .bits = 16});
+    UsfqFirModel faulty(
+        h, {.taps = 16, .bits = 16, .rlLossRate = 0.30, .seed = 7});
+    const double drop = dsp::snrOfTone(clean.filter(x), kFs, 1000.0) -
+                        dsp::snrOfTone(faulty.filter(x), kFs, 1000.0);
+    EXPECT_GT(drop, 8.0);
+}
+
+TEST(UsfqFirModel, UnaryBeatsBinaryUnderErrors)
+{
+    // The headline robustness claim: at a 30% error rate the binary
+    // filter collapses while U-SFQ loses only a few dB.
+    const auto h = dsp::designLowpass(16, 2500.0, kFs);
+    const auto x = paperInput(4096);
+
+    UsfqFirModel unary(
+        h, {.taps = 16, .bits = 16, .pulseLossRate = 0.30, .seed = 11});
+    baseline::FixedPointFir binary(h, 16);
+    binary.setErrorRate(0.30, 11);
+
+    const double snr_unary =
+        dsp::snrOfTone(unary.filter(x), kFs, 1000.0);
+    const double snr_binary =
+        dsp::snrOfTone(binary.filter(x), kFs, 1000.0);
+    EXPECT_GT(snr_unary, snr_binary + 10.0);
+}
+
+TEST(UsfqFirModel, DeterministicForSeed)
+{
+    const auto h = dsp::designLowpass(8, 2500.0, kFs);
+    const auto x = paperInput(256);
+    UsfqFirConfig cfg{
+        .taps = 8, .bits = 10, .pulseLossRate = 0.2, .seed = 42};
+    UsfqFirModel a(h, cfg), b(h, cfg);
+    EXPECT_EQ(a.filter(x), b.filter(x));
+}
+
+// --- performance & area models (Fig. 18) ------------------------------------------
+
+TEST(UsfqFirModel, LatencyFormulaMatchesPaper)
+{
+    // T_CLK = B * t_TFF2, latency = 2^B * T_CLK (§5.4.2): 8 bits ->
+    // 256 * 160 ps = 41 ns.
+    UsfqFirConfig cfg{.taps = 32, .bits = 8};
+    EXPECT_EQ(cfg.clockPeriod(), 160 * kPicosecond);
+    EXPECT_EQ(cfg.epochLatency(), psToTicks(40960));
+    UsfqFirModel fir(std::vector<double>(32, 0.01), cfg);
+    EXPECT_NEAR(fir.latencyUs(), 0.041, 0.001);
+}
+
+TEST(UsfqFirModel, LatencyIndependentOfTaps)
+{
+    UsfqFirConfig c32{.taps = 32, .bits = 10};
+    UsfqFirConfig c256{.taps = 256, .bits = 10};
+    EXPECT_EQ(c32.epochLatency(), c256.epochLatency());
+}
+
+TEST(UsfqFirModel, AreaFormulaMatchesNetlist)
+{
+    for (int taps : {4, 8, 16}) {
+        for (int bits : {4, 6, 8}) {
+            Netlist nl;
+            UsfqFirConfig cfg{.taps = taps, .bits = bits,
+                              .mode = DpuMode::Unipolar};
+            auto &fir = nl.create<UsfqFir>("fir", cfg);
+            EXPECT_EQ(fir.jjCount(),
+                      usfqFirAreaJJ(taps, bits, DpuMode::Unipolar))
+                << "taps=" << taps << " bits=" << bits;
+
+            Netlist nl2;
+            UsfqFirConfig cfgb{.taps = taps, .bits = bits,
+                               .mode = DpuMode::Bipolar};
+            auto &firb = nl2.create<UsfqFir>("fir", cfgb);
+            EXPECT_EQ(firb.jjCount(),
+                      usfqFirAreaJJ(taps, bits, DpuMode::Bipolar))
+                << "taps=" << taps << " bits=" << bits;
+        }
+    }
+}
+
+TEST(UsfqFirModel, EfficiencyPositiveAndTapScaling)
+{
+    UsfqFirModel f32(std::vector<double>(32, 0.01),
+                     {.taps = 32, .bits = 8});
+    UsfqFirModel f256(std::vector<double>(256, 0.002),
+                      {.taps = 256, .bits = 8});
+    EXPECT_GT(f32.efficiencyOpsPerJJ(), 0.0);
+    // Paper Fig. 18d: the unary efficiency *advantage* grows with the
+    // number of taps (our unary efficiency itself is nearly flat in
+    // taps while the single-MAC binary baseline degrades).
+    const baseline::BinaryFir b32{32, 8}, b256{256, 8};
+    EXPECT_GT(f256.efficiencyOpsPerJJ() / b256.efficiencyOpsPerJJ(),
+              f32.efficiencyOpsPerJJ() / b32.efficiencyOpsPerJJ());
+}
+
+// --- pulse-level netlist ------------------------------------------------------------
+
+/**
+ * Drive the unipolar pulse-level FIR with a sample sequence; decode
+ * one output value per epoch by counting pulses between markers.
+ */
+std::vector<double>
+runPulseFir(UsfqFir &fir, Netlist &nl, const EpochConfig &ecfg,
+            const std::vector<double> &x)
+{
+    auto &clk = nl.create<ClockSource>("clk");
+    auto &xin = nl.create<PulseSource>("x");
+    PulseTrace out, markers;
+    clk.out.connect(fir.clkIn());
+    xin.out.connect(fir.sampleIn());
+    fir.out().connect(out.input());
+    fir.epochOut().connect(markers.input());
+
+    const Tick t_clk0 = 100 * kPicosecond;
+    const Tick period = fir.config().clockPeriod();
+    const auto epochs = x.size() + 2;
+    clk.program(t_clk0, period,
+                epochs << static_cast<unsigned>(fir.config().bits));
+
+    const Tick rl_off = 20 * kPicosecond;
+    for (std::size_t e = 0; e < x.size(); ++e) {
+        const Tick marker = t_clk0 +
+                            static_cast<Tick>(e) *
+                                fir.config().epochLatency() +
+                            fir.markerLag();
+        const int id = ecfg.rlIdOfUnipolar(x[e]);
+        xin.pulseAt(marker + rl_off + ecfg.rlTime(id));
+    }
+    nl.queue().run();
+
+    // Decode: count output pulses per epoch window (shifted by the
+    // datapath latency ~ one slot).
+    std::vector<double> y;
+    for (std::size_t e = 0; e < x.size(); ++e) {
+        const Tick lo = t_clk0 +
+                        static_cast<Tick>(e) *
+                            fir.config().epochLatency() +
+                        fir.markerLag() + period;
+        const Tick hi = lo + fir.config().epochLatency();
+        const auto count = out.countInWindow(lo, hi);
+        y.push_back(DotProductUnit::decode(
+            ecfg, DpuMode::Unipolar, fir.config().taps,
+            fir.config().taps, count));
+    }
+    return y;
+}
+
+TEST(UsfqFirPulseLevel, MovingAverageOfConstantInput)
+{
+    const int taps = 8, bits = 8;
+    Netlist nl;
+    UsfqFirConfig cfg{.taps = taps, .bits = bits,
+                      .mode = DpuMode::Unipolar};
+    auto &fir = nl.create<UsfqFir>("fir", cfg);
+    const EpochConfig ecfg(bits, cfg.clockPeriod());
+    for (int k = 0; k < taps; ++k)
+        fir.setCoefficient(k, 1.0 / taps);
+
+    // Constant input 0.5: steady-state output = 0.5 * sum(h) = 0.5.
+    const std::vector<double> x(12, 0.5);
+    const auto y = runPulseFir(fir, nl, ecfg, x);
+    // After the delay line fills (taps epochs), output is steady.
+    for (std::size_t e = taps + 1; e < y.size(); ++e)
+        EXPECT_NEAR(y[e], 0.5, 0.12) << "epoch " << e;
+}
+
+TEST(UsfqFirPulseLevel, StepResponseRamps)
+{
+    const int taps = 4, bits = 8;
+    Netlist nl;
+    UsfqFirConfig cfg{.taps = taps, .bits = bits,
+                      .mode = DpuMode::Unipolar};
+    auto &fir = nl.create<UsfqFir>("fir", cfg);
+    const EpochConfig ecfg(bits, cfg.clockPeriod());
+    for (int k = 0; k < taps; ++k)
+        fir.setCoefficient(k, 0.25);
+
+    // Step from 0 to 0.8 at epoch 4: the moving average ramps over
+    // `taps` epochs.
+    std::vector<double> x(12, 0.0);
+    for (std::size_t e = 4; e < x.size(); ++e)
+        x[e] = 0.8;
+    const auto y = runPulseFir(fir, nl, ecfg, x);
+    EXPECT_NEAR(y[3], 0.0, 0.1);
+    EXPECT_GT(y[6], y[4]);
+    EXPECT_NEAR(y[10], 0.8 * 4 * 0.25, 0.12);
+}
+
+TEST(UsfqFirPulseLevel, MatchesFunctionalModel)
+{
+    const int taps = 4, bits = 8;
+    Netlist nl;
+    UsfqFirConfig cfg{.taps = taps, .bits = bits,
+                      .mode = DpuMode::Unipolar};
+    auto &fir = nl.create<UsfqFir>("fir", cfg);
+    const EpochConfig ecfg(bits, cfg.clockPeriod());
+    // Peak >= 0.95: the functional model's pre-scaling is identity, so
+    // it matches the raw-programmed netlist bank.
+    const std::vector<double> h{0.95, 0.3, 0.2, 0.1};
+    for (int k = 0; k < taps; ++k)
+        fir.setCoefficient(k, h[static_cast<std::size_t>(k)]);
+
+    const std::vector<double> x{0.0, 0.2, 0.8, 0.5, 0.9, 0.1,
+                                0.6, 0.3, 0.7, 0.4, 0.5, 0.5};
+    const auto y_pulse = runPulseFir(fir, nl, ecfg, x);
+
+    UsfqFirModel model(h, cfg);
+    const auto y_model = model.filter(x);
+
+    for (std::size_t e = taps; e < x.size(); ++e)
+        EXPECT_NEAR(y_pulse[e], y_model[e], 0.15) << "epoch " << e;
+}
+
+} // namespace
+} // namespace usfq

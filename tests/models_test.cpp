@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Invariant tests of the evaluation models behind Figs. 14/16/18/20:
+ * monotonicity, crossover existence, and consistency between the
+ * closed-form models and the netlists -- the guard rails that keep the
+ * figure benches honest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/binary_models.hh"
+#include "core/dpu.hh"
+#include "core/fir.hh"
+#include "metrics/power.hh"
+#include "sim/netlist.hh"
+
+namespace usfq
+{
+namespace
+{
+
+double
+unaryFirLatencyPs(int bits)
+{
+    return std::ldexp(1.0, bits) * bits * 20.0;
+}
+
+// --- latency model invariants -----------------------------------------------
+
+TEST(Models, UnaryFirLatencyIsExponentialInBits)
+{
+    for (int bits = 4; bits < 16; ++bits)
+        EXPECT_GT(unaryFirLatencyPs(bits + 1),
+                  1.9 * unaryFirLatencyPs(bits));
+}
+
+TEST(Models, BinaryFirLatencyLinearInTapsAndBits)
+{
+    using baseline::BinaryFir;
+    const double lat32_8 = BinaryFir{32, 8}.latencyPs();
+    EXPECT_NEAR((BinaryFir{64, 8}.latencyPs()), 2 * lat32_8, 1e-6);
+    EXPECT_NEAR((BinaryFir{32, 16}.latencyPs()), 2 * lat32_8, 1e-6);
+}
+
+TEST(Models, LatencyCrossoverExistsAndMovesUpWithTaps)
+{
+    auto crossover = [](int taps) {
+        for (int bits = 2; bits <= 20; ++bits) {
+            if (unaryFirLatencyPs(bits) >
+                baseline::BinaryFir{taps, bits}.latencyPs())
+                return bits;
+        }
+        return 21;
+    };
+    const int c32 = crossover(32);
+    const int c256 = crossover(256);
+    EXPECT_GT(c32, 6);
+    EXPECT_LT(c32, 12);
+    EXPECT_GT(c256, c32); // more taps -> unary viable to higher bits
+}
+
+// --- area model invariants ------------------------------------------------------
+
+TEST(Models, UnaryFirAreaLinearInTaps)
+{
+    const auto a64 = usfqFirAreaJJ(64, 8);
+    const auto a128 = usfqFirAreaJJ(128, 8);
+    const auto a256 = usfqFirAreaJJ(256, 8);
+    EXPECT_NEAR(static_cast<double>(a256 - a128),
+                static_cast<double>(a128 - a64) * 2.0,
+                0.1 * static_cast<double>(a128));
+}
+
+TEST(Models, UnaryFirAreaNearlyFlatInBits)
+{
+    // Only the per-word NDRO gates and divider grow with bits: a small
+    // fraction of the total.
+    const auto a4 = usfqFirAreaJJ(64, 4);
+    const auto a16 = usfqFirAreaJJ(64, 16);
+    EXPECT_LT(static_cast<double>(a16) / static_cast<double>(a4), 2.0);
+}
+
+TEST(Models, BinaryDpuGrowsInBothAxes)
+{
+    using baseline::BinaryDpu;
+    for (int taps : {32, 64, 128}) {
+        EXPECT_LT((BinaryDpu{taps, 8}.areaJJ()),
+                  (BinaryDpu{taps * 2, 8}.areaJJ()));
+        EXPECT_LT((BinaryDpu{taps, 8}.areaJJ()),
+                  (BinaryDpu{taps, 16}.areaJJ()));
+    }
+}
+
+TEST(Models, DpuNetlistAreaLinearInLength)
+{
+    Netlist nl;
+    auto &d32 = nl.create<DotProductUnit>("d32", 32, DpuMode::Bipolar);
+    auto &d64 = nl.create<DotProductUnit>("d64", 64, DpuMode::Bipolar);
+    const double per32 = static_cast<double>(d32.jjCount()) / 32;
+    const double per64 = static_cast<double>(d64.jjCount()) / 64;
+    EXPECT_NEAR(per32, per64, 0.1 * per32);
+}
+
+// --- efficiency invariants (Fig. 18d / Fig. 20c) ----------------------------------
+
+TEST(Models, UnaryEfficiencyAdvantageGrowsWithTaps)
+{
+    auto advantage = [](int taps, int bits) {
+        const double u_eff =
+            taps / (unaryFirLatencyPs(bits) * 1e-12) /
+            static_cast<double>(usfqFirAreaJJ(taps, bits));
+        return u_eff /
+               baseline::BinaryFir{taps, bits}.efficiencyOpsPerJJ();
+    };
+    for (int bits : {6, 8, 10})
+        EXPECT_GT(advantage(256, bits), advantage(32, bits))
+            << "bits=" << bits;
+}
+
+TEST(Models, UnaryEfficiencyAdvantageShrinksWithBits)
+{
+    auto advantage = [](int bits) {
+        const double u_eff =
+            64 / (unaryFirLatencyPs(bits) * 1e-12) /
+            static_cast<double>(usfqFirAreaJJ(64, bits));
+        return u_eff /
+               baseline::BinaryFir{64, bits}.efficiencyOpsPerJJ();
+    };
+    EXPECT_GT(advantage(6), advantage(10));
+    EXPECT_GT(advantage(10), advantage(14));
+}
+
+// --- power model invariants ---------------------------------------------------------
+
+TEST(Models, PassiveScalesWithAreaActiveWithRate)
+{
+    EXPECT_NEAR(metrics::passivePower(200),
+                2.0 * metrics::passivePower(100), 1e-12);
+    EXPECT_NEAR(metrics::activePower(2000, kMicrosecond),
+                2.0 * metrics::activePower(1000, kMicrosecond),
+                1e-15);
+}
+
+TEST(Models, PaperPowerAnchors)
+{
+    // Passive anchors from Table 3 (bias-dominated blocks).
+    EXPECT_NEAR(metrics::passivePower(46) * 1e3, 0.055, 0.01); // mult
+    EXPECT_NEAR(metrics::passivePower(60) * 1e3, 0.072, 0.01); // bal
+    Netlist nl;
+    auto &dpu = nl.create<DotProductUnit>("d", 32, DpuMode::Bipolar);
+    EXPECT_NEAR(metrics::passivePower(dpu.jjCount()) * 1e3, 4.8, 1.0);
+}
+
+// --- PE array model (Fig. 14b) -----------------------------------------------------
+
+TEST(Models, PeArraySavingsDeclineWithBits)
+{
+    auto savings = [](int bits) {
+        const baseline::BinaryPe bin{bits};
+        const double unary_ns = std::ldexp(1.0, bits) * 9e-3;
+        const double pes =
+            std::ceil(unary_ns / (bin.latencyPs() * 1e-3));
+        return 1.0 - pes * 126.0 / bin.areaJJ();
+    };
+    EXPECT_GT(savings(6), 0.9);
+    EXPECT_GT(savings(8), savings(12));
+    EXPECT_GT(savings(12), savings(16));
+}
+
+} // namespace
+} // namespace usfq

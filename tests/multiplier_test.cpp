@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Pulse-level tests of the U-SFQ multipliers (paper §4.1): the netlists
+ * must agree with the pure counting models across resolutions and
+ * operand sweeps, and their JJ counts must match the paper's area story.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/encoding.hh"
+#include "core/multiplier.hh"
+#include "sim/trace.hh"
+#include "sfq/sources.hh"
+#include "util/random.hh"
+
+namespace usfq
+{
+namespace
+{
+
+/** Run one unipolar multiply on the netlist; return output pulse count. */
+int
+runUnipolar(const EpochConfig &cfg, int stream_count, int rl_id)
+{
+    Netlist nl;
+    auto &mult = nl.create<UnipolarMultiplier>("mult");
+    auto &src_e = nl.create<PulseSource>("e");
+    auto &src_a = nl.create<PulseSource>("a");
+    auto &src_b = nl.create<PulseSource>("b");
+    PulseTrace out;
+
+    src_e.out.connect(mult.epoch());
+    src_a.out.connect(mult.streamIn());
+    src_b.out.connect(mult.rlIn());
+    mult.out().connect(out.input());
+
+    const Tick start = 0;
+    src_e.pulseAt(start);
+    src_b.pulseAt(cfg.rlArrival(rl_id, start));
+    src_a.pulsesAt(cfg.streamTimes(stream_count, start));
+
+    nl.queue().run();
+    return static_cast<int>(out.count());
+}
+
+/** Run one bipolar multiply on the netlist; return output pulse count. */
+int
+runBipolar(const EpochConfig &cfg, int stream_count, int rl_id)
+{
+    Netlist nl;
+    auto &mult = nl.create<BipolarMultiplier>("mult");
+    auto &src_e = nl.create<PulseSource>("e");
+    auto &src_a = nl.create<PulseSource>("a");
+    auto &src_b = nl.create<PulseSource>("b");
+    auto &src_clk = nl.create<PulseSource>("clk");
+    PulseTrace out;
+
+    src_e.out.connect(mult.epoch());
+    src_a.out.connect(mult.streamIn());
+    src_b.out.connect(mult.rlIn());
+    src_clk.out.connect(mult.clkIn());
+    mult.out().connect(out.input());
+
+    const Tick start = 0;
+    src_e.pulseAt(start);
+    src_b.pulseAt(cfg.rlArrival(rl_id, start));
+    src_a.pulsesAt(cfg.streamTimes(stream_count, start));
+    src_clk.pulsesAt(BipolarMultiplier::gridClockTimes(cfg, start));
+
+    nl.queue().run();
+    return static_cast<int>(out.count());
+}
+
+// --- unipolar ---------------------------------------------------------------
+
+TEST(UnipolarMultiplier, ZeroTimesAnythingIsZero)
+{
+    const EpochConfig cfg(4);
+    EXPECT_EQ(runUnipolar(cfg, 0, 16), 0);
+    EXPECT_EQ(runUnipolar(cfg, 16, 0), 0);
+}
+
+TEST(UnipolarMultiplier, OneTimesOneIsOne)
+{
+    const EpochConfig cfg(4);
+    EXPECT_EQ(runUnipolar(cfg, 16, 16), 16);
+}
+
+TEST(UnipolarMultiplier, PaperFig3bFirstExample)
+{
+    // 3-bit resolution, A = 0.5, B = 0.25 -> 1 pulse = 1/8.
+    const EpochConfig cfg(3);
+    EXPECT_EQ(runUnipolar(cfg, 4, 2), 1);
+}
+
+TEST(UnipolarMultiplier, PaperFig3bSecondExample)
+{
+    // 4-bit resolution, A = 0.75, B = 0.5 -> 6 pulses = 0.375.
+    const EpochConfig cfg(4);
+    EXPECT_EQ(runUnipolar(cfg, 12, 8), 6);
+}
+
+class UnipolarSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(UnipolarSweep, NetlistMatchesCountingModel)
+{
+    const EpochConfig cfg(GetParam());
+    const int nmax = cfg.nmax();
+    Rng rng(100 + GetParam());
+    for (int trial = 0; trial < 60; ++trial) {
+        const int n = static_cast<int>(rng.uniformInt(0, nmax));
+        const int id = static_cast<int>(rng.uniformInt(0, nmax));
+        EXPECT_EQ(runUnipolar(cfg, n, id),
+                  UnipolarMultiplier::expectedCount(cfg, n, id))
+            << "n=" << n << " id=" << id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, UnipolarSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+TEST(UnipolarMultiplier, ProductAccuracyWithinLsb)
+{
+    const EpochConfig cfg(6);
+    Rng rng(5);
+    for (int trial = 0; trial < 40; ++trial) {
+        const double a = rng.uniform();
+        const double b = rng.uniform();
+        const int count = runUnipolar(cfg, cfg.streamCountOfUnipolar(a),
+                                      cfg.rlIdOfUnipolar(b));
+        EXPECT_NEAR(cfg.decodeUnipolar(static_cast<std::size_t>(count)),
+                    a * b, 2.0 / cfg.nmax());
+    }
+}
+
+TEST(UnipolarMultiplier, AreaIsThirteenJJs)
+{
+    Netlist nl;
+    auto &mult = nl.create<UnipolarMultiplier>("m");
+    EXPECT_EQ(mult.jjCount(), cell::kNdroJJs + cell::kJtlJJs); // 13
+    EXPECT_EQ(nl.totalJJs(), mult.jjCount());
+}
+
+TEST(UnipolarMultiplier, ReusableAcrossEpochsAfterReset)
+{
+    const EpochConfig cfg(4);
+    Netlist nl;
+    auto &mult = nl.create<UnipolarMultiplier>("mult");
+    auto &src_e = nl.create<PulseSource>("e");
+    auto &src_a = nl.create<PulseSource>("a");
+    auto &src_b = nl.create<PulseSource>("b");
+    PulseTrace out;
+    src_e.out.connect(mult.epoch());
+    src_a.out.connect(mult.streamIn());
+    src_b.out.connect(mult.rlIn());
+    mult.out().connect(out.input());
+
+    for (int rep = 0; rep < 3; ++rep) {
+        nl.resetAll();
+        out.clear();
+        src_e.pulseAt(0);
+        src_b.pulseAt(cfg.rlArrival(8));
+        src_a.pulsesAt(cfg.streamTimes(16));
+        nl.queue().run();
+        EXPECT_EQ(out.count(), 8u) << "rep " << rep;
+    }
+}
+
+// --- bipolar -----------------------------------------------------------------
+
+TEST(BipolarMultiplier, SignRules)
+{
+    const EpochConfig cfg(4);
+    const int nmax = cfg.nmax();
+    // (+1)*(+1) = +1
+    EXPECT_EQ(runBipolar(cfg, nmax, nmax), nmax);
+    // (-1)*(-1) = +1
+    EXPECT_EQ(runBipolar(cfg, 0, 0), nmax);
+    // (-1)*(+1) = -1 and (+1)*(-1) = -1
+    EXPECT_EQ(runBipolar(cfg, 0, nmax), 0);
+    EXPECT_EQ(runBipolar(cfg, nmax, 0), 0);
+}
+
+TEST(BipolarMultiplier, ZeroTimesAnythingIsZeroBipolar)
+{
+    const EpochConfig cfg(6);
+    const int half = cfg.nmax() / 2; // bipolar zero
+    Rng rng(17);
+    for (int trial = 0; trial < 10; ++trial) {
+        const int id = static_cast<int>(rng.uniformInt(0, cfg.nmax()));
+        const int count = runBipolar(cfg, half, id);
+        EXPECT_NEAR(cfg.decodeBipolar(static_cast<std::size_t>(count)),
+                    0.0, 4.0 / cfg.nmax())
+            << "id=" << id;
+    }
+}
+
+class BipolarSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BipolarSweep, NetlistMatchesCountingModel)
+{
+    const EpochConfig cfg(GetParam());
+    const int nmax = cfg.nmax();
+    Rng rng(200 + GetParam());
+    for (int trial = 0; trial < 40; ++trial) {
+        const int n = static_cast<int>(rng.uniformInt(0, nmax));
+        const int id = static_cast<int>(rng.uniformInt(0, nmax));
+        EXPECT_EQ(runBipolar(cfg, n, id),
+                  BipolarMultiplier::expectedCount(cfg, n, id))
+            << "n=" << n << " id=" << id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, BipolarSweep,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(BipolarMultiplier, ProductAccuracy)
+{
+    const EpochConfig cfg(6);
+    Rng rng(23);
+    for (int trial = 0; trial < 30; ++trial) {
+        const double a = rng.uniform(-1.0, 1.0);
+        const double b = rng.uniform(-1.0, 1.0);
+        const int count = runBipolar(cfg, cfg.streamCountOfBipolar(a),
+                                     cfg.rlIdOfBipolar(b));
+        EXPECT_NEAR(cfg.decodeBipolar(static_cast<std::size_t>(count)),
+                    a * b, 6.0 / cfg.nmax());
+    }
+}
+
+TEST(BipolarMultiplier, AreaIsFortySixJJs)
+{
+    // The paper's 370x claim versus the 17 kJJ bit-parallel multiplier
+    // [37] implies a ~46 JJ unary multiplier.
+    Netlist nl;
+    auto &mult = nl.create<BipolarMultiplier>("m");
+    EXPECT_EQ(mult.jjCount(), 46);
+    EXPECT_NEAR(17000.0 / mult.jjCount(), 370.0, 10.0);
+}
+
+TEST(BipolarMultiplier, AreaIndependentOfResolution)
+{
+    // Unary area does not grow with bits (paper Fig. 4): the same
+    // netlist serves every resolution.
+    Netlist nl;
+    auto &mult = nl.create<BipolarMultiplier>("m");
+    const int jj = mult.jjCount();
+    for (int bits : {4, 8, 16}) {
+        const EpochConfig cfg(bits);
+        (void)cfg;
+        EXPECT_EQ(mult.jjCount(), jj);
+    }
+}
+
+TEST(BipolarMultiplier, GridClockHasOnePulsePerSlot)
+{
+    const EpochConfig cfg(4);
+    const auto clk = BipolarMultiplier::gridClockTimes(cfg, 0);
+    ASSERT_EQ(clk.size(), 16u);
+    for (std::size_t i = 1; i < clk.size(); ++i)
+        EXPECT_EQ(clk[i] - clk[i - 1], cfg.slotWidth());
+}
+
+} // namespace
+} // namespace usfq

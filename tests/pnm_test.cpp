@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of the pulse-number multipliers (paper §4.3, Fig. 9): both
+ * flavours must emit exactly the programmed number of pulses per epoch;
+ * the TFF2 version must be markedly more uniform than the classic one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pnm.hh"
+#include "sim/trace.hh"
+#include "sfq/sources.hh"
+#include "util/stats.hh"
+
+namespace usfq
+{
+namespace
+{
+
+constexpr Tick kTclk = 200 * kPicosecond; // comfortable low-rate clock
+
+/** Drive @p pnm with @p epochs x 2^bits clock pulses; trace the stream. */
+template <typename Pnm>
+struct PnmHarness
+{
+    Netlist nl;
+    Pnm *pnm;
+    ClockSource *clk;
+    PulseTrace stream;
+    PulseTrace epochs;
+
+    explicit PnmHarness(int bits, int value, int num_epochs = 1)
+    {
+        pnm = &nl.create<Pnm>("pnm", bits);
+        clk = &nl.create<ClockSource>("clk");
+        clk->out.connect(pnm->clkIn());
+        pnm->out().connect(stream.input());
+        pnm->epochOut().connect(epochs.input());
+        pnm->program(value);
+        clk->program(kTclk, kTclk,
+                     static_cast<std::uint64_t>(num_epochs)
+                         << static_cast<unsigned>(bits));
+        nl.queue().run();
+    }
+};
+
+// --- pulse-count correctness -----------------------------------------------
+
+class PnmCounts : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PnmCounts, ClassicEmitsProgrammedCount)
+{
+    const int bits = GetParam();
+    for (int value : {0, 1, (1 << bits) / 2, (1 << bits) - 1}) {
+        PnmHarness<ClassicPnm> h(bits, value);
+        EXPECT_EQ(h.stream.count(), static_cast<std::size_t>(value))
+            << "bits=" << bits << " value=" << value;
+    }
+}
+
+TEST_P(PnmCounts, UniformEmitsProgrammedCount)
+{
+    const int bits = GetParam();
+    for (int value = 0; value < (1 << bits); ++value) {
+        PnmHarness<UniformPnm> h(bits, value);
+        EXPECT_EQ(h.stream.count(), static_cast<std::size_t>(value))
+            << "bits=" << bits << " value=" << value;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, PnmCounts,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Pnm, PaperFig9aExamples)
+{
+    // NDROs set to "1111" yield 15 pulses; "0100" yields four.
+    PnmHarness<ClassicPnm> full(4, 0b1111);
+    EXPECT_EQ(full.stream.count(), 15u);
+    PnmHarness<ClassicPnm> s1(4, 0b0100);
+    EXPECT_EQ(s1.stream.count(), 4u);
+}
+
+TEST(Pnm, EpochMarkerOncePerEpoch)
+{
+    PnmHarness<UniformPnm> h(4, 7, 3);
+    EXPECT_EQ(h.epochs.count(), 3u);
+    PnmHarness<ClassicPnm> hc(4, 7, 3);
+    EXPECT_EQ(hc.epochs.count(), 3u);
+}
+
+TEST(Pnm, MultiEpochStreamRepeats)
+{
+    const int bits = 4, value = 11, epochs = 4;
+    PnmHarness<UniformPnm> h(bits, value, epochs);
+    EXPECT_EQ(h.stream.count(),
+              static_cast<std::size_t>(value * epochs));
+}
+
+// --- uniformity (the Fig. 9 story) --------------------------------------------
+
+/** Coefficient of variation of inter-pulse gaps. */
+double
+spacingCv(const std::vector<Tick> &times)
+{
+    RunningStats gaps;
+    for (std::size_t i = 1; i < times.size(); ++i)
+        gaps.add(static_cast<double>(times[i] - times[i - 1]));
+    return gaps.mean() > 0 ? gaps.stddev() / gaps.mean() : 0.0;
+}
+
+TEST(Pnm, Tff2StreamIsMoreUniform)
+{
+    const int bits = 5;
+    const int value = (1 << bits) - 1; // worst case for burstiness
+    PnmHarness<ClassicPnm> classic(bits, value);
+    PnmHarness<UniformPnm> uniform(bits, value);
+    ASSERT_EQ(classic.stream.count(), static_cast<std::size_t>(value));
+    ASSERT_EQ(uniform.stream.count(), static_cast<std::size_t>(value));
+
+    const double cv_classic = spacingCv(classic.stream.times());
+    const double cv_uniform = spacingCv(uniform.stream.times());
+    EXPECT_LT(cv_uniform, cv_classic * 0.5)
+        << "classic CV=" << cv_classic << " uniform CV=" << cv_uniform;
+}
+
+TEST(Pnm, UniformStreamMinSpacingIsClockScale)
+{
+    // A uniform stream's pulses never bunch below roughly one clock
+    // period; the classic PNM bunches at cell-delay scale.
+    const int bits = 4;
+    PnmHarness<UniformPnm> uniform(bits, 15);
+    PnmHarness<ClassicPnm> classic(bits, 15);
+    EXPECT_GE(uniform.stream.minSpacing(), kTclk / 2);
+    EXPECT_LT(classic.stream.minSpacing(), 20 * kPicosecond);
+}
+
+// --- area ---------------------------------------------------------------------
+
+TEST(Pnm, AreaScalesLinearlyWithBits)
+{
+    Netlist nl;
+    auto &p4 = nl.create<UniformPnm>("p4", 4);
+    auto &p8 = nl.create<UniformPnm>("p8", 8);
+    // Per stage: TFF2 + NDRO (+ merger beyond the first stage).
+    const int stage = cell::kTff2JJs + cell::kNdroJJs + cell::kMergerJJs;
+    EXPECT_NEAR(p8.jjCount() - p4.jjCount(), 4 * stage, 1);
+    EXPECT_LT(p4.jjCount(), p8.jjCount());
+}
+
+TEST(Pnm, UniformCostsNoSplitters)
+{
+    // The TFF2's second port replaces the classic tap splitter, so the
+    // uniform PNM is at most one NDRO-equivalent larger per stage.
+    Netlist nl;
+    auto &c = nl.create<ClassicPnm>("c", 8);
+    auto &u = nl.create<UniformPnm>("u", 8);
+    EXPECT_LE(std::abs(u.jjCount() - c.jjCount()), 8 * 2);
+}
+
+} // namespace
+} // namespace usfq

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests of the race-logic dynamic-programming lattice: edit distance
+ * computed by pulse wavefronts must match the classic DP algorithm.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/racelogic.hh"
+#include "sim/trace.hh"
+#include "util/random.hh"
+
+namespace usfq
+{
+namespace
+{
+
+TEST(EditDistanceReference, KnownValues)
+{
+    EXPECT_EQ(editDistanceReference("kitten", "sitting"), 3);
+    EXPECT_EQ(editDistanceReference("flaw", "lawn"), 2);
+    EXPECT_EQ(editDistanceReference("abc", "abc"), 0);
+    EXPECT_EQ(editDistanceReference("a", "b"), 1);
+    EXPECT_EQ(editDistanceReference("abcd", "d"), 3);
+}
+
+TEST(RaceLogicEditDistance, MatchesReferenceOnClassics)
+{
+    EXPECT_EQ(raceLogicEditDistance("kitten", "sitting"), 3);
+    EXPECT_EQ(raceLogicEditDistance("flaw", "lawn"), 2);
+    EXPECT_EQ(raceLogicEditDistance("abc", "abc"), 0);
+    EXPECT_EQ(raceLogicEditDistance("a", "b"), 1);
+}
+
+TEST(RaceLogicEditDistance, IdenticalStringsZero)
+{
+    EXPECT_EQ(raceLogicEditDistance("gattaca", "gattaca"), 0);
+}
+
+TEST(RaceLogicEditDistance, CompletelyDifferentStrings)
+{
+    EXPECT_EQ(raceLogicEditDistance("aaaa", "bbbb"), 4);
+}
+
+TEST(RaceLogicEditDistance, AsymmetricLengths)
+{
+    EXPECT_EQ(raceLogicEditDistance("ac", "abcde"),
+              editDistanceReference("ac", "abcde"));
+}
+
+TEST(RaceLogicEditDistance, RandomStringsProperty)
+{
+    Rng rng(2718);
+    const char alphabet[] = "acgt";
+    for (int trial = 0; trial < 20; ++trial) {
+        std::string a, b;
+        const auto la = rng.uniformInt(1, 6);
+        const auto lb = rng.uniformInt(1, 6);
+        for (int i = 0; i < la; ++i)
+            a += alphabet[rng.uniformInt(0, 3)];
+        for (int i = 0; i < lb; ++i)
+            b += alphabet[rng.uniformInt(0, 3)];
+        EXPECT_EQ(raceLogicEditDistance(a, b),
+                  editDistanceReference(a, b))
+            << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(RaceLogicEditDistance, SinglePulsePerNode)
+{
+    // The wavefront fires the corner exactly once.
+    Netlist nl;
+    auto &grid = nl.create<RaceLogicEditDistance>("ed", "abca", "abd");
+    PulseTrace done;
+    grid.done().connect(done.input());
+    nl.queue().schedule(10, [&grid] { grid.start().receive(10); });
+    nl.queue().run();
+    EXPECT_EQ(done.count(), 1u);
+}
+
+TEST(RaceLogicEditDistance, AreaScalesWithLattice)
+{
+    // Two FA MIN cells per inner node: the race-logic economy the
+    // paper's Section 2.2.1 highlights (a binary min needs >4 kJJ).
+    Netlist nl;
+    auto &small = nl.create<RaceLogicEditDistance>("s", "ab", "cd");
+    auto &large = nl.create<RaceLogicEditDistance>("l", "abcdefgh",
+                                                   "abcdefgh");
+    EXPECT_LT(small.jjCount(), large.jjCount());
+    // 8x8 lattice: 64 nodes * 2 FA * 8 JJs + boundary JTLs.
+    EXPECT_NEAR(large.jjCount(), 64 * 16 + 16 * 2 + 2, 8);
+}
+
+TEST(RaceLogicEditDistance, ReusableAfterReset)
+{
+    Netlist nl;
+    auto &grid = nl.create<RaceLogicEditDistance>("ed", "ab", "ba");
+    PulseTrace done;
+    grid.done().connect(done.input());
+    for (int rep = 0; rep < 2; ++rep) {
+        nl.resetAll();
+        done.clear();
+        nl.queue().schedule(10, [&grid] { grid.start().receive(10); });
+        nl.queue().run();
+        ASSERT_EQ(done.count(), 1u) << "rep " << rep;
+        EXPECT_EQ(grid.decode(10, done.times().front()), 2);
+    }
+}
+
+} // namespace
+} // namespace usfq

@@ -1,0 +1,500 @@
+/**
+ * @file
+ * Behavioral contracts of every RSFQ cell (paper Table 1): the pulse
+ * semantics each gate must obey for the U-SFQ blocks to work.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/netlist.hh"
+#include "sim/trace.hh"
+#include "sfq/cells.hh"
+#include "sfq/sources.hh"
+
+namespace usfq
+{
+namespace
+{
+
+/** Fixture providing a netlist, a source, and a trace. */
+class CellTest : public ::testing::Test
+{
+  protected:
+    Netlist nl;
+    PulseTrace trace;
+
+    void
+    run()
+    {
+        nl.queue().run();
+    }
+};
+
+// --- JTL -------------------------------------------------------------------
+
+TEST_F(CellTest, JtlRepeatsEveryPulseWithDelay)
+{
+    auto &jtl = nl.create<Jtl>("jtl");
+    auto &src = nl.create<PulseSource>("src");
+    src.out.connect(jtl.in);
+    jtl.out.connect(trace.input());
+    src.pulsesAt({10 * kPicosecond, 20 * kPicosecond, 40 * kPicosecond});
+    run();
+    ASSERT_EQ(trace.count(), 3u);
+    EXPECT_EQ(trace.times()[0], 10 * kPicosecond + cell::kJtlDelay);
+}
+
+// --- Splitter -----------------------------------------------------------------
+
+TEST_F(CellTest, SplitterDuplicatesPulse)
+{
+    auto &sp = nl.create<Splitter>("sp");
+    auto &src = nl.create<PulseSource>("src");
+    PulseTrace t2;
+    src.out.connect(sp.in);
+    sp.out1.connect(trace.input());
+    sp.out2.connect(t2.input());
+    src.pulseAt(5 * kPicosecond);
+    run();
+    EXPECT_EQ(trace.count(), 1u);
+    EXPECT_EQ(t2.count(), 1u);
+    EXPECT_EQ(trace.times()[0], t2.times()[0]);
+}
+
+// --- Merger ---------------------------------------------------------------------
+
+TEST_F(CellTest, MergerForwardsFromEitherInput)
+{
+    auto &m = nl.create<Merger>("m");
+    auto &sa = nl.create<PulseSource>("sa");
+    auto &sb = nl.create<PulseSource>("sb");
+    sa.out.connect(m.inA);
+    sb.out.connect(m.inB);
+    m.out.connect(trace.input());
+    sa.pulseAt(10 * kPicosecond);
+    sb.pulseAt(50 * kPicosecond);
+    run();
+    EXPECT_EQ(trace.count(), 2u);
+    EXPECT_EQ(m.collisions(), 0u);
+}
+
+TEST_F(CellTest, MergerLosesSimultaneousPulse)
+{
+    // Paper Fig. 5b: two pulses arriving together produce only one output.
+    auto &m = nl.create<Merger>("m");
+    auto &sa = nl.create<PulseSource>("sa");
+    auto &sb = nl.create<PulseSource>("sb");
+    sa.out.connect(m.inA);
+    sb.out.connect(m.inB);
+    m.out.connect(trace.input());
+    sa.pulseAt(10 * kPicosecond);
+    sb.pulseAt(10 * kPicosecond);
+    run();
+    EXPECT_EQ(trace.count(), 1u);
+    EXPECT_EQ(m.collisions(), 1u);
+}
+
+TEST_F(CellTest, MergerLosesPulseInsideCollisionWindow)
+{
+    auto &m = nl.create<Merger>("m");
+    auto &sa = nl.create<PulseSource>("sa");
+    auto &sb = nl.create<PulseSource>("sb");
+    sa.out.connect(m.inA);
+    sb.out.connect(m.inB);
+    m.out.connect(trace.input());
+    sa.pulseAt(10 * kPicosecond);
+    sb.pulseAt(10 * kPicosecond + cell::kMergerCollisionWindow);
+    run();
+    EXPECT_EQ(trace.count(), 1u);
+}
+
+TEST_F(CellTest, MergerAcceptsPulseJustOutsideWindow)
+{
+    auto &m = nl.create<Merger>("m");
+    auto &sa = nl.create<PulseSource>("sa");
+    auto &sb = nl.create<PulseSource>("sb");
+    sa.out.connect(m.inA);
+    sb.out.connect(m.inB);
+    m.out.connect(trace.input());
+    sa.pulseAt(10 * kPicosecond);
+    sb.pulseAt(10 * kPicosecond + cell::kMergerCollisionWindow + 1);
+    run();
+    EXPECT_EQ(trace.count(), 2u);
+}
+
+TEST_F(CellTest, MergerResetClearsCollisionState)
+{
+    auto &m = nl.create<Merger>("m");
+    auto &sa = nl.create<PulseSource>("sa");
+    sa.out.connect(m.inA);
+    m.out.connect(trace.input());
+    sa.pulseAt(10 * kPicosecond);
+    run();
+    nl.resetAll();
+    EXPECT_EQ(m.collisions(), 0u);
+}
+
+// --- DFF ---------------------------------------------------------------------
+
+TEST_F(CellTest, DffStoresAndReadsDestructively)
+{
+    auto &dff = nl.create<Dff>("dff");
+    auto &sd = nl.create<PulseSource>("sd");
+    auto &sc = nl.create<PulseSource>("sc");
+    sd.out.connect(dff.d);
+    sc.out.connect(dff.clk);
+    dff.q.connect(trace.input());
+    sd.pulseAt(10 * kPicosecond);
+    sc.pulseAt(20 * kPicosecond); // reads the stored 1
+    sc.pulseAt(30 * kPicosecond); // loop now empty: no output
+    run();
+    EXPECT_EQ(trace.count(), 1u);
+    EXPECT_FALSE(dff.state());
+}
+
+TEST_F(CellTest, DffClockWithoutDataIsSilent)
+{
+    auto &dff = nl.create<Dff>("dff");
+    auto &sc = nl.create<PulseSource>("sc");
+    sc.out.connect(dff.clk);
+    dff.q.connect(trace.input());
+    sc.pulsesAt({10 * kPicosecond, 20 * kPicosecond});
+    run();
+    EXPECT_EQ(trace.count(), 0u);
+}
+
+// --- DFF2 --------------------------------------------------------------------
+
+TEST_F(CellTest, Dff2ReadsThroughEitherPort)
+{
+    auto &dff2 = nl.create<Dff2>("dff2");
+    auto &sa = nl.create<PulseSource>("sa");
+    auto &sc1 = nl.create<PulseSource>("sc1");
+    auto &sc2 = nl.create<PulseSource>("sc2");
+    PulseTrace t2;
+    sa.out.connect(dff2.a);
+    sc1.out.connect(dff2.c1);
+    sc2.out.connect(dff2.c2);
+    dff2.y1.connect(trace.input());
+    dff2.y2.connect(t2.input());
+
+    sa.pulseAt(10 * kPicosecond);
+    sc1.pulseAt(20 * kPicosecond); // -> y1, resets
+    sa.pulseAt(30 * kPicosecond);
+    sc2.pulseAt(40 * kPicosecond); // -> y2, resets
+    sc1.pulseAt(50 * kPicosecond); // empty: silent
+    run();
+    EXPECT_EQ(trace.count(), 1u);
+    EXPECT_EQ(t2.count(), 1u);
+}
+
+// --- TFF ---------------------------------------------------------------------
+
+TEST_F(CellTest, TffDividesByTwo)
+{
+    auto &tff = nl.create<Tff>("tff");
+    auto &src = nl.create<PulseSource>("src");
+    src.out.connect(tff.in);
+    tff.out.connect(trace.input());
+    for (int i = 1; i <= 8; ++i)
+        src.pulseAt(i * 10 * kPicosecond);
+    run();
+    EXPECT_EQ(trace.count(), 4u);
+}
+
+TEST_F(CellTest, TffOddPulseCountRoundsDown)
+{
+    auto &tff = nl.create<Tff>("tff");
+    auto &src = nl.create<PulseSource>("src");
+    src.out.connect(tff.in);
+    tff.out.connect(trace.input());
+    for (int i = 1; i <= 7; ++i)
+        src.pulseAt(i * 10 * kPicosecond);
+    run();
+    EXPECT_EQ(trace.count(), 3u);
+    EXPECT_TRUE(tff.state()); // half a toggle left inside
+}
+
+// --- TFF2 ----------------------------------------------------------------------
+
+TEST_F(CellTest, Tff2AlternatesOutputs)
+{
+    auto &tff2 = nl.create<Tff2>("tff2");
+    auto &src = nl.create<PulseSource>("src");
+    PulseTrace t2;
+    src.out.connect(tff2.in);
+    tff2.q1.connect(trace.input());
+    tff2.q2.connect(t2.input());
+    for (int i = 1; i <= 6; ++i)
+        src.pulseAt(i * 30 * kPicosecond);
+    run();
+    EXPECT_EQ(trace.count(), 3u); // pulses 1, 3, 5
+    EXPECT_EQ(t2.count(), 3u);    // pulses 2, 4, 6
+    // q1 sees the odd pulses.
+    EXPECT_EQ(trace.times()[0], 30 * kPicosecond + cell::kTff2Delay);
+    EXPECT_EQ(t2.times()[0], 60 * kPicosecond + cell::kTff2Delay);
+}
+
+TEST_F(CellTest, Tff2ConservesPulses)
+{
+    auto &tff2 = nl.create<Tff2>("tff2");
+    auto &src = nl.create<PulseSource>("src");
+    PulseTrace t2;
+    src.out.connect(tff2.in);
+    tff2.q1.connect(trace.input());
+    tff2.q2.connect(t2.input());
+    for (int i = 1; i <= 11; ++i)
+        src.pulseAt(i * 25 * kPicosecond);
+    run();
+    EXPECT_EQ(trace.count() + t2.count(), 11u);
+    EXPECT_EQ(trace.count(), 6u);
+}
+
+// --- NDRO -----------------------------------------------------------------------
+
+TEST_F(CellTest, NdroNonDestructiveRead)
+{
+    auto &ndro = nl.create<Ndro>("ndro");
+    auto &ss = nl.create<PulseSource>("ss");
+    auto &sc = nl.create<PulseSource>("sc");
+    ss.out.connect(ndro.s);
+    sc.out.connect(ndro.clk);
+    ndro.q.connect(trace.input());
+    ss.pulseAt(10 * kPicosecond);
+    sc.pulsesAt({20 * kPicosecond, 30 * kPicosecond, 40 * kPicosecond});
+    run();
+    EXPECT_EQ(trace.count(), 3u); // read does not clear the loop
+    EXPECT_TRUE(ndro.state());
+}
+
+TEST_F(CellTest, NdroResetStopsOutput)
+{
+    auto &ndro = nl.create<Ndro>("ndro");
+    auto &ss = nl.create<PulseSource>("ss");
+    auto &sr = nl.create<PulseSource>("sr");
+    auto &sc = nl.create<PulseSource>("sc");
+    ss.out.connect(ndro.s);
+    sr.out.connect(ndro.r);
+    sc.out.connect(ndro.clk);
+    ndro.q.connect(trace.input());
+    ss.pulseAt(10 * kPicosecond);
+    sc.pulseAt(20 * kPicosecond);  // passes
+    sr.pulseAt(25 * kPicosecond);  // reset
+    sc.pulseAt(30 * kPicosecond);  // blocked
+    run();
+    EXPECT_EQ(trace.count(), 1u);
+    EXPECT_FALSE(ndro.state());
+}
+
+TEST_F(CellTest, NdroPresetActsAsMemoryBit)
+{
+    auto &ndro = nl.create<Ndro>("ndro");
+    auto &sc = nl.create<PulseSource>("sc");
+    sc.out.connect(ndro.clk);
+    ndro.q.connect(trace.input());
+    ndro.preset(true);
+    sc.pulseAt(10 * kPicosecond);
+    run();
+    EXPECT_EQ(trace.count(), 1u);
+}
+
+// --- Inverter -------------------------------------------------------------------
+
+TEST_F(CellTest, InverterEmitsWhenNoData)
+{
+    auto &inv = nl.create<Inverter>("inv");
+    auto &sc = nl.create<PulseSource>("sc");
+    sc.out.connect(inv.clk);
+    inv.q.connect(trace.input());
+    sc.pulsesAt({10 * kPicosecond, 20 * kPicosecond});
+    run();
+    EXPECT_EQ(trace.count(), 2u);
+    EXPECT_EQ(trace.times()[0], 10 * kPicosecond + cell::kInverterDelay);
+}
+
+TEST_F(CellTest, InverterSuppressedByData)
+{
+    auto &inv = nl.create<Inverter>("inv");
+    auto &sd = nl.create<PulseSource>("sd");
+    auto &sc = nl.create<PulseSource>("sc");
+    sd.out.connect(inv.d);
+    sc.out.connect(inv.clk);
+    inv.q.connect(trace.input());
+    sd.pulseAt(5 * kPicosecond);
+    sc.pulseAt(10 * kPicosecond);  // suppressed
+    sc.pulseAt(20 * kPicosecond);  // emits (no new data)
+    sd.pulseAt(25 * kPicosecond);
+    sc.pulseAt(30 * kPicosecond);  // suppressed
+    run();
+    EXPECT_EQ(trace.count(), 1u);
+    EXPECT_EQ(trace.times()[0], 20 * kPicosecond + cell::kInverterDelay);
+}
+
+// --- BFF -----------------------------------------------------------------------
+
+TEST_F(CellTest, BffTransitionEmitsOnQ)
+{
+    auto &bff = nl.create<Bff>("bff");
+    auto &s = nl.create<PulseSource>("s");
+    PulseTrace tq1, tnq1;
+    s.out.connect(bff.s1);
+    bff.q1.connect(tq1.input());
+    bff.nq1.connect(tnq1.input());
+    s.pulseAt(10 * kPicosecond); // 0 -> 1: q1
+    s.pulseAt(40 * kPicosecond); // already 1: escapes at nq1
+    run();
+    EXPECT_EQ(tq1.count(), 1u);
+    EXPECT_EQ(tnq1.count(), 1u);
+    EXPECT_TRUE(bff.state());
+}
+
+TEST_F(CellTest, BffSecondSideResets)
+{
+    auto &bff = nl.create<Bff>("bff");
+    auto &s = nl.create<PulseSource>("s");
+    auto &r = nl.create<PulseSource>("r");
+    PulseTrace tq2;
+    s.out.connect(bff.s1);
+    r.out.connect(bff.r2);
+    bff.q2.connect(tq2.input());
+    s.pulseAt(10 * kPicosecond);  // 0 -> 1
+    r.pulseAt(40 * kPicosecond);  // 1 -> 0: q2 fires
+    run();
+    EXPECT_EQ(tq2.count(), 1u);
+    EXPECT_FALSE(bff.state());
+}
+
+TEST_F(CellTest, BffIgnoresInputDuringDeadTime)
+{
+    // Paper case (iii): a pulse arriving while the quantizing loop is
+    // transitioning is not registered.
+    auto &bff = nl.create<Bff>("bff");
+    auto &s = nl.create<PulseSource>("s");
+    auto &r = nl.create<PulseSource>("r");
+    s.out.connect(bff.s1);
+    r.out.connect(bff.r2);
+    s.pulseAt(10 * kPicosecond);
+    r.pulseAt(10 * kPicosecond + cell::kBffDeadTime / 2); // inside dead time
+    run();
+    EXPECT_TRUE(bff.state()); // reset was ignored
+    EXPECT_EQ(bff.ignoredInputs(), 1u);
+}
+
+TEST_F(CellTest, BffAcceptsInputAfterDeadTime)
+{
+    auto &bff = nl.create<Bff>("bff");
+    auto &s = nl.create<PulseSource>("s");
+    auto &r = nl.create<PulseSource>("r");
+    s.out.connect(bff.s1);
+    r.out.connect(bff.r2);
+    s.pulseAt(10 * kPicosecond);
+    r.pulseAt(10 * kPicosecond + cell::kBffDeadTime);
+    run();
+    EXPECT_FALSE(bff.state());
+    EXPECT_EQ(bff.ignoredInputs(), 0u);
+}
+
+// --- FirstArrival / LastArrival ---------------------------------------------------
+
+TEST_F(CellTest, FirstArrivalComputesRaceLogicMin)
+{
+    // Paper Fig. 2a: min(A=2, B=3) -> output at slot 2.
+    auto &fa = nl.create<FirstArrival>("fa");
+    auto &sa = nl.create<PulseSource>("sa");
+    auto &sb = nl.create<PulseSource>("sb");
+    sa.out.connect(fa.inA);
+    sb.out.connect(fa.inB);
+    fa.out.connect(trace.input());
+    sa.pulseAt(2 * 100 * kPicosecond);
+    sb.pulseAt(3 * 100 * kPicosecond);
+    run();
+    ASSERT_EQ(trace.count(), 1u);
+    EXPECT_EQ(trace.times()[0],
+              2 * 100 * kPicosecond + cell::kFirstArrivalDelay);
+}
+
+TEST_F(CellTest, LastArrivalComputesRaceLogicMax)
+{
+    auto &la = nl.create<LastArrival>("la");
+    auto &sa = nl.create<PulseSource>("sa");
+    auto &sb = nl.create<PulseSource>("sb");
+    sa.out.connect(la.inA);
+    sb.out.connect(la.inB);
+    la.out.connect(trace.input());
+    sa.pulseAt(200 * kPicosecond);
+    sb.pulseAt(500 * kPicosecond);
+    run();
+    ASSERT_EQ(trace.count(), 1u);
+    EXPECT_EQ(trace.times()[0],
+              500 * kPicosecond + cell::kLastArrivalDelay);
+}
+
+TEST_F(CellTest, LastArrivalSilentWithOneInput)
+{
+    auto &la = nl.create<LastArrival>("la");
+    auto &sa = nl.create<PulseSource>("sa");
+    sa.out.connect(la.inA);
+    la.out.connect(trace.input());
+    sa.pulseAt(100 * kPicosecond);
+    run();
+    EXPECT_EQ(trace.count(), 0u);
+}
+
+// --- Mux / Demux --------------------------------------------------------------------
+
+TEST_F(CellTest, DemuxRoutesBySelection)
+{
+    auto &dm = nl.create<Demux>("dm");
+    auto &sd = nl.create<PulseSource>("sd");
+    auto &ssel = nl.create<PulseSource>("ssel");
+    PulseTrace t1;
+    sd.out.connect(dm.in);
+    ssel.out.connect(dm.sel1);
+    dm.out0.connect(trace.input());
+    dm.out1.connect(t1.input());
+    sd.pulseAt(10 * kPicosecond);   // sel=0 -> out0
+    ssel.pulseAt(20 * kPicosecond); // switch to out1
+    sd.pulseAt(30 * kPicosecond);   // -> out1
+    run();
+    EXPECT_EQ(trace.count(), 1u);
+    EXPECT_EQ(t1.count(), 1u);
+}
+
+TEST_F(CellTest, MuxPassesSelectedInputOnly)
+{
+    auto &mux = nl.create<Mux>("mux");
+    auto &s0 = nl.create<PulseSource>("s0");
+    auto &s1 = nl.create<PulseSource>("s1");
+    auto &ssel = nl.create<PulseSource>("ssel");
+    s0.out.connect(mux.in0);
+    s1.out.connect(mux.in1);
+    ssel.out.connect(mux.sel1);
+    mux.out.connect(trace.input());
+    s0.pulseAt(10 * kPicosecond);   // selected (sel=0): passes
+    s1.pulseAt(15 * kPicosecond);   // deselected: blocked
+    ssel.pulseAt(20 * kPicosecond);
+    s1.pulseAt(30 * kPicosecond);   // now selected: passes
+    s0.pulseAt(35 * kPicosecond);   // blocked
+    run();
+    EXPECT_EQ(trace.count(), 2u);
+}
+
+// --- Cell areas (paper Table 1 context) -------------------------------------------
+
+TEST(CellArea, PaperQuotedCounts)
+{
+    EXPECT_EQ(cell::kMergerJJs, 5);        // Fig. 5 caption
+    EXPECT_EQ(cell::kFirstArrivalJJs, 8);  // Section 2.2.1
+}
+
+TEST(CellArea, SwitchesPerOpIsSaneFraction)
+{
+    for (int jj = 2; jj <= 16; ++jj) {
+        const int s = cell::switchesPerOp(jj);
+        EXPECT_GE(s, 2);
+        EXPECT_LE(s, jj);
+    }
+}
+
+} // namespace
+} // namespace usfq

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the event kernel: ordering, determinism, ports/wires,
+ * netlist ownership and accounting, and pulse traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/netlist.hh"
+#include "sim/port.hh"
+#include "sim/trace.hh"
+#include "sfq/cells.hh"
+#include "sfq/sources.hh"
+
+namespace usfq
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, FifoWithinSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        eq.scheduleAfter(4, [&] { fired = 1; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 5);
+}
+
+TEST(EventQueue, RunUntilStopsEarly)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 10; t <= 100; t += 10)
+        eq.schedule(t, [&] { ++count; });
+    eq.run(50);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.pending(), 5u);
+    eq.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.run(1000);
+    EXPECT_EQ(eq.now(), 1000);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    eq.schedule(20, [] {});
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(Ports, WireDelayApplied)
+{
+    Netlist nl;
+    PulseTrace trace;
+    OutputPort out("o", &nl.queue());
+    out.connect(trace.input(), 7);
+    nl.queue().schedule(3, [&] { out.emit(3); });
+    nl.queue().run();
+    ASSERT_EQ(trace.count(), 1u);
+    EXPECT_EQ(trace.times()[0], 10);
+}
+
+TEST(Ports, FanOutDeliversToAll)
+{
+    Netlist nl;
+    PulseTrace t1, t2, t3;
+    OutputPort out("o", &nl.queue());
+    out.connect(t1.input(), 1);
+    out.connect(t2.input(), 2);
+    out.connect(t3.input(), 3);
+    out.emit(0);
+    nl.queue().run();
+    EXPECT_EQ(t1.count(), 1u);
+    EXPECT_EQ(t2.count(), 1u);
+    EXPECT_EQ(t3.count(), 1u);
+    EXPECT_EQ(out.fanout(), 3u);
+    EXPECT_EQ(out.pulseCount(), 1u);
+}
+
+TEST(Netlist, OwnsComponentsAndCountsJJs)
+{
+    Netlist nl;
+    nl.create<Jtl>("j1");
+    nl.create<Merger>("m1");
+    nl.create<Ndro>("n1");
+    EXPECT_EQ(nl.numComponents(), 3u);
+    EXPECT_EQ(nl.totalJJs(),
+              cell::kJtlJJs + cell::kMergerJJs + cell::kNdroJJs);
+}
+
+TEST(Netlist, SwitchAccountingAccumulates)
+{
+    Netlist nl;
+    auto &jtl = nl.create<Jtl>("j");
+    auto &src = nl.create<PulseSource>("src");
+    src.out.connect(jtl.in);
+    src.pulsesAt({10, 20, 30});
+    nl.queue().run();
+    EXPECT_EQ(nl.totalSwitches(),
+              3u * cell::switchesPerOp(cell::kJtlJJs));
+    nl.resetAll();
+    EXPECT_EQ(nl.totalSwitches(), 0u);
+}
+
+TEST(Netlist, ResetAllResetsComponentsAndQueue)
+{
+    Netlist nl;
+    auto &ndro = nl.create<Ndro>("n");
+    auto &src = nl.create<PulseSource>("src");
+    src.out.connect(ndro.s);
+    src.pulseAt(5);
+    nl.queue().run();
+    EXPECT_TRUE(ndro.state());
+    nl.resetAll();
+    EXPECT_FALSE(ndro.state());
+    EXPECT_EQ(nl.queue().now(), 0);
+}
+
+TEST(Trace, WindowCountAndSpacing)
+{
+    PulseTrace tr;
+    tr.input().receive(10);
+    tr.input().receive(30);
+    tr.input().receive(35);
+    EXPECT_EQ(tr.count(), 3u);
+    EXPECT_EQ(tr.countInWindow(0, 31), 2u);
+    EXPECT_EQ(tr.countInWindow(30, 36), 2u);
+    EXPECT_EQ(tr.first(), 10);
+    EXPECT_EQ(tr.last(), 35);
+    EXPECT_EQ(tr.minSpacing(), 5);
+    tr.clear();
+    EXPECT_EQ(tr.count(), 0u);
+    EXPECT_EQ(tr.first(), kTickInvalid);
+    EXPECT_EQ(tr.minSpacing(), kTickInvalid);
+}
+
+TEST(Sources, ClockSourceEmitsPeriodicTrain)
+{
+    Netlist nl;
+    auto &clk = nl.create<ClockSource>("clk");
+    PulseTrace tr;
+    clk.out.connect(tr.input());
+    clk.program(100, 50, 5);
+    nl.queue().run();
+    ASSERT_EQ(tr.count(), 5u);
+    EXPECT_EQ(tr.times()[0], 100);
+    EXPECT_EQ(tr.times()[4], 300);
+    EXPECT_EQ(tr.minSpacing(), 50);
+}
+
+} // namespace
+} // namespace usfq
