@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_counting_networks.dir/abl_counting_networks.cpp.o"
+  "CMakeFiles/abl_counting_networks.dir/abl_counting_networks.cpp.o.d"
+  "abl_counting_networks"
+  "abl_counting_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_counting_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

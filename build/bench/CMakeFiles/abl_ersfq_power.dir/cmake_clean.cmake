@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ersfq_power.dir/abl_ersfq_power.cpp.o"
+  "CMakeFiles/abl_ersfq_power.dir/abl_ersfq_power.cpp.o.d"
+  "abl_ersfq_power"
+  "abl_ersfq_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ersfq_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pnm_accuracy.dir/abl_pnm_accuracy.cpp.o"
+  "CMakeFiles/abl_pnm_accuracy.dir/abl_pnm_accuracy.cpp.o.d"
+  "abl_pnm_accuracy"
+  "abl_pnm_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pnm_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

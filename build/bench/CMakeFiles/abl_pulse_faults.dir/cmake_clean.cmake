@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pulse_faults.dir/abl_pulse_faults.cpp.o"
+  "CMakeFiles/abl_pulse_faults.dir/abl_pulse_faults.cpp.o.d"
+  "abl_pulse_faults"
+  "abl_pulse_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pulse_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

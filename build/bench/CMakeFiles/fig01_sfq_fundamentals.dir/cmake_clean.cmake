@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_sfq_fundamentals.dir/fig01_sfq_fundamentals.cpp.o"
+  "CMakeFiles/fig01_sfq_fundamentals.dir/fig01_sfq_fundamentals.cpp.o.d"
+  "fig01_sfq_fundamentals"
+  "fig01_sfq_fundamentals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sfq_fundamentals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

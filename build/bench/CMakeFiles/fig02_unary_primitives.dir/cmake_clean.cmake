@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_unary_primitives.dir/fig02_unary_primitives.cpp.o"
+  "CMakeFiles/fig02_unary_primitives.dir/fig02_unary_primitives.cpp.o.d"
+  "fig02_unary_primitives"
+  "fig02_unary_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_unary_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

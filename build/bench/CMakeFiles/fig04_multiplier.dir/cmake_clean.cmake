@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_multiplier.dir/fig04_multiplier.cpp.o"
+  "CMakeFiles/fig04_multiplier.dir/fig04_multiplier.cpp.o.d"
+  "fig04_multiplier"
+  "fig04_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_merger_collisions.dir/fig05_merger_collisions.cpp.o"
+  "CMakeFiles/fig05_merger_collisions.dir/fig05_merger_collisions.cpp.o.d"
+  "fig05_merger_collisions"
+  "fig05_merger_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_merger_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_balancer_waveforms.dir/fig07_balancer_waveforms.cpp.o"
+  "CMakeFiles/fig07_balancer_waveforms.dir/fig07_balancer_waveforms.cpp.o.d"
+  "fig07_balancer_waveforms"
+  "fig07_balancer_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_balancer_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_adders.dir/fig08_adders.cpp.o"
+  "CMakeFiles/fig08_adders.dir/fig08_adders.cpp.o.d"
+  "fig08_adders"
+  "fig08_adders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

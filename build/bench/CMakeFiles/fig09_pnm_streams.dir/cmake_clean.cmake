@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pnm_streams.dir/fig09_pnm_streams.cpp.o"
+  "CMakeFiles/fig09_pnm_streams.dir/fig09_pnm_streams.cpp.o.d"
+  "fig09_pnm_streams"
+  "fig09_pnm_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pnm_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

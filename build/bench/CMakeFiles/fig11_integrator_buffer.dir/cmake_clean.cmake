@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_integrator_buffer.dir/fig11_integrator_buffer.cpp.o"
+  "CMakeFiles/fig11_integrator_buffer.dir/fig11_integrator_buffer.cpp.o.d"
+  "fig11_integrator_buffer"
+  "fig11_integrator_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_integrator_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_shift_register_area.dir/fig12_shift_register_area.cpp.o"
+  "CMakeFiles/fig12_shift_register_area.dir/fig12_shift_register_area.cpp.o.d"
+  "fig12_shift_register_area"
+  "fig12_shift_register_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_shift_register_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

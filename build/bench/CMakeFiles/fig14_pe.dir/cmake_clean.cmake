@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pe.dir/fig14_pe.cpp.o"
+  "CMakeFiles/fig14_pe.dir/fig14_pe.cpp.o.d"
+  "fig14_pe"
+  "fig14_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_dpu_area.dir/fig16_dpu_area.cpp.o"
+  "CMakeFiles/fig16_dpu_area.dir/fig16_dpu_area.cpp.o.d"
+  "fig16_dpu_area"
+  "fig16_dpu_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_dpu_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

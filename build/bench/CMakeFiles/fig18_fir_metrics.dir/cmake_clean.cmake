@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_fir_metrics.dir/fig18_fir_metrics.cpp.o"
+  "CMakeFiles/fig18_fir_metrics.dir/fig18_fir_metrics.cpp.o.d"
+  "fig18_fir_metrics"
+  "fig18_fir_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_fir_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_design_space.dir/fig20_design_space.cpp.o"
+  "CMakeFiles/fig20_design_space.dir/fig20_design_space.cpp.o.d"
+  "fig20_design_space"
+  "fig20_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_multiplier_power.dir/fig21_multiplier_power.cpp.o"
+  "CMakeFiles/fig21_multiplier_power.dir/fig21_multiplier_power.cpp.o.d"
+  "fig21_multiplier_power"
+  "fig21_multiplier_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_multiplier_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_cell_library.dir/tab1_cell_library.cpp.o"
+  "CMakeFiles/tab1_cell_library.dir/tab1_cell_library.cpp.o.d"
+  "tab1_cell_library"
+  "tab1_cell_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_cell_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

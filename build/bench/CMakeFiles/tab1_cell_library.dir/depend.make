@@ -1,0 +1,2 @@
+# Empty dependencies file for tab1_cell_library.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_soa_baselines.dir/tab2_soa_baselines.cpp.o"
+  "CMakeFiles/tab2_soa_baselines.dir/tab2_soa_baselines.cpp.o.d"
+  "tab2_soa_baselines"
+  "tab2_soa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_soa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_dpu_power.dir/tab3_dpu_power.cpp.o"
+  "CMakeFiles/tab3_dpu_power.dir/tab3_dpu_power.cpp.o.d"
+  "tab3_dpu_power"
+  "tab3_dpu_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_dpu_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_mlp.dir/dpu_mlp.cpp.o"
+  "CMakeFiles/dpu_mlp.dir/dpu_mlp.cpp.o.d"
+  "dpu_mlp"
+  "dpu_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

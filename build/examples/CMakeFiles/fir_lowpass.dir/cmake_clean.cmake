@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_lowpass.dir/fir_lowpass.cpp.o"
+  "CMakeFiles/fir_lowpass.dir/fir_lowpass.cpp.o.d"
+  "fir_lowpass"
+  "fir_lowpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_lowpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_array_conv.dir/pe_array_conv.cpp.o"
+  "CMakeFiles/pe_array_conv.dir/pe_array_conv.cpp.o.d"
+  "pe_array_conv"
+  "pe_array_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_array_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

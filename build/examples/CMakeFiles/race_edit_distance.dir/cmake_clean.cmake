@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_edit_distance.dir/race_edit_distance.cpp.o"
+  "CMakeFiles/race_edit_distance.dir/race_edit_distance.cpp.o.d"
+  "race_edit_distance"
+  "race_edit_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_edit_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

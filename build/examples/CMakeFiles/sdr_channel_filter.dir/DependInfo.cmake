@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sdr_channel_filter.cpp" "examples/CMakeFiles/sdr_channel_filter.dir/sdr_channel_filter.cpp.o" "gcc" "examples/CMakeFiles/sdr_channel_filter.dir/sdr_channel_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/usfq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/usfq_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/usfq_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/soa/CMakeFiles/usfq_soa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/usfq_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/usfq_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfq/CMakeFiles/usfq_sfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/usfq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/usfq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

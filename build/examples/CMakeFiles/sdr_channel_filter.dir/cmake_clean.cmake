@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_channel_filter.dir/sdr_channel_filter.cpp.o"
+  "CMakeFiles/sdr_channel_filter.dir/sdr_channel_filter.cpp.o.d"
+  "sdr_channel_filter"
+  "sdr_channel_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_channel_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usfq_calc.dir/usfq_calc.cpp.o"
+  "CMakeFiles/usfq_calc.dir/usfq_calc.cpp.o.d"
+  "usfq_calc"
+  "usfq_calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usfq_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

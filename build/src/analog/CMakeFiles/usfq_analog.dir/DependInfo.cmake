@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/circuits.cc" "src/analog/CMakeFiles/usfq_analog.dir/circuits.cc.o" "gcc" "src/analog/CMakeFiles/usfq_analog.dir/circuits.cc.o.d"
+  "/root/repo/src/analog/rsj.cc" "src/analog/CMakeFiles/usfq_analog.dir/rsj.cc.o" "gcc" "src/analog/CMakeFiles/usfq_analog.dir/rsj.cc.o.d"
+  "/root/repo/src/analog/waveform.cc" "src/analog/CMakeFiles/usfq_analog.dir/waveform.cc.o" "gcc" "src/analog/CMakeFiles/usfq_analog.dir/waveform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/usfq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usfq_analog.dir/circuits.cc.o"
+  "CMakeFiles/usfq_analog.dir/circuits.cc.o.d"
+  "CMakeFiles/usfq_analog.dir/rsj.cc.o"
+  "CMakeFiles/usfq_analog.dir/rsj.cc.o.d"
+  "CMakeFiles/usfq_analog.dir/waveform.cc.o"
+  "CMakeFiles/usfq_analog.dir/waveform.cc.o.d"
+  "libusfq_analog.a"
+  "libusfq_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usfq_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/binary_models.cc" "src/baseline/CMakeFiles/usfq_baseline.dir/binary_models.cc.o" "gcc" "src/baseline/CMakeFiles/usfq_baseline.dir/binary_models.cc.o.d"
+  "/root/repo/src/baseline/fixed_point_fir.cc" "src/baseline/CMakeFiles/usfq_baseline.dir/fixed_point_fir.cc.o" "gcc" "src/baseline/CMakeFiles/usfq_baseline.dir/fixed_point_fir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soa/CMakeFiles/usfq_soa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfq/CMakeFiles/usfq_sfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/usfq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/usfq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usfq_baseline.dir/binary_models.cc.o"
+  "CMakeFiles/usfq_baseline.dir/binary_models.cc.o.d"
+  "CMakeFiles/usfq_baseline.dir/fixed_point_fir.cc.o"
+  "CMakeFiles/usfq_baseline.dir/fixed_point_fir.cc.o.d"
+  "libusfq_baseline.a"
+  "libusfq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usfq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adder.cc" "src/core/CMakeFiles/usfq_core.dir/adder.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/adder.cc.o.d"
+  "/root/repo/src/core/bitonic.cc" "src/core/CMakeFiles/usfq_core.dir/bitonic.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/bitonic.cc.o.d"
+  "/root/repo/src/core/converters.cc" "src/core/CMakeFiles/usfq_core.dir/converters.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/converters.cc.o.d"
+  "/root/repo/src/core/dpu.cc" "src/core/CMakeFiles/usfq_core.dir/dpu.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/dpu.cc.o.d"
+  "/root/repo/src/core/encoding.cc" "src/core/CMakeFiles/usfq_core.dir/encoding.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/encoding.cc.o.d"
+  "/root/repo/src/core/fanout.cc" "src/core/CMakeFiles/usfq_core.dir/fanout.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/fanout.cc.o.d"
+  "/root/repo/src/core/fir.cc" "src/core/CMakeFiles/usfq_core.dir/fir.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/fir.cc.o.d"
+  "/root/repo/src/core/memory.cc" "src/core/CMakeFiles/usfq_core.dir/memory.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/memory.cc.o.d"
+  "/root/repo/src/core/multiplier.cc" "src/core/CMakeFiles/usfq_core.dir/multiplier.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/multiplier.cc.o.d"
+  "/root/repo/src/core/pe.cc" "src/core/CMakeFiles/usfq_core.dir/pe.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/pe.cc.o.d"
+  "/root/repo/src/core/pnm.cc" "src/core/CMakeFiles/usfq_core.dir/pnm.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/pnm.cc.o.d"
+  "/root/repo/src/core/racelogic.cc" "src/core/CMakeFiles/usfq_core.dir/racelogic.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/racelogic.cc.o.d"
+  "/root/repo/src/core/shift_register.cc" "src/core/CMakeFiles/usfq_core.dir/shift_register.cc.o" "gcc" "src/core/CMakeFiles/usfq_core.dir/shift_register.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfq/CMakeFiles/usfq_sfq.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/usfq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/usfq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usfq_core.dir/adder.cc.o"
+  "CMakeFiles/usfq_core.dir/adder.cc.o.d"
+  "CMakeFiles/usfq_core.dir/bitonic.cc.o"
+  "CMakeFiles/usfq_core.dir/bitonic.cc.o.d"
+  "CMakeFiles/usfq_core.dir/converters.cc.o"
+  "CMakeFiles/usfq_core.dir/converters.cc.o.d"
+  "CMakeFiles/usfq_core.dir/dpu.cc.o"
+  "CMakeFiles/usfq_core.dir/dpu.cc.o.d"
+  "CMakeFiles/usfq_core.dir/encoding.cc.o"
+  "CMakeFiles/usfq_core.dir/encoding.cc.o.d"
+  "CMakeFiles/usfq_core.dir/fanout.cc.o"
+  "CMakeFiles/usfq_core.dir/fanout.cc.o.d"
+  "CMakeFiles/usfq_core.dir/fir.cc.o"
+  "CMakeFiles/usfq_core.dir/fir.cc.o.d"
+  "CMakeFiles/usfq_core.dir/memory.cc.o"
+  "CMakeFiles/usfq_core.dir/memory.cc.o.d"
+  "CMakeFiles/usfq_core.dir/multiplier.cc.o"
+  "CMakeFiles/usfq_core.dir/multiplier.cc.o.d"
+  "CMakeFiles/usfq_core.dir/pe.cc.o"
+  "CMakeFiles/usfq_core.dir/pe.cc.o.d"
+  "CMakeFiles/usfq_core.dir/pnm.cc.o"
+  "CMakeFiles/usfq_core.dir/pnm.cc.o.d"
+  "CMakeFiles/usfq_core.dir/racelogic.cc.o"
+  "CMakeFiles/usfq_core.dir/racelogic.cc.o.d"
+  "CMakeFiles/usfq_core.dir/shift_register.cc.o"
+  "CMakeFiles/usfq_core.dir/shift_register.cc.o.d"
+  "libusfq_core.a"
+  "libusfq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usfq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

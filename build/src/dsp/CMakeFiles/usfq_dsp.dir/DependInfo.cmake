@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cc" "src/dsp/CMakeFiles/usfq_dsp.dir/fft.cc.o" "gcc" "src/dsp/CMakeFiles/usfq_dsp.dir/fft.cc.o.d"
+  "/root/repo/src/dsp/fir_design.cc" "src/dsp/CMakeFiles/usfq_dsp.dir/fir_design.cc.o" "gcc" "src/dsp/CMakeFiles/usfq_dsp.dir/fir_design.cc.o.d"
+  "/root/repo/src/dsp/signal.cc" "src/dsp/CMakeFiles/usfq_dsp.dir/signal.cc.o" "gcc" "src/dsp/CMakeFiles/usfq_dsp.dir/signal.cc.o.d"
+  "/root/repo/src/dsp/snr.cc" "src/dsp/CMakeFiles/usfq_dsp.dir/snr.cc.o" "gcc" "src/dsp/CMakeFiles/usfq_dsp.dir/snr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/usfq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

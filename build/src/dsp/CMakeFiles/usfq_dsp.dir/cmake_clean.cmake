@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usfq_dsp.dir/fft.cc.o"
+  "CMakeFiles/usfq_dsp.dir/fft.cc.o.d"
+  "CMakeFiles/usfq_dsp.dir/fir_design.cc.o"
+  "CMakeFiles/usfq_dsp.dir/fir_design.cc.o.d"
+  "CMakeFiles/usfq_dsp.dir/signal.cc.o"
+  "CMakeFiles/usfq_dsp.dir/signal.cc.o.d"
+  "CMakeFiles/usfq_dsp.dir/snr.cc.o"
+  "CMakeFiles/usfq_dsp.dir/snr.cc.o.d"
+  "libusfq_dsp.a"
+  "libusfq_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usfq_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

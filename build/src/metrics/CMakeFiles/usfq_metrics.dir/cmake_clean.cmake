@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usfq_metrics.dir/power.cc.o"
+  "CMakeFiles/usfq_metrics.dir/power.cc.o.d"
+  "libusfq_metrics.a"
+  "libusfq_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usfq_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

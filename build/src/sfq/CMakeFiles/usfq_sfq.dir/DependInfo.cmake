@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfq/cells.cc" "src/sfq/CMakeFiles/usfq_sfq.dir/cells.cc.o" "gcc" "src/sfq/CMakeFiles/usfq_sfq.dir/cells.cc.o.d"
+  "/root/repo/src/sfq/faults.cc" "src/sfq/CMakeFiles/usfq_sfq.dir/faults.cc.o" "gcc" "src/sfq/CMakeFiles/usfq_sfq.dir/faults.cc.o.d"
+  "/root/repo/src/sfq/sources.cc" "src/sfq/CMakeFiles/usfq_sfq.dir/sources.cc.o" "gcc" "src/sfq/CMakeFiles/usfq_sfq.dir/sources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/usfq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/usfq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

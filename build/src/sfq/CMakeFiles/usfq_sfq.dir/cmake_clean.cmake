@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usfq_sfq.dir/cells.cc.o"
+  "CMakeFiles/usfq_sfq.dir/cells.cc.o.d"
+  "CMakeFiles/usfq_sfq.dir/faults.cc.o"
+  "CMakeFiles/usfq_sfq.dir/faults.cc.o.d"
+  "CMakeFiles/usfq_sfq.dir/sources.cc.o"
+  "CMakeFiles/usfq_sfq.dir/sources.cc.o.d"
+  "libusfq_sfq.a"
+  "libusfq_sfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usfq_sfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

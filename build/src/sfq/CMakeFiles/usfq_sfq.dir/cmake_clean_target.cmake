@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libusfq_sfq.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/component.cc" "src/sim/CMakeFiles/usfq_sim.dir/component.cc.o" "gcc" "src/sim/CMakeFiles/usfq_sim.dir/component.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/usfq_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/usfq_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/netlist.cc" "src/sim/CMakeFiles/usfq_sim.dir/netlist.cc.o" "gcc" "src/sim/CMakeFiles/usfq_sim.dir/netlist.cc.o.d"
+  "/root/repo/src/sim/port.cc" "src/sim/CMakeFiles/usfq_sim.dir/port.cc.o" "gcc" "src/sim/CMakeFiles/usfq_sim.dir/port.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/usfq_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/usfq_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/vcd.cc" "src/sim/CMakeFiles/usfq_sim.dir/vcd.cc.o" "gcc" "src/sim/CMakeFiles/usfq_sim.dir/vcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/usfq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usfq_sim.dir/component.cc.o"
+  "CMakeFiles/usfq_sim.dir/component.cc.o.d"
+  "CMakeFiles/usfq_sim.dir/event_queue.cc.o"
+  "CMakeFiles/usfq_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/usfq_sim.dir/netlist.cc.o"
+  "CMakeFiles/usfq_sim.dir/netlist.cc.o.d"
+  "CMakeFiles/usfq_sim.dir/port.cc.o"
+  "CMakeFiles/usfq_sim.dir/port.cc.o.d"
+  "CMakeFiles/usfq_sim.dir/trace.cc.o"
+  "CMakeFiles/usfq_sim.dir/trace.cc.o.d"
+  "CMakeFiles/usfq_sim.dir/vcd.cc.o"
+  "CMakeFiles/usfq_sim.dir/vcd.cc.o.d"
+  "libusfq_sim.a"
+  "libusfq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usfq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

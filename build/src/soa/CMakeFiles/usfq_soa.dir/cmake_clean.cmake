@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usfq_soa.dir/table2.cc.o"
+  "CMakeFiles/usfq_soa.dir/table2.cc.o.d"
+  "libusfq_soa.a"
+  "libusfq_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usfq_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usfq_util.dir/csv.cc.o"
+  "CMakeFiles/usfq_util.dir/csv.cc.o.d"
+  "CMakeFiles/usfq_util.dir/fixed_point.cc.o"
+  "CMakeFiles/usfq_util.dir/fixed_point.cc.o.d"
+  "CMakeFiles/usfq_util.dir/logging.cc.o"
+  "CMakeFiles/usfq_util.dir/logging.cc.o.d"
+  "CMakeFiles/usfq_util.dir/random.cc.o"
+  "CMakeFiles/usfq_util.dir/random.cc.o.d"
+  "CMakeFiles/usfq_util.dir/stats.cc.o"
+  "CMakeFiles/usfq_util.dir/stats.cc.o.d"
+  "CMakeFiles/usfq_util.dir/table.cc.o"
+  "CMakeFiles/usfq_util.dir/table.cc.o.d"
+  "libusfq_util.a"
+  "libusfq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usfq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

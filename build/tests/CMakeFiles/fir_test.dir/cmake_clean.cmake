@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_test.dir/fir_test.cpp.o"
+  "CMakeFiles/fir_test.dir/fir_test.cpp.o.d"
+  "fir_test"
+  "fir_test.pdb"
+  "fir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplier_test.dir/multiplier_test.cpp.o"
+  "CMakeFiles/multiplier_test.dir/multiplier_test.cpp.o.d"
+  "multiplier_test"
+  "multiplier_test.pdb"
+  "multiplier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

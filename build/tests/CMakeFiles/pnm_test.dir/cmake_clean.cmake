@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnm_test.dir/pnm_test.cpp.o"
+  "CMakeFiles/pnm_test.dir/pnm_test.cpp.o.d"
+  "pnm_test"
+  "pnm_test.pdb"
+  "pnm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

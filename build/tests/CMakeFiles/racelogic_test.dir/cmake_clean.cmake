@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/racelogic_test.dir/racelogic_test.cpp.o"
+  "CMakeFiles/racelogic_test.dir/racelogic_test.cpp.o.d"
+  "racelogic_test"
+  "racelogic_test.pdb"
+  "racelogic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/racelogic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
