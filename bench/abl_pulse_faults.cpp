@@ -6,6 +6,11 @@
  * compared against the fault-free run.  Validates that the functional
  * error model's graceful degradation is a property of the hardware,
  * not of the model.
+ *
+ * The (drop rate x seed) Monte-Carlo grid runs as a parallel sweep:
+ * every grid point is a shard with its own netlist and a seed derived
+ * from the shard index, so the table below is bit-identical at any
+ * thread count (sim/sweep.hh).
  */
 
 #include <cmath>
@@ -15,6 +20,7 @@
 #include "bench_common.hh"
 #include "core/fir.hh"
 #include "sfq/faults.hh"
+#include "sim/sweep.hh"
 #include "sim/trace.hh"
 #include "sfq/sources.hh"
 #include "util/stats.hh"
@@ -27,6 +33,9 @@ namespace
 
 constexpr int kTaps = 8;
 constexpr int kBits = 8;
+
+const std::vector<double> kDropRates{0.0, 0.05, 0.10, 0.20, 0.30};
+constexpr std::size_t kSeedsPerRate = 4;
 
 /** Run the pulse-level FIR with per-tap stream fault injectors. */
 std::vector<double>
@@ -116,19 +125,30 @@ main()
 
     const auto clean = runFaultyFir(0.0, 33);
 
+    // One shard per (rate, seed replica) grid point.
+    const auto runs = runSweep(
+        kDropRates.size() * kSeedsPerRate,
+        [](const ShardContext &ctx) {
+            const double rate = kDropRates[ctx.index / kSeedsPerRate];
+            return runFaultyFir(rate, ctx.seed);
+        });
+
     Table table("8-tap, 8-bit pulse-level FIR; moving average of a "
-                "0.2/0.5/0.8 pattern (steady state = 0.5)",
+                "0.2/0.5/0.8 pattern (steady state = 0.5); " +
+                    std::to_string(kSeedsPerRate) + " seeds per rate",
                 {"Drop rate %", "Mean output", "Mean |error| vs clean",
                  "Relative"});
-    for (double rate : {0.0, 0.05, 0.10, 0.20, 0.30}) {
-        const auto y = runFaultyFir(rate, 33);
+    for (std::size_t r = 0; r < kDropRates.size(); ++r) {
         RunningStats err, mean;
-        for (std::size_t i = 0; i < y.size(); ++i) {
-            mean.add(y[i]);
-            err.add(std::fabs(y[i] - clean[i]));
+        for (std::size_t s = 0; s < kSeedsPerRate; ++s) {
+            const auto &y = runs[r * kSeedsPerRate + s];
+            for (std::size_t i = 0; i < y.size(); ++i) {
+                mean.add(y[i]);
+                err.add(std::fabs(y[i] - clean[i]));
+            }
         }
         table.row()
-            .cell(rate * 100, 3)
+            .cell(kDropRates[r] * 100, 3)
             .cell(mean.mean(), 3)
             .cell(err.mean(), 3)
             .cell(bench::times(err.mean() / 0.5));

@@ -8,6 +8,10 @@
  * bits (32 taps) / 12 bits (256 taps); 32-tap unary area wins beyond
  * 9 bits while 256-tap unary always needs more area; unary efficiency
  * is higher below ~12 bits and grows with taps.
+ *
+ * Each (taps, bits) table row is one shard of a parallel sweep
+ * (sim/sweep.hh); rows merge back in order so the tables are
+ * thread-count independent.
  */
 
 #include <cmath>
@@ -17,9 +21,58 @@
 #include "baseline/binary_models.hh"
 #include "bench_common.hh"
 #include "core/fir.hh"
+#include "sim/sweep.hh"
 #include "util/table.hh"
 
 using namespace usfq;
+
+namespace
+{
+
+const std::vector<int> kTapsList{32, 256};
+constexpr int kBitsLo = 4, kBitsHi = 16;
+constexpr std::size_t kBitsCount =
+    static_cast<std::size_t>(kBitsHi - kBitsLo + 1);
+
+/** One table row: every metric for a (taps, bits) design point. */
+struct FirPoint
+{
+    int taps;
+    int bits;
+    double unaryLatencyUs;
+    double binaryLatencyUs;
+    double unaryThroughputGops;
+    double binaryThroughputGops;
+    std::int64_t unaryJJ;
+    double binaryJJ;
+    double unaryEffKopsPerJJ;
+    double binaryEffKopsPerJJ;
+};
+
+FirPoint
+evalPoint(int taps, int bits)
+{
+    const UsfqFirConfig ucfg{.taps = taps, .bits = bits};
+    const UsfqFirModel unary(
+        std::vector<double>(static_cast<std::size_t>(taps),
+                            0.5 / taps),
+        ucfg);
+    const baseline::BinaryFir binary{taps, bits};
+    return FirPoint{
+        .taps = taps,
+        .bits = bits,
+        .unaryLatencyUs = unary.latencyUs(),
+        .binaryLatencyUs = binary.latencyPs() * 1e-6,
+        .unaryThroughputGops = unary.throughputOps() * 1e-9,
+        .binaryThroughputGops = binary.throughputOps() * 1e-9,
+        .unaryJJ = static_cast<std::int64_t>(unary.areaJJ()),
+        .binaryJJ = binary.areaJJ(),
+        .unaryEffKopsPerJJ = unary.efficiencyOpsPerJJ() * 1e-3,
+        .binaryEffKopsPerJJ = binary.efficiencyOpsPerJJ() * 1e-3,
+    };
+}
+
+} // namespace
 
 int
 main()
@@ -28,32 +81,34 @@ main()
                   "latency crossovers at ~9 bits (32 taps) and ~12 "
                   "bits (256 taps); efficiency rises with taps");
 
-    for (int taps : {32, 256}) {
-        Table table("taps = " + std::to_string(taps),
+    // One shard per (taps, bits) row.
+    const auto points = runSweep(
+        kTapsList.size() * kBitsCount, [](const ShardContext &ctx) {
+            const int taps = kTapsList[ctx.index / kBitsCount];
+            const int bits =
+                kBitsLo + static_cast<int>(ctx.index % kBitsCount);
+            return evalPoint(taps, bits);
+        });
+
+    for (std::size_t t = 0; t < kTapsList.size(); ++t) {
+        Table table("taps = " + std::to_string(kTapsList[t]),
                     {"Bits", "U lat (us)", "B lat (us)",
                      "U thr (GOPs)", "B thr (GOPs)", "U JJs", "B JJs",
                      "U eff (kOPs/JJ)", "B eff (kOPs/JJ)", "U wins"});
-        for (int bits = 4; bits <= 16; ++bits) {
-            const UsfqFirConfig ucfg{.taps = taps, .bits = bits};
-            const UsfqFirModel unary(
-                std::vector<double>(static_cast<std::size_t>(taps),
-                                    0.5 / taps),
-                ucfg);
-            const baseline::BinaryFir binary{taps, bits};
-
-            const double u_lat = unary.latencyUs();
-            const double b_lat = binary.latencyPs() * 1e-6;
+        for (std::size_t b = 0; b < kBitsCount; ++b) {
+            const FirPoint &p = points[t * kBitsCount + b];
             table.row()
-                .cell(bits)
-                .cell(u_lat, 4)
-                .cell(b_lat, 4)
-                .cell(unary.throughputOps() * 1e-9, 4)
-                .cell(binary.throughputOps() * 1e-9, 4)
-                .cell(static_cast<std::int64_t>(unary.areaJJ()))
-                .cell(binary.areaJJ(), 5)
-                .cell(unary.efficiencyOpsPerJJ() * 1e-3, 4)
-                .cell(binary.efficiencyOpsPerJJ() * 1e-3, 4)
-                .cell(u_lat < b_lat ? "latency" : "-");
+                .cell(p.bits)
+                .cell(p.unaryLatencyUs, 4)
+                .cell(p.binaryLatencyUs, 4)
+                .cell(p.unaryThroughputGops, 4)
+                .cell(p.binaryThroughputGops, 4)
+                .cell(p.unaryJJ)
+                .cell(p.binaryJJ, 5)
+                .cell(p.unaryEffKopsPerJJ, 4)
+                .cell(p.binaryEffKopsPerJJ, 4)
+                .cell(p.unaryLatencyUs < p.binaryLatencyUs ? "latency"
+                                                           : "-");
         }
         table.print(std::cout);
         std::cout << "\n";

@@ -9,6 +9,11 @@
  * ~40%% area, and 62-89%% efficiency gains; an RTL-2832U-class SDR
  * filter costs ~60%% more area but wins ~80%% efficiency via ~90%%
  * lower latency.
+ *
+ * The grid is evaluated as a parallel sweep (sim/sweep.hh): one shard
+ * per bits row computes all three metrics for every tap count, and the
+ * rows merge back in order, so the heatmaps are thread-count
+ * independent.
  */
 
 #include <cmath>
@@ -18,6 +23,7 @@
 #include "baseline/binary_models.hh"
 #include "bench_common.hh"
 #include "core/fir.hh"
+#include "sim/sweep.hh"
 
 using namespace usfq;
 
@@ -58,23 +64,32 @@ glyph(double gain)
     return '#';
 }
 
+/** One bits row of the design-space grid (all three metrics). */
+struct GridRow
+{
+    int bits;
+    std::vector<double> latency;
+    std::vector<double> area;
+    std::vector<double> efficiency;
+};
+
 void
-printMap(const char *title,
-         double (*metric)(int taps, int bits))
+printMap(const char *title, const std::vector<GridRow> &rows,
+         std::vector<double> GridRow::*metric)
 {
     std::printf("%s\n  ('.' = binary wins; digits = unary gain "
                 "decile; '#' >= 80%%)\n\n  bits ", title);
     for (int taps : kTaps)
         std::printf("%5d", taps);
     std::printf("   <- taps\n");
-    for (int bits = kBitsHi; bits >= kBitsLo; --bits) {
-        std::printf("  %4d ", bits);
-        for (int taps : kTaps)
-            std::printf("    %c", glyph(metric(taps, bits)));
+    for (const GridRow &row : rows) {
+        std::printf("  %4d ", row.bits);
+        for (double gain : row.*metric)
+            std::printf("    %c", glyph(gain));
         // Region annotations per the paper.
-        if (bits == 7)
+        if (row.bits == 7)
             std::printf("   IR sensors: ~30 taps, 6-8 bits");
-        if (bits == 10)
+        if (row.bits == 10)
             std::printf("   SDR: 200-900 taps, 7-14 bits");
         std::printf("\n");
     }
@@ -125,9 +140,25 @@ main()
                   "colored regions = unary gain; IR sensors and SDR "
                   "marked; RTL-2832U class point evaluated");
 
-    printMap("(a) latency gain", latencyGain);
-    printMap("(b) area gain", areaGain);
-    printMap("(c) efficiency gain (throughput per JJ)", efficiencyGain);
+    // One shard per bits row, top row first to match print order.
+    const auto rows = runSweep(
+        static_cast<std::size_t>(kBitsHi - kBitsLo + 1),
+        [](const ShardContext &ctx) {
+            GridRow row;
+            row.bits = kBitsHi - static_cast<int>(ctx.index);
+            for (int taps : kTaps) {
+                row.latency.push_back(latencyGain(taps, row.bits));
+                row.area.push_back(areaGain(taps, row.bits));
+                row.efficiency.push_back(
+                    efficiencyGain(taps, row.bits));
+            }
+            return row;
+        });
+
+    printMap("(a) latency gain", rows, &GridRow::latency);
+    printMap("(b) area gain", rows, &GridRow::area);
+    printMap("(c) efficiency gain (throughput per JJ)", rows,
+             &GridRow::efficiency);
 
     std::printf("application reference points:\n");
     referencePoint("IR sensor filter", 32, 7);

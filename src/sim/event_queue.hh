@@ -7,16 +7,26 @@
  * equal ticks execute in scheduling order (a monotonically increasing
  * sequence number breaks ties), so simulations are bit-exact across runs
  * and platforms.
+ *
+ * Internally this is a calendar queue specialized to SFQ workloads (see
+ * docs/simkernel.md): a ring of per-tick buckets covering a sliding
+ * window of kNumBuckets femtoseconds, an occupancy bitmap to skip empty
+ * ticks, and a min-heap for events beyond the window.  Near-term events
+ * — the overwhelming majority, since cell and wire delays are a few
+ * picoseconds — cost O(1) to schedule and pop, with no allocation for
+ * small callbacks (InlineFunction) and no comparator churn: FIFO order
+ * within a one-tick bucket *is* sequence order.
  */
 
 #ifndef USFQ_SIM_EVENT_QUEUE_HH
 #define USFQ_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "util/types.hh"
 
 namespace usfq
@@ -25,13 +35,31 @@ namespace usfq
 /**
  * A time-ordered queue of callback events.
  *
- * The queue is single-threaded by design; SFQ netlists are small enough
- * that determinism and simplicity beat parallelism here.
+ * The queue is single-threaded by design; parallelism comes from
+ * sharding whole simulations (see sim/sweep.hh), each with a private
+ * EventQueue, which preserves determinism.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFunction<void()>;
+
+    /** Ticks covered by the bucket ring (window width, power of two). */
+    static constexpr std::size_t kNumBuckets = 8192;
+
+    EventQueue();
+    ~EventQueue();
+
+    EventQueue(EventQueue &&) = default;
+    EventQueue &operator=(EventQueue &&) = delete;
+
+    /**
+     * The bucket ring's backing arrays (opaque).  Pooled per thread:
+     * building and tearing down a Netlist per simulation (the standard
+     * sweep pattern) must not pay a fresh multi-hundred-KB allocation
+     * each time.
+     */
+    struct RingBuffers;
 
     /** Current simulation time. */
     Tick now() const { return currentTick; }
@@ -45,10 +73,10 @@ class EventQueue
     }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events.size(); }
+    std::size_t pending() const { return liveRing + overflow.size(); }
 
     /** True if no events remain. */
-    bool empty() const { return events.empty(); }
+    bool empty() const { return pending() == 0; }
 
     /**
      * Run until the queue drains or @p until is reached (inclusive).
@@ -73,18 +101,48 @@ class EventQueue
         Callback cb;
     };
 
-    struct Later
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    static constexpr std::size_t kBucketMask = kNumBuckets - 1;
+    static constexpr std::size_t kBitmapWords = kNumBuckets / 64;
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    /** Append to the ring bucket of @p when (must lie in the window). */
+    void insertRing(Tick when, std::uint64_t seq, Callback cb);
+
+    /** Push onto the beyond-window min-heap. */
+    void overflowPush(Tick when, std::uint64_t seq, Callback cb);
+
+    /** Pop the overflow minimum (heap must be non-empty). */
+    Event overflowPop();
+
+    /**
+     * Re-anchor the window at @p new_base: spill the ring into the
+     * overflow heap, then pull every event below new_base + kNumBuckets
+     * back into buckets in (when, seq) order.  Rare: runs only when the
+     * ring is drained past or an event lands behind the window.
+     */
+    void rebase(Tick new_base);
+
+    /**
+     * Lowest tick with a pending ring event, rebasing from overflow as
+     * needed.  Returns kTickInvalid when the queue is empty.  Updates
+     * cursor to the returned tick.
+     */
+    Tick findNextTick();
+
+    void setBit(std::size_t idx) {
+        bitmap[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+    }
+    void clearBit(std::size_t idx) {
+        bitmap[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+    }
+
+    std::unique_ptr<RingBuffers> ring; ///< pooled per-tick buckets
+    std::array<std::uint64_t, kBitmapWords> bitmap{};
+    std::vector<Event> overflow;       ///< min-heap by (when, seq)
+
+    Tick windowBase = 0;  ///< ring covers [windowBase, +kNumBuckets)
+    Tick cursor = 0;      ///< no pending ring event is below this tick
+    std::size_t liveRing = 0; ///< events currently stored in buckets
+
     Tick currentTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executedCount = 0;

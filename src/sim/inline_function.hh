@@ -1,0 +1,193 @@
+/**
+ * @file
+ * A small-buffer-optimized, move-only callable: the event kernel's
+ * callback type.
+ *
+ * std::function heap-allocates closures beyond its (implementation
+ * defined) inline buffer and pays an indirect "manager" call on every
+ * move — a real cost when events sift through queue buckets millions of
+ * times per run.  InlineFunction stores captures of up to
+ * kInlineCallbackSize bytes (two pointers by default) inline, never
+ * allocating for them, and moves trivially-copyable captures with a
+ * plain memcpy.  Larger or non-trivial callables still work; they take
+ * the heap/manager path that std::function always takes.
+ */
+
+#ifndef USFQ_SIM_INLINE_FUNCTION_HH
+#define USFQ_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace usfq
+{
+
+/** Inline capture budget: two pointers, per the kernel's needs. */
+constexpr std::size_t kInlineCallbackSize = 2 * sizeof(void *);
+
+template <typename Signature, std::size_t InlineSize = kInlineCallbackSize>
+class InlineFunction;
+
+/**
+ * Move-only callable with @p InlineSize bytes of inline storage.
+ *
+ * Three storage classes, chosen at construction:
+ *  - trivial inline: trivially copyable+destructible callables that fit
+ *    the buffer.  manager == nullptr; moves are memcpy, destroy is a
+ *    no-op.  This is the hot path (lambdas capturing pointers/ints).
+ *  - non-trivial inline: fits the buffer but needs real move/destroy;
+ *    dispatched through the manager.
+ *  - heap: everything else; the buffer holds one owning pointer.
+ */
+template <typename R, typename... Args, std::size_t InlineSize>
+class InlineFunction<R(Args...), InlineSize>
+{
+  public:
+    InlineFunction() = default;
+
+    /** Implicit from any compatible callable (like std::function). */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&f)
+    {
+        assign(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { destroy(); }
+
+    /** True if a callable is held. */
+    explicit operator bool() const { return invoke != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return invoke(storage(), std::forward<Args>(args)...);
+    }
+
+    /** True if the callable lives in the inline buffer (no allocation). */
+    bool
+    isInline() const
+    {
+        return invoke != nullptr && !onHeap;
+    }
+
+    void
+    reset()
+    {
+        destroy();
+        invoke = nullptr;
+        manager = nullptr;
+        onHeap = false;
+    }
+
+  private:
+    enum class Op
+    {
+        MoveDestroy, ///< move src storage into dst, then destroy src
+        Destroy,     ///< destroy the callable in src
+    };
+
+    using Invoke = R (*)(void *, Args &&...);
+    using Manager = void (*)(Op, void *dst, void *src);
+
+    void *storage() { return &buffer; }
+    const void *storage() const { return &buffer; }
+
+    template <typename F>
+    void
+    assign(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        constexpr bool fits = sizeof(Fn) <= InlineSize &&
+                              alignof(Fn) <= alignof(std::max_align_t);
+        if constexpr (fits) {
+            ::new (storage()) Fn(std::forward<F>(f));
+            onHeap = false;
+            invoke = [](void *obj, Args &&...args) -> R {
+                return (*static_cast<Fn *>(obj))(
+                    std::forward<Args>(args)...);
+            };
+            if constexpr (std::is_trivially_copyable_v<Fn> &&
+                          std::is_trivially_destructible_v<Fn>) {
+                manager = nullptr; // memcpy-movable, nothing to destroy
+            } else {
+                manager = [](Op op, void *dst, void *src) {
+                    Fn *s = static_cast<Fn *>(src);
+                    if (op == Op::MoveDestroy)
+                        ::new (dst) Fn(std::move(*s));
+                    s->~Fn();
+                };
+            }
+        } else {
+            ::new (storage()) Fn *(new Fn(std::forward<F>(f)));
+            onHeap = true;
+            invoke = [](void *obj, Args &&...args) -> R {
+                return (**static_cast<Fn **>(obj))(
+                    std::forward<Args>(args)...);
+            };
+            manager = [](Op op, void *dst, void *src) {
+                Fn **s = static_cast<Fn **>(src);
+                if (op == Op::MoveDestroy) {
+                    ::new (dst) Fn *(*s);
+                } else {
+                    delete *s;
+                }
+            };
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        invoke = other.invoke;
+        manager = other.manager;
+        onHeap = other.onHeap;
+        if (invoke) {
+            if (manager)
+                manager(Op::MoveDestroy, storage(), other.storage());
+            else
+                std::memcpy(&buffer, &other.buffer, InlineSize);
+        }
+        other.invoke = nullptr;
+        other.manager = nullptr;
+        other.onHeap = false;
+    }
+
+    void
+    destroy()
+    {
+        if (invoke && manager)
+            manager(Op::Destroy, nullptr, storage());
+    }
+
+    // Zero-initialized so whole-buffer moves never read uninitialized
+    // tail bytes (the callable itself may be smaller than the buffer).
+    alignas(std::max_align_t) std::byte buffer[InlineSize] = {};
+    Invoke invoke = nullptr;
+    Manager manager = nullptr;
+    bool onHeap = false;
+};
+
+} // namespace usfq
+
+#endif // USFQ_SIM_INLINE_FUNCTION_HH

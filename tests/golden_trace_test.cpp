@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Golden-trace regression tests: full pulse traces of small canonical
+ * netlists are compared tick-for-tick against checked-in golden files.
+ *
+ * The goldens were generated with the original std::priority_queue
+ * event kernel, so they pin the observable behaviour of the simulator
+ * across kernel rewrites: any change to event ordering, cell timing, or
+ * wire delays shows up as a pulse-level diff.
+ *
+ * Regenerate with:  USFQ_UPDATE_GOLDEN=1 ./golden_trace_test
+ * (then inspect the diff of tests/golden/ before committing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adder.hh"
+#include "core/encoding.hh"
+#include "core/multiplier.hh"
+#include "core/pnm.hh"
+#include "sim/netlist.hh"
+#include "sim/trace.hh"
+#include "sfq/sources.hh"
+
+#ifndef USFQ_GOLDEN_DIR
+#error "USFQ_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace usfq
+{
+namespace
+{
+
+/** One named pulse trace of a scenario. */
+struct Channel
+{
+    std::string name;
+    std::vector<Tick> times;
+};
+
+using Channels = std::vector<Channel>;
+
+std::string
+goldenPath(const std::string &scenario)
+{
+    return std::string(USFQ_GOLDEN_DIR) + "/" + scenario + ".trace";
+}
+
+void
+writeGolden(const std::string &scenario, const Channels &channels)
+{
+    std::ofstream out(goldenPath(scenario));
+    ASSERT_TRUE(out.good()) << "cannot write " << goldenPath(scenario);
+    out << "# usfq golden trace: " << scenario << "\n";
+    out << "# ticks are integer femtoseconds; regenerate with "
+           "USFQ_UPDATE_GOLDEN=1\n";
+    for (const auto &ch : channels) {
+        out << "channel " << ch.name << " " << ch.times.size() << "\n";
+        for (Tick t : ch.times)
+            out << t << "\n";
+    }
+}
+
+bool
+readGolden(const std::string &scenario, Channels &channels)
+{
+    std::ifstream in(goldenPath(scenario));
+    if (!in.good())
+        return false;
+    channels.clear();
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string word;
+        ls >> word;
+        if (word == "channel") {
+            Channel ch;
+            std::size_t count = 0;
+            ls >> ch.name >> count;
+            ch.times.reserve(count);
+            channels.push_back(std::move(ch));
+        } else {
+            if (channels.empty())
+                return false;
+            channels.back().times.push_back(
+                static_cast<Tick>(std::stoll(word)));
+        }
+    }
+    return true;
+}
+
+/** Compare against the golden file, or regenerate it when asked to. */
+void
+checkGolden(const std::string &scenario, const Channels &actual)
+{
+    const char *update = std::getenv("USFQ_UPDATE_GOLDEN");
+    if (update && update[0] == '1') {
+        writeGolden(scenario, actual);
+        SUCCEED() << "regenerated " << goldenPath(scenario);
+        return;
+    }
+
+    Channels expected;
+    ASSERT_TRUE(readGolden(scenario, expected))
+        << "missing golden file " << goldenPath(scenario)
+        << "; run with USFQ_UPDATE_GOLDEN=1 to create it";
+    ASSERT_EQ(expected.size(), actual.size()) << scenario;
+    for (std::size_t c = 0; c < expected.size(); ++c) {
+        const Channel &e = expected[c];
+        const Channel &a = actual[c];
+        EXPECT_EQ(e.name, a.name) << scenario << " channel " << c;
+        ASSERT_EQ(e.times.size(), a.times.size())
+            << scenario << "." << e.name << ": pulse count changed";
+        for (std::size_t i = 0; i < e.times.size(); ++i) {
+            ASSERT_EQ(e.times[i], a.times[i])
+                << scenario << "." << e.name << ": pulse " << i
+                << " moved (golden " << e.times[i] << " fs, got "
+                << a.times[i] << " fs)";
+        }
+    }
+}
+
+// --- canonical netlists ----------------------------------------------------
+
+/** One unipolar multiplier epoch: n-pulse stream gated by an RL pulse. */
+std::vector<Tick>
+runMultiplierEpoch(int bits, int stream_count, int rl_id)
+{
+    const EpochConfig cfg(bits);
+    Netlist nl;
+    auto &mult = nl.create<UnipolarMultiplier>("m");
+    auto &e = nl.create<PulseSource>("e");
+    auto &a = nl.create<PulseSource>("a");
+    auto &b = nl.create<PulseSource>("b");
+    PulseTrace out;
+    e.out.connect(mult.epoch());
+    a.out.connect(mult.streamIn());
+    b.out.connect(mult.rlIn());
+    mult.out().connect(out.input());
+    e.pulseAt(0);
+    a.pulsesAt(cfg.streamTimes(stream_count));
+    b.pulseAt(cfg.rlArrival(rl_id));
+    nl.queue().run();
+    return out.times();
+}
+
+/** 8-input balancer tree summing one stream per input. */
+std::vector<Tick>
+runCountingNetwork(const std::vector<int> &counts)
+{
+    const EpochConfig cfg(6, 40 * kPicosecond);
+    Netlist nl;
+    auto &net = nl.create<TreeCountingNetwork>(
+        "net", static_cast<int>(counts.size()));
+    PulseTrace out;
+    net.out().connect(out.input());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        auto &src = nl.create<PulseSource>("s" + std::to_string(i));
+        src.out.connect(net.in(static_cast<int>(i)));
+        src.pulsesAt(cfg.streamTimes(counts[i]));
+    }
+    nl.queue().run();
+    return out.times();
+}
+
+/** A PNM generating its programmed stream from a divided clock. */
+template <typename Pnm>
+Channels
+runPnm(int bits, int value, int num_epochs)
+{
+    constexpr Tick kTclk = 200 * kPicosecond;
+    Netlist nl;
+    auto &pnm = nl.create<Pnm>("pnm", bits);
+    auto &clk = nl.create<ClockSource>("clk");
+    PulseTrace stream, epochs;
+    clk.out.connect(pnm.clkIn());
+    pnm.out().connect(stream.input());
+    pnm.epochOut().connect(epochs.input());
+    pnm.program(value);
+    clk.program(kTclk, kTclk,
+                static_cast<std::uint64_t>(num_epochs)
+                    << static_cast<unsigned>(bits));
+    nl.queue().run();
+    return {{"stream", stream.times()}, {"epoch", epochs.times()}};
+}
+
+// --- the tests -------------------------------------------------------------
+
+TEST(GoldenTrace, UnipolarMultiplierEpoch)
+{
+    Channels channels;
+    channels.push_back({"out_n32_rl32", runMultiplierEpoch(6, 32, 32)});
+    channels.push_back({"out_n17_rl45", runMultiplierEpoch(6, 17, 45)});
+    channels.push_back({"out_n63_rl1", runMultiplierEpoch(6, 63, 1)});
+    checkGolden("multiplier_epoch", channels);
+}
+
+TEST(GoldenTrace, CountingNetwork8)
+{
+    Channels channels;
+    channels.push_back(
+        {"out_ramp", runCountingNetwork({4, 10, 16, 22, 28, 34, 40, 46})});
+    channels.push_back(
+        {"out_flat", runCountingNetwork({32, 32, 32, 32, 32, 32, 32, 32})});
+    checkGolden("counting_network8", channels);
+}
+
+TEST(GoldenTrace, PnmStreams)
+{
+    Channels channels;
+    for (auto &ch : runPnm<UniformPnm>(6, 23, 2))
+        channels.push_back({"uniform23_" + ch.name, ch.times});
+    for (auto &ch : runPnm<ClassicPnm>(6, 11, 1))
+        channels.push_back({"classic11_" + ch.name, ch.times});
+    checkGolden("pnm_streams", channels);
+}
+
+} // namespace
+} // namespace usfq

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests of InlineFunction, the event kernel's small-buffer-optimized
+ * callback type: storage-class selection around the inline boundary,
+ * move/destroy semantics, and scheduling from within a callback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
+
+namespace usfq
+{
+namespace
+{
+
+using Fn = InlineFunction<int()>;
+
+/** Counts constructions/destructions to audit ownership transfers. */
+struct Tracker
+{
+    static int liveCount;
+    static int moveCount;
+
+    Tracker() { ++liveCount; }
+    Tracker(const Tracker &) { ++liveCount; }
+    Tracker(Tracker &&) noexcept
+    {
+        ++liveCount;
+        ++moveCount;
+    }
+    ~Tracker() { --liveCount; }
+};
+
+int Tracker::liveCount = 0;
+int Tracker::moveCount = 0;
+
+TEST(InlineFunction, EmptyAndInvoke)
+{
+    Fn f;
+    EXPECT_FALSE(static_cast<bool>(f));
+    f = [] { return 42; };
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_EQ(f(), 42);
+    f.reset();
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, ArgumentsAndReturn)
+{
+    InlineFunction<std::int64_t(std::int64_t, std::int64_t)> add =
+        [](std::int64_t a, std::int64_t b) { return a + b; };
+    EXPECT_EQ(add(2, 40), 42);
+}
+
+TEST(InlineFunction, TwoPointerCaptureStaysInline)
+{
+    int a = 1, b = 2;
+    Fn f = [pa = &a, pb = &b] { return *pa + *pb; };
+    EXPECT_TRUE(f.isInline());
+    EXPECT_EQ(f(), 3);
+}
+
+TEST(InlineFunction, CaptureJustPastBoundaryGoesToHeap)
+{
+    // Three pointers: one past the two-pointer inline budget.
+    int a = 1, b = 2, c = 3;
+    Fn small = [pa = &a, pb = &b] { return *pa + *pb; };
+    Fn big = [pa = &a, pb = &b, pc = &c] { return *pa + *pb + *pc; };
+    EXPECT_TRUE(small.isInline());
+    EXPECT_FALSE(big.isInline());
+    EXPECT_EQ(big(), 6);
+}
+
+TEST(InlineFunction, ExactBoundaryCaptureIsInline)
+{
+    struct Exactly16
+    {
+        std::int64_t x;
+        std::int64_t y;
+    } v{40, 2};
+    static_assert(sizeof(Exactly16) == kInlineCallbackSize);
+    Fn f = [v] { return static_cast<int>(v.x + v.y); };
+    EXPECT_TRUE(f.isInline());
+    EXPECT_EQ(f(), 42);
+}
+
+TEST(InlineFunction, MoveTransfersCallableAndEmptiesSource)
+{
+    int hits = 0;
+    InlineFunction<void()> f = [&hits] { ++hits; };
+    InlineFunction<void()> g = std::move(f);
+    EXPECT_FALSE(static_cast<bool>(f));
+    ASSERT_TRUE(static_cast<bool>(g));
+    g();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, NonTrivialInlineCaptureIsDestroyedOnce)
+{
+    Tracker::liveCount = 0;
+    {
+        InlineFunction<int()> f = [t = Tracker()] {
+            (void)t;
+            return Tracker::liveCount;
+        };
+        // A Tracker is 1 byte, so this is inline but non-trivial.
+        EXPECT_TRUE(f.isInline());
+        EXPECT_EQ(Tracker::liveCount, 1);
+        InlineFunction<int()> g = std::move(f);
+        EXPECT_EQ(Tracker::liveCount, 1) << "move must not leak a copy";
+        EXPECT_EQ(g(), 1);
+    }
+    EXPECT_EQ(Tracker::liveCount, 0) << "callable not destroyed";
+}
+
+TEST(InlineFunction, HeapCaptureIsDestroyedOnce)
+{
+    auto shared = std::make_shared<int>(7);
+    {
+        std::string pad = "padding that forces the heap path";
+        InlineFunction<int()> f = [shared, pad] {
+            (void)pad;
+            return *shared;
+        };
+        EXPECT_FALSE(f.isInline());
+        EXPECT_EQ(shared.use_count(), 2);
+        InlineFunction<int()> g = std::move(f);
+        EXPECT_EQ(shared.use_count(), 2) << "heap move must not copy";
+        EXPECT_EQ(g(), 7);
+    }
+    EXPECT_EQ(shared.use_count(), 1) << "callable not destroyed";
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget)
+{
+    auto a = std::make_shared<int>(1);
+    auto b = std::make_shared<int>(2);
+    std::string pad = "padding that forces the heap path";
+    InlineFunction<int()> f = [a, pad] { return *a; };
+    InlineFunction<int()> g = [b, pad] { return *b; };
+    g = std::move(f);
+    EXPECT_EQ(b.use_count(), 1) << "old target leaked";
+    EXPECT_EQ(a.use_count(), 2);
+    EXPECT_EQ(g(), 1);
+}
+
+TEST(InlineFunction, SchedulingFromWithinACallback)
+{
+    // The kernel-facing contract: a callback may schedule further
+    // callbacks (including at the current tick) while it runs, and
+    // captures survive the queue's internal moves.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&eq, &order] {
+        order.push_back(1);
+        eq.schedule(10, [&order] { order.push_back(2); });
+        eq.scheduleAfter(5, [&eq, &order] {
+            order.push_back(3);
+            eq.scheduleAfter(0, [&order] { order.push_back(4); });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(eq.now(), 15);
+}
+
+} // namespace
+} // namespace usfq
