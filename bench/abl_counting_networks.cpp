@@ -50,7 +50,7 @@ runMergerTree(int width)
         for (int k = 0; k < kWaves; ++k)
             src.pulseAt(10 * kPicosecond + k * kSpacing);
     }
-    nl.queue().run();
+    nl.run();
     return {add.jjCount(), static_cast<int>(out.count()),
             width * kWaves};
 }
@@ -68,7 +68,7 @@ runBalancerTree(int width)
         for (int k = 0; k < kWaves; ++k)
             src.pulseAt(10 * kPicosecond + k * kSpacing);
     }
-    nl.queue().run();
+    nl.run();
     // The tree divides by width: the output should carry kWaves.
     return {net.jjCount(), static_cast<int>(out.count()), kWaves};
 }
@@ -90,7 +90,7 @@ runBitonic(int width)
         for (int k = 0; k < kWaves; ++k)
             src.pulseAt(10 * kPicosecond + k * kSpacing);
     }
-    nl.queue().run();
+    nl.run();
     int total = 0;
     for (const auto &t : outs)
         total += static_cast<int>(t->count());

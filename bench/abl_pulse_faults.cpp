@@ -98,7 +98,7 @@ runFaultyFir(double drop_probability, std::uint64_t seed)
         xin.pulseAt(marker + 20 * kPicosecond +
                     ecfg.rlTime(ecfg.rlIdOfUnipolar(x[e])));
     }
-    nl.queue().run();
+    nl.run();
 
     std::vector<double> y;
     for (std::size_t e = kTaps; e < x.size(); ++e) {

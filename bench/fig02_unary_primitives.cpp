@@ -36,7 +36,7 @@ multiplyOnNetlist(const EpochConfig &cfg, double a, double b)
     se.pulseAt(0);
     sa.pulsesAt(cfg.streamTimes(cfg.streamCountOfUnipolar(a)));
     sb.pulseAt(cfg.rlArrival(cfg.rlIdOfUnipolar(b)));
-    nl.queue().run();
+    nl.run();
     return static_cast<int>(out.count());
 }
 
@@ -64,7 +64,7 @@ main()
         fa.out.connect(out.input());
         sa.pulseAt(cfg.rlArrival(2));
         sb.pulseAt(cfg.rlArrival(3));
-        nl.queue().run();
+        nl.run();
         const int slot = cfg.rlSlotOf(out.times().front() -
                                       EpochConfig::kRlPulseOffset -
                                       cell::kFirstArrivalDelay);

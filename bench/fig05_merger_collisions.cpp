@@ -48,7 +48,7 @@ runMerger(int fan_in, bool spaced, int rounds)
             ++sent;
         }
     }
-    nl.queue().run();
+    nl.run();
     return {sent, out.count(), add.collisions()};
 }
 
@@ -75,7 +75,7 @@ main()
             src.out.connect(add.in(i));
             src.pulseAt(at[i]);
         }
-        nl.queue().run();
+        nl.run();
         std::cout << "Fig. 5b scenario (A1 = A2, A3/A4 later): 4 in -> "
                   << out.count() << " out (" << add.collisions()
                   << " collision) -- paper: 3 out\n";

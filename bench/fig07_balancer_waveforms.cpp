@@ -46,7 +46,7 @@ main()
     sa.pulseAt(850 * kPicosecond);  // -> Y1
     sb.pulseAt(1000 * kPicosecond); // -> Y2
 
-    nl.queue().run();
+    nl.run();
 
     std::cout << "pulse bookkeeping: A=" << ta.count()
               << " B=" << tb.count() << "  ->  Y1=" << y1.count()
@@ -72,11 +72,12 @@ main()
     auto &s2 = nl2.create<PulseSource>("s2");
     PulseTrace y1b, y2b;
     s2.out.connect(bal2.inA());
+    bal2.inB().markOptional("dead-time study drives only the A input");
     bal2.y1().connect(y1b.input());
     bal2.y2().connect(y2b.input());
     s2.pulseAt(100 * kPicosecond);
     s2.pulseAt(106 * kPicosecond); // inside the dead time
-    nl2.queue().run();
+    nl2.run();
     std::cout << "  two pulses 6 ps apart: Y1=" << y1b.count()
               << " Y2=" << y2b.count() << ", ignored="
               << bal2.ignoredInputs()

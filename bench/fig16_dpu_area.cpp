@@ -34,6 +34,28 @@ main()
         Netlist nl;
         auto &dpu = nl.create<DotProductUnit>("dpu", taps,
                                               DpuMode::Bipolar);
+        nl.waive(LintRule::DanglingInput,
+                 "area study: the DPU is instantiated unwired");
+        nl.waive(LintRule::OpenOutput,
+                 "area study: the DPU is instantiated unwired");
+        nl.elaborate();
+
+        // The hierarchical rollup must agree with the flat count: the
+        // DPU is the only top-level block, so the root's inclusive JJ
+        // total is exactly totalJJs().
+        const HierReport rollup = nl.report();
+        if (rollup.root.jj != nl.totalJJs()) {
+            std::cerr << "FAIL: report() rollup (" << rollup.root.jj
+                      << " JJs) != totalJJs() (" << nl.totalJJs()
+                      << ") at " << taps << " taps\n";
+            return 1;
+        }
+        if (taps == 16) {
+            std::cout << "Hierarchical JJ rollup (16 taps, two levels; "
+                         "glue JJs show up as JJ > child JJ):\n";
+            rollup.print(std::cout, 2);
+            std::cout << "\n";
+        }
         const double unary = dpu.jjCount();
         std::string wins = "never";
         for (int bits = 4; bits <= 16; ++bits) {
@@ -53,6 +75,8 @@ main()
     }
     table.print(std::cout);
 
+    std::cout << "\nrollup check: the report() root JJ total matches "
+                 "totalJJs() at every vector length.\n";
     std::cout << "\nThe unary column is resolution-independent: the "
                  "same netlist serves every bit width.\nPer-tap unary "
                  "cost = bipolar multiplier (46 JJs) + balancer tree "

@@ -46,7 +46,7 @@ activePowerNw(const EpochConfig &cfg, double stream_value,
         cfg.streamTimes(cfg.streamCountOfBipolar(stream_value)));
     src_b.pulseAt(cfg.rlArrival(cfg.rlIdOfBipolar(rl_value)));
     src_clk.pulsesAt(BipolarMultiplier::gridClockTimes(cfg, 0));
-    nl.queue().run();
+    nl.run();
 
     return metrics::activePower(nl.totalSwitches(), cfg.duration()) *
            1e9;

@@ -58,7 +58,7 @@ BM_UnipolarMultiplierEpoch(benchmark::State &state)
         e.pulseAt(0);
         a.pulsesAt(cfg.streamTimes(cfg.nmax() / 2));
         b.pulseAt(cfg.rlArrival(cfg.nmax() / 2));
-        nl.queue().run();
+        nl.run();
         benchmark::DoNotOptimize(out.count());
     }
 }
@@ -79,7 +79,7 @@ BM_CountingNetworkEpoch(benchmark::State &state)
             src.out.connect(net.in(i));
             src.pulsesAt(cfg.streamTimes(cfg.nmax() / 2));
         }
-        nl.queue().run();
+        nl.run();
         benchmark::DoNotOptimize(out.count());
     }
 }
@@ -107,7 +107,7 @@ BM_DpuEpochPulseLevel(benchmark::State &state)
             r.pulseAt(20 * kPicosecond + cfg.rlTime(cfg.nmax() / 2));
             s.pulsesAt(cfg.streamTimes(cfg.nmax() / 2));
         }
-        nl.queue().run();
+        nl.run();
         benchmark::DoNotOptimize(out.count());
     }
     state.SetItemsProcessed(state.iterations() * length);

@@ -8,10 +8,71 @@
 #include <iostream>
 
 #include "bench_common.hh"
+#include "sfq/cells.hh"
 #include "sfq/params.hh"
+#include "sim/netlist.hh"
 #include "util/table.hh"
 
 using namespace usfq;
+
+namespace
+{
+
+/**
+ * Instantiate one of each library cell on a netlist and print the
+ * hierarchical report() rollup, cross-checking it against the flat
+ * totalJJs() sum.  Returns false on a mismatch.
+ */
+bool
+printLibraryRollup(std::ostream &os)
+{
+    Netlist nl("library");
+    {
+        auto interconnect = nl.scope("interconnect");
+        nl.create<Jtl>("jtl");
+        nl.create<Splitter>("splitter");
+        nl.create<Merger>("merger");
+    }
+    {
+        auto storage = nl.scope("storage");
+        nl.create<Dff>("dff");
+        nl.create<Dff2>("dff2");
+        nl.create<Tff>("tff");
+        nl.create<Tff2>("tff2");
+        nl.create<Ndro>("ndro");
+        nl.create<Inverter>("inverter");
+        nl.create<Bff>("bff");
+    }
+    {
+        auto racelogic = nl.scope("race-logic");
+        nl.create<FirstArrival>("fa");
+        nl.create<LastArrival>("la");
+        nl.create<Inhibit>("inhibit");
+        nl.create<Mux>("mux");
+        nl.create<Demux>("demux");
+    }
+    nl.waive(LintRule::DanglingInput,
+             "library showcase: cells are instantiated unwired");
+    nl.waive(LintRule::OpenOutput,
+             "library showcase: cells are instantiated unwired");
+    nl.elaborate();
+
+    const HierReport rollup = nl.report();
+    os << "\nHierarchical JJ rollup over the library netlist:\n";
+    rollup.print(os);
+    if (rollup.root.jj != nl.totalJJs()) {
+        std::cerr << "FAIL: report() rollup (" << rollup.root.jj
+                  << " JJs) != totalJJs() (" << nl.totalJJs()
+                  << ")\n";
+        return false;
+    }
+    os << "\nrollup check: the report() root JJ total matches "
+          "totalJJs() (" << nl.totalJJs() << " JJs for one of each "
+          "cell).\n";
+    return true;
+}
+
+} // namespace
 
 int
 main()
@@ -59,6 +120,9 @@ main()
     row("Demux", kDemuxJJs, kMuxDelay,
         "routes data to the selected output");
     table.print(std::cout);
+
+    if (!printLibraryRollup(std::cout))
+        return 1;
 
     std::cout << "\nPaper-pinned timing: t_INV = "
               << ticksToPs(kInverterDelay) << " ps, t_TFF2 = "

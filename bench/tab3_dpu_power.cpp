@@ -41,12 +41,14 @@ multiplierPower()
     src_a.out.connect(mult.streamIn());
     src_b.out.connect(mult.rlIn());
     src_clk.out.connect(mult.clkIn());
+    mult.out().markOpen("power study measures switching activity, "
+                        "not the product stream");
 
     src_e.pulseAt(0);
     src_a.pulsesAt(kCfg.streamTimes(kCfg.nmax() / 2));
     src_b.pulseAt(kCfg.rlArrival(kCfg.nmax() / 2));
     src_clk.pulsesAt(BipolarMultiplier::gridClockTimes(kCfg, 0));
-    nl.queue().run();
+    nl.run();
     return metrics::measure(nl, kCfg.duration());
 }
 
@@ -60,11 +62,13 @@ balancerPower()
     auto &sb = nl.create<PulseSource>("sb");
     sa.out.connect(bal.inA());
     sb.out.connect(bal.inB());
+    bal.y1().markOpen("power study measures switching activity only");
+    bal.y2().markOpen("power study measures switching activity only");
     // Half-rate streams on the slot grid (coincident pairs are the
     // balancer's job).
     sa.pulsesAt(kCfg.streamTimes(kCfg.nmax() / 2));
     sb.pulsesAt(kCfg.streamTimes(kCfg.nmax() / 2));
-    nl.queue().run();
+    nl.run();
     return metrics::measure(nl, kCfg.duration());
 }
 
@@ -80,6 +84,8 @@ dpuPower()
     auto &src_clk = nl.create<PulseSource>("clk");
     src_e.out.connect(dpu.epochIn());
     src_clk.out.connect(dpu.clkIn());
+    dpu.out().markOpen("power study measures switching activity, "
+                       "not the dot product");
     src_e.pulseAt(0);
     src_clk.pulsesAt(BipolarMultiplier::gridClockTimes(kCfg, 0));
     for (int i = 0; i < length; ++i) {
@@ -91,7 +97,7 @@ dpuPower()
                   kCfg.rlTime(kCfg.nmax() / 2));
         s.pulsesAt(kCfg.streamTimes(kCfg.nmax() / 2));
     }
-    nl.queue().run();
+    nl.run();
     return metrics::measure(nl, kCfg.duration());
 }
 

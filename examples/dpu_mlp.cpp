@@ -53,7 +53,7 @@ dotOnDpu(const EpochConfig &cfg, const std::vector<double> &weights,
         s.pulsesAt(cfg.streamTimes(cfg.streamCountOfBipolar(
             weights[static_cast<std::size_t>(i)])));
     }
-    nl.queue().run();
+    nl.run();
     return DotProductUnit::decode(cfg, DpuMode::Bipolar, length,
                                   dpu.paddedLength(), out.count());
 }

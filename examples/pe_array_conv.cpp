@@ -57,7 +57,7 @@ convolveOnPeChain(const EpochConfig &cfg,
             cfg.streamCountOfUnipolar(weights[k])));
         src3.pulsesAt(cfg.streamTimes(
             cfg.streamCountOfUnipolar(partial_scaled)));
-        nl.queue().run();
+        nl.run();
 
         // Decode the RL output of this PE (second marker's pulse).
         int slot = 0;

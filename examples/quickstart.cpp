@@ -50,7 +50,7 @@ main()
     src_a.pulsesAt(cfg.streamTimes(cfg.streamCountOfUnipolar(a)));
     src_b.pulseAt(cfg.rlArrival(cfg.rlIdOfUnipolar(b)));
 
-    nl.queue().run();
+    nl.run();
     const double ab = cfg.decodeUnipolar(product.count());
     std::printf("multiplier: %.3f x %.3f = %.4f  (ideal %.4f, "
                 "%zu pulses out, %d JJs)\n",
@@ -66,6 +66,7 @@ main()
     src_p.out.connect(bal.inA());
     src_c.out.connect(bal.inB());
     bal.y1().connect(sum.input());
+    bal.y2().markOpen("scaled addition reads only the y1 half-sum");
 
     // Inputs must respect the balancer dead time (12 ps): re-emit the
     // product on the slot grid alongside the stream for c.
@@ -73,7 +74,7 @@ main()
     src_p.pulsesAt(wide.streamTimes(
         wide.streamCountOfUnipolar(ab)));
     src_c.pulsesAt(wide.streamTimes(wide.streamCountOfUnipolar(c)));
-    nl2.queue().run();
+    nl2.run();
     const double half_sum = wide.decodeUnipolar(sum.count());
     std::printf("balancer:   (%.4f + %.3f)/2 = %.4f  (ideal %.4f, "
                 "%d JJs)\n",

@@ -38,10 +38,12 @@ main()
         auto &grid = nl.create<RaceLogicEditDistance>("ed", a, b);
         PulseTrace done;
         grid.done().connect(done.input());
+        grid.start().markOptional("start pulse injected directly via "
+                                  "receive() below");
         const Tick t0 = 10 * kPicosecond;
         nl.queue().schedule(t0,
                             [&grid, t0] { grid.start().receive(t0); });
-        nl.queue().run();
+        nl.run();
         const int raced = grid.decode(t0, done.times().front());
         std::printf("  %-16s %-16s | %6d | %10d | %11d | %7.2f ns\n",
                     a.c_str(), b.c_str(),

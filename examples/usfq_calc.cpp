@@ -51,7 +51,7 @@ mulOnHardware(double a, double b)
     se.pulseAt(0);
     sa.pulsesAt(kCfg.streamTimes(kCfg.streamCountOfUnipolar(a)));
     sb.pulseAt(kCfg.rlArrival(kCfg.rlIdOfUnipolar(b)));
-    nl.queue().run();
+    nl.run();
     return kCfg.decodeUnipolar(out.count());
 }
 
@@ -67,9 +67,10 @@ addOnHardware(double a, double b)
     sa.out.connect(bal.inA());
     sb.out.connect(bal.inB());
     bal.y1().connect(out.input());
+    bal.y2().markOpen("scaled addition reads only the y1 half-sum");
     sa.pulsesAt(kCfg.streamTimes(kCfg.streamCountOfUnipolar(a)));
     sb.pulsesAt(kCfg.streamTimes(kCfg.streamCountOfUnipolar(b)));
-    nl.queue().run();
+    nl.run();
     const double half = kCfg.decodeUnipolar(out.count());
     return std::min(1.0, 2.0 * half);
 }
@@ -99,7 +100,7 @@ raceOnHardware(double a, double b, bool take_min)
     result->connect(out.input());
     sa.pulseAt(kCfg.rlArrival(kCfg.rlIdOfUnipolar(a)));
     sb.pulseAt(kCfg.rlArrival(kCfg.rlIdOfUnipolar(b)));
-    nl.queue().run();
+    nl.run();
     const Tick delay = take_min ? cell::kFirstArrivalDelay
                                 : cell::kLastArrivalDelay;
     return kCfg.rlUnipolar(kCfg.rlSlotOf(

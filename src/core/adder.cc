@@ -115,6 +115,11 @@ BalancerRoutingUnit::BalancerRoutingUnit(Netlist &nl,
       c2(this->name() + ".c2", &nl.queue()),
       deadTime(dead_time)
 {
+    addPorts(inA, inB, c1, c2);
+    // C1/C2 each read two DFF2 cells; the fan-out splitters are part of
+    // this unit's JJ budget (jjCount() counts them, Fig. 6f).
+    c1.markFanoutOk();
+    c2.markFanoutOk();
 }
 
 void
@@ -261,6 +266,11 @@ TreeCountingNetwork::TreeCountingNetwork(Netlist &nl,
         level = std::move(next);
         ++depth;
     }
+    // Only the y1 outputs chain level to level (paper Fig. 6d); every
+    // y2 carries the complementary half-count and terminates.
+    for (auto &b : nodes)
+        b->y2().markOpen("counting-tree y2 terminator (Fig. 6d): only "
+                         "y1 chains to the next level");
 }
 
 InputPort &

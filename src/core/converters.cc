@@ -30,10 +30,15 @@ PulseCounter::PulseCounter(Netlist &nl, const std::string &name,
             stages[static_cast<std::size_t>(k - 1)]->out.connect(
                 stages[static_cast<std::size_t>(k)]->in);
     }
-    // Tap the input for the unwrapped total (diagnostics only).
+    // Tap the input for the unwrapped total (diagnostics only); as an
+    // observer it does not load the JTL output wire.
     tapPort = std::make_unique<InputPort>(
         name + ".tap", [this](Tick) { ++total; });
+    tapPort->markObserver();
     inJtl->out.connect(*tapPort);
+    addPort(clearIn);
+    stages.back()->out.markOpen("ripple-counter MSB carry-out "
+                                "terminates");
 }
 
 InputPort &

@@ -53,10 +53,20 @@ DotProductUnit::DotProductUnit(Netlist &nl, const std::string &name,
             return;
         InputPort *head =
             buildBalancedFanout(nl, name + "." + net, dsts, fanout);
+        head->markOptional("fed by the DPU's " + net +
+                           " alias handler, not a recorded edge");
         port.setHandler([head](Tick t) { head->receive(t); });
     };
     distribute("efan", epoch_dsts, epochPort);
     distribute("cfan", clk_dsts, clkPort);
+
+    addPorts(epochPort, clkPort);
+    if (mode == DpuMode::Unipolar)
+        clkPort.markOptional("grid clock is only used in bipolar mode");
+    // Padded tree lanes carry no multiplier; they stay silent and
+    // decode() compensates for their contribution.
+    for (int i = length; i < padded; ++i)
+        tree->in(i).markOptional("padded counting-tree lane (silent)");
 }
 
 InputPort &

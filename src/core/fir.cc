@@ -249,6 +249,9 @@ UsfqFir::UsfqFir(Netlist &nl, const std::string &name,
     splClk->out1.connect(bank->clkIn());
     if (cfg.mode == DpuMode::Bipolar)
         splClk->out2.connect(dpu->clkIn());
+    else
+        splClk->out2.markOpen("grid-clock leg only used in bipolar "
+                              "mode");
 
     // Epoch marker: to the multipliers and the delay-line interleave.
     bank->epochOut().connect(splEpoch->in);

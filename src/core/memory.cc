@@ -1,5 +1,6 @@
 #include "core/memory.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/fanout.hh"
@@ -39,6 +40,11 @@ CoefficientBank::CoefficientBank(Netlist &nl, const std::string &name,
         for (int k = 0; k < bits; ++k) {
             word->gates.push_back(std::make_unique<Ndro>(
                 nl, wname + ".gate" + std::to_string(k)));
+            // Coefficient bits are written via program()/preset().
+            word->gates.back()->s.markOptional(
+                "bit programmed via preset()");
+            word->gates.back()->r.markOptional(
+                "bit programmed via preset()");
         }
         for (int k = 1; k < bits; ++k) {
             word->mergers.push_back(std::make_unique<Merger>(

@@ -40,6 +40,7 @@ PulseToRlIntegrator::PulseToRlIntegrator(Netlist &nl,
       out(this->name() + ".out", &nl.queue()),
       cfg(cfg_in)
 {
+    addPorts(in, epochIn, out);
 }
 
 void
@@ -68,6 +69,9 @@ ProcessingElement::ProcessingElement(Netlist &nl, const std::string &name,
     // resolves losslessly).
     in3Jtl.out.connect(bal.inB());
     bal.y1().connect(integ.in);
+    // Only y1 (the half-sum) accumulates; y2 is the balancer's
+    // complementary output and terminates (paper Fig. 13).
+    bal.y2().markOpen("PE uses only the balancer's y1 half-sum");
 }
 
 int
@@ -115,7 +119,10 @@ PeChain::PeChain(Netlist &nl, const std::string &name, int length,
     }
     InputPort *head =
         buildBalancedFanout(nl, name + ".efan", epoch_dsts, fanout);
+    head->markOptional("fed by the chain's epoch alias handler, not a "
+                       "recorded edge");
     epochPort.setHandler([head](Tick t) { head->receive(t); });
+    addPort(epochPort);
 }
 
 InputPort &

@@ -29,6 +29,10 @@ ClassicPnm::ClassicPnm(Netlist &nl, const std::string &name, int bits)
         gates.push_back(std::make_unique<Ndro>(
             nl, name + ".gate" + std::to_string(k)));
 
+        // Gate bits are written by program()/preset(), not by pulses.
+        gates.back()->s.markOptional("bit programmed via preset()");
+        gates.back()->r.markOptional("bit programmed via preset()");
+
         dividers[static_cast<std::size_t>(k)]->out.connect(
             taps[static_cast<std::size_t>(k)]->in);
         taps[static_cast<std::size_t>(k)]->out1.connect(
@@ -125,6 +129,10 @@ UniformPnm::UniformPnm(Netlist &nl, const std::string &name, int bits)
             nl, name + ".tff2_" + std::to_string(k)));
         gates.push_back(std::make_unique<Ndro>(
             nl, name + ".gate" + std::to_string(k)));
+
+        // Gate bits are written by program()/preset(), not by pulses.
+        gates.back()->s.markOptional("bit programmed via preset()");
+        gates.back()->r.markOptional("bit programmed via preset()");
 
         // q2 (the even phase) feeds the stream; q1 continues the chain.
         dividers[static_cast<std::size_t>(k)]->q2.connect(

@@ -37,6 +37,7 @@ BinaryToRlConverter::BinaryToRlConverter(Netlist &nl,
     if (bits < 1 || bits > 20)
         fatal("BinaryToRlConverter %s: %d bits unsupported", name.c_str(),
               bits);
+    addPorts(epochIn, clkIn, out);
 }
 
 void
@@ -88,6 +89,7 @@ DffRlShiftStage::DffRlShiftStage(Netlist &nl, const std::string &name,
         fatal("DffRlShiftStage %s: %d bits unsupported", name.c_str(),
               bits);
     reg.assign(static_cast<std::size_t>(1) << bits, false);
+    addPorts(in, clkIn, out);
 }
 
 int
@@ -121,6 +123,7 @@ IntegratorBuffer::IntegratorBuffer(Netlist &nl, const std::string &name,
     if (period <= 0)
         fatal("IntegratorBuffer %s: period must be positive",
               name.c_str());
+    addPorts(in, out);
 }
 
 int
@@ -155,6 +158,20 @@ RlMemoryCell::RlMemoryCell(Netlist &nl, const std::string &name,
         demux.sel1.receive(t);
         mux.sel0.receive(t);
     });
+    addPorts(selA, selB);
+    // The demux/mux select loops are driven through the selA/selB alias
+    // handlers above, not through recorded edges.
+    const char *alias = "fed by the memory cell's selA/selB alias "
+                        "handlers, not a recorded edge";
+    demux.sel0.markOptional(alias);
+    demux.sel1.markOptional(alias);
+    mux.sel0.markOptional(alias);
+    mux.sel1.markOptional(alias);
+    // The cell itself is epoch-toggled by its owner the same way.
+    selA.markOptional("driven by the owning shift register's epoch "
+                      "handler");
+    selB.markOptional("driven by the owning shift register's epoch "
+                      "handler");
 }
 
 int
@@ -195,6 +212,14 @@ RlShiftRegister::RlShiftRegister(Netlist &nl, const std::string &name,
         tapSplitters.back()->out2.connect(
             cells[static_cast<std::size_t>(k + 1)]->in());
     }
+    addPort(epochPort);
+    // The toggler contributes the shared interleave driver's area and
+    // power; its switching is modeled in onEpoch(), so its own ports
+    // carry no recorded edges.
+    toggler.in.markOptional("area/power stand-in; interleave behaviour "
+                            "is modeled in RlShiftRegister::onEpoch()");
+    toggler.q1.markOpen("area/power stand-in (see toggler.in)");
+    toggler.q2.markOpen("area/power stand-in (see toggler.in)");
 }
 
 InputPort &

@@ -15,6 +15,7 @@ Jtl::Jtl(Netlist &nl, std::string name, Tick delay_in)
       out(this->name() + ".out", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(in, out);
 }
 
 // --- Splitter -------------------------------------------------------------
@@ -31,6 +32,11 @@ Splitter::Splitter(Netlist &nl, std::string name, Tick delay_in)
       out2(this->name() + ".out2", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(in, out1, out2);
+    // Splitter outputs are the one sanctioned fan-out point: each leg
+    // already has its own driving junction.
+    out1.markFanoutOk();
+    out2.markFanoutOk();
 }
 
 // --- Merger ---------------------------------------------------------------
@@ -45,6 +51,7 @@ Merger::Merger(Netlist &nl, std::string name, Tick delay_in,
       window(collision_window),
       lastAccepted(-window - 1)
 {
+    addPorts(inA, inB, out);
 }
 
 void
@@ -89,6 +96,7 @@ Dff::Dff(Netlist &nl, std::string name, Tick delay_in)
       q(this->name() + ".q", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(d, clk, q);
 }
 
 void
@@ -112,6 +120,7 @@ Dff2::Dff2(Netlist &nl, std::string name, Tick delay_in)
       y2(this->name() + ".y2", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(a, c1, c2, y1, y2);
 }
 
 void
@@ -144,6 +153,7 @@ Tff::Tff(Netlist &nl, std::string name, Tick delay_in)
       out(this->name() + ".out", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(in, out);
 }
 
 void
@@ -167,6 +177,7 @@ Tff2::Tff2(Netlist &nl, std::string name, Tick delay_in)
       q2(this->name() + ".q2", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(in, q1, q2);
 }
 
 void
@@ -199,6 +210,7 @@ Ndro::Ndro(Netlist &nl, std::string name, Tick delay_in)
       q(this->name() + ".q", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(s, r, clk, q);
 }
 
 void
@@ -227,6 +239,7 @@ Inverter::Inverter(Netlist &nl, std::string name, Tick delay_in)
       q(this->name() + ".q", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(d, clk, q);
 }
 
 void
@@ -252,6 +265,7 @@ Bff::Bff(Netlist &nl, std::string name, Tick dead_time, Tick delay_in)
       deadTime(dead_time),
       delay(delay_in)
 {
+    addPorts(s1, r1, s2, r2, q1, nq1, q2, nq2);
 }
 
 void
@@ -290,6 +304,7 @@ FirstArrival::FirstArrival(Netlist &nl, std::string name, Tick delay_in)
       out(this->name() + ".out", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(inA, inB, out);
 }
 
 void
@@ -317,6 +332,7 @@ LastArrival::LastArrival(Netlist &nl, std::string name, Tick delay_in)
       out(this->name() + ".out", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(inA, inB, out);
 }
 
 void
@@ -365,6 +381,7 @@ Inhibit::Inhibit(Netlist &nl, std::string name, Tick delay_in)
       out(this->name() + ".out", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(in, inh, rst, out);
 }
 
 void
@@ -388,6 +405,7 @@ Demux::Demux(Netlist &nl, std::string name, Tick delay_in)
       out1(this->name() + ".out1", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(in, sel0, sel1, out0, out1);
 }
 
 void
@@ -407,6 +425,7 @@ Mux::Mux(Netlist &nl, std::string name, Tick delay_in)
       out(this->name() + ".out", &nl.queue()),
       delay(delay_in)
 {
+    addPorts(in0, in1, sel0, sel1, out);
 }
 
 void

@@ -36,6 +36,7 @@ class Jtl : public Component
     OutputPort out;
 
     int jjCount() const override { return cell::kJtlJJs; }
+    Tick minInternalDelay() const override { return delay; }
 
   private:
     Tick delay;
@@ -53,6 +54,7 @@ class Splitter : public Component
     OutputPort out2;
 
     int jjCount() const override { return cell::kSplitterJJs; }
+    Tick minInternalDelay() const override { return delay; }
 
   private:
     Tick delay;
@@ -74,10 +76,14 @@ class Merger : public Component
     OutputPort out;
 
     int jjCount() const override { return cell::kMergerJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
     /** Pulses lost to collisions since the last reset. */
     std::uint64_t collisions() const { return collisionCount; }
+
+    /** Collisions are the merger's lost pulses (Netlist::report()). */
+    std::uint64_t lostPulses() const override { return collisionCount; }
 
   private:
     void onPulse(Tick t);
@@ -102,6 +108,7 @@ class Dff : public Component
     OutputPort q;
 
     int jjCount() const override { return cell::kDffJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
     bool state() const { return stored; }
@@ -127,6 +134,7 @@ class Dff2 : public Component
     OutputPort y2;
 
     int jjCount() const override { return cell::kDff2JJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
     bool state() const { return stored; }
@@ -148,6 +156,7 @@ class Tff : public Component
     OutputPort out;
 
     int jjCount() const override { return cell::kTffJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
     bool state() const { return toggled; }
@@ -172,6 +181,7 @@ class Tff2 : public Component
     OutputPort q2;
 
     int jjCount() const override { return cell::kTff2JJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
   private:
@@ -195,6 +205,7 @@ class Ndro : public Component
     OutputPort q;
 
     int jjCount() const override { return cell::kNdroJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
     bool state() const { return stored; }
@@ -221,6 +232,7 @@ class Inverter : public Component
     OutputPort q;
 
     int jjCount() const override { return cell::kInverterJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
   private:
@@ -251,6 +263,7 @@ class Bff : public Component
     OutputPort nq2;
 
     int jjCount() const override { return cell::kBffJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
     bool state() const { return loop; }
@@ -283,6 +296,7 @@ class FirstArrival : public Component
     OutputPort out;
 
     int jjCount() const override { return cell::kFirstArrivalJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
   private:
@@ -308,6 +322,7 @@ class LastArrival : public Component
     OutputPort out;
 
     int jjCount() const override { return cell::kLastArrivalJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
   private:
@@ -336,6 +351,7 @@ class Inhibit : public Component
     OutputPort out;
 
     int jjCount() const override { return cell::kNdroJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
     bool inhibited() const { return blocked; }
@@ -361,6 +377,7 @@ class Demux : public Component
     OutputPort out1;
 
     int jjCount() const override { return cell::kDemuxJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
     bool selected() const { return sel; }
@@ -386,6 +403,7 @@ class Mux : public Component
     OutputPort out;
 
     int jjCount() const override { return cell::kMuxJJs; }
+    Tick minInternalDelay() const override { return delay; }
     void reset() override;
 
     bool selected() const { return sel; }

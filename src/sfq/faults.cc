@@ -34,6 +34,7 @@ FaultInjector::FaultInjector(Netlist &nl, const std::string &name,
       cfg(config),
       rng(config.seed)
 {
+    addPorts(in, out);
 }
 
 void

@@ -51,6 +51,9 @@ class FaultInjector : public Component
     std::uint64_t dropped() const { return droppedCount; }
     std::uint64_t passed() const { return passedCount; }
 
+    /** Dropped pulses are this wire's lost pulses (Netlist::report()). */
+    std::uint64_t lostPulses() const override { return droppedCount; }
+
   private:
     FaultConfig cfg;
     Rng rng;

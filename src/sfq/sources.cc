@@ -9,6 +9,9 @@ PulseSource::PulseSource(Netlist &nl, std::string name)
     : Component(nl, std::move(name)),
       out(this->name() + ".out", &nl.queue())
 {
+    addPort(out);
+    // Stands for an input pad; the external driver handles fan-out.
+    out.markFanoutOk();
 }
 
 void
@@ -30,6 +33,9 @@ ClockSource::ClockSource(Netlist &nl, std::string name)
     : Component(nl, std::move(name)),
       out(this->name() + ".out", &nl.queue())
 {
+    addPort(out);
+    // Stands for the external clock pad; its driver handles fan-out.
+    out.markFanoutOk();
 }
 
 void

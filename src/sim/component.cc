@@ -1,6 +1,7 @@
 #include "sim/component.hh"
 
 #include "sim/netlist.hh"
+#include "sim/port.hh"
 
 namespace usfq
 {
@@ -8,6 +9,12 @@ namespace usfq
 Component::Component(Netlist &netlist, std::string name)
     : owner(netlist), instName(std::move(name))
 {
+    node = owner.registerComponent(*this);
+}
+
+Component::~Component()
+{
+    owner.unregisterComponent(node);
 }
 
 EventQueue &
@@ -21,6 +28,20 @@ Component::recordSwitches(int n)
 {
     switchCount += static_cast<std::uint64_t>(n);
     owner.addSwitches(static_cast<std::uint64_t>(n));
+}
+
+void
+Component::addPort(InputPort &port)
+{
+    port.ownerComp = this;
+    ins.push_back(&port);
+}
+
+void
+Component::addPort(OutputPort &port)
+{
+    port.ownerComp = this;
+    outs.push_back(&port);
 }
 
 } // namespace usfq

@@ -7,25 +7,38 @@
 #ifndef USFQ_SIM_COMPONENT_HH
 #define USFQ_SIM_COMPONENT_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
+
+#include "util/types.hh"
 
 namespace usfq
 {
 
+class InputPort;
 class Netlist;
 class EventQueue;
+class OutputPort;
 
 /**
  * A named simulation object owned by a Netlist.
  *
  * Components report their Josephson-junction count (the paper's area
  * metric) and can be reset between computing epochs.
+ *
+ * Every Component registers itself with its Netlist at construction and
+ * receives a dense node id; the netlist derives the hierarchy tree from
+ * the registration sequence and the dotted instance names ("dpu.m3"
+ * registers as a child of "dpu").  Cells additionally register their
+ * ports (addPort) so the elaboration lint and the hierarchical metrics
+ * rollup can see the full connectivity graph.
  */
 class Component
 {
   public:
     Component(Netlist &netlist, std::string name);
-    virtual ~Component() = default;
+    virtual ~Component();
 
     Component(const Component &) = delete;
     Component &operator=(const Component &) = delete;
@@ -37,6 +50,9 @@ class Component
     Netlist &netlist() { return owner; }
     const Netlist &netlist() const { return owner; }
 
+    /** Dense hierarchy-node id assigned by the netlist. */
+    int nodeId() const { return node; }
+
     /** The event queue this component runs on. */
     EventQueue &queue();
 
@@ -45,6 +61,25 @@ class Component
 
     /** Return to the power-on state (clears stored flux, SQUID states). */
     virtual void reset() {}
+
+    /**
+     * Smallest input-to-output latency this component can exhibit, used
+     * by the zero-delay-cycle lint: a feedback loop whose wire delays
+     * and cell delays are all zero would livelock the event kernel.
+     * Cells override this with their propagation delay; the default 0
+     * is conservative (flags more, never less).
+     */
+    virtual Tick minInternalDelay() const { return 0; }
+
+    /**
+     * Pulses this component destroyed (merger collisions, balancer
+     * dead-time drops) -- aggregated by Netlist::report().
+     */
+    virtual std::uint64_t lostPulses() const { return 0; }
+
+    /** Ports registered via addPort (elaboration graph nodes). */
+    const std::vector<InputPort *> &inputPorts() const { return ins; }
+    const std::vector<OutputPort *> &outputPorts() const { return outs; }
 
     /**
      * JJ switching events recorded by THIS component since its last
@@ -60,10 +95,25 @@ class Component
     /** Record @p n JJ switching events for the power model. */
     void recordSwitches(int n);
 
+    /** Register a port with this component (and the netlist graph). */
+    void addPort(InputPort &port);
+    void addPort(OutputPort &port);
+
+    /** Register several ports at once. */
+    template <typename... Ports>
+    void
+    addPorts(Ports &...ports)
+    {
+        (addPort(ports), ...);
+    }
+
   private:
     Netlist &owner;
     std::string instName;
+    int node = -1;
     std::uint64_t switchCount = 0;
+    std::vector<InputPort *> ins;
+    std::vector<OutputPort *> outs;
 };
 
 } // namespace usfq

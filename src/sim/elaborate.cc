@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Phase-2 elaboration: the structural lint passes, the hot-path edge
+ * packing, and the hierarchical report printer (docs/elaboration.md).
+ */
+
+#include "sim/elaborate.hh"
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/netlist.hh"
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+const char *
+lintRuleName(LintRule rule)
+{
+    switch (rule) {
+      case LintRule::DanglingInput:
+        return "dangling-input";
+      case LintRule::OpenOutput:
+        return "open-output";
+      case LintRule::UnboundOutput:
+        return "unbound-output";
+      case LintRule::IllegalFanout:
+        return "illegal-fanout";
+      case LintRule::ZeroDelayCycle:
+        return "zero-delay-cycle";
+    }
+    return "unknown";
+}
+
+/**
+ * Implementation of the elaboration passes; a friend of Netlist so the
+ * graph walk and the edge packing stay out of the public header.
+ */
+struct ElabPasses
+{
+    /** Live registered components, in registration (hier) order. */
+    static std::vector<Component *>
+    liveComponents(const Netlist &nl)
+    {
+        std::vector<Component *> comps;
+        for (const auto &node : nl.hier)
+            if (node.comp)
+                comps.push_back(node.comp);
+        return comps;
+    }
+
+    /**
+     * Append a finding, applying the port-level waiver reason (if any)
+     * or the netlist-level blanket waiver for the rule.
+     */
+    static void
+    addFinding(const Netlist &nl, std::vector<LintFinding> &out,
+               LintRule rule, std::string subject, std::string component,
+               std::string message, const std::string &portWaiver)
+    {
+        LintFinding f;
+        f.rule = rule;
+        f.subject = std::move(subject);
+        f.component = std::move(component);
+        f.message = std::move(message);
+        if (!portWaiver.empty()) {
+            f.waived = true;
+            f.waiverReason = portWaiver;
+        } else {
+            const auto it = nl.blanketWaivers.find(rule);
+            if (it != nl.blanketWaivers.end()) {
+                f.waived = true;
+                f.waiverReason = it->second;
+            }
+        }
+        out.push_back(std::move(f));
+    }
+
+    static void
+    lintPorts(const Netlist &nl, const std::vector<Component *> &comps,
+              std::vector<LintFinding> &out)
+    {
+        static const std::string kNoWaiver;
+        for (Component *comp : comps) {
+            for (const InputPort *in : comp->inputPorts()) {
+                // Observer ports are measurement probes, not structure.
+                if (in->driverCount() == 0 && !in->isObserver()) {
+                    addFinding(nl, out, LintRule::DanglingInput,
+                               in->name(), comp->name(),
+                               strprintf("input port %s of %s has no "
+                                         "driver -- likely a missed "
+                                         "connect()",
+                                         in->name().c_str(),
+                                         comp->name().c_str()),
+                               in->optionalReason());
+                }
+            }
+            for (const OutputPort *outp : comp->outputPorts()) {
+                if (!outp->bound()) {
+                    addFinding(nl, out, LintRule::UnboundOutput,
+                               outp->name(), comp->name(),
+                               strprintf("output port %s of %s has no "
+                                         "event queue bound -- emit() "
+                                         "would be fatal (two-phase-"
+                                         "construction hazard)",
+                                         outp->name().c_str(),
+                                         comp->name().c_str()),
+                               outp->openReason());
+                } else if (outp->connectionList().empty()) {
+                    addFinding(nl, out, LintRule::OpenOutput,
+                               outp->name(), comp->name(),
+                               strprintf("output port %s of %s drives "
+                                         "nothing -- its pulses are "
+                                         "silently discarded",
+                                         outp->name().c_str(),
+                                         comp->name().c_str()),
+                               outp->openReason());
+                }
+                // SFQ fan-out discipline: one pulse drives one load;
+                // wider fan-out needs a splitter tree.  Observer
+                // destinations (traces) do not load the wire.
+                std::size_t loads = 0;
+                for (const auto &c : outp->connectionList())
+                    loads += c.dst->isObserver() ? 0 : 1;
+                if (loads > 1 && !outp->isFanoutOk()) {
+                    addFinding(nl, out, LintRule::IllegalFanout,
+                               outp->name(), comp->name(),
+                               strprintf("output port %s of %s drives "
+                                         "%zu loads; SFQ pulses fan out "
+                                         "through Splitter trees, not "
+                                         "shared wires",
+                                         outp->name().c_str(),
+                                         comp->name().c_str(), loads),
+                               kNoWaiver);
+                }
+            }
+        }
+    }
+
+    /**
+     * Zero-delay-cycle detection on the component graph.  Edge weight =
+     * wire delay + destination cell's minInternalDelay(); with all
+     * weights non-negative, a zero-total-weight cycle exists iff the
+     * subgraph of zero-weight edges has a cycle, which a DFS finds.
+     */
+    static void
+    lintZeroDelayCycles(const Netlist &nl,
+                        const std::vector<Component *> &comps,
+                        std::vector<LintFinding> &out)
+    {
+        // Dense node ids double as the index map: comps[i]->nodeId()
+        // indexes the netlist's hier array, so a flat vector beats a
+        // pointer-keyed map (elaboration runs once per netlist but
+        // sweeps build thousands of netlists).
+        std::vector<std::int32_t> indexOfNode(nl.hier.size(), -1);
+        for (std::size_t i = 0; i < comps.size(); ++i)
+            indexOfNode[static_cast<std::size_t>(comps[i]->nodeId())] =
+                static_cast<std::int32_t>(i);
+
+        std::vector<std::vector<std::size_t>> zeroAdj(comps.size());
+        for (std::size_t i = 0; i < comps.size(); ++i) {
+            for (const OutputPort *outp : comps[i]->outputPorts()) {
+                for (const auto &c : outp->connectionList()) {
+                    const Component *dst = c.dst->owner();
+                    if (!dst || &dst->netlist() != &nl)
+                        continue; // probe port or foreign netlist
+                    if (c.delay + dst->minInternalDelay() != 0)
+                        continue;
+                    const auto di = indexOfNode[static_cast<std::size_t>(
+                        dst->nodeId())];
+                    if (di >= 0)
+                        zeroAdj[i].push_back(
+                            static_cast<std::size_t>(di));
+                }
+            }
+        }
+
+        // Iterative DFS with tri-colour marking; report one cycle per
+        // back edge found from a fresh root.
+        enum class Colour : std::uint8_t { White, Grey, Black };
+        std::vector<Colour> colour(comps.size(), Colour::White);
+        for (std::size_t root = 0; root < comps.size(); ++root) {
+            if (colour[root] != Colour::White)
+                continue;
+            // Stack of (node, next-child-index); path mirrors the grey
+            // chain so a back edge can be reported as a named cycle.
+            std::vector<std::pair<std::size_t, std::size_t>> stack;
+            std::vector<std::size_t> path;
+            stack.emplace_back(root, 0);
+            colour[root] = Colour::Grey;
+            path.push_back(root);
+            bool reported = false;
+            while (!stack.empty() && !reported) {
+                auto &[node, next] = stack.back();
+                if (next < zeroAdj[node].size()) {
+                    const std::size_t child = zeroAdj[node][next++];
+                    if (colour[child] == Colour::Grey) {
+                        // Back edge: the grey chain from `child` to
+                        // `node` is a zero-weight cycle.
+                        std::string names;
+                        bool in_cycle = false;
+                        for (std::size_t p : path) {
+                            if (p == child)
+                                in_cycle = true;
+                            if (!in_cycle)
+                                continue;
+                            if (!names.empty())
+                                names += " -> ";
+                            names += comps[p]->name();
+                        }
+                        names += " -> " + comps[child]->name();
+                        static const std::string kNoWaiver;
+                        addFinding(nl, out, LintRule::ZeroDelayCycle,
+                                   names, comps[child]->name(),
+                                   strprintf("zero-delay feedback loop "
+                                             "(%s) -- the event kernel "
+                                             "would livelock at one "
+                                             "tick",
+                                             names.c_str()),
+                                   kNoWaiver);
+                        reported = true;
+                    } else if (colour[child] == Colour::White) {
+                        colour[child] = Colour::Grey;
+                        stack.emplace_back(child, 0);
+                        path.push_back(child);
+                    }
+                } else {
+                    colour[node] = Colour::Black;
+                    stack.pop_back();
+                    path.pop_back();
+                }
+            }
+            // Anything left grey after an early cycle report is settled
+            // enough for lint purposes; mark it black so later roots do
+            // not re-report the same loop.
+            if (reported)
+                for (auto &c : colour)
+                    if (c == Colour::Grey)
+                        c = Colour::Black;
+        }
+    }
+
+    static std::vector<LintFinding>
+    runLint(const Netlist &nl)
+    {
+        std::vector<LintFinding> findings;
+        const auto comps = liveComponents(nl);
+        lintPorts(nl, comps, findings);
+        lintZeroDelayCycles(nl, comps, findings);
+        return findings;
+    }
+
+    /**
+     * Pack every registered output port's connection vector into the
+     * netlist's contiguous edge array and install the (pointer, count)
+     * spans.  Registration order; per-port connection order preserved,
+     * so delivery order (and the golden traces) are bit-identical.
+     */
+    static void
+    pack(Netlist &nl)
+    {
+        const auto comps = liveComponents(nl);
+        std::size_t total = 0;
+        for (Component *comp : comps)
+            for (const OutputPort *outp : comp->outputPorts())
+                total += outp->connectionList().size();
+
+        nl.edgeStore.clear();
+        nl.edgeStore.reserve(total); // exact: spans must not reallocate
+        for (Component *comp : comps) {
+            for (OutputPort *outp : comp->outputPorts()) {
+                const auto &conns = outp->connections;
+                const std::size_t begin = nl.edgeStore.size();
+                nl.edgeStore.insert(nl.edgeStore.end(), conns.begin(),
+                                    conns.end());
+                outp->edges = nl.edgeStore.data() + begin;
+                outp->edgeCount =
+                    static_cast<std::uint32_t>(conns.size());
+            }
+        }
+
+        nl.elabReport.numComponents = comps.size();
+        nl.elabReport.numEdges = total;
+        std::size_t ports = 0;
+        for (Component *comp : comps)
+            ports += comp->inputPorts().size() +
+                     comp->outputPorts().size();
+        nl.elabReport.numPorts = ports;
+    }
+};
+
+std::vector<LintFinding>
+Netlist::lint() const
+{
+    return ElabPasses::runLint(*this);
+}
+
+const ElabReport &
+Netlist::elaborate()
+{
+    if (frozen)
+        return elabReport;
+
+    elabReport.findings = ElabPasses::runLint(*this);
+    if (const std::size_t errs = elabReport.errors(); errs > 0) {
+        for (const auto &f : elabReport.findings) {
+            if (f.waived)
+                continue;
+            std::fprintf(stderr, "lint [%s] %s: %s\n",
+                         lintRuleName(f.rule), f.component.c_str(),
+                         f.message.c_str());
+        }
+        fatal("Netlist %s: elaboration failed with %zu structural lint "
+              "error(s); fix the wiring or add documented waivers "
+              "(docs/elaboration.md)",
+              netName.c_str(), errs);
+    }
+
+    ElabPasses::pack(*this);
+    frozen = true;
+    return elabReport;
+}
+
+void
+HierReport::print(std::ostream &os, int max_depth) const
+{
+    os << std::left << std::setw(44) << "block" << std::right
+       << std::setw(8) << "JJ" << std::setw(9) << "childJJ"
+       << std::setw(12) << "switches" << std::setw(12) << "inPulses"
+       << std::setw(12) << "outPulses" << std::setw(8) << "lost"
+       << "\n";
+
+    struct Printer
+    {
+        std::ostream &os;
+        int max_depth;
+
+        void
+        visit(const Node &n, int depth)
+        {
+            if (max_depth >= 0 && depth > max_depth)
+                return;
+            std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+            label += n.name;
+            os << std::left << std::setw(44) << label << std::right
+               << std::setw(8) << n.jj << std::setw(9) << n.jjChildren
+               << std::setw(12) << n.switches << std::setw(12)
+               << n.inPulses << std::setw(12) << n.outPulses
+               << std::setw(8) << n.lost << "\n";
+            for (const auto &child : n.children)
+                visit(child, depth + 1);
+        }
+    };
+    Printer{os, max_depth}.visit(root, 0);
+}
+
+} // namespace usfq

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Phase-2 elaboration types: structural lint findings and the
+ * hierarchical metrics rollup (see docs/elaboration.md).
+ *
+ * Netlist::lint() runs the structural passes over the connectivity
+ * graph recorded during the build phase and returns findings;
+ * Netlist::elaborate() additionally fails hard on unwaived errors and
+ * freezes/compacts the delivery hot path.  Netlist::report() aggregates
+ * JJ area, switching activity, pulse counts and lost pulses per
+ * hierarchy node -- the per-block breakdown of the paper's area/power
+ * tables (Tab. 1, Fig. 16, Tab. 3).
+ */
+
+#ifndef USFQ_SIM_ELABORATE_HH
+#define USFQ_SIM_ELABORATE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace usfq
+{
+
+/** Structural lint rules run by Netlist::elaborate(). */
+enum class LintRule
+{
+    /** InputPort with no driving connection: a likely missed connect(). */
+    DanglingInput,
+    /** Bound OutputPort whose pulses go nowhere. */
+    OpenOutput,
+    /** OutputPort with a null event queue: emit() would be fatal. */
+    UnboundOutput,
+    /**
+     * More than one (non-observer) load on one OutputPort: SFQ pulses
+     * cannot drive two junctions from one wire; fan-out needs a
+     * Splitter tree (the paper's splitter-based fan-out rule).
+     */
+    IllegalFanout,
+    /** Feedback loop with zero total wire + cell delay: a livelock. */
+    ZeroDelayCycle,
+};
+
+/** Stable lower-case name of a lint rule (diagnostics, docs). */
+const char *lintRuleName(LintRule rule);
+
+/** One structural-lint diagnostic. */
+struct LintFinding
+{
+    LintRule rule;
+    /** Port (or cycle) the finding anchors to. */
+    std::string subject;
+    /** Owning component instance name. */
+    std::string component;
+    /** Human-readable one-liner. */
+    std::string message;
+    /** True if explicitly waived; waived findings are not errors. */
+    bool waived = false;
+    /** The documented waiver reason (port- or netlist-level). */
+    std::string waiverReason;
+};
+
+/** Result of Netlist::elaborate(): findings plus graph statistics. */
+struct ElabReport
+{
+    std::vector<LintFinding> findings;
+    std::size_t numComponents = 0;
+    std::size_t numPorts = 0;
+    std::size_t numEdges = 0;
+
+    /** Unwaived findings (the ones elaborate() refuses to run with). */
+    std::size_t
+    errors() const
+    {
+        std::size_t n = 0;
+        for (const auto &f : findings)
+            n += f.waived ? 0 : 1;
+        return n;
+    }
+};
+
+/**
+ * Hierarchical metrics rollup over the component tree.
+ *
+ * Per node: the component's own (inclusive) JJ count, the sum over its
+ * child nodes, and subtree-aggregated switching events, delivered /
+ * emitted pulse counts and lost pulses.  For composite blocks whose
+ * jjCount() is exactly the sum of their registered children, jj ==
+ * jjChildren; glue junctions counted by a composite but not modelled as
+ * child components show up as jj > jjChildren.
+ */
+struct HierReport
+{
+    struct Node
+    {
+        std::string name;
+        /** Inclusive JJ count (component's jjCount(), or child sum). */
+        int jj = 0;
+        /** Sum of the children's inclusive JJ counts. */
+        int jjChildren = 0;
+        /** Subtree JJ switching events (power model input). */
+        std::uint64_t switches = 0;
+        /** Subtree pulses delivered to input ports. */
+        std::uint64_t inPulses = 0;
+        /** Subtree pulses emitted from output ports. */
+        std::uint64_t outPulses = 0;
+        /** Subtree pulses destroyed (merger collisions etc.). */
+        std::uint64_t lost = 0;
+        std::vector<Node> children;
+    };
+
+    Node root;
+
+    /**
+     * Print an indented per-block table.  @p max_depth limits the
+     * printed hierarchy depth (-1 = unlimited; 1 = top-level blocks).
+     */
+    void print(std::ostream &os, int max_depth = -1) const;
+};
+
+} // namespace usfq
+
+#endif // USFQ_SIM_ELABORATE_HH

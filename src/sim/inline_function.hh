@@ -48,6 +48,9 @@ class InlineFunction<R(Args...), InlineSize>
   public:
     InlineFunction() = default;
 
+    /** Empty, like std::function(nullptr) (ports built before wiring). */
+    InlineFunction(std::nullptr_t) {}
+
     /** Implicit from any compatible callable (like std::function). */
     template <typename F,
               typename = std::enable_if_t<

@@ -1,11 +1,17 @@
 #include "sim/netlist.hh"
 
+#include <algorithm>
+
+#include "util/logging.hh"
+
 namespace usfq
 {
 
 Netlist::Netlist(std::string name)
     : netName(std::move(name))
 {
+    hier.push_back(HierNode{netName, nullptr, -1, true, {}});
+    buildStack.push_back(0);
 }
 
 int
@@ -24,6 +30,149 @@ Netlist::resetAll()
     for (auto &c : components)
         c->reset();
     switchEvents = 0;
+}
+
+int
+Netlist::registerComponent(Component &c)
+{
+    if (frozen)
+        panic("Netlist %s: component %s created after elaborate() -- "
+              "the netlist is frozen",
+              netName.c_str(), c.name().c_str());
+    // Derive the parent from the construction sequence: pop
+    // name-derived stack entries until the top's dotted name prefixes
+    // the new component's ("dpu.m3" goes under "dpu").  Pinned entries
+    // (the root, explicit scopes) stop the popping.
+    while (buildStack.size() > 1) {
+        const HierNode &top = hier[static_cast<std::size_t>(
+            buildStack.back())];
+        if (top.pinned)
+            break;
+        const std::string &tn = top.name;
+        if (c.name().size() > tn.size() + 1 &&
+            c.name().compare(0, tn.size(), tn) == 0 &&
+            c.name()[tn.size()] == '.')
+            break;
+        buildStack.pop_back();
+    }
+    const int parent = buildStack.back();
+    const int id = static_cast<int>(hier.size());
+    hier.push_back(HierNode{c.name(), &c, parent, false, {}});
+    hier[static_cast<std::size_t>(parent)].children.push_back(id);
+    buildStack.push_back(id);
+    return id;
+}
+
+void
+Netlist::unregisterComponent(int node_id)
+{
+    if (node_id >= 0 && node_id < static_cast<int>(hier.size()))
+        hier[static_cast<std::size_t>(node_id)].comp = nullptr;
+}
+
+Netlist::Scope
+Netlist::scope(std::string label)
+{
+    // Same stack discipline as registerComponent: a new scope label
+    // that a name-derived entry does not prefix closes that entry, so
+    // scope("grp") after create("src") groups at the current explicit
+    // level instead of nesting under "src".
+    while (buildStack.size() > 1) {
+        const HierNode &top = hier[static_cast<std::size_t>(
+            buildStack.back())];
+        if (top.pinned)
+            break;
+        const std::string &tn = top.name;
+        if (label.size() > tn.size() + 1 &&
+            label.compare(0, tn.size(), tn) == 0 &&
+            label[tn.size()] == '.')
+            break;
+        buildStack.pop_back();
+    }
+    const int parent = buildStack.back();
+    const int id = static_cast<int>(hier.size());
+    hier.push_back(HierNode{std::move(label), nullptr, parent, true, {}});
+    hier[static_cast<std::size_t>(parent)].children.push_back(id);
+    buildStack.push_back(id);
+    return Scope(this, id);
+}
+
+Netlist::Scope::~Scope()
+{
+    if (!nl)
+        return;
+    auto &stack = nl->buildStack;
+    const auto it = std::find(stack.begin(), stack.end(), node);
+    if (it != stack.end())
+        stack.erase(it, stack.end());
+}
+
+void
+Netlist::waive(LintRule rule, std::string reason)
+{
+    if (reason.empty())
+        fatal("Netlist %s: a lint waiver needs a documented reason",
+              netName.c_str());
+    blanketWaivers[rule] = std::move(reason);
+}
+
+std::uint64_t
+Netlist::run(Tick until)
+{
+    elaborate();
+    return eq.run(until);
+}
+
+bool
+Netlist::subtreeLive(int node_id) const
+{
+    const HierNode &n = hier[static_cast<std::size_t>(node_id)];
+    if (n.comp)
+        return true;
+    for (int child : n.children)
+        if (subtreeLive(child))
+            return true;
+    return false;
+}
+
+void
+Netlist::buildReportNode(int node_id, HierReport::Node &out) const
+{
+    const HierNode &n = hier[static_cast<std::size_t>(node_id)];
+    out.name = n.name;
+    if (n.comp) {
+        out.jj = n.comp->jjCount();
+        out.switches = n.comp->localSwitches();
+        out.lost = n.comp->lostPulses();
+        for (const InputPort *p : n.comp->inputPorts())
+            out.inPulses += p->pulseCount();
+        for (const OutputPort *p : n.comp->outputPorts())
+            out.outPulses += p->pulseCount();
+    }
+    for (int child : n.children) {
+        // Skip dead subtrees (destroyed components with no live heirs).
+        if (!subtreeLive(child))
+            continue;
+        out.children.emplace_back();
+        buildReportNode(child, out.children.back());
+        const HierReport::Node &built = out.children.back();
+        out.jjChildren += built.jj;
+        out.switches += built.switches;
+        out.inPulses += built.inPulses;
+        out.outPulses += built.outPulses;
+        out.lost += built.lost;
+    }
+    // Scope/root nodes carry no JJs of their own: inherit the child sum.
+    if (!n.comp)
+        out.jj = out.jjChildren;
+}
+
+HierReport
+Netlist::report() const
+{
+    HierReport rpt;
+    buildReportNode(0, rpt.root);
+    return rpt;
 }
 
 } // namespace usfq

@@ -1,29 +1,47 @@
 /**
  * @file
- * Netlist: owner of components, the event queue, and the bookkeeping
- * (JJ area, switching activity) the evaluation metrics are computed from.
+ * Netlist: owner of components, the event queue, the connectivity /
+ * hierarchy graph, and the bookkeeping (JJ area, switching activity)
+ * the evaluation metrics are computed from.
+ *
+ * Netlists are built in two phases (docs/elaboration.md):
+ *
+ *  1. build  -- create() / connect() record components, ports and
+ *     edges; the hierarchy tree is derived from the registration
+ *     sequence and dotted instance names (plus explicit scope()s).
+ *  2. elaborate -- structural lint over the recorded graph (dangling
+ *     inputs, open/unbound outputs, SFQ fan-out discipline, zero-delay
+ *     cycles), then the per-port connection vectors are packed into one
+ *     contiguous edge array and the netlist freezes: connect() after
+ *     elaborate() is a hard error.
+ *
+ * run() elaborates automatically on first use.
  */
 
 #ifndef USFQ_SIM_NETLIST_HH
 #define USFQ_SIM_NETLIST_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/component.hh"
+#include "sim/elaborate.hh"
 #include "sim/event_queue.hh"
+#include "sim/port.hh"
 
 namespace usfq
 {
 
 /**
- * A flat container of components sharing one event queue.
+ * A container of components sharing one event queue.
  *
- * Hierarchy lives in instance names ("dpu.mult3.ndro"); ownership is
- * flat, which keeps teardown trivial and iteration fast.
+ * Ownership is flat (teardown stays trivial, iteration fast); the
+ * hierarchy lives in the registration-derived component tree, which
+ * elaborate() lints and report() aggregates over.
  */
 class Netlist
 {
@@ -70,9 +88,106 @@ class Netlist
         return components;
     }
 
+    // --- hierarchy ------------------------------------------------------
+
+    /**
+     * RAII hierarchy scope: components registered while the guard is
+     * alive become children of a named grouping node.  Used by bench /
+     * application code to structure report() output beyond what dotted
+     * instance names already express.
+     */
+    class Scope
+    {
+      public:
+        ~Scope();
+        Scope(Scope &&other) noexcept
+            : nl(other.nl), node(other.node)
+        {
+            other.nl = nullptr;
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+        Scope &operator=(Scope &&) = delete;
+
+      private:
+        friend class Netlist;
+        Scope(Netlist *netlist, int node_id) : nl(netlist), node(node_id) {}
+        Netlist *nl;
+        int node;
+    };
+
+    /** Open a named hierarchy scope (closed when the guard dies). */
+    Scope scope(std::string label);
+
+    // --- elaboration ----------------------------------------------------
+
+    /**
+     * Run the structural lint passes without freezing the netlist.
+     * Returns every finding, including waived ones.
+     */
+    std::vector<LintFinding> lint() const;
+
+    /**
+     * Elaborate: lint the connectivity graph, fail hard (fatal) on any
+     * unwaived finding, then pack the per-port connection vectors into
+     * the contiguous edge array and freeze the netlist.  Idempotent:
+     * subsequent calls return the cached report.
+     */
+    const ElabReport &elaborate();
+
+    /** True once elaborate() has frozen the netlist. */
+    bool elaborated() const { return frozen; }
+
+    /** Elaborate if needed, then run the event queue until @p until. */
+    std::uint64_t run(Tick until = INT64_MAX);
+
+    /**
+     * Blanket-waive one lint rule for the whole netlist with a
+     * documented reason.  Meant for stimulus-less area studies where
+     * every port is deliberately unwired; prefer per-port
+     * markOptional()/markOpen() waivers in real designs.
+     */
+    void waive(LintRule rule, std::string reason);
+
+    /** Hierarchical metrics rollup (per-block area/power breakdown). */
+    HierReport report() const;
+
+    // --- registration (called by Component) -----------------------------
+
+    /** Register @p c in the hierarchy; returns its dense node id. */
+    int registerComponent(Component &c);
+
+    /** Drop a destroyed component from the hierarchy. */
+    void unregisterComponent(int node_id);
+
   private:
+    struct HierNode
+    {
+        std::string name;
+        Component *comp = nullptr; ///< null for the root / scope nodes
+        int parent = -1;
+        bool pinned = false; ///< explicit scope: only its guard pops it
+        std::vector<int> children;
+    };
+
+    friend struct ElabPasses; // lint/pack implementation (elaborate.cc)
+
+    bool subtreeLive(int node_id) const;
+    void buildReportNode(int node_id, HierReport::Node &out) const;
+
     std::string netName;
     EventQueue eq;
+
+    // Hierarchy + edge storage are declared before `components` so they
+    // outlive them: component destructors unregister themselves, and
+    // packed OutputPort spans point into edgeStore.
+    std::vector<HierNode> hier;      ///< [0] is the root
+    std::vector<int> buildStack;     ///< hierarchy construction stack
+    std::vector<OutputPort::Connection> edgeStore; ///< packed edges
+    std::map<LintRule, std::string> blanketWaivers;
+    ElabReport elabReport;
+    bool frozen = false;
+
     std::vector<std::unique_ptr<Component>> components;
     std::uint64_t switchEvents = 0;
 };

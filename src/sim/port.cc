@@ -1,6 +1,8 @@
 #include "sim/port.hh"
 
+#include "sim/component.hh"
 #include "sim/event_queue.hh"
+#include "sim/netlist.hh"
 #include "util/logging.hh"
 
 namespace usfq
@@ -29,6 +31,12 @@ OutputPort::connect(InputPort &dst, Tick delay)
 {
     if (delay < 0)
         panic("OutputPort %s: negative wire delay", portName.c_str());
+    if (ownerComp && ownerComp->netlist().elaborated())
+        panic("OutputPort %s: connect() after Netlist::elaborate() -- "
+              "the edge array is frozen; wire the netlist before "
+              "running it",
+              portName.c_str());
+    ++dst.drivers;
     connections.push_back(Connection{&dst, delay});
 }
 
@@ -36,11 +44,22 @@ void
 OutputPort::emit(Tick when)
 {
     if (!eq)
-        panic("OutputPort %s: emit() before bind()", portName.c_str());
+        panic("OutputPort %s: emit() from an unbound port (no bind(), "
+              "null event queue) -- a two-phase-construction hazard: "
+              "the pulse has no queue to be scheduled on",
+              portName.c_str());
     ++emitted;
-    for (const auto &c : connections) {
-        InputPort *dst = c.dst;
-        const Tick arrival = when + c.delay;
+    const Connection *c = edges;
+    const Connection *end;
+    if (c != nullptr) {
+        end = c + edgeCount;
+    } else {
+        c = connections.data();
+        end = c + connections.size();
+    }
+    for (; c != end; ++c) {
+        InputPort *dst = c->dst;
+        const Tick arrival = when + c->delay;
         eq->schedule(arrival, [dst, arrival] { dst->receive(arrival); });
     }
 }
@@ -48,7 +67,11 @@ OutputPort::emit(Tick when)
 void
 OutputPort::emitNow()
 {
-    emit(eq ? eq->now() : 0);
+    if (!eq)
+        panic("OutputPort %s: emitNow() from an unbound port (no "
+              "bind(), null event queue)",
+              portName.c_str());
+    emit(eq->now());
 }
 
 } // namespace usfq

@@ -6,21 +6,32 @@
  * invokes its owner's handler when a pulse arrives; an OutputPort fans
  * out to any number of InputPorts, each connection with its own wire
  * delay (a JTL/PTL segment).
+ *
+ * Ports participate in the netlist's two-phase build/elaborate pipeline
+ * (docs/elaboration.md): during the build phase connect() records edges
+ * into per-port vectors; Netlist::elaborate() lints the resulting graph
+ * and packs every connection into one contiguous per-netlist edge array
+ * that emit() then walks.  Ports registered with a Component (via
+ * Component::addPort) are linted; free-standing ports (test fixtures,
+ * PulseTrace probes) are not.
  */
 
 #ifndef USFQ_SIM_PORT_HH
 #define USFQ_SIM_PORT_HH
 
-#include <functional>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "util/types.hh"
 
 namespace usfq
 {
 
+class Component;
 class EventQueue;
+struct ElabPasses;
 
 /**
  * Destination of pulses.  The handler receives the arrival time (equal
@@ -29,7 +40,13 @@ class EventQueue;
 class InputPort
 {
   public:
-    using Handler = std::function<void(Tick)>;
+    /**
+     * Delivery callback.  An InlineFunction rather than std::function:
+     * cell handlers capture only their `this` pointer, so the hot
+     * delivery path never allocates and never pays std::function's
+     * manager indirection.
+     */
+    using Handler = InlineFunction<void(Tick)>;
 
     InputPort() = default;
 
@@ -47,10 +64,38 @@ class InputPort
 
     const std::string &name() const { return portName; }
 
+    /** Number of OutputPort connections driving this port. */
+    std::uint32_t driverCount() const { return drivers; }
+
+    /** Component this port is registered with (null if free-standing). */
+    Component *owner() const { return ownerComp; }
+
+    /**
+     * Mark as a measurement probe (PulseTrace): observer connections do
+     * not load the wire, so they are exempt from the SFQ fan-out lint.
+     */
+    void markObserver() { observer = true; }
+    bool isObserver() const { return observer; }
+
+    /**
+     * Waive the dangling-input lint for this port with a documented
+     * reason (e.g. a padded DPU lane that deliberately stays silent).
+     */
+    void markOptional(std::string reason) { waiver = std::move(reason); }
+    bool isOptional() const { return !waiver.empty(); }
+    const std::string &optionalReason() const { return waiver; }
+
   private:
+    friend class Component;  // sets ownerComp at registration
+    friend class OutputPort; // counts drivers in connect()
+
     std::string portName;
     Handler onPulse;
     std::uint64_t delivered = 0;
+    Component *ownerComp = nullptr;
+    std::uint32_t drivers = 0;
+    bool observer = false;
+    std::string waiver;
 };
 
 /**
@@ -60,6 +105,13 @@ class InputPort
 class OutputPort
 {
   public:
+    /** One fan-out connection: destination plus wire delay. */
+    struct Connection
+    {
+        InputPort *dst;
+        Tick delay;
+    };
+
     OutputPort() = default;
 
     /** Create bound to the event queue that will carry its pulses. */
@@ -67,6 +119,9 @@ class OutputPort
 
     /** Bind to an event queue (for two-phase construction). */
     void bind(EventQueue *queue) { eq = queue; }
+
+    /** True once bound to an event queue. */
+    bool bound() const { return eq != nullptr; }
 
     /** Connect to @p dst with the given wire delay. */
     void connect(InputPort &dst, Tick delay = 0);
@@ -85,17 +140,51 @@ class OutputPort
 
     const std::string &name() const { return portName; }
 
-  private:
-    struct Connection
+    /** Component this port is registered with (null if free-standing). */
+    Component *owner() const { return ownerComp; }
+
+    /**
+     * Declare that this port may drive more than one load.  Only
+     * splitter outputs, ports whose JJ budget includes an internal
+     * splitter (BalancerRoutingUnit), and external pad drivers
+     * (PulseSource/ClockSource) qualify; everything else is held to the
+     * paper's splitter-based fan-out rule by the elaboration lint.
+     */
+    void markFanoutOk() { fanoutOk = true; }
+    bool isFanoutOk() const { return fanoutOk; }
+
+    /**
+     * Waive the open-output lint for this port with a documented reason
+     * (e.g. a counting-tree y2 terminator whose pulses are discarded).
+     */
+    void markOpen(std::string reason) { waiver = std::move(reason); }
+    bool isOpen() const { return !waiver.empty(); }
+    const std::string &openReason() const { return waiver; }
+
+    /** Build-phase connection list (elaboration input). */
+    const std::vector<Connection> &connectionList() const
     {
-        InputPort *dst;
-        Tick delay;
-    };
+        return connections;
+    }
+
+  private:
+    friend class Component;   // sets ownerComp at registration
+    friend struct ElabPasses; // installs the packed edge span
 
     std::string portName;
     EventQueue *eq = nullptr;
     std::vector<Connection> connections;
+    /**
+     * Packed edge span inside the owning netlist's contiguous edge
+     * array, installed by Netlist::elaborate().  Null before
+     * elaboration (emit() then walks the build-phase vector).
+     */
+    const Connection *edges = nullptr;
+    std::uint32_t edgeCount = 0;
     std::uint64_t emitted = 0;
+    Component *ownerComp = nullptr;
+    bool fanoutOk = false;
+    std::string waiver;
 };
 
 } // namespace usfq

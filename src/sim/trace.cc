@@ -9,6 +9,9 @@ PulseTrace::PulseTrace(std::string name)
     : traceName(std::move(name)),
       port(traceName + ".in", [this](Tick t) { pulses.push_back(t); })
 {
+    // A trace is a measurement probe: its connection does not load the
+    // observed wire, so it is exempt from the SFQ fan-out lint.
+    port.markObserver();
 }
 
 std::size_t

@@ -149,7 +149,7 @@ runMultiplierEpoch(int bits, int stream_count, int rl_id)
     e.pulseAt(0);
     a.pulsesAt(cfg.streamTimes(stream_count));
     b.pulseAt(cfg.rlArrival(rl_id));
-    nl.queue().run();
+    nl.run();
     return out.times();
 }
 
@@ -168,7 +168,7 @@ runCountingNetwork(const std::vector<int> &counts)
         src.out.connect(net.in(static_cast<int>(i)));
         src.pulsesAt(cfg.streamTimes(counts[i]));
     }
-    nl.queue().run();
+    nl.run();
     return out.times();
 }
 
@@ -189,7 +189,7 @@ runPnm(int bits, int value, int num_epochs)
     clk.program(kTclk, kTclk,
                 static_cast<std::uint64_t>(num_epochs)
                     << static_cast<unsigned>(bits));
-    nl.queue().run();
+    nl.run();
     return {{"stream", stream.times()}, {"epoch", epochs.times()}};
 }
 
