@@ -40,6 +40,15 @@ savingsPct(double ours, double theirs)
     return theirs > 0 ? (1.0 - ours / theirs) * 100.0 : 0.0;
 }
 
+/** One-decimal number formatting for composed table cells. */
+inline std::string
+fmt1(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    return buf;
+}
+
 } // namespace usfq::bench
 
 #endif // USFQ_BENCH_COMMON_HH

@@ -21,7 +21,10 @@
 #include "baseline/binary_models.hh"
 #include "bench_common.hh"
 #include "core/fir.hh"
+#include "metrics/throughput.hh"
+#include "sim/netlist.hh"
 #include "sim/sweep.hh"
+#include "sta/sta.hh"
 #include "util/table.hh"
 
 using namespace usfq;
@@ -139,5 +142,28 @@ main()
               << " ns (256 taps) vs unary " << unary_us(8) * 1e3
               << " ns -> unary beats BP at 256 taps only (paper "
                  "agrees)\n";
+
+    // Static timing over the real 16-tap FIR netlist: the critical
+    // path as a named hierarchical hop list, and the STA-predicted max
+    // lossless pulse rate (the t_INV = 9 ps recovery ceiling, §3.3).
+    std::cout << "\nStatic timing, 16-tap U-SFQ FIR netlist "
+                 "(zero-anchor skew analysis):\n";
+    Netlist nl;
+    nl.create<UsfqFir>("fir", UsfqFirConfig{.taps = 16, .bits = 6});
+    nl.waive(LintRule::DanglingInput,
+             "timing study: the FIR is instantiated unwired");
+    nl.waive(LintRule::OpenOutput,
+             "timing study: the FIR is instantiated unwired");
+    nl.elaborate();
+    StaOptions staOpts;
+    staOpts.anchorMode = StaOptions::AnchorMode::Zero;
+    const StaReport timing = runSta(nl, staOpts);
+    timing.printCriticalPath(std::cout);
+    if (timing.requiredStreamSpacing > 0)
+        std::cout << "STA max lossless stream rate: "
+                  << metrics::pulseRateGHz(timing.requiredStreamSpacing)
+                  << " GHz (min stimulus spacing "
+                  << ticksToPs(timing.requiredStreamSpacing)
+                  << " ps)\n";
     return 0;
 }

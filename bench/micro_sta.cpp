@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark micro benches of the static timing engine
+ * (src/sta/): graph build + window propagation on linear chains,
+ * margin checking on a wide DFF capture grid, and the jitter
+ * Monte-Carlo driver.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "sfq/cells.hh"
+#include "sfq/sources.hh"
+#include "sim/netlist.hh"
+#include "sta/monte_carlo.hh"
+#include "sta/sta.hh"
+
+using namespace usfq;
+
+namespace
+{
+
+/**
+ * Clock grid with @p sinks DFF capture sites hung off a linear
+ * splitter spine; every sink has its own data/clock JTL pair, so the
+ * check pass has one genuine setup/hold margin per sink.
+ */
+void
+buildCaptureGrid(Netlist &nl, int sinks)
+{
+    auto &clk = nl.create<ClockSource>("clk");
+    OutputPort *spine = &clk.out;
+    for (int i = 0; i < sinks; ++i) {
+        const std::string n = std::to_string(i);
+        auto &hub = nl.create<Splitter>("hub" + n);
+        auto &sink = nl.create<Splitter>("sink" + n);
+        auto &jd = nl.create<Jtl>("jd" + n);
+        auto &jc = nl.create<Jtl>("jc" + n);
+        auto &ff = nl.create<Dff>("ff" + n);
+        spine->connect(hub.in);
+        hub.out1.connect(sink.in);
+        sink.out1.connect(jd.in);
+        sink.out2.connect(jc.in);
+        jd.out.connect(ff.d);
+        jc.out.connect(ff.clk, 4 * kPicosecond);
+        ff.q.markOpen("bench endpoint");
+        spine = &hub.out2;
+    }
+    spine->markOpen("spine tail");
+    clk.program(0, 200 * kPicosecond, 32);
+}
+
+void
+BM_StaJtlChain(benchmark::State &state)
+{
+    const int length = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Netlist nl;
+        auto &src = nl.create<PulseSource>("s");
+        OutputPort *prev = &src.out;
+        for (int i = 0; i < length; ++i) {
+            auto &j = nl.create<Jtl>("j" + std::to_string(i));
+            prev->connect(j.in);
+            prev = &j.out;
+        }
+        prev->markOpen("bench endpoint");
+        src.pulseAt(0);
+        src.pulseAt(20 * kPicosecond);
+        const StaReport report = runSta(nl);
+        benchmark::DoNotOptimize(report.criticalPath.length);
+    }
+    state.SetItemsProcessed(state.iterations() * length);
+}
+BENCHMARK(BM_StaJtlChain)->Arg(64)->Arg(1024);
+
+void
+BM_StaCaptureGrid(benchmark::State &state)
+{
+    const int sinks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Netlist nl;
+        buildCaptureGrid(nl, sinks);
+        const StaReport report = runSta(nl);
+        benchmark::DoNotOptimize(report.worstSlack);
+    }
+    state.SetItemsProcessed(state.iterations() * sinks);
+}
+BENCHMARK(BM_StaCaptureGrid)->Arg(16)->Arg(256);
+
+void
+BM_StaJitterMonteCarlo(benchmark::State &state)
+{
+    StaJitterOptions opts;
+    opts.trials = static_cast<std::size_t>(state.range(0));
+    opts.amplitude = 2 * kPicosecond;
+    for (auto _ : state) {
+        const StaJitterStats stats = runStaJitter(
+            [](Netlist &nl) { buildCaptureGrid(nl, 8); }, opts);
+        benchmark::DoNotOptimize(stats.passes);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StaJitterMonteCarlo)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

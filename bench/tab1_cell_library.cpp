@@ -5,12 +5,17 @@
  * of each gate (paper Table 1 / Fig. 1d, refs [11, 58]).
  */
 
+#include <algorithm>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 #include "sfq/cells.hh"
 #include "sfq/params.hh"
+#include "sim/component.hh"
 #include "sim/netlist.hh"
+#include "sim/timing.hh"
 #include "util/table.hh"
 
 using namespace usfq;
@@ -72,6 +77,80 @@ printLibraryRollup(std::ostream &os)
     return true;
 }
 
+/**
+ * Print the per-cell TimingModel summaries exactly as the STA engine
+ * consumes them (src/sta/), all sourced from the shared timing tables
+ * in sfq/params.hh.
+ */
+void
+printTimingModels(std::ostream &os)
+{
+    Netlist nl("timing");
+    const std::vector<std::pair<const char *, Component *>> cells{
+        {"JTL", &nl.create<Jtl>("jtl")},
+        {"Splitter", &nl.create<Splitter>("splitter")},
+        {"Merger", &nl.create<Merger>("merger")},
+        {"DFF", &nl.create<Dff>("dff")},
+        {"DFF2", &nl.create<Dff2>("dff2")},
+        {"TFF", &nl.create<Tff>("tff")},
+        {"TFF2", &nl.create<Tff2>("tff2")},
+        {"NDRO", &nl.create<Ndro>("ndro")},
+        {"Inverter", &nl.create<Inverter>("inverter")},
+        {"BFF", &nl.create<Bff>("bff")},
+        {"FA", &nl.create<FirstArrival>("fa")},
+        {"LA", &nl.create<LastArrival>("la")},
+        {"Inhibit", &nl.create<Inhibit>("inhibit")},
+        {"Mux", &nl.create<Mux>("mux")},
+        {"Demux", &nl.create<Demux>("demux")},
+    };
+
+    Table table("Timing models (sfq/params.hh tables, as STA sees "
+                "them)",
+                {"Cell", "Arcs", "Arc delay (ps)", "Checks",
+                 "Setup/Hold or window (ps)", "Recovery (ps)", "Reg"});
+    for (const auto &[name, comp] : cells) {
+        const TimingModel m = comp->timingModel();
+        Tick dmin = 0, dmax = 0;
+        std::uint8_t div = 1;
+        for (const TimingArc &arc : m.arcs) {
+            if (&arc == &m.arcs.front()) {
+                dmin = arc.minDelay;
+                dmax = arc.maxDelay;
+            }
+            dmin = std::min(dmin, arc.minDelay);
+            dmax = std::max(dmax, arc.maxDelay);
+            div = std::max(div, arc.rateDiv);
+        }
+        std::string delay = bench::fmt1(ticksToPs(dmin));
+        if (dmax != dmin)
+            delay += ".." + bench::fmt1(ticksToPs(dmax));
+        if (div > 1)
+            delay += " /" + std::to_string(div);
+        std::string windows = "-";
+        for (const TimingCheck &chk : m.checks) {
+            const std::string w =
+                chk.kind == TimingCheckKind::Collision
+                    ? "coll " + bench::fmt1(ticksToPs(chk.window))
+                    : bench::fmt1(ticksToPs(chk.setup)) + "/" +
+                          bench::fmt1(ticksToPs(chk.hold));
+            if (windows == "-")
+                windows = w;
+            else if (windows.find(w) == std::string::npos)
+                windows += ", " + w;
+        }
+        table.row()
+            .cell(name)
+            .cell(static_cast<int>(m.arcs.size()))
+            .cell(delay)
+            .cell(static_cast<int>(m.checks.size()))
+            .cell(windows)
+            .cell(m.recovery > 0 ? bench::fmt1(ticksToPs(m.recovery))
+                                 : "-")
+            .cell(m.registered ? "yes" : "no");
+    }
+    table.print(os);
+}
+
 } // namespace
 
 int
@@ -120,6 +199,9 @@ main()
     row("Demux", kDemuxJJs, kMuxDelay,
         "routes data to the selected output");
     table.print(std::cout);
+
+    std::cout << "\n";
+    printTimingModels(std::cout);
 
     if (!printLibraryRollup(std::cout))
         return 1;

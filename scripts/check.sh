@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + full ctest in the default configuration, then
+# again under AddressSanitizer (-DUSFQ_SANITIZE=address).  Run from the
+# repo root; pass extra ctest args after `--` (e.g. `-- -L sta`).
+#
+#   ./scripts/check.sh            # both configurations, full suite
+#   ./scripts/check.sh -- -L unit # both configurations, unit tier only
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+ctest_args=()
+if [[ "${1:-}" == "--" ]]; then
+    shift
+    ctest_args=("$@")
+fi
+
+run_config() {
+    local name="$1" build_dir="$2"
+    shift 2
+    echo "==> [$name] configure ($*)"
+    cmake -B "$build_dir" -S "$repo" "$@"
+    echo "==> [$name] build"
+    cmake --build "$build_dir" -j "$jobs"
+    echo "==> [$name] ctest"
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+        "${ctest_args[@]}"
+}
+
+run_config default "$repo/build"
+run_config asan "$repo/build-asan" -DUSFQ_SANITIZE=address
+
+echo "==> all checks passed (default + asan)"

@@ -156,6 +156,26 @@ BalancerRoutingUnit::reset()
     ignored = 0;
 }
 
+TimingModel
+BalancerRoutingUnit::timingModel() const
+{
+    TimingModel m;
+    // Either input advances the quantizing loop and fires whichever
+    // control line the toggle selects.
+    m.arcs = {{0, 0, cell::kBffDelay, cell::kBffDelay, 1},
+              {0, 1, cell::kBffDelay, cell::kBffDelay, 1},
+              {1, 0, cell::kBffDelay, cell::kBffDelay, 1},
+              {1, 1, cell::kBffDelay, cell::kBffDelay, 1}};
+    m.checks = {{TimingCheckKind::Collision, 0, 1, 0, 0, deadTime}};
+    // Registered pulses alternate C1/C2 and are at least a dead time
+    // apart (the coincident pair of case (ii) lands one on each side).
+    m.floors = {{0, deadTime}, {1, deadTime}};
+    m.recovery = deadTime;
+    m.absorbs = true;
+    m.registered = true;
+    return m;
+}
+
 // --- Balancer -------------------------------------------------------------
 
 Balancer::Balancer(Netlist &nl, const std::string &name)

@@ -90,6 +90,7 @@ class BalancerRoutingUnit : public Component
 
     int jjCount() const override;
     void reset() override;
+    TimingModel timingModel() const override;
 
     bool state() const { return toggled; }
     std::uint64_t ignoredInputs() const { return ignored; }

@@ -55,7 +55,7 @@ DotProductUnit::DotProductUnit(Netlist &nl, const std::string &name,
             buildBalancedFanout(nl, name + "." + net, dsts, fanout);
         head->markOptional("fed by the DPU's " + net +
                            " alias handler, not a recorded edge");
-        port.setHandler([head](Tick t) { head->receive(t); });
+        addAlias(port, *head);
     };
     distribute("efan", epoch_dsts, epochPort);
     distribute("cfan", clk_dsts, clkPort);

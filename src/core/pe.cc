@@ -49,6 +49,19 @@ PulseToRlIntegrator::reset()
     counter = 0;
 }
 
+TimingModel
+PulseToRlIntegrator::timingModel() const
+{
+    TimingModel m;
+    // The epoch marker converts the accumulated count into an RL pulse
+    // somewhere in the next epoch: slot 0 at the earliest, nmax at the
+    // latest.  Stream pulses only charge the inductor.
+    m.arcs = {{1, 0, cfg.rlTime(0) + EpochConfig::kRlPulseOffset,
+               cfg.rlTime(cfg.nmax()) + EpochConfig::kRlPulseOffset, 1}};
+    m.registered = true;
+    return m;
+}
+
 // --- ProcessingElement ---------------------------------------------------------
 
 ProcessingElement::ProcessingElement(Netlist &nl, const std::string &name,
@@ -121,7 +134,7 @@ PeChain::PeChain(Netlist &nl, const std::string &name, int length,
         buildBalancedFanout(nl, name + ".efan", epoch_dsts, fanout);
     head->markOptional("fed by the chain's epoch alias handler, not a "
                        "recorded edge");
-    epochPort.setHandler([head](Tick t) { head->receive(t); });
+    addAlias(epochPort, *head);
     addPort(epochPort);
 }
 

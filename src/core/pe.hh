@@ -47,6 +47,7 @@ class PulseToRlIntegrator : public Component
 
     int jjCount() const override { return 48; }
     void reset() override;
+    TimingModel timingModel() const override;
 
     /** Pulses accumulated in the current (unfinished) epoch. */
     int pendingCount() const { return counter; }

@@ -62,6 +62,18 @@ BinaryToRlConverter::reset()
     armed = false;
 }
 
+TimingModel
+BinaryToRlConverter::timingModel() const
+{
+    TimingModel m;
+    // The RL pulse fires off the epoch marker (value 0) or off the
+    // grid clock edge that exhausts the programmed count.
+    m.arcs = {{0, 0, cell::kDffDelay, cell::kDffDelay, 1},
+              {1, 0, cell::kDffDelay, cell::kDffDelay, 1}};
+    m.registered = true;
+    return m;
+}
+
 // --- DffRlShiftStage -----------------------------------------------------------
 
 DffRlShiftStage::DffRlShiftStage(Netlist &nl, const std::string &name,
@@ -104,6 +116,18 @@ DffRlShiftStage::reset()
     reg.assign(reg.size(), false);
 }
 
+TimingModel
+DffRlShiftStage::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{1, 0, cell::kDffDelay, cell::kDffDelay, 1}};
+    // The parked pulse obeys the first DFF's capture window.
+    m.checks = {{TimingCheckKind::SetupHold, 0, 1, cell::kClockedSetup,
+                 cell::kClockedHold, 0}};
+    m.registered = true;
+    return m;
+}
+
 // --- IntegratorBuffer -------------------------------------------------------------
 
 IntegratorBuffer::IntegratorBuffer(Netlist &nl, const std::string &name,
@@ -132,6 +156,15 @@ IntegratorBuffer::jjCount() const
     return kJJs;
 }
 
+TimingModel
+IntegratorBuffer::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, epochPeriod, epochPeriod, 1}};
+    m.registered = true;
+    return m;
+}
+
 // --- RlMemoryCell ------------------------------------------------------------------
 
 RlMemoryCell::RlMemoryCell(Netlist &nl, const std::string &name,
@@ -149,15 +182,12 @@ RlMemoryCell::RlMemoryCell(Netlist &nl, const std::string &name,
     bufA.out.connect(mux.in0);
     bufB.out.connect(mux.in1);
 
-    // Control wiring: selA = "fill A, drain B".
-    selA.setHandler([this](Tick t) {
-        demux.sel0.receive(t);
-        mux.sel1.receive(t);
-    });
-    selB.setHandler([this](Tick t) {
-        demux.sel1.receive(t);
-        mux.sel0.receive(t);
-    });
+    // Control wiring: selA = "fill A, drain B".  The aliases install
+    // the forwarding handlers and expose the edges to the STA graph.
+    addAlias(selA, demux.sel0);
+    addAlias(selA, mux.sel1);
+    addAlias(selB, demux.sel1);
+    addAlias(selB, mux.sel0);
     addPorts(selA, selB);
     // The demux/mux select loops are driven through the selA/selB alias
     // handlers above, not through recorded edges.
@@ -213,6 +243,13 @@ RlShiftRegister::RlShiftRegister(Netlist &nl, const std::string &name,
             cells[static_cast<std::size_t>(k + 1)]->in());
     }
     addPort(epochPort);
+    // onEpoch() routes each marker to selA or selB by phase, so the
+    // handler stays hand-written; the declared aliases tell the STA
+    // graph that either select may fire whenever the epoch does.
+    for (auto &c : cells) {
+        declareAlias(epochPort, c->selA);
+        declareAlias(epochPort, c->selB);
+    }
     // The toggler contributes the shared interleave driver's area and
     // power; its switching is modeled in onEpoch(), so its own ports
     // carry no recorded edges.

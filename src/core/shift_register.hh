@@ -53,6 +53,7 @@ class BinaryToRlConverter : public Component
 
     int jjCount() const override;
     void reset() override;
+    TimingModel timingModel() const override;
 
     /** JJs per converter: one TFF + DFF pair per bit. */
     static int
@@ -86,6 +87,7 @@ class DffRlShiftStage : public Component
 
     int jjCount() const override;
     void reset() override;
+    TimingModel timingModel() const override;
 
   private:
     std::deque<bool> reg;
@@ -110,6 +112,7 @@ class IntegratorBuffer : public Component
 
     int jjCount() const override;
     void reset() override {}
+    TimingModel timingModel() const override;
 
     /** Itemized junction count of the Fig. 10c control circuit. */
     static constexpr int kJJs =

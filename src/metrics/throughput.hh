@@ -33,6 +33,24 @@ opsPerJJ(double ops_per_second, int jj_count)
     return jj_count > 0 ? ops_per_second / jj_count : 0.0;
 }
 
+/**
+ * Pulse rate (Hz) of a stream with @p spacing ticks between pulses --
+ * the inverse used to quote STA's requiredStreamSpacing as a rate.
+ * 0 when the spacing is unconstrained (<= 0).
+ */
+inline double
+pulseRateHz(Tick spacing)
+{
+    return spacing > 0 ? 1.0 / ticksToSeconds(spacing) : 0.0;
+}
+
+/** pulseRateHz() in GHz, the unit the paper quotes cell ceilings in. */
+inline double
+pulseRateGHz(Tick spacing)
+{
+    return pulseRateHz(spacing) * 1e-9;
+}
+
 } // namespace usfq::metrics
 
 #endif // USFQ_METRICS_THROUGHPUT_HH

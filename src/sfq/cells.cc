@@ -442,4 +442,195 @@ Mux::reset()
     sel = false;
 }
 
+// --- timing models ----------------------------------------------------------
+//
+// Port indices follow the addPorts() registration order in each
+// constructor above.  Delays come from the cell's own member (which
+// defaults to, and usually equals, its sfq/params.hh table entry) so a
+// cell constructed with a custom delay is analyzed with that delay;
+// setup/hold/recovery windows come straight from the shared tables.
+
+TimingModel
+Jtl::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, delay, delay, 1}};
+    return m;
+}
+
+TimingModel
+Splitter::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, delay, delay, 1}, {0, 1, delay, delay, 1}};
+    return m;
+}
+
+TimingModel
+Merger::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, delay, delay, 1}, {1, 0, delay, delay, 1}};
+    m.checks = {{TimingCheckKind::Collision, 0, 1, 0, 0, window}};
+    // Accepted pulses are strictly more than `window` apart, so the
+    // output stream is floored at window + 1 tick.
+    m.floors = {{0, window + 1}};
+    m.recovery = window;
+    m.absorbs = true;
+    return m;
+}
+
+TimingModel
+Dff::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{1, 0, delay, delay, 1}}; // clk -> q; d only stores
+    m.checks = {{TimingCheckKind::SetupHold, 0, 1, cell::kClockedSetup,
+                 cell::kClockedHold, 0}};
+    m.registered = true;
+    return m;
+}
+
+TimingModel
+Dff2::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{1, 0, delay, delay, 1}, {2, 1, delay, delay, 1}};
+    m.checks = {{TimingCheckKind::SetupHold, 0, 1, cell::kClockedSetup,
+                 cell::kClockedHold, 0},
+                {TimingCheckKind::SetupHold, 0, 2, cell::kClockedSetup,
+                 cell::kClockedHold, 0}};
+    m.registered = true;
+    return m;
+}
+
+TimingModel
+Tff::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, delay, delay, 2}}; // every second pulse escapes
+    m.recovery = delay;
+    m.registered = true;
+    return m;
+}
+
+TimingModel
+Tff2::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, delay, delay, 2}, {0, 1, delay, delay, 2}};
+    m.recovery = delay; // t_TFF2 caps the PNM clock rate
+    m.registered = true;
+    return m;
+}
+
+TimingModel
+Ndro::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{2, 0, delay, delay, 1}}; // clk -> q; s/r only store
+    m.checks = {{TimingCheckKind::SetupHold, 0, 2, cell::kClockedSetup,
+                 cell::kClockedHold, 0},
+                {TimingCheckKind::SetupHold, 1, 2, cell::kClockedSetup,
+                 cell::kClockedHold, 0}};
+    m.registered = true;
+    return m;
+}
+
+TimingModel
+Inverter::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{1, 0, delay, delay, 1}}; // clk -> q; d only suppresses
+    m.checks = {{TimingCheckKind::SetupHold, 0, 1, cell::kClockedSetup,
+                 cell::kClockedHold, 0}};
+    m.recovery = delay; // t_INV: the paper's 111 GHz stream ceiling
+    m.registered = true;
+    return m;
+}
+
+TimingModel
+Bff::timingModel() const
+{
+    TimingModel m;
+    // Any of the four inputs can produce a change (Q) or an escape (!Q)
+    // pulse on its own side of the loop.
+    m.arcs = {{0, 0, delay, delay, 1}, {0, 1, delay, delay, 1},
+              {1, 0, delay, delay, 1}, {1, 1, delay, delay, 1},
+              {2, 2, delay, delay, 1}, {2, 3, delay, delay, 1},
+              {3, 2, delay, delay, 1}, {3, 3, delay, delay, 1}};
+    // All four inputs act on the one quantizing loop: any pair closer
+    // than the dead time risks an unregistered pulse (case (iii)).
+    for (std::uint8_t a = 0; a < 4; ++a)
+        for (std::uint8_t b = static_cast<std::uint8_t>(a + 1); b < 4;
+             ++b)
+            m.checks.push_back(
+                {TimingCheckKind::Collision, a, b, 0, 0, deadTime});
+    // Two state changes are at least a dead time apart, so the Q
+    // outputs are rate-floored; escapes (!Q) are not.
+    m.floors = {{0, deadTime}, {2, deadTime}};
+    m.recovery = deadTime;
+    m.absorbs = true;
+    m.registered = true;
+    return m;
+}
+
+TimingModel
+FirstArrival::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, delay, delay, 1}, {1, 0, delay, delay, 1}};
+    m.registered = true; // fires once per epoch (stateful)
+    return m;
+}
+
+TimingModel
+LastArrival::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, delay, delay, 1}, {1, 0, delay, delay, 1}};
+    m.registered = true;
+    return m;
+}
+
+TimingModel
+Inhibit::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, delay, delay, 1}}; // inh/rst only flip the loop
+    m.registered = true;
+    return m;
+}
+
+TimingModel
+Demux::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, delay, delay, 1}, {0, 1, delay, delay, 1}};
+    // The select loop must settle around a data pass.
+    m.checks = {{TimingCheckKind::SetupHold, 1, 0, cell::kClockedSetup,
+                 cell::kClockedHold, 0},
+                {TimingCheckKind::SetupHold, 2, 0, cell::kClockedSetup,
+                 cell::kClockedHold, 0}};
+    m.registered = true;
+    return m;
+}
+
+TimingModel
+Mux::timingModel() const
+{
+    TimingModel m;
+    m.arcs = {{0, 0, delay, delay, 1}, {1, 0, delay, delay, 1}};
+    m.checks = {{TimingCheckKind::SetupHold, 2, 0, cell::kClockedSetup,
+                 cell::kClockedHold, 0},
+                {TimingCheckKind::SetupHold, 3, 0, cell::kClockedSetup,
+                 cell::kClockedHold, 0},
+                {TimingCheckKind::SetupHold, 2, 1, cell::kClockedSetup,
+                 cell::kClockedHold, 0},
+                {TimingCheckKind::SetupHold, 3, 1, cell::kClockedSetup,
+                 cell::kClockedHold, 0}};
+    m.registered = true;
+    return m;
+}
+
 } // namespace usfq

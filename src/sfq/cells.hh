@@ -37,6 +37,7 @@ class Jtl : public Component
 
     int jjCount() const override { return cell::kJtlJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
 
   private:
     Tick delay;
@@ -55,6 +56,7 @@ class Splitter : public Component
 
     int jjCount() const override { return cell::kSplitterJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
 
   private:
     Tick delay;
@@ -77,6 +79,7 @@ class Merger : public Component
 
     int jjCount() const override { return cell::kMergerJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
     /** Pulses lost to collisions since the last reset. */
@@ -109,6 +112,7 @@ class Dff : public Component
 
     int jjCount() const override { return cell::kDffJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
     bool state() const { return stored; }
@@ -135,6 +139,7 @@ class Dff2 : public Component
 
     int jjCount() const override { return cell::kDff2JJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
     bool state() const { return stored; }
@@ -157,6 +162,7 @@ class Tff : public Component
 
     int jjCount() const override { return cell::kTffJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
     bool state() const { return toggled; }
@@ -182,6 +188,7 @@ class Tff2 : public Component
 
     int jjCount() const override { return cell::kTff2JJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
   private:
@@ -206,6 +213,7 @@ class Ndro : public Component
 
     int jjCount() const override { return cell::kNdroJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
     bool state() const { return stored; }
@@ -233,6 +241,7 @@ class Inverter : public Component
 
     int jjCount() const override { return cell::kInverterJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
   private:
@@ -264,6 +273,7 @@ class Bff : public Component
 
     int jjCount() const override { return cell::kBffJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
     bool state() const { return loop; }
@@ -297,6 +307,7 @@ class FirstArrival : public Component
 
     int jjCount() const override { return cell::kFirstArrivalJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
   private:
@@ -323,6 +334,7 @@ class LastArrival : public Component
 
     int jjCount() const override { return cell::kLastArrivalJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
   private:
@@ -352,6 +364,7 @@ class Inhibit : public Component
 
     int jjCount() const override { return cell::kNdroJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
     bool inhibited() const { return blocked; }
@@ -378,6 +391,7 @@ class Demux : public Component
 
     int jjCount() const override { return cell::kDemuxJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
     bool selected() const { return sel; }
@@ -404,6 +418,7 @@ class Mux : public Component
 
     int jjCount() const override { return cell::kMuxJJs; }
     Tick minInternalDelay() const override { return delay; }
+    TimingModel timingModel() const override;
     void reset() override;
 
     bool selected() const { return sel; }

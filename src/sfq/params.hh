@@ -39,29 +39,97 @@ constexpr int kMuxJJs = 12;        ///< RSFQ multiplexer [57].
 constexpr int kDemuxJJs = 12;      ///< RSFQ demultiplexer [57].
 
 // --- Timing ------------------------------------------------------------
+//
+// One table per cell, shared by the event-driven simulator (cell
+// constructor defaults below use the same entries) and the static
+// timing engine (src/sta/ builds each cell's TimingModel from them):
+// the two always read the same numbers.
 
-constexpr Tick kJtlDelay = 2 * kPicosecond;
-constexpr Tick kSplitterDelay = 3 * kPicosecond;
-constexpr Tick kMergerDelay = 5 * kPicosecond;
+/** Static-timing entry of one cell type (docs/sta.md). */
+struct CellTiming
+{
+    /** Nominal input-to-output propagation delay. */
+    Tick delay = 0;
+    /** Data must arrive this long before a capturing clock pulse. */
+    Tick setup = 0;
+    /** ... and must stay away this long after it. */
+    Tick hold = 0;
+    /** Collision / dead-time window between competing inputs. */
+    Tick window = 0;
+    /** Minimum same-input pulse spacing for lossless operation. */
+    Tick recovery = 0;
+};
+
 /**
- * Two pulses closer than this at a merger collide: only one propagates
- * (paper Fig. 5b).  Matches the merger's intrinsic delay.
+ * Generic capture-window bounds for the clocked storage cells (DFF,
+ * DFF2, NDRO, inverter, mux/demux select loops).  WRspice-class SFQ
+ * setup/hold times are a small fraction of the propagation delay; the
+ * paper folds them into t_INV = 9 ps ("propagation + setup + hold").
  */
-constexpr Tick kMergerCollisionWindow = 5 * kPicosecond;
-constexpr Tick kDffDelay = 4 * kPicosecond;
-constexpr Tick kDff2Delay = 4 * kPicosecond;
-constexpr Tick kTffDelay = 5 * kPicosecond;
-/** Paper §5.4.2: t_TFF2 = 20 ps. */
-constexpr Tick kTff2Delay = 20 * kPicosecond;
-constexpr Tick kNdroDelay = 4 * kPicosecond;
-/** Paper §4.1: t_INV = 9 ps (propagation + setup + hold). */
-constexpr Tick kInverterDelay = 9 * kPicosecond;
+constexpr Tick kClockedSetup = 2 * kPicosecond;
+constexpr Tick kClockedHold = 1 * kPicosecond;
+
+constexpr CellTiming kJtlTiming{.delay = 2 * kPicosecond};
+constexpr CellTiming kSplitterTiming{.delay = 3 * kPicosecond};
+/**
+ * Two pulses closer than the window at a merger collide: only one
+ * propagates (paper Fig. 5b).  The window matches the merger's
+ * intrinsic delay and doubles as its recovery time.
+ */
+constexpr CellTiming kMergerTiming{.delay = 5 * kPicosecond,
+                                   .window = 5 * kPicosecond,
+                                   .recovery = 5 * kPicosecond};
+constexpr CellTiming kDffTiming{.delay = 4 * kPicosecond,
+                                .setup = kClockedSetup,
+                                .hold = kClockedHold};
+constexpr CellTiming kDff2Timing{.delay = 4 * kPicosecond,
+                                 .setup = kClockedSetup,
+                                 .hold = kClockedHold};
+constexpr CellTiming kTffTiming{.delay = 5 * kPicosecond,
+                                .recovery = 5 * kPicosecond};
+/** Paper §5.4.2: t_TFF2 = 20 ps (sets the PNM clock period). */
+constexpr CellTiming kTff2Timing{.delay = 20 * kPicosecond,
+                                 .recovery = 20 * kPicosecond};
+constexpr CellTiming kNdroTiming{.delay = 4 * kPicosecond,
+                                 .setup = kClockedSetup,
+                                 .hold = kClockedHold};
+/**
+ * Paper §4.1: t_INV = 9 ps (propagation + setup + hold) -- the cell
+ * that sets the 111 GHz maximum pulse-stream rate, so its recovery
+ * equals its full delay.
+ */
+constexpr CellTiming kInverterTiming{.delay = 9 * kPicosecond,
+                                     .setup = kClockedSetup,
+                                     .hold = kClockedHold,
+                                     .recovery = 9 * kPicosecond};
 /** Paper §4.2: BFF state-transition dead time t_BFF = 12 ps. */
-constexpr Tick kBffDeadTime = 12 * kPicosecond;
-constexpr Tick kBffDelay = 3 * kPicosecond;
-constexpr Tick kFirstArrivalDelay = 3 * kPicosecond;
-constexpr Tick kLastArrivalDelay = 3 * kPicosecond;
-constexpr Tick kMuxDelay = 5 * kPicosecond;
+constexpr CellTiming kBffTiming{.delay = 3 * kPicosecond,
+                                .window = 12 * kPicosecond,
+                                .recovery = 12 * kPicosecond};
+constexpr CellTiming kFirstArrivalTiming{.delay = 3 * kPicosecond};
+constexpr CellTiming kLastArrivalTiming{.delay = 3 * kPicosecond};
+constexpr CellTiming kMuxTiming{.delay = 5 * kPicosecond,
+                                .setup = kClockedSetup,
+                                .hold = kClockedHold};
+
+// Legacy scalar names, now derived from the tables above (kept so the
+// cell constructors and existing call sites read naturally).
+
+constexpr Tick kJtlDelay = kJtlTiming.delay;
+constexpr Tick kSplitterDelay = kSplitterTiming.delay;
+constexpr Tick kMergerDelay = kMergerTiming.delay;
+constexpr Tick kMergerCollisionWindow = kMergerTiming.window;
+constexpr Tick kDffDelay = kDffTiming.delay;
+constexpr Tick kDff2Delay = kDff2Timing.delay;
+constexpr Tick kTffDelay = kTffTiming.delay;
+constexpr Tick kTff2Delay = kTff2Timing.delay;
+constexpr Tick kNdroDelay = kNdroTiming.delay;
+constexpr Tick kInverterDelay = kInverterTiming.delay;
+constexpr Tick kBffDeadTime = kBffTiming.window;
+constexpr Tick kBffDelay = kBffTiming.delay;
+constexpr Tick kFirstArrivalDelay = kFirstArrivalTiming.delay;
+constexpr Tick kLastArrivalDelay = kLastArrivalTiming.delay;
+constexpr Tick kMuxDelay = kMuxTiming.delay;
 
 /**
  * Fallback JJ switching events per processed pulse where no

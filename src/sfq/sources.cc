@@ -1,5 +1,7 @@
 #include "sfq/sources.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace usfq
@@ -19,7 +21,31 @@ PulseSource::pulseAt(Tick when)
 {
     if (when < queue().now())
         panic("PulseSource %s: pulse in the past", name().c_str());
+    scheduled.push_back(when);
     queue().schedule(when, [this, when] { out.emit(when); });
+}
+
+const PulseAnchor *
+PulseSource::stimulusAnchor() const
+{
+    if (scheduled.empty())
+        return nullptr;
+    std::vector<Tick> sorted(scheduled);
+    std::sort(sorted.begin(), sorted.end());
+    anchor.first = sorted.front();
+    anchor.last = sorted.back();
+    anchor.count = sorted.size();
+    anchor.minSpacing = 0;
+    Tick maxGap = 0;
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        const Tick gap = sorted[i] - sorted[i - 1];
+        if (i == 1 || gap < anchor.minSpacing)
+            anchor.minSpacing = gap;
+        maxGap = std::max(maxGap, gap);
+    }
+    anchor.periodic =
+        sorted.size() > 1 && anchor.minSpacing == maxGap;
+    return &anchor;
 }
 
 void
@@ -47,6 +73,27 @@ ClockSource::program(Tick start, Tick period, std::uint64_t count)
         const Tick when = start + static_cast<Tick>(i) * period;
         queue().schedule(when, [this, when] { out.emit(when); });
     }
+    if (count == 0)
+        return;
+    const Tick last = start + static_cast<Tick>(count - 1) * period;
+    if (anchor.count == 0) {
+        anchor = PulseAnchor{start, last, count > 1 ? period : 0, count,
+                             count > 1};
+    } else {
+        // Overlaid trains: the hull stays exact, but the spacing of the
+        // merged stream is unknowable here -- drop the rate bound.
+        anchor.first = std::min(anchor.first, start);
+        anchor.last = std::max(anchor.last, last);
+        anchor.minSpacing = 0;
+        anchor.count += count;
+        anchor.periodic = false;
+    }
+}
+
+const PulseAnchor *
+ClockSource::stimulusAnchor() const
+{
+    return anchor.count > 0 ? &anchor : nullptr;
 }
 
 } // namespace usfq

@@ -20,6 +20,10 @@ namespace usfq
 /**
  * Emits pulses at an explicit list of times.  Stimulus only: contributes
  * no JJs (it stands for the chip's input pads / external driver).
+ *
+ * Every scheduled pulse is also recorded, so the static timing engine
+ * can anchor arrival windows at the source's schedule
+ * (Component::stimulusAnchor(), docs/sta.md).
  */
 class PulseSource : public Component
 {
@@ -35,11 +39,18 @@ class PulseSource : public Component
     void pulsesAt(const std::vector<Tick> &times);
 
     int jjCount() const override { return 0; }
+    void reset() override { scheduled.clear(); }
+    const PulseAnchor *stimulusAnchor() const override;
+
+  private:
+    std::vector<Tick> scheduled;
+    mutable PulseAnchor anchor;
 };
 
 /**
  * Periodic pulse source: @p count pulses starting at @p start with the
- * given @p period.  Stands for the external clock input.
+ * given @p period.  Stands for the external clock input.  Records its
+ * programmed train as the STA stimulus anchor, like PulseSource.
  */
 class ClockSource : public Component
 {
@@ -52,6 +63,11 @@ class ClockSource : public Component
     void program(Tick start, Tick period, std::uint64_t count);
 
     int jjCount() const override { return 0; }
+    void reset() override { anchor = PulseAnchor{}; }
+    const PulseAnchor *stimulusAnchor() const override;
+
+  private:
+    PulseAnchor anchor;
 };
 
 } // namespace usfq

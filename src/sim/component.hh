@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/timing.hh"
 #include "util/types.hh"
 
 namespace usfq
@@ -77,9 +78,62 @@ class Component
      */
     virtual std::uint64_t lostPulses() const { return 0; }
 
+    /**
+     * Static-timing description of this component (src/sta/,
+     * docs/sta.md).  The default is the conservative behavioral model:
+     * every input triggers every output after exactly
+     * minInternalDelay(), no checks, registered (so feedback through an
+     * unmodelled block is cut rather than flagged).  SFQ cells override
+     * this with their table from sfq/params.hh; behavioral blocks that
+     * emit from their own ports should override it too.
+     */
+    virtual TimingModel timingModel() const;
+
+    /**
+     * Stimulus schedule of a primary source (PulseSource /
+     * ClockSource), or null for everything else.  The STA engine
+     * anchors arrival windows at components that return one.
+     */
+    virtual const PulseAnchor *stimulusAnchor() const { return nullptr; }
+
     /** Ports registered via addPort (elaboration graph nodes). */
     const std::vector<InputPort *> &inputPorts() const { return ins; }
     const std::vector<OutputPort *> &outputPorts() const { return outs; }
+
+    /**
+     * One zero-delay alias edge: pulses delivered to `outer` are
+     * forwarded to `inner` by a handler instead of a recorded wire.
+     * Recording the pair makes the forwarding visible to the STA graph
+     * (the connectivity lint already handles it via markOptional on the
+     * inner port).
+     */
+    struct PortAlias
+    {
+        InputPort *outer;
+        InputPort *inner;
+    };
+
+    /** Alias edges declared by this component (STA graph input). */
+    const std::vector<PortAlias> &portAliases() const { return aliases; }
+
+    // --- STA slack annotation (written by usfq::runSta) ----------------
+
+    /** Record this component's worst timing margin. */
+    void
+    setStaSlack(Tick slack)
+    {
+        staMargin = slack;
+        staMarginValid = true;
+    }
+
+    /** Forget any recorded margin (new analysis run). */
+    void clearStaSlack() { staMarginValid = false; }
+
+    /** True if an STA run annotated this component. */
+    bool hasStaSlack() const { return staMarginValid; }
+
+    /** Worst timing margin from the last STA run (valid if hasStaSlack). */
+    Tick staSlack() const { return staMargin; }
 
     /**
      * JJ switching events recorded by THIS component since its last
@@ -107,6 +161,24 @@ class Component
         (addPort(ports), ...);
     }
 
+    /**
+     * Declare `outer` as a pure forwarding alias of `inner` and install
+     * the forwarding handler: every pulse received by `outer` is
+     * re-delivered to all of its aliased inner ports, in declaration
+     * order, at the same tick.  Replaces the hand-written
+     * `setHandler([inner](Tick t) { inner->receive(t); })` pattern so
+     * the alias is visible to the STA graph.
+     */
+    void addAlias(InputPort &outer, InputPort &inner);
+
+    /**
+     * Record the alias pair WITHOUT touching `outer`'s handler -- for
+     * blocks whose forwarding is conditional (RlShiftRegister routes
+     * the epoch to selA or selB by phase) but whose timing is still
+     * "inner may receive whenever outer does, zero delay later".
+     */
+    void declareAlias(InputPort &outer, InputPort &inner);
+
   private:
     Netlist &owner;
     std::string instName;
@@ -114,6 +186,9 @@ class Component
     std::uint64_t switchCount = 0;
     std::vector<InputPort *> ins;
     std::vector<OutputPort *> outs;
+    std::vector<PortAlias> aliases;
+    Tick staMargin = 0;
+    bool staMarginValid = false;
 };
 
 } // namespace usfq

@@ -31,6 +31,14 @@ lintRuleName(LintRule rule)
         return "illegal-fanout";
       case LintRule::ZeroDelayCycle:
         return "zero-delay-cycle";
+      case LintRule::SetupHoldViolation:
+        return "setup-hold";
+      case LintRule::CollisionRisk:
+        return "collision-risk";
+      case LintRule::RateViolation:
+        return "rate-violation";
+      case LintRule::CombinationalLoop:
+        return "combinational-loop";
     }
     return "unknown";
 }
@@ -45,11 +53,7 @@ struct ElabPasses
     static std::vector<Component *>
     liveComponents(const Netlist &nl)
     {
-        std::vector<Component *> comps;
-        for (const auto &node : nl.hier)
-            if (node.comp)
-                comps.push_back(node.comp);
-        return comps;
+        return nl.graphComponents();
     }
 
     /**
@@ -327,16 +331,23 @@ Netlist::elaborate()
 void
 HierReport::print(std::ostream &os, int max_depth) const
 {
+    // The slack column only appears once an STA run has annotated the
+    // tree, so pre-STA report output is unchanged.
+    const bool slack = root.hasSlack;
+
     os << std::left << std::setw(44) << "block" << std::right
        << std::setw(8) << "JJ" << std::setw(9) << "childJJ"
        << std::setw(12) << "switches" << std::setw(12) << "inPulses"
-       << std::setw(12) << "outPulses" << std::setw(8) << "lost"
-       << "\n";
+       << std::setw(12) << "outPulses" << std::setw(8) << "lost";
+    if (slack)
+        os << std::setw(11) << "slack(ps)";
+    os << "\n";
 
     struct Printer
     {
         std::ostream &os;
         int max_depth;
+        bool slack;
 
         void
         visit(const Node &n, int depth)
@@ -349,12 +360,23 @@ HierReport::print(std::ostream &os, int max_depth) const
                << std::setw(8) << n.jj << std::setw(9) << n.jjChildren
                << std::setw(12) << n.switches << std::setw(12)
                << n.inPulses << std::setw(12) << n.outPulses
-               << std::setw(8) << n.lost << "\n";
+               << std::setw(8) << n.lost;
+            if (slack) {
+                if (n.hasSlack) {
+                    char buf[32];
+                    std::snprintf(buf, sizeof(buf), "%.1f",
+                                  ticksToPs(n.worstSlack));
+                    os << std::setw(11) << buf;
+                } else {
+                    os << std::setw(11) << "-";
+                }
+            }
+            os << "\n";
             for (const auto &child : n.children)
                 visit(child, depth + 1);
         }
     };
-    Printer{os, max_depth}.visit(root, 0);
+    Printer{os, max_depth, slack}.visit(root, 0);
 }
 
 } // namespace usfq

@@ -42,6 +42,31 @@ enum class LintRule
     IllegalFanout,
     /** Feedback loop with zero total wire + cell delay: a livelock. */
     ZeroDelayCycle,
+
+    // --- static-timing rules (src/sta/, docs/sta.md) -------------------
+
+    /**
+     * A clocked cell's data pulse can land inside the capture window
+     * around its clock pulse (less than `setup` before or `hold`
+     * after): the stored fluxon state is indeterminate.
+     */
+    SetupHoldViolation,
+    /**
+     * Two pulses can reach a collision-windowed cell (merger
+     * confluence, BFF dead time) closer than its window: one of them is
+     * absorbed.
+     */
+    CollisionRisk,
+    /**
+     * A pulse stream can arrive faster than a cell's recovery time
+     * (e.g. the inverter's t_INV = 9 ps, the paper's 111 GHz ceiling).
+     */
+    RateViolation,
+    /**
+     * A feedback loop with no registered (stateful) cell to cut it:
+     * arrival windows around it are not statically boundable.
+     */
+    CombinationalLoop,
 };
 
 /** Stable lower-case name of a lint rule (diagnostics, docs). */
@@ -61,6 +86,11 @@ struct LintFinding
     bool waived = false;
     /** The documented waiver reason (port- or netlist-level). */
     std::string waiverReason;
+    /**
+     * Timing margin in ticks for STA findings (negative = violation
+     * depth, see docs/sta.md); 0 for structural findings.
+     */
+    Tick margin = 0;
 };
 
 /** Result of Netlist::elaborate(): findings plus graph statistics. */
@@ -109,6 +139,13 @@ struct HierReport
         std::uint64_t outPulses = 0;
         /** Subtree pulses destroyed (merger collisions etc.). */
         std::uint64_t lost = 0;
+        /**
+         * Worst (minimum) timing margin in the subtree, valid iff
+         * hasSlack.  Populated only after an STA run has annotated the
+         * components (runSta with annotate on, the default).
+         */
+        Tick worstSlack = 0;
+        bool hasSlack = false;
         std::vector<Node> children;
     };
 

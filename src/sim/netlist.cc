@@ -14,6 +14,16 @@ Netlist::Netlist(std::string name)
     buildStack.push_back(0);
 }
 
+std::vector<Component *>
+Netlist::graphComponents() const
+{
+    std::vector<Component *> comps;
+    for (const auto &node : hier)
+        if (node.comp)
+            comps.push_back(node.comp);
+    return comps;
+}
+
 int
 Netlist::totalJJs() const
 {
@@ -148,6 +158,10 @@ Netlist::buildReportNode(int node_id, HierReport::Node &out) const
             out.inPulses += p->pulseCount();
         for (const OutputPort *p : n.comp->outputPorts())
             out.outPulses += p->pulseCount();
+        if (n.comp->hasStaSlack()) {
+            out.worstSlack = n.comp->staSlack();
+            out.hasSlack = true;
+        }
     }
     for (int child : n.children) {
         // Skip dead subtrees (destroyed components with no live heirs).
@@ -161,6 +175,11 @@ Netlist::buildReportNode(int node_id, HierReport::Node &out) const
         out.inPulses += built.inPulses;
         out.outPulses += built.outPulses;
         out.lost += built.lost;
+        if (built.hasSlack &&
+            (!out.hasSlack || built.worstSlack < out.worstSlack)) {
+            out.worstSlack = built.worstSlack;
+            out.hasSlack = true;
+        }
     }
     // Scope/root nodes carry no JJs of their own: inherit the child sum.
     if (!n.comp)

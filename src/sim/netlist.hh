@@ -88,6 +88,15 @@ class Netlist
         return components;
     }
 
+    /**
+     * Every live component in the hierarchy graph, in registration
+     * (hier) order -- including cells owned as direct members of
+     * composite blocks, which all() (owned top-level objects only) does
+     * not see.  This is the node set the elaboration lint and the STA
+     * engine walk.
+     */
+    std::vector<Component *> graphComponents() const;
+
     // --- hierarchy ------------------------------------------------------
 
     /**
@@ -148,6 +157,13 @@ class Netlist
      * markOptional()/markOpen() waivers in real designs.
      */
     void waive(LintRule rule, std::string reason);
+
+    /** Blanket waivers recorded via waive() (shared with the STA lint). */
+    const std::map<LintRule, std::string> &
+    blanketWaiverMap() const
+    {
+        return blanketWaivers;
+    }
 
     /** Hierarchical metrics rollup (per-block area/power breakdown). */
     HierReport report() const;

@@ -1,0 +1,301 @@
+#include "sta/graph.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+#include "sim/port.hh"
+#include "util/logging.hh"
+
+namespace usfq::sta_detail
+{
+
+const char *
+edgeKindName(EdgeKind kind)
+{
+    switch (kind) {
+    case EdgeKind::Wire:
+        return "wire";
+    case EdgeKind::Arc:
+        return "arc";
+    case EdgeKind::Alias:
+        return "alias";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Apply a per-component delay shift to every arc, clamped at zero. */
+void
+applyJitter(TimingModel &model, Tick delta)
+{
+    for (TimingArc &arc : model.arcs) {
+        arc.minDelay = std::max<Tick>(0, arc.minDelay + delta);
+        arc.maxDelay = std::max(arc.minDelay, arc.maxDelay + delta);
+    }
+}
+
+/**
+ * Cut one feedback edge per cycle until the uncut graph is acyclic.
+ *
+ * Iterative colored DFS; every back edge closes a cycle, which we cut
+ * at an arc of a registered cell when the cycle contains one (a stored
+ * fluxon legally decouples the wavefronts there) and at the back edge
+ * itself otherwise -- the latter is a CombinationalLoop finding.  One
+ * restart per cut keeps the code simple; real designs have few
+ * feedback arcs.
+ */
+void
+cutLoops(StaGraph &g)
+{
+    const std::size_t n = g.nodes.size();
+    std::vector<std::uint8_t> color(n);  // 0 white, 1 grey, 2 black
+    std::vector<std::uint32_t> viaEdge(n, UINT32_MAX);
+
+    // DFS frame: node plus a cursor into its out-edge list.
+    struct Frame
+    {
+        std::uint32_t node;
+        std::size_t next = 0;
+    };
+
+    for (std::size_t attempt = 0; attempt <= g.edges.size(); ++attempt) {
+        std::fill(color.begin(), color.end(), 0);
+        bool cutSomething = false;
+
+        for (std::uint32_t root = 0; root < n && !cutSomething; ++root) {
+            if (color[root] != 0)
+                continue;
+            std::vector<Frame> stack{{root}};
+            color[root] = 1;
+            while (!stack.empty() && !cutSomething) {
+                Frame &f = stack.back();
+                const auto &outs = g.outEdges[f.node];
+                if (f.next >= outs.size()) {
+                    color[f.node] = 2;
+                    stack.pop_back();
+                    continue;
+                }
+                const std::uint32_t ei = outs[f.next++];
+                const Edge &e = g.edges[ei];
+                if (e.cut)
+                    continue;
+                if (color[e.to] == 0) {
+                    color[e.to] = 1;
+                    viaEdge[e.to] = ei;
+                    stack.push_back({e.to});
+                    continue;
+                }
+                if (color[e.to] != 1)
+                    continue;
+
+                // Back edge: the cycle is e plus the tree path from
+                // e.to down to e.from.
+                std::vector<std::uint32_t> cycle{ei};
+                for (std::uint32_t v = e.from; v != e.to;
+                     v = g.edges[viaEdge[v]].from)
+                    cycle.push_back(viaEdge[v]);
+                std::reverse(cycle.begin(), cycle.end());
+
+                std::uint32_t victim = UINT32_MAX;
+                for (std::uint32_t ce : cycle) {
+                    const Edge &c = g.edges[ce];
+                    if (c.kind == EdgeKind::Arc && c.comp >= 0 &&
+                        g.models[static_cast<std::size_t>(c.comp)]
+                            .registered) {
+                        victim = ce;
+                        break;
+                    }
+                }
+                if (victim == UINT32_MAX) {
+                    // No stateful cell anywhere on the loop: arrival
+                    // windows around it are not statically boundable.
+                    victim = ei;
+                    const Node &head = g.nodes[e.to];
+                    LintFinding f2;
+                    f2.rule = LintRule::CombinationalLoop;
+                    f2.subject = *head.name;
+                    if (head.comp >= 0)
+                        f2.component =
+                            g.comps[static_cast<std::size_t>(head.comp)]
+                                ->name();
+                    std::string path;
+                    for (std::uint32_t ce : cycle) {
+                        if (!path.empty())
+                            path += " -> ";
+                        path += *g.nodes[g.edges[ce].to].name;
+                    }
+                    f2.message =
+                        "combinational feedback loop with no registered "
+                        "cell to cut it: " +
+                        path;
+                    g.loopFindings.push_back(std::move(f2));
+                }
+                g.edges[victim].cut = true;
+                ++g.numCut;
+                cutSomething = true;
+            }
+        }
+        if (!cutSomething)
+            return; // acyclic over uncut edges
+    }
+    panic("sta: loop cutting did not converge");
+}
+
+/** Kahn topological sort over the uncut edges. */
+void
+topoSort(StaGraph &g)
+{
+    const std::size_t n = g.nodes.size();
+    std::vector<std::uint32_t> indeg(n, 0);
+    for (const Edge &e : g.edges)
+        if (!e.cut)
+            ++indeg[e.to];
+
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t v = 0; v < n; ++v)
+        if (indeg[v] == 0)
+            ready.push_back(v);
+
+    g.topo.clear();
+    g.topo.reserve(n);
+    for (std::size_t head = 0; head < ready.size(); ++head) {
+        const std::uint32_t u = ready[head];
+        g.topo.push_back(u);
+        for (std::uint32_t ei : g.outEdges[u]) {
+            const Edge &e = g.edges[ei];
+            if (!e.cut && --indeg[e.to] == 0)
+                ready.push_back(e.to);
+        }
+    }
+    if (g.topo.size() != n)
+        panic("sta: %zu nodes missing from topological order "
+              "(loop cutting incomplete)",
+              n - g.topo.size());
+}
+
+} // namespace
+
+StaGraph
+buildStaGraph(Netlist &nl, const StaOptions &opts)
+{
+    StaGraph g;
+    g.comps = nl.graphComponents();
+    g.models.reserve(g.comps.size());
+
+    // Nodes: every registered port of every live component, plus the
+    // per-component timing model (with jitter folded in).
+    for (std::size_t ci = 0; ci < g.comps.size(); ++ci) {
+        Component *comp = g.comps[ci];
+        TimingModel model = comp->timingModel();
+        if (opts.delayDelta) {
+            const int id = comp->nodeId();
+            if (id >= 0 &&
+                static_cast<std::size_t>(id) < opts.delayDelta->size())
+                applyJitter(model,
+                            (*opts.delayDelta)[static_cast<std::size_t>(
+                                id)]);
+        }
+        g.models.push_back(std::move(model));
+
+        for (InputPort *p : comp->inputPorts()) {
+            g.nodeOf.emplace(p, static_cast<std::uint32_t>(
+                                    g.nodes.size()));
+            g.nodes.push_back({p, &p->name(),
+                               static_cast<std::int32_t>(ci), true, -1});
+        }
+        for (OutputPort *p : comp->outputPorts()) {
+            g.nodeOf.emplace(p, static_cast<std::uint32_t>(
+                                    g.nodes.size()));
+            g.nodes.push_back({p, &p->name(),
+                               static_cast<std::int32_t>(ci), false,
+                               -1});
+        }
+    }
+
+    // Edges.
+    for (std::size_t ci = 0; ci < g.comps.size(); ++ci) {
+        Component *comp = g.comps[ci];
+        const auto &ins = comp->inputPorts();
+        const auto &outs = comp->outputPorts();
+        const TimingModel &model = g.models[ci];
+
+        for (const TimingArc &arc : model.arcs) {
+            if (arc.from >= ins.size() || arc.to >= outs.size())
+                panic("sta: %s: timing arc %u -> %u outside the "
+                      "registered ports",
+                      comp->name().c_str(), arc.from, arc.to);
+            g.edges.push_back({g.indexOf(ins[arc.from]),
+                               g.indexOf(outs[arc.to]), arc.minDelay,
+                               arc.maxDelay, EdgeKind::Arc, arc.rateDiv,
+                               static_cast<std::int32_t>(ci), false});
+        }
+        for (const Component::PortAlias &alias : comp->portAliases()) {
+            const std::uint32_t from = g.indexOf(alias.outer);
+            const std::uint32_t to = g.indexOf(alias.inner);
+            if (from == UINT32_MAX || to == UINT32_MAX)
+                continue; // alias into a free-standing port
+            g.edges.push_back(
+                {from, to, 0, 0, EdgeKind::Alias, 1, -1, false});
+        }
+        for (OutputPort *out : outs) {
+            const std::uint32_t from = g.indexOf(out);
+            for (const OutputPort::Connection &conn :
+                 out->connectionList()) {
+                if (conn.dst->isObserver())
+                    continue; // measurement probes don't load the wire
+                const std::uint32_t to = g.indexOf(conn.dst);
+                if (to == UINT32_MAX)
+                    continue; // free-standing destination (fixtures)
+                g.edges.push_back({from, to, conn.delay, conn.delay,
+                                   EdgeKind::Wire, 1, -1, false});
+            }
+        }
+    }
+
+    // Adjacency.
+    g.outEdges.assign(g.nodes.size(), {});
+    g.inEdges.assign(g.nodes.size(), {});
+    for (std::uint32_t ei = 0; ei < g.edges.size(); ++ei) {
+        g.outEdges[g.edges[ei].from].push_back(ei);
+        g.inEdges[g.edges[ei].to].push_back(ei);
+    }
+
+    // Anchors.
+    if (opts.anchorMode == StaOptions::AnchorMode::Stimulus) {
+        for (std::size_t ci = 0; ci < g.comps.size(); ++ci) {
+            const PulseAnchor *a = g.comps[ci]->stimulusAnchor();
+            if (!a || a->count == 0)
+                continue;
+            for (OutputPort *out : g.comps[ci]->outputPorts()) {
+                const std::uint32_t v = g.indexOf(out);
+                g.nodes[v].anchor =
+                    static_cast<std::int32_t>(g.anchors.size());
+                g.anchors.push_back({v, a->first, a->last,
+                                     a->minSpacing, a->count,
+                                     a->periodic});
+            }
+        }
+    } else {
+        // Zero mode: every driverless port launches one pulse at t=0.
+        // State-only inputs (no out-edges) are included so their
+        // setup/hold checks against a reachable clock still evaluate.
+        for (std::uint32_t v = 0;
+             v < static_cast<std::uint32_t>(g.nodes.size()); ++v) {
+            if (!g.inEdges[v].empty())
+                continue;
+            g.nodes[v].anchor =
+                static_cast<std::int32_t>(g.anchors.size());
+            g.anchors.push_back({v, 0, 0, 0, 1, false});
+        }
+    }
+
+    cutLoops(g);
+    topoSort(g);
+    return g;
+}
+
+} // namespace usfq::sta_detail

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Internal port-level timing graph shared by the STA passes
+ * (graph.cc builds and levelizes it, analysis.cc propagates over it).
+ * Not installed API; include only from src/sta/.
+ */
+
+#ifndef USFQ_STA_GRAPH_HH
+#define USFQ_STA_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/timing.hh"
+#include "sta/sta.hh"
+#include "util/types.hh"
+
+namespace usfq
+{
+
+class Component;
+
+namespace sta_detail
+{
+
+enum class EdgeKind : std::uint8_t
+{
+    Wire,  ///< recorded OutputPort connection (fixed wire delay)
+    Arc,   ///< TimingModel propagation arc (input -> output of a cell)
+    Alias, ///< declared zero-delay port alias (input -> input)
+};
+
+const char *edgeKindName(EdgeKind kind);
+
+struct Edge
+{
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    Tick minDelay = 0;
+    Tick maxDelay = 0;
+    EdgeKind kind = EdgeKind::Wire;
+    std::uint8_t rateDiv = 1;
+    /** Owning component index (Arc edges only), -1 otherwise. */
+    std::int32_t comp = -1;
+    /** Cut during levelization (feedback through a registered cell). */
+    bool cut = false;
+};
+
+struct Node
+{
+    const void *port = nullptr; ///< InputPort* / OutputPort* address
+    const std::string *name = nullptr;
+    std::int32_t comp = -1; ///< owning component index
+    bool isInput = false;
+    std::int32_t anchor = -1; ///< index into anchors, -1 if none
+};
+
+/** One arrival-window anchor (stimulus source or zero-launch point). */
+struct AnchorInfo
+{
+    std::uint32_t node = 0;
+    Tick first = 0;
+    Tick last = 0;
+    Tick minSpacing = 0; ///< 0 = unknown / unbounded rate
+    std::uint64_t count = 1;
+    bool periodic = false; ///< exactly uniform schedule
+};
+
+struct StaGraph
+{
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+    std::vector<std::vector<std::uint32_t>> outEdges; ///< per node
+    std::vector<std::vector<std::uint32_t>> inEdges;  ///< per node
+    std::vector<AnchorInfo> anchors;
+
+    std::vector<Component *> comps;
+    /** Per-component model, with any delayDelta jitter already applied. */
+    std::vector<TimingModel> models;
+
+    std::unordered_map<const void *, std::uint32_t> nodeOf;
+
+    /** Node indices in dependency order over uncut edges. */
+    std::vector<std::uint32_t> topo;
+
+    /** CombinationalLoop findings raised while cutting. */
+    std::vector<LintFinding> loopFindings;
+    std::size_t numCut = 0;
+
+    std::uint32_t
+    indexOf(const void *port) const
+    {
+        auto it = nodeOf.find(port);
+        return it == nodeOf.end() ? UINT32_MAX : it->second;
+    }
+};
+
+/**
+ * Build the timing graph for @p nl: one node per registered port, wire
+ * edges from the recorded connectivity, arc edges from the per-cell
+ * TimingModels, alias edges from the declared port aliases; then seed
+ * the anchors per @p opts, cut feedback at registered cells (raising
+ * CombinationalLoop findings for loops without one) and compute the
+ * topological order.
+ */
+StaGraph buildStaGraph(Netlist &nl, const StaOptions &opts);
+
+} // namespace sta_detail
+
+} // namespace usfq
+
+#endif // USFQ_STA_GRAPH_HH

@@ -1,0 +1,110 @@
+#include "sta/monte_carlo.hh"
+
+#include <algorithm>
+
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+#include "sim/sweep.hh"
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer (same generator family as shardSeed()). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * The delay offset of component @p node_id in the trial seeded with
+ * @p seed: uniform over [-amplitude, +amplitude], a pure function of
+ * (seed, node id) so the result is independent of thread scheduling.
+ */
+Tick
+jitterFor(std::uint64_t seed, int node_id, Tick amplitude)
+{
+    if (amplitude <= 0)
+        return 0;
+    const std::uint64_t h =
+        mix64(seed ^ mix64(static_cast<std::uint64_t>(node_id) + 1));
+    const std::uint64_t span =
+        2 * static_cast<std::uint64_t>(amplitude) + 1;
+    return static_cast<Tick>(h % span) - amplitude;
+}
+
+} // namespace
+
+StaJitterStats
+runStaJitter(const std::function<void(Netlist &)> &build,
+             const StaJitterOptions &opts)
+{
+    if (opts.trials == 0)
+        fatal("runStaJitter: need at least one trial");
+
+    SweepOptions sweep;
+    sweep.threads = opts.threads;
+    sweep.baseSeed = opts.baseSeed;
+
+    auto samples = runSweep(
+        opts.trials,
+        [&](const ShardContext &ctx) {
+            Netlist nl("sta-mc");
+            build(nl);
+            nl.elaborate();
+
+            int maxId = 0;
+            const auto comps = nl.graphComponents();
+            for (const Component *c : comps)
+                maxId = std::max(maxId, c->nodeId());
+            std::vector<Tick> delta(
+                static_cast<std::size_t>(maxId) + 1, 0);
+            for (const Component *c : comps)
+                delta[static_cast<std::size_t>(c->nodeId())] =
+                    jitterFor(ctx.seed, c->nodeId(), opts.amplitude);
+
+            StaOptions sta = opts.sta;
+            sta.delayDelta = &delta;
+            sta.annotate = false; // shard netlists die with the trial
+            const StaReport report = runSta(nl, sta);
+
+            StaJitterSample sample;
+            sample.worstSlack = report.worstSlack;
+            sample.hasSlack = report.hasWorstSlack;
+            sample.violations = report.errors();
+            return sample;
+        },
+        sweep);
+
+    // Ordered reduction over the shard-ordered samples keeps the stats
+    // bit-identical across thread counts.
+    StaJitterStats stats;
+    stats.trials = samples.size();
+    stats.samples = std::move(samples);
+    double sum = 0.0;
+    std::size_t withSlack = 0;
+    for (const StaJitterSample &s : stats.samples) {
+        if (s.violations == 0)
+            ++stats.passes;
+        if (!s.hasSlack)
+            continue;
+        if (withSlack == 0 || s.worstSlack < stats.slackMin)
+            stats.slackMin = s.worstSlack;
+        if (withSlack == 0 || s.worstSlack > stats.slackMax)
+            stats.slackMax = s.worstSlack;
+        sum += static_cast<double>(s.worstSlack);
+        ++withSlack;
+    }
+    if (withSlack > 0)
+        stats.slackMean = sum / static_cast<double>(withSlack);
+    return stats;
+}
+
+} // namespace usfq

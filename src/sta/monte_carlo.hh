@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Monte-Carlo margin analysis under per-cell delay jitter (docs/sta.md):
+ * every trial perturbs each component's propagation delay by a uniform
+ * offset and re-runs the STA, yielding margin distributions and a
+ * timing yield.  Trials shard over the parallel sweep runner with its
+ * determinism contract: the per-trial jitter derives only from
+ * (base seed, trial index, component node id), so results are
+ * bit-identical at 1 and N threads.
+ */
+
+#ifndef USFQ_STA_MONTE_CARLO_HH
+#define USFQ_STA_MONTE_CARLO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sta/sta.hh"
+#include "util/types.hh"
+
+namespace usfq
+{
+
+class Netlist;
+
+/** Knobs of one jitter Monte-Carlo run. */
+struct StaJitterOptions
+{
+    /** Trials to run (one netlist build + STA per trial). */
+    std::size_t trials = 64;
+
+    /** Uniform jitter amplitude: each cell's delay shifts by a value
+     *  drawn from [-amplitude, +amplitude] ticks. */
+    Tick amplitude = kPicosecond;
+
+    /** Sweep base seed (see SweepOptions::baseSeed). */
+    std::uint64_t baseSeed = 0x5eedu;
+
+    /** Worker threads (0 = auto, see SweepOptions::threads). */
+    int threads = 0;
+
+    /** Base STA options applied to every trial. */
+    StaOptions sta;
+};
+
+/** What one trial produced. */
+struct StaJitterSample
+{
+    Tick worstSlack = 0;
+    bool hasSlack = false;
+    /** Unwaived findings in this trial. */
+    std::size_t violations = 0;
+};
+
+/** Aggregated Monte-Carlo result. */
+struct StaJitterStats
+{
+    std::size_t trials = 0;
+    /** Trials with zero unwaived findings. */
+    std::size_t passes = 0;
+
+    Tick slackMin = 0;
+    Tick slackMax = 0;
+    double slackMean = 0.0;
+
+    /** Per-trial samples, in trial order. */
+    std::vector<StaJitterSample> samples;
+
+    /** Fraction of trials that met timing. */
+    double
+    yield() const
+    {
+        return trials == 0 ? 0.0
+                           : static_cast<double>(passes) /
+                                 static_cast<double>(trials);
+    }
+};
+
+/**
+ * Run @p opts.trials jitter trials.  @p build constructs the design
+ * under test into a fresh netlist; it is invoked once per trial inside
+ * the shard (shards share nothing, per the sweep contract).
+ */
+StaJitterStats
+runStaJitter(const std::function<void(Netlist &)> &build,
+             const StaJitterOptions &opts = {});
+
+} // namespace usfq
+
+#endif // USFQ_STA_MONTE_CARLO_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * StaReport query and printing helpers: per-port window/floor lookup,
+ * the findings table, the hierarchical critical-path listing and the
+ * one-paragraph summary (docs/sta.md).
+ */
+
+#include <cstdio>
+#include <ostream>
+
+#include "sim/port.hh"
+#include "sta/sta.hh"
+#include "util/types.hh"
+
+namespace usfq
+{
+
+namespace
+{
+
+std::string
+ps(Tick t)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", ticksToPs(t));
+    return buf;
+}
+
+} // namespace
+
+std::size_t
+StaReport::errors() const
+{
+    std::size_t n = 0;
+    for (const LintFinding &f : findings)
+        n += f.waived ? 0 : 1;
+    return n;
+}
+
+double
+StaReport::maxStreamRateHz() const
+{
+    if (requiredStreamSpacing <= 0)
+        return 0.0;
+    return 1.0 / ticksToSeconds(requiredStreamSpacing);
+}
+
+ArrivalWindow
+StaReport::windowOf(const InputPort &port) const
+{
+    auto it = nodeIndex.find(&port);
+    return it == nodeIndex.end() ? ArrivalWindow{}
+                                 : nodeWindows[it->second];
+}
+
+ArrivalWindow
+StaReport::windowOf(const OutputPort &port) const
+{
+    auto it = nodeIndex.find(&port);
+    return it == nodeIndex.end() ? ArrivalWindow{}
+                                 : nodeWindows[it->second];
+}
+
+Tick
+StaReport::separationFloor(const InputPort &port) const
+{
+    auto it = nodeIndex.find(&port);
+    return it == nodeIndex.end() ? 0 : nodeFloors[it->second];
+}
+
+Tick
+StaReport::separationFloor(const OutputPort &port) const
+{
+    auto it = nodeIndex.find(&port);
+    return it == nodeIndex.end() ? 0 : nodeFloors[it->second];
+}
+
+void
+StaReport::printFindings(std::ostream &os) const
+{
+    if (findings.empty()) {
+        os << "sta: no timing findings\n";
+        return;
+    }
+    for (const LintFinding &f : findings) {
+        os << "sta: [" << lintRuleName(f.rule) << "] " << f.component
+           << ": " << f.message;
+        if (f.waived)
+            os << " (waived: " << f.waiverReason << ")";
+        os << "\n";
+    }
+}
+
+void
+StaReport::printCriticalPath(std::ostream &os) const
+{
+    if (!criticalPath.valid) {
+        os << "sta: no reachable path (no anchors?)\n";
+        return;
+    }
+    os << "critical path: " << ps(criticalPath.length) << " ps, "
+       << criticalPath.hops.size() << " hops\n";
+    os << "  launch  " << criticalPath.startpoint << "\n";
+    for (const StaHop &hop : criticalPath.hops) {
+        char line[64];
+        std::snprintf(line, sizeof line, "  +%7s ps  %-5s -> ",
+                      ps(hop.maxDelay).c_str(), hop.kind);
+        os << line << hop.to << "  @ " << ps(hop.at) << " ps\n";
+    }
+}
+
+void
+StaReport::printSummary(std::ostream &os) const
+{
+    os << "sta: " << numPorts << " ports, " << numEdges << " edges ("
+       << numCutEdges << " cut), " << numAnchors << " anchors\n";
+    if (hasWorstSlack)
+        os << "sta: worst slack " << ps(worstSlack) << " ps\n";
+    if (requiredStreamSpacing > 0) {
+        char rate[32];
+        std::snprintf(rate, sizeof rate, "%.1f",
+                      maxStreamRateHz() * 1e-9);
+        os << "sta: max lossless stream rate " << rate << " GHz (min "
+           << "spacing " << ps(requiredStreamSpacing) << " ps)\n";
+    }
+    os << "sta: " << findings.size() << " findings, " << errors()
+       << " unwaived\n";
+}
+
+} // namespace usfq

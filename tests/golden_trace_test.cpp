@@ -28,6 +28,7 @@
 #include "sim/netlist.hh"
 #include "sim/trace.hh"
 #include "sfq/sources.hh"
+#include "sta/sta.hh"
 
 #ifndef USFQ_GOLDEN_DIR
 #error "USFQ_GOLDEN_DIR must point at tests/golden"
@@ -129,6 +130,35 @@ checkGolden(const std::string &scenario, const Channels &actual)
     }
 }
 
+/**
+ * STA-vs-sim envelope: every simulated pulse on @p port must land
+ * inside the STA arrival window, and successive pulses may never be
+ * closer than the STA separation floor -- so the STA-predicted max
+ * pulse rate upper-bounds anything the event-driven kernel produced.
+ */
+void
+expectStaEnvelope(const StaReport &sta, const OutputPort &port,
+                  const std::vector<Tick> &observed,
+                  const std::string &what)
+{
+    if (observed.empty())
+        return;
+    const ArrivalWindow w = sta.windowOf(port);
+    ASSERT_TRUE(w.reachable)
+        << what << ": traced port unreachable in STA";
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        EXPECT_GE(observed[i], w.earliest)
+            << what << ": pulse " << i << " before the STA window";
+        EXPECT_LE(observed[i], w.latest)
+            << what << ": pulse " << i << " after the STA window";
+    }
+    const Tick floor = sta.separationFloor(port);
+    for (std::size_t i = 1; i < observed.size(); ++i)
+        EXPECT_GE(observed[i] - observed[i - 1], floor)
+            << what << ": pulses " << i - 1 << " and " << i
+            << " beat the STA separation floor";
+}
+
 // --- canonical netlists ----------------------------------------------------
 
 /** One unipolar multiplier epoch: n-pulse stream gated by an RL pulse. */
@@ -150,6 +180,8 @@ runMultiplierEpoch(int bits, int stream_count, int rl_id)
     a.pulsesAt(cfg.streamTimes(stream_count));
     b.pulseAt(cfg.rlArrival(rl_id));
     nl.run();
+    expectStaEnvelope(runSta(nl), mult.out(), out.times(),
+                      "multiplier n=" + std::to_string(stream_count));
     return out.times();
 }
 
@@ -169,6 +201,8 @@ runCountingNetwork(const std::vector<int> &counts)
         src.pulsesAt(cfg.streamTimes(counts[i]));
     }
     nl.run();
+    expectStaEnvelope(runSta(nl), net.out(), out.times(),
+                      "counting network");
     return out.times();
 }
 
@@ -190,6 +224,9 @@ runPnm(int bits, int value, int num_epochs)
                 static_cast<std::uint64_t>(num_epochs)
                     << static_cast<unsigned>(bits));
     nl.run();
+    const StaReport sta = runSta(nl);
+    expectStaEnvelope(sta, pnm.out(), stream.times(), "pnm stream");
+    expectStaEnvelope(sta, pnm.epochOut(), epochs.times(), "pnm epoch");
     return {{"stream", stream.times()}, {"epoch", epochs.times()}};
 }
 
