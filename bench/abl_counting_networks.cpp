@@ -100,8 +100,9 @@ runBitonic(int width)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("abl_counting_networks", &argc, argv);
     bench::banner("Ablation: merger tree vs balancer tree vs bitonic "
                   "counting network",
                   "the balancer tree is the paper's sweet spot: "

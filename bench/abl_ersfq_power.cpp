@@ -21,8 +21,9 @@
 using namespace usfq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("abl_ersfq_power", &argc, argv);
     bench::banner("Ablation: RSFQ vs ERSFQ biasing",
                   "ERSFQ removes the uW-scale bias power at 1.4x "
                   "area (paper [33, 54])");

@@ -116,8 +116,9 @@ runFaultyFir(double drop_probability, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("abl_pulse_faults", &argc, argv);
     bench::banner("Ablation: pulse-level fault injection in the FIR "
                   "netlist",
                   "the graceful degradation of Fig. 19 holds on the "

@@ -1,13 +1,27 @@
 /**
  * @file
- * Shared helpers for the figure/table reproduction harnesses.
+ * Shared helpers for the figure/table reproduction harnesses: the
+ * console banner/format helpers and the machine-readable bench
+ * artifact emitter (docs/observability.md).
  */
 
 #ifndef USFQ_BENCH_COMMON_HH
 #define USFQ_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/perfetto.hh"
+#include "obs/phase.hh"
+#include "obs/stats.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
 
 namespace usfq::bench
 {
@@ -48,6 +62,222 @@ fmt1(double value)
     std::snprintf(buf, sizeof(buf), "%.1f", value);
     return buf;
 }
+
+/**
+ * Machine-readable run artifact: every bench constructs one, records
+ * its headline numbers with metric()/note(), and on destruction (or an
+ * explicit write()) a BENCH_<name>.json lands wherever the run asked:
+ *
+ *  - `--json <path>` (or `--json=<path>`) on the command line names
+ *    the exact output file; the constructor strips the flag from argv
+ *    so the remaining arguments can go to e.g. benchmark::Initialize;
+ *  - otherwise $USFQ_BENCH_JSON, when set, is the output *directory*
+ *    and the file is named BENCH_<name>.json inside it;
+ *  - otherwise the artifact is disabled and costs nothing.
+ *
+ * Besides the explicit metrics the artifact embeds the per-phase
+ * wall-clock totals from the global phase log, the warn()/inform()
+ * counts, and a snapshot of the stats registry (the thread's current
+ * registry unless stats() picked another).  write() also triggers the
+ * Perfetto trace export when USFQ_TRACE_OUT is set, with any tracks
+ * registered via track().
+ */
+class Artifact
+{
+  public:
+    explicit Artifact(std::string bench_name, int *argc = nullptr,
+                      char **argv = nullptr)
+        : name(std::move(bench_name))
+    {
+        if (argc != nullptr && argv != nullptr)
+            stripJsonFlag(argc, argv);
+        if (outPath.empty()) {
+            if (const char *dir = std::getenv("USFQ_BENCH_JSON");
+                dir != nullptr && dir[0] != '\0')
+                outPath =
+                    std::string(dir) + "/BENCH_" + name + ".json";
+        }
+    }
+
+    ~Artifact() { write(); }
+
+    Artifact(const Artifact &) = delete;
+    Artifact &operator=(const Artifact &) = delete;
+
+    /** True when a destination was resolved and output will be written. */
+    bool enabled() const { return !outPath.empty(); }
+
+    /** Resolved output path (empty when disabled). */
+    const std::string &path() const { return outPath; }
+
+    /** Record one headline number. */
+    void
+    metric(const std::string &key, double value,
+           const std::string &unit = "")
+    {
+        metrics.push_back({key, value, unit});
+    }
+
+    /** Record one free-form string fact. */
+    void
+    note(const std::string &key, const std::string &value)
+    {
+        notes.emplace_back(key, value);
+    }
+
+    /** Embed @p reg instead of the current registry at write() time. */
+    void stats(const obs::StatsRegistry &reg) { statsReg = &reg; }
+
+    /** Add a sim-time pulse track for the Perfetto trace export. */
+    void
+    track(std::string track_name, std::vector<Tick> pulse_times)
+    {
+        tracks.push_back(
+            {std::move(track_name), std::move(pulse_times)});
+    }
+
+    /**
+     * Write the artifact now (idempotent; the destructor is a no-op
+     * afterwards).  Returns false when disabled or the file cannot be
+     * opened.
+     */
+    bool
+    write()
+    {
+        if (written)
+            return false;
+        written = true;
+        obs::writeTraceIfRequested(tracks);
+        if (outPath.empty())
+            return false;
+        std::ofstream os(outPath);
+        if (!os) {
+            warn("bench artifact: cannot open %s", outPath.c_str());
+            return false;
+        }
+        writeJson(os);
+        os << "\n";
+        return os.good();
+    }
+
+  private:
+    struct Metric
+    {
+        std::string key;
+        double value;
+        std::string unit;
+    };
+
+    void
+    stripJsonFlag(int *argc, char **argv)
+    {
+        int w = 1;
+        for (int r = 1; r < *argc; ++r) {
+            if (std::strcmp(argv[r], "--json") == 0 && r + 1 < *argc) {
+                outPath = argv[++r];
+                continue;
+            }
+            if (std::strncmp(argv[r], "--json=", 7) == 0) {
+                outPath = argv[r] + 7;
+                continue;
+            }
+            argv[w++] = argv[r];
+        }
+        *argc = w;
+        argv[w] = nullptr;
+    }
+
+    void
+    writeJson(std::ostream &os) const
+    {
+        const obs::StatsRegistry &reg =
+            statsReg != nullptr ? *statsReg : obs::currentStats();
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("bench", name);
+        w.kv("schema", 1);
+
+        w.key("metrics").beginObject();
+        for (const Metric &m : metrics) {
+            w.key(m.key).beginObject();
+            w.kv("value", m.value);
+            if (!m.unit.empty())
+                w.kv("unit", m.unit);
+            w.endObject();
+        }
+        w.endObject();
+
+        w.key("notes").beginObject();
+        for (const auto &[k, v] : notes)
+            w.kv(k, v);
+        w.endObject();
+
+        w.key("phases_us").beginObject();
+        for (const auto &[phase, us] :
+             obs::PhaseLog::global().totalsUs())
+            w.kv(phase, us);
+        w.endObject();
+
+        w.key("log").beginObject();
+        w.kv("warnings", warnCount());
+        w.kv("informs", informCount());
+        w.endObject();
+
+        w.key("stats").beginObject();
+        w.key("counters").beginObject();
+        reg.forEach([&](const std::string &n,
+                        const obs::StatsRegistry::Entry &e) {
+            if (e.kind == obs::StatsRegistry::Entry::Kind::Counter)
+                w.kv(n, e.counter.value());
+        });
+        w.endObject();
+        w.key("gauges").beginObject();
+        reg.forEach([&](const std::string &n,
+                        const obs::StatsRegistry::Entry &e) {
+            if (e.kind == obs::StatsRegistry::Entry::Kind::Gauge &&
+                e.gauge.valid())
+                w.kv(n, e.gauge.value());
+        });
+        w.endObject();
+        w.key("histograms").beginObject();
+        reg.forEach([&](const std::string &n,
+                        const obs::StatsRegistry::Entry &e) {
+            if (e.kind != obs::StatsRegistry::Entry::Kind::Histogram)
+                return;
+            const obs::Histogram &h = e.histogram;
+            w.key(n).beginObject();
+            w.kv("count", h.count());
+            w.kv("sum", h.sum());
+            w.kv("min", h.min());
+            w.kv("max", h.max());
+            w.kv("mean", h.mean());
+            w.key("buckets").beginArray();
+            for (std::size_t i = 0; i < obs::Histogram::kBuckets;
+                 ++i) {
+                if (h.bucket(i) == 0)
+                    continue;
+                w.beginArray();
+                w.value(obs::Histogram::bucketLo(i));
+                w.value(h.bucket(i));
+                w.endArray();
+            }
+            w.endArray();
+            w.endObject();
+        });
+        w.endObject();
+        w.endObject();
+
+        w.endObject();
+    }
+
+    std::string name;
+    std::string outPath;
+    std::vector<Metric> metrics;
+    std::vector<std::pair<std::string, std::string>> notes;
+    std::vector<obs::PulseTrack> tracks;
+    const obs::StatsRegistry *statsReg = nullptr;
+    bool written = false;
+};
 
 } // namespace usfq::bench
 

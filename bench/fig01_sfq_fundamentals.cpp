@@ -19,8 +19,9 @@ using namespace usfq;
 using namespace usfq::analog;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig01_sfq_fundamentals", &argc, argv);
     bench::banner("Fig. 1: SFQ fundamentals (RCSJ device level)",
                   "ps-wide, mV-scale pulses carrying exactly one "
                   "Phi0; the SQUID stores one fluxon as a persistent "

@@ -43,8 +43,9 @@ multiplyOnNetlist(const EpochConfig &cfg, double a, double b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig02_unary_primitives", &argc, argv);
     bench::banner("Figs. 2 and 3b: the unary primitives, worked "
                   "examples",
                   "RL min(2,3) = 2 with one 8-JJ FA cell; stream "

@@ -25,8 +25,9 @@
 using namespace usfq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig04_multiplier", &argc, argv);
     bench::banner("Fig. 4: U-SFQ multiplier vs binary multipliers",
                   "25x-200x area savings vs WP; 370x vs the BP "
                   "multiplier [37] at 6x the latency");

@@ -55,8 +55,9 @@ runMerger(int fan_in, bool spaced, int rounds)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig05_merger_collisions", &argc, argv);
     bench::banner("Fig. 5: pulse collisions in M:1 merger cells",
                   "(b) simultaneous pulses collide: 4 in -> 3 out; "
                   "(c) spacing by the safe interval avoids losses");

@@ -17,8 +17,9 @@
 using namespace usfq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig07_balancer_waveforms", &argc, argv);
     bench::banner("Fig. 7: balancer waveforms",
                   "first pulse -> Y1, next -> Y2; a simultaneous A+B "
                   "pair puts one pulse on each output");

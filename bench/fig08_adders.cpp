@@ -20,8 +20,9 @@
 using namespace usfq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig08_adders", &argc, argv);
     bench::banner("Fig. 8: unary vs binary adders",
                   "balancer saves 11x-200x area vs binary for 4-16 "
                   "bits, at 2^B * t_BFF latency");

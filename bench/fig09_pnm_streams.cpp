@@ -57,8 +57,9 @@ runPnm(int bits, int value, Tick t_clk)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig09_pnm_streams", &argc, argv);
     bench::banner("Fig. 9: classic vs uniform pulse-number multiplier",
                   "\"1111\" yields 15 pulses, \"0100\" yields 4; the "
                   "TFF2 PNM resembles a uniform-rate train");

@@ -20,8 +20,9 @@
 using namespace usfq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig11_integrator_buffer", &argc, argv);
     bench::banner("Fig. 11: integrator-based RL buffer",
                   "the RL input pulse reappears exactly one epoch "
                   "later; I_L ramps to Ic and back; JJ count constant "

@@ -17,8 +17,9 @@
 using namespace usfq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig12_shift_register_area", &argc, argv);
     bench::banner("Fig. 12: shift-register area in JJs (8 words)",
                   "binary < integrator buffer < B2RC << DFF-based RL; "
                   "buffer overhead 2.5x at 8 bits, 1.3x at 16");

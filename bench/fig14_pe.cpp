@@ -22,8 +22,9 @@
 using namespace usfq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig14_pe", &argc, argv);
     bench::banner("Fig. 14: processing element latency and "
                   "equal-throughput area",
                   "126-JJ PE; 93-96% array savings vs WP below 12 "

@@ -23,8 +23,9 @@
 using namespace usfq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig16_dpu_area", &argc, argv);
     bench::banner("Fig. 16: dot-product unit area",
                   "unary area flat in bits, linear in taps; "
                   "crossover with the binary DPU near 64-128 taps");
@@ -59,6 +60,19 @@ main()
                       << ") at " << taps << " taps\n";
             return 1;
         }
+
+        // The stats-registry rollup must agree with both: export this
+        // netlist into a private registry and cross-check the subtree
+        // sum against report()/totalJJs().
+        obs::StatsRegistry reg;
+        nl.exportStats(reg);
+        const std::uint64_t regJJ = reg.sumCounters(nl.name(), "jj");
+        if (regJJ != static_cast<std::uint64_t>(nl.totalJJs())) {
+            std::cerr << "FAIL: stats-registry JJ rollup (" << regJJ
+                      << ") != totalJJs() (" << nl.totalJJs()
+                      << ") at " << taps << " taps\n";
+            return 1;
+        }
         if (taps == 16) {
             std::cout << "Hierarchical JJ rollup (16 taps, two levels; "
                          "glue JJs show up as JJ > child JJ, worst "
@@ -73,6 +87,10 @@ main()
             std::cout << "\n";
         }
         const double unary = dpu.jjCount();
+        artifact.metric("unary_jj_" + std::to_string(taps) + "taps",
+                        unary, "JJ");
+        artifact.metric("binary8_jj_" + std::to_string(taps) + "taps",
+                        baseline::BinaryDpu{taps, 8}.areaJJ(), "JJ");
         std::string wins = "never";
         for (int bits = 4; bits <= 16; ++bits) {
             if (baseline::BinaryDpu{taps, bits}.areaJJ() > unary) {
@@ -91,6 +109,9 @@ main()
     }
     table.print(std::cout);
 
+    artifact.note("rollup_check",
+                  "report(), stats registry and totalJJs() agree at "
+                  "every vector length");
     std::cout << "\nrollup check: the report() root JJ total matches "
                  "totalJJs() at every vector length.\n";
     std::cout << "\nThe unary column is resolution-independent: the "

@@ -78,8 +78,9 @@ evalPoint(int taps, int bits)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig18_fir_metrics", &argc, argv);
     bench::banner("Fig. 18: unary vs binary FIR (32 & 256 taps)",
                   "latency crossovers at ~9 bits (32 taps) and ~12 "
                   "bits (256 taps); efficiency rises with taps");
@@ -132,6 +133,9 @@ main()
     std::cout << "latency crossover (first bits where binary wins): "
               << crossover(32) << " bits at 32 taps (paper: 9), "
               << crossover(256) << " bits at 256 taps (paper: 12)\n";
+    artifact.metric("latency_crossover_32taps", crossover(32), "bits");
+    artifact.metric("latency_crossover_256taps", crossover(256),
+                    "bits");
 
     const baseline::BinaryFir bp32{32, 8,
                                    baseline::BinaryArch::BitParallel};
@@ -159,11 +163,19 @@ main()
     staOpts.anchorMode = StaOptions::AnchorMode::Zero;
     const StaReport timing = runSta(nl, staOpts);
     timing.printCriticalPath(std::cout);
-    if (timing.requiredStreamSpacing > 0)
+    if (timing.requiredStreamSpacing > 0) {
         std::cout << "STA max lossless stream rate: "
                   << metrics::pulseRateGHz(timing.requiredStreamSpacing)
                   << " GHz (min stimulus spacing "
                   << ticksToPs(timing.requiredStreamSpacing)
                   << " ps)\n";
+        artifact.metric(
+            "sta_max_stream_rate",
+            metrics::pulseRateGHz(timing.requiredStreamSpacing),
+            "GHz");
+    }
+    artifact.metric("fir16_jj", nl.totalJJs(), "JJ");
+    // Embed the FIR netlist + kernel stats in the artifact snapshot.
+    nl.exportStats();
     return 0;
 }

@@ -49,8 +49,9 @@ makeInput(std::size_t n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig19_fir_accuracy", &argc, argv);
     const auto h = dsp::designLowpass(kTaps, 2500.0, kFs);
     const auto x = makeInput(4096);
     const auto golden = dsp::firFilter(h, x);

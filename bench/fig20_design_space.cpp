@@ -137,8 +137,9 @@ referencePoint(const char *label, int taps, int bits)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig20_design_space", &argc, argv);
     bench::banner("Fig. 20: design-space heatmaps (unary gain % over "
                   "WP binary FIR)",
                   "colored regions = unary gain; IR sensors and SDR "
@@ -169,6 +170,12 @@ main()
     referencePoint("IR sensor filter (8 bits)", 32, 8);
     referencePoint("RTL-2832U-class SDR", 256, 8);
     referencePoint("RSP-class SDR", 512, 12);
+    artifact.metric("ir_latency_gain", latencyGain(32, 7), "%");
+    artifact.metric("ir_area_gain", areaGain(32, 7), "%");
+    artifact.metric("ir_efficiency_gain", efficiencyGain(32, 7), "%");
+    artifact.metric("rtl_area_gain", areaGain(256, 8), "%");
+    artifact.metric("rtl_efficiency_gain", efficiencyGain(256, 8),
+                    "%");
     std::printf("\npaper: IR sensors gain 13-78%% latency / ~40%% "
                 "area / 62-89%% efficiency; the RTL-class filter "
                 "pays ~60%% area for ~80%% better efficiency.\n");
@@ -222,6 +229,8 @@ main()
                     ticksToPs(stats.slackMin), ticksToPs(stats.slackMax),
                     stats.slackMean / kPicosecond,
                     stats.yield() * 100.0);
+        artifact.metric("yield_jitter_" + std::to_string(amp) + "ps",
+                        stats.yield() * 100.0, "%");
     }
     return 0;
 }

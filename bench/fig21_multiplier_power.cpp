@@ -55,8 +55,9 @@ activePowerNw(const EpochConfig &cfg, double stream_value,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("fig21_multiplier_power", &argc, argv);
     bench::banner("Fig. 21: bipolar multiplier active power",
                   "rising for stream=+1, falling for -1, flat for 0; "
                   "bounded ~68-135 nW");

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Artifact linter: parse every JSON file named on the command line and
+ * fail (exit 1) on the first malformed one.  Files whose name starts
+ * with BENCH_ are additionally checked against the artifact schema
+ * (bench/schema/metrics keys present).  scripts/check.sh runs this
+ * over the artifacts a bench sweep produced.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: json_lint <file.json>...\n");
+        return 2;
+    }
+    int bad = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string path = argv[i];
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "json_lint: cannot open %s\n",
+                         path.c_str());
+            ++bad;
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        usfq::JsonValue doc;
+        std::string error;
+        if (!usfq::parseJson(buf.str(), doc, &error)) {
+            std::fprintf(stderr, "json_lint: %s: %s\n", path.c_str(),
+                         error.c_str());
+            ++bad;
+            continue;
+        }
+        // Artifact schema check for BENCH_*.json files.
+        const std::size_t slash = path.find_last_of('/');
+        const std::string base =
+            slash == std::string::npos ? path : path.substr(slash + 1);
+        if (base.rfind("BENCH_", 0) == 0) {
+            const bool ok = doc.isObject() && doc.find("bench") &&
+                            doc.find("schema") && doc.find("metrics");
+            if (!ok) {
+                std::fprintf(stderr,
+                             "json_lint: %s: not a bench artifact "
+                             "(missing bench/schema/metrics)\n",
+                             path.c_str());
+                ++bad;
+                continue;
+            }
+        }
+        std::printf("json_lint: %s ok\n", path.c_str());
+    }
+    return bad == 0 ? 0 : 1;
+}

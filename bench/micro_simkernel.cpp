@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hh"
 #include "core/adder.hh"
 #include "core/dpu.hh"
 #include "core/encoding.hh"
@@ -129,4 +130,8 @@ BENCHMARK(BM_FirModelSample)->Arg(16)->Arg(64)->Arg(256);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return bench::gbenchMain("micro_simkernel", argc, argv);
+}

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_gbench.hh"
 #include "sfq/cells.hh"
 #include "sfq/sources.hh"
 #include "sim/netlist.hh"
@@ -106,4 +107,8 @@ BENCHMARK(BM_StaJitterMonteCarlo)->Arg(16)->Arg(64);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return bench::gbenchMain("micro_sta", argc, argv);
+}

@@ -154,8 +154,9 @@ printTimingModels(std::ostream &os)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("tab1_cell_library", &argc, argv);
     bench::banner("Table 1: the implemented RSFQ cell library",
                   "splitter/merger/JTL interconnect; DFF, DFF2, TFF2, "
                   "NDRO, inverter storage gates; FA; BFF");

@@ -14,8 +14,9 @@
 using namespace usfq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("tab2_soa_baselines", &argc, argv);
     bench::banner("Table 2: state of the art for RSFQ multipliers "
                   "and adders",
                   "ten published designs; dashed-line baselines are "

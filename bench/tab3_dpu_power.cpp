@@ -104,8 +104,9 @@ dpuPower()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Artifact artifact("tab3_dpu_power", &argc, argv);
     bench::banner("Table 3: power of a 32-element DPU (half activity)",
                   "multiplier 9e-5 mW active / 0.05 mW passive; "
                   "balancer 17e-5 / 0.1; DPU 84e-4 / 4.8");

@@ -3,13 +3,24 @@
 # again under AddressSanitizer (-DUSFQ_SANITIZE=address).  Run from the
 # repo root; pass extra ctest args after `--` (e.g. `-- -L sta`).
 #
-#   ./scripts/check.sh            # both configurations, full suite
-#   ./scripts/check.sh -- -L unit # both configurations, unit tier only
+#   ./scripts/check.sh                 # both configurations, full suite
+#   ./scripts/check.sh -- -L unit      # both configurations, unit tier
+#   ./scripts/check.sh bench-artifacts # run benches with artifact
+#                                      # output into ./artifacts/ and
+#                                      # validate every BENCH_*.json
+#
+# docs/observability.md describes the artifact format.
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+mode="default"
+if [[ "${1:-}" == "bench-artifacts" ]]; then
+    mode="bench-artifacts"
+    shift
+fi
 
 ctest_args=()
 if [[ "${1:-}" == "--" ]]; then
@@ -28,6 +39,31 @@ run_config() {
     ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
         "${ctest_args[@]}"
 }
+
+if [[ "$mode" == "bench-artifacts" ]]; then
+    # Build, then run the bench tiers with USFQ_BENCH_JSON pointed at
+    # ./artifacts so every bench drops its BENCH_<name>.json, and fail
+    # if any artifact is missing or malformed (bench/json_lint.cpp).
+    artifacts="$repo/artifacts"
+    rm -rf "$artifacts"
+    mkdir -p "$artifacts"
+    cmake -B "$repo/build" -S "$repo"
+    cmake --build "$repo/build" -j "$jobs"
+    echo "==> [bench-artifacts] running lint + bench-smoke tiers"
+    USFQ_BENCH_JSON="$artifacts" ctest --test-dir "$repo/build" \
+        --output-on-failure -j "$jobs" -L 'lint|bench-smoke' \
+        "${ctest_args[@]}"
+    shopt -s nullglob
+    files=("$artifacts"/BENCH_*.json)
+    if [[ ${#files[@]} -eq 0 ]]; then
+        echo "==> [bench-artifacts] FAILED: no BENCH_*.json produced" >&2
+        exit 1
+    fi
+    echo "==> [bench-artifacts] validating ${#files[@]} artifacts"
+    "$repo/build/bench/json_lint" "${files[@]}"
+    echo "==> bench artifacts ok (${#files[@]} files in ./artifacts)"
+    exit 0
+fi
 
 run_config default "$repo/build"
 run_config asan "$repo/build-asan" -DUSFQ_SANITIZE=address

@@ -1,0 +1,81 @@
+#include "obs/phase.hh"
+
+#include <atomic>
+#include <chrono>
+
+namespace usfq::obs
+{
+
+std::uint64_t
+wallClockUs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point anchor = clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            clock::now() - anchor)
+            .count());
+}
+
+std::uint32_t
+threadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+PhaseLog::add(PhaseSpan span)
+{
+    std::lock_guard<std::mutex> g(lock);
+    spans.push_back(std::move(span));
+}
+
+std::vector<PhaseSpan>
+PhaseLog::snapshot() const
+{
+    std::lock_guard<std::mutex> g(lock);
+    return spans;
+}
+
+std::map<std::string, double>
+PhaseLog::totalsUs() const
+{
+    std::lock_guard<std::mutex> g(lock);
+    std::map<std::string, double> totals;
+    for (const PhaseSpan &s : spans)
+        totals[s.name] += static_cast<double>(s.durUs);
+    return totals;
+}
+
+void
+PhaseLog::clear()
+{
+    std::lock_guard<std::mutex> g(lock);
+    spans.clear();
+}
+
+PhaseLog &
+PhaseLog::global()
+{
+    static PhaseLog log;
+    return log;
+}
+
+void
+ScopedPhase::finish()
+{
+    if (done)
+        return;
+    done = true;
+    const std::uint64_t end = wallClockUs();
+    const std::uint64_t dur = end - startUs;
+    if (accum)
+        *accum += static_cast<double>(dur);
+    if (sink)
+        sink->add(PhaseSpan{phaseName, startUs, dur, threadId()});
+}
+
+} // namespace usfq::obs

@@ -11,6 +11,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/phase.hh"
 #include "sim/netlist.hh"
 #include "util/logging.hh"
 
@@ -307,6 +308,17 @@ Netlist::elaborate()
 {
     if (frozen)
         return elabReport;
+
+    // Close the "build" phase: everything between construction and the
+    // first elaborate() is netlist-building time.
+    {
+        const std::uint64_t now = obs::wallClockUs();
+        const std::uint64_t dur = now - buildStartUs;
+        phaseUs["build"] += static_cast<double>(dur);
+        obs::PhaseLog::global().add(obs::PhaseSpan{
+            "build", buildStartUs, dur, obs::threadId()});
+    }
+    obs::ScopedPhase timer("elaborate", &phaseUs["elaborate"]);
 
     elabReport.findings = ElabPasses::runLint(*this);
     if (const std::size_t errs = elabReport.errors(); errs > 0) {

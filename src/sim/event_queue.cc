@@ -4,6 +4,7 @@
 #include <bit>
 #include <utility>
 
+#include "obs/phase.hh"
 #include "util/logging.hh"
 
 namespace usfq
@@ -53,6 +54,8 @@ EventQueue::EventQueue()
     } else {
         ring = std::make_unique<RingBuffers>();
     }
+    if (obs::kernelStatsEnabled())
+        stats = std::make_unique<KernelStats>();
 }
 
 EventQueue::~EventQueue()
@@ -85,6 +88,8 @@ EventQueue::insertRing(Tick when, std::uint64_t seq, Callback cb)
     ++liveRing;
     if (when < cursor)
         cursor = when;
+    if (stats)
+        ++stats->ringInserts;
 }
 
 void
@@ -92,6 +97,11 @@ EventQueue::overflowPush(Tick when, std::uint64_t seq, Callback cb)
 {
     overflow.push_back(Event{when, seq, std::move(cb)});
     std::push_heap(overflow.begin(), overflow.end(), EventLater{});
+    if (stats) {
+        ++stats->overflowPushes;
+        if (overflow.size() > stats->maxOverflow)
+            stats->maxOverflow = overflow.size();
+    }
 }
 
 EventQueue::Event
@@ -110,6 +120,8 @@ EventQueue::schedule(Tick when, Callback cb)
         panic("EventQueue: scheduling in the past (%lld < %lld)",
               static_cast<long long>(when),
               static_cast<long long>(currentTick));
+    if (stats)
+        noteSchedule(when);
     const std::uint64_t seq = nextSeq++;
     if (when >= windowBase &&
         when < windowBase + static_cast<Tick>(kNumBuckets)) {
@@ -126,8 +138,23 @@ EventQueue::schedule(Tick when, Callback cb)
 }
 
 void
+EventQueue::noteSchedule(Tick when)
+{
+    ++stats->scheduled;
+    stats->scheduleLatency.record(when - currentTick);
+    // +1: the event being scheduled is about to be inserted.
+    const std::uint64_t depth = pending() + 1;
+    if (depth > stats->maxPending)
+        stats->maxPending = depth;
+}
+
+void
 EventQueue::rebase(Tick new_base)
 {
+    if (stats) {
+        ++stats->rebases;
+        stats->rebaseSpills += liveRing;
+    }
     if (liveRing > 0) {
         for (std::size_t w = 0; w < kBitmapWords; ++w) {
             std::uint64_t bits = bitmap[w];
@@ -197,6 +224,7 @@ EventQueue::findNextTick()
 std::uint64_t
 EventQueue::run(Tick until)
 {
+    const std::uint64_t t0 = stats ? obs::wallClockUs() : 0;
     std::uint64_t n = 0;
     for (;;) {
         const Tick next = findNextTick();
@@ -226,6 +254,11 @@ EventQueue::run(Tick until)
     }
     if (empty() && until != INT64_MAX && currentTick < until)
         currentTick = until;
+    if (stats) {
+        ++stats->runCalls;
+        stats->runWallUs +=
+            static_cast<double>(obs::wallClockUs() - t0);
+    }
     return n;
 }
 
@@ -274,6 +307,30 @@ EventQueue::reset()
     currentTick = 0;
     nextSeq = 0;
     executedCount = 0;
+    if (stats)
+        *stats = KernelStats{};
+}
+
+void
+EventQueue::exportStats(obs::StatsRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.counter(prefix + "/executed").set(executedCount);
+    reg.counter(prefix + "/pending").set(pending());
+    if (!stats)
+        return;
+    reg.counter(prefix + "/scheduled").set(stats->scheduled);
+    reg.counter(prefix + "/ring_inserts").set(stats->ringInserts);
+    reg.counter(prefix + "/overflow_pushes")
+        .set(stats->overflowPushes);
+    reg.counter(prefix + "/rebases").set(stats->rebases);
+    reg.counter(prefix + "/rebase_spills").set(stats->rebaseSpills);
+    reg.gauge(prefix + "/max_pending", obs::Gauge::Merge::Max)
+        .set(static_cast<double>(stats->maxPending));
+    reg.gauge(prefix + "/max_overflow", obs::Gauge::Merge::Max)
+        .set(static_cast<double>(stats->maxOverflow));
+    reg.histogram(prefix + "/schedule_to_fire_fs")
+        .merge(stats->scheduleLatency);
 }
 
 } // namespace usfq

@@ -24,8 +24,10 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/stats.hh"
 #include "sim/inline_function.hh"
 #include "util/types.hh"
 
@@ -93,6 +95,51 @@ class EventQueue
     /** Total events executed since construction/reset. */
     std::uint64_t executed() const { return executedCount; }
 
+    // --- instrumentation (docs/observability.md) ------------------------
+
+    /**
+     * Kernel telemetry, collected only when obs::kernelStatsEnabled()
+     * (the USFQ_OBS=1 toggle) was true at construction.  Everything
+     * here except runWallUs is a pure function of the schedule
+     * sequence, so enabling it never perturbs simulation results and
+     * the exported stats stay deterministic.
+     */
+    struct KernelStats
+    {
+        std::uint64_t scheduled = 0;      ///< schedule() calls
+        std::uint64_t ringInserts = 0;    ///< bucket-ring appends
+        std::uint64_t overflowPushes = 0; ///< beyond-window heap pushes
+        std::uint64_t rebases = 0;        ///< window re-anchors
+        std::uint64_t rebaseSpills = 0;   ///< live events spilled by rebase
+        std::uint64_t maxPending = 0;     ///< high-water mark of pending()
+        std::uint64_t maxOverflow = 0;    ///< high-water mark of the heap
+        std::uint64_t runCalls = 0;       ///< run() invocations
+        double runWallUs = 0.0;           ///< wall-clock time inside run()
+        /** Schedule-to-fire latency (when - now at schedule), fs. */
+        obs::Histogram scheduleLatency;
+
+        /** Executed events per wall-clock second inside run(). */
+        double eventsPerSecond(std::uint64_t executed) const
+        {
+            return runWallUs > 0.0
+                       ? static_cast<double>(executed) /
+                             (runWallUs * 1e-6)
+                       : 0.0;
+        }
+    };
+
+    /** Collected telemetry, or null when instrumentation is off. */
+    const KernelStats *kernelStats() const { return stats.get(); }
+
+    /**
+     * Write the deterministic kernel stats under "<prefix>/..." into
+     * @p reg: executed/pending always, the KernelStats extras when
+     * instrumentation is on.  Wall-clock numbers are excluded (they
+     * belong to the host-side phase log, not the registry).
+     */
+    void exportStats(obs::StatsRegistry &reg,
+                     const std::string &prefix) const;
+
   private:
     struct Event
     {
@@ -135,7 +182,11 @@ class EventQueue
         bitmap[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
     }
 
+    /** Record one schedule() in the telemetry (stats must be live). */
+    void noteSchedule(Tick when);
+
     std::unique_ptr<RingBuffers> ring; ///< pooled per-tick buckets
+    std::unique_ptr<KernelStats> stats; ///< null = instrumentation off
     std::array<std::uint64_t, kBitmapWords> bitmap{};
     std::vector<Event> overflow;       ///< min-heap by (when, seq)
 

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/phase.hh"
 #include "util/logging.hh"
 
 namespace usfq
 {
 
 Netlist::Netlist(std::string name)
-    : netName(std::move(name))
+    : netName(std::move(name)), buildStartUs(obs::wallClockUs())
 {
     hier.push_back(HierNode{netName, nullptr, -1, true, {}});
     buildStack.push_back(0);
@@ -130,6 +131,7 @@ std::uint64_t
 Netlist::run(Tick until)
 {
     elaborate();
+    obs::ScopedPhase timer("run", &phaseUs["run"]);
     return eq.run(until);
 }
 
@@ -192,6 +194,60 @@ Netlist::report() const
     HierReport rpt;
     buildReportNode(0, rpt.root);
     return rpt;
+}
+
+int
+Netlist::inclusiveJJs(int node_id) const
+{
+    const HierNode &n = hier[static_cast<std::size_t>(node_id)];
+    if (n.comp)
+        return n.comp->jjCount();
+    int total = 0;
+    for (int child : n.children)
+        total += inclusiveJJs(child);
+    return total;
+}
+
+void
+Netlist::exportStatsNode(obs::StatsRegistry &reg, int node_id,
+                         const std::string &path) const
+{
+    const HierNode &n = hier[static_cast<std::size_t>(node_id)];
+    if (n.comp) {
+        const Component &c = *n.comp;
+        // jjCount() is inclusive of a composite's member cells, which
+        // have hier nodes of their own; export the exclusive share
+        // (glue JJs) so subtree sums over the registry reproduce the
+        // inclusive total exactly once.
+        int childJJ = 0;
+        for (int child : n.children)
+            childJJ += inclusiveJJs(child);
+        reg.counter(path + "/jj", node_id)
+            .set(static_cast<std::uint64_t>(
+                c.jjCount() > childJJ ? c.jjCount() - childJJ : 0));
+        reg.counter(path + "/switches", node_id).set(c.localSwitches());
+        reg.counter(path + "/lost_pulses", node_id).set(c.lostPulses());
+        std::uint64_t in = 0, out = 0;
+        for (const InputPort *p : c.inputPorts())
+            in += p->pulseCount();
+        for (const OutputPort *p : c.outputPorts())
+            out += p->pulseCount();
+        reg.counter(path + "/in_pulses", node_id).set(in);
+        reg.counter(path + "/out_pulses", node_id).set(out);
+    }
+    for (int child : n.children) {
+        if (!subtreeLive(child))
+            continue;
+        const HierNode &cn = hier[static_cast<std::size_t>(child)];
+        exportStatsNode(reg, child, path + "/" + cn.name);
+    }
+}
+
+void
+Netlist::exportStats(obs::StatsRegistry &reg) const
+{
+    exportStatsNode(reg, 0, netName);
+    eq.exportStats(reg, netName + "/kernel");
 }
 
 } // namespace usfq

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/stats.hh"
 #include "sim/component.hh"
 #include "sim/elaborate.hh"
 #include "sim/event_queue.hh"
@@ -168,6 +169,37 @@ class Netlist
     /** Hierarchical metrics rollup (per-block area/power breakdown). */
     HierReport report() const;
 
+    // --- observability (docs/observability.md) --------------------------
+
+    /**
+     * Export this netlist's deterministic stats into @p reg (the
+     * thread's current registry by default): per-component pulse
+     * counters (jj / in_pulses / out_pulses / lost_pulses / switches)
+     * named by '/'-joined hier path and keyed by hier-node id, plus
+     * the event-kernel stats under "<name>/kernel".  Registry rollups
+     * (sumCounters) over these reproduce the report() arithmetic.
+     * Counters are overwritten, so exporting twice into one registry
+     * is idempotent for them; call once per registry for histograms.
+     */
+    void exportStats(obs::StatsRegistry &reg = obs::currentStats()) const;
+
+    /**
+     * Wall-clock microseconds this netlist spent per phase:
+     * "build" (construction to first elaborate()), "elaborate",
+     * "run", plus "sta" when runSta() analyzed it.  Host-side timing
+     * -- never part of the deterministic stats registry.
+     */
+    const std::map<std::string, double> &phaseTimes() const
+    {
+        return phaseUs;
+    }
+
+    /** Accumulate @p us of wall time under phase @p name. */
+    void recordPhase(const std::string &name, double us)
+    {
+        phaseUs[name] += us;
+    }
+
     // --- registration (called by Component) -----------------------------
 
     /** Register @p c in the hierarchy; returns its dense node id. */
@@ -190,6 +222,9 @@ class Netlist
 
     bool subtreeLive(int node_id) const;
     void buildReportNode(int node_id, HierReport::Node &out) const;
+    int inclusiveJJs(int node_id) const;
+    void exportStatsNode(obs::StatsRegistry &reg, int node_id,
+                         const std::string &path) const;
 
     std::string netName;
     EventQueue eq;
@@ -206,6 +241,9 @@ class Netlist
 
     std::vector<std::unique_ptr<Component>> components;
     std::uint64_t switchEvents = 0;
+
+    std::map<std::string, double> phaseUs; ///< per-phase wall time
+    std::uint64_t buildStartUs;            ///< construction timestamp
 };
 
 } // namespace usfq

@@ -9,6 +9,13 @@
  * shard order.  A sweep therefore produces bit-identical output at 1
  * thread and at N threads; the thread count changes wall-clock time and
  * nothing else.
+ *
+ * The same contract covers observability: every shard runs under a
+ * private obs::StatsRegistry (installed as the thread's current
+ * registry for the duration of the shard function), and the private
+ * registries are merged into the caller's current registry in shard
+ * index order after the workers join.  Stats a sweep collects are
+ * therefore bit-identical at any thread count too.
  */
 
 #ifndef USFQ_SIM_SWEEP_HH
@@ -19,6 +26,8 @@
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "obs/stats.hh"
 
 namespace usfq
 {
@@ -79,12 +88,21 @@ runSweep(std::size_t num_shards, Fn &&fn, const SweepOptions &opt = {})
 {
     using Result = decltype(fn(std::declval<const ShardContext &>()));
     std::vector<std::optional<Result>> slots(num_shards);
+    std::vector<obs::StatsRegistry> shardStats(num_shards);
+    obs::StatsRegistry &parent = obs::currentStats();
     const int threads = resolveSweepThreads(opt.threads);
     detail::runIndexed(num_shards, threads, [&](std::size_t i) {
         const ShardContext ctx{i, num_shards,
                                shardSeed(opt.baseSeed, i)};
+        // Shard-private registry: stats recorded inside fn (netlist
+        // exports, kernel counters) land here, not in the caller's.
+        obs::ScopedStatsRegistry guard(shardStats[i]);
         slots[i].emplace(fn(ctx));
     });
+    // Ordered deterministic reduction: merge in shard index order so
+    // the combined registry is independent of worker scheduling.
+    for (obs::StatsRegistry &reg : shardStats)
+        parent.mergeFrom(reg);
     std::vector<Result> results;
     results.reserve(num_shards);
     for (auto &slot : slots)

@@ -7,16 +7,46 @@ namespace usfq
 
 PulseTrace::PulseTrace(std::string name)
     : traceName(std::move(name)),
-      port(traceName + ".in", [this](Tick t) { pulses.push_back(t); })
+      port(traceName + ".in", [this](Tick t) { record(t); })
 {
     // A trace is a measurement probe: its connection does not load the
     // observed wire, so it is exempt from the SFQ fan-out lint.
     port.markObserver();
 }
 
+void
+PulseTrace::record(Tick t)
+{
+    if (total == 0) {
+        firstTime = t;
+    } else {
+        const Tick gap = t - lastTime;
+        if (gap < 0)
+            sorted = false; // defensive: queue order makes this unreachable
+        if (minGap == kTickInvalid || gap < minGap)
+            minGap = gap;
+    }
+    lastTime = t;
+    ++total;
+    pulses.push_back(t);
+    // Amortized trim: let the buffer grow to twice the cap, then drop
+    // the oldest half in one move instead of shifting per pulse.
+    if (capacity > 0 && pulses.size() >= capacity * 2)
+        pulses.erase(pulses.begin(),
+                     pulses.end() - static_cast<std::ptrdiff_t>(capacity));
+}
+
 std::size_t
 PulseTrace::countInWindow(Tick from, Tick to) const
 {
+    if (to <= from)
+        return 0;
+    if (sorted) {
+        const auto lo =
+            std::lower_bound(pulses.begin(), pulses.end(), from);
+        const auto hi = std::lower_bound(lo, pulses.end(), to);
+        return static_cast<std::size_t>(hi - lo);
+    }
     return static_cast<std::size_t>(std::count_if(
         pulses.begin(), pulses.end(),
         [from, to](Tick t) { return t >= from && t < to; }));
@@ -25,24 +55,39 @@ PulseTrace::countInWindow(Tick from, Tick to) const
 Tick
 PulseTrace::first() const
 {
-    return pulses.empty() ? kTickInvalid : pulses.front();
+    return firstTime;
 }
 
 Tick
 PulseTrace::last() const
 {
-    return pulses.empty() ? kTickInvalid : pulses.back();
+    return lastTime;
 }
 
 Tick
 PulseTrace::minSpacing() const
 {
-    if (pulses.size() < 2)
-        return kTickInvalid;
-    Tick best = INT64_MAX;
-    for (std::size_t i = 1; i < pulses.size(); ++i)
-        best = std::min(best, pulses[i] - pulses[i - 1]);
-    return best;
+    return total < 2 ? kTickInvalid : minGap;
+}
+
+void
+PulseTrace::setCapacity(std::size_t max_pulses)
+{
+    capacity = max_pulses;
+    if (capacity > 0 && pulses.size() > capacity)
+        pulses.erase(pulses.begin(),
+                     pulses.end() - static_cast<std::ptrdiff_t>(capacity));
+}
+
+void
+PulseTrace::clear()
+{
+    pulses.clear();
+    total = 0;
+    firstTime = kTickInvalid;
+    lastTime = kTickInvalid;
+    minGap = kTickInvalid;
+    sorted = true;
 }
 
 } // namespace usfq

@@ -7,6 +7,7 @@
 #ifndef USFQ_SIM_TRACE_HH
 #define USFQ_SIM_TRACE_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,12 @@ namespace usfq
 /**
  * A pulse sink that records arrival times.  Connect any OutputPort to
  * trace.input() to capture its pulses.
+ *
+ * Arrival order is event-queue order, so the recorded times are
+ * non-decreasing and the window queries run as binary searches.  Long
+ * captures can bound memory with setCapacity(); summary statistics
+ * (totalCount, minSpacing, first, last) keep covering every pulse ever
+ * seen even after old samples are evicted.
  */
 class PulseTrace
 {
@@ -28,33 +35,56 @@ class PulseTrace
     /** The input port to connect observed wires to. */
     InputPort &input() { return port; }
 
-    /** All recorded pulse times, in arrival order. */
+    /** All retained pulse times, in arrival order. */
     const std::vector<Tick> &times() const { return pulses; }
 
-    /** Total recorded pulses. */
+    /** Number of retained pulses (== totalCount() unless capped). */
     std::size_t count() const { return pulses.size(); }
 
-    /** Pulses in [from, to). */
+    /** Total pulses ever recorded, including any evicted by the cap. */
+    std::uint64_t totalCount() const { return total; }
+
+    /** Retained pulses in [from, to).  O(log n) on in-order traces. */
     std::size_t countInWindow(Tick from, Tick to) const;
 
-    /** Time of the first pulse, or kTickInvalid if none. */
+    /** Time of the first pulse ever seen, or kTickInvalid if none. */
     Tick first() const;
 
     /** Time of the last pulse, or kTickInvalid if none. */
     Tick last() const;
 
-    /** Smallest spacing between consecutive pulses (kTickInvalid if <2). */
+    /**
+     * Smallest spacing between consecutive pulses over the whole
+     * capture (kTickInvalid if fewer than two pulses).  Maintained
+     * incrementally, so it is O(1) and unaffected by eviction.
+     */
     Tick minSpacing() const;
 
-    /** Forget all recorded pulses. */
-    void clear() { pulses.clear(); }
+    /**
+     * Bound the retained history to the most recent @p max_pulses
+     * (0 = unlimited, the default).  Eviction is amortized O(1): the
+     * buffer is trimmed in blocks once it reaches twice the cap, so
+     * between trims up to 2x the cap may be resident.
+     */
+    void setCapacity(std::size_t max_pulses);
+
+    /** Forget all recorded pulses and reset the summary statistics. */
+    void clear();
 
     const std::string &name() const { return traceName; }
 
   private:
+    void record(Tick t);
+
     std::string traceName;
     InputPort port;
     std::vector<Tick> pulses;
+    std::size_t capacity = 0;     ///< 0 = keep everything
+    std::uint64_t total = 0;      ///< pulses ever seen
+    Tick firstTime = kTickInvalid;
+    Tick lastTime = kTickInvalid;
+    Tick minGap = kTickInvalid;   ///< incremental min spacing
+    bool sorted = true;           ///< times() is non-decreasing
 };
 
 } // namespace usfq

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/phase.hh"
+#include "obs/stats.hh"
 #include "sim/component.hh"
 #include "sim/netlist.hh"
 #include "sim/port.hh"
@@ -513,6 +515,8 @@ runSta(Netlist &nl, const StaOptions &opts)
     if (!nl.elaborated())
         nl.elaborate();
 
+    double staUs = 0.0;
+    obs::ScopedPhase timer("sta", &staUs);
     StaGraph g = sta_detail::buildStaGraph(nl, opts);
     Propagated p = propagate(g);
 
@@ -551,6 +555,18 @@ runSta(Netlist &nl, const StaOptions &opts)
     for (Tick &f : report.nodeFloors)
         if (f >= kSinglePulse)
             f = 0;
+
+    timer.finish();
+    nl.recordPhase("sta", staUs);
+    std::size_t waived = 0;
+    for (const LintFinding &f : report.findings)
+        if (f.waived)
+            ++waived;
+    obs::StatsRegistry &reg = obs::currentStats();
+    reg.counter(nl.name() + "/sta/runs") += 1;
+    reg.counter(nl.name() + "/sta/findings") += report.findings.size();
+    reg.counter(nl.name() + "/sta/waived") += waived;
+    reg.counter(nl.name() + "/sta/errors") += report.errors();
     return report;
 }
 

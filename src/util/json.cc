@@ -1,0 +1,466 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace usfq
+{
+
+// --- writer ----------------------------------------------------------------
+
+void
+JsonWriter::prefix(bool is_key)
+{
+    if (keyPending) {
+        // A key was just written: this value attaches to it inline.
+        if (is_key)
+            panic("JsonWriter: key after key");
+        keyPending = false;
+        return;
+    }
+    if (stack.empty())
+        return;
+    Level &top = stack.back();
+    if (top.isObject && !is_key)
+        panic("JsonWriter: bare value inside an object (missing key)");
+    if (top.hasEntries)
+        out << ',';
+    top.hasEntries = true;
+    if (indentWidth > 0) {
+        out << '\n';
+        for (std::size_t i = 0; i < stack.size(); ++i)
+            for (int s = 0; s < indentWidth; ++s)
+                out << ' ';
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prefix(false);
+    out << '{';
+    stack.push_back(Level{true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack.empty() || !stack.back().isObject)
+        panic("JsonWriter: endObject() outside an object");
+    const bool had = stack.back().hasEntries;
+    stack.pop_back();
+    if (had && indentWidth > 0) {
+        out << '\n';
+        for (std::size_t i = 0; i < stack.size(); ++i)
+            for (int s = 0; s < indentWidth; ++s)
+                out << ' ';
+    }
+    out << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prefix(false);
+    out << '[';
+    stack.push_back(Level{false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack.empty() || stack.back().isObject)
+        panic("JsonWriter: endArray() outside an array");
+    const bool had = stack.back().hasEntries;
+    stack.pop_back();
+    if (had && indentWidth > 0) {
+        out << '\n';
+        for (std::size_t i = 0; i < stack.size(); ++i)
+            for (int s = 0; s < indentWidth; ++s)
+                out << ' ';
+    }
+    out << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    if (stack.empty() || !stack.back().isObject)
+        panic("JsonWriter: key() outside an object");
+    prefix(true);
+    out << escape(k) << (indentWidth > 0 ? ": " : ":");
+    keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    prefix(false);
+    out << escape(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    prefix(false);
+    if (!std::isfinite(v)) {
+        out << "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prefix(false);
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prefix(false);
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prefix(false);
+    out << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    prefix(false);
+    out << "null";
+    return *this;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string r;
+    r.reserve(s.size() + 2);
+    r += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            r += "\\\"";
+            break;
+          case '\\':
+            r += "\\\\";
+            break;
+          case '\n':
+            r += "\\n";
+            break;
+          case '\r':
+            r += "\\r";
+            break;
+          case '\t':
+            r += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                r += buf;
+            } else {
+                r += static_cast<char>(c);
+            }
+        }
+    }
+    r += '"';
+    return r;
+}
+
+// --- parser ----------------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(const std::string &k) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    const auto it = object.find(k);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string_view cursor. */
+struct JsonParser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+    int depth = 0;
+    static constexpr int kMaxDepth = 200;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("bad literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs are passed through as
+                // two separate code units -- good enough for a linter).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &v)
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected number");
+        const std::string num(text.substr(start, pos - start));
+        char *end = nullptr;
+        v.number = std::strtod(num.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number");
+        v.type = JsonValue::Type::Number;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &v)
+    {
+        if (++depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        bool ok = false;
+        switch (text[pos]) {
+          case '{': {
+            ++pos;
+            v.type = JsonValue::Type::Object;
+            skipWs();
+            if (consume('}')) {
+                ok = true;
+                break;
+            }
+            for (;;) {
+                std::string k;
+                if (!parseString(k))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                v.object.emplace(std::move(k), std::move(member));
+                if (consume(','))
+                    continue;
+                if (consume('}')) {
+                    ok = true;
+                    break;
+                }
+                return fail("expected ',' or '}'");
+            }
+            break;
+          }
+          case '[': {
+            ++pos;
+            v.type = JsonValue::Type::Array;
+            skipWs();
+            if (consume(']')) {
+                ok = true;
+                break;
+            }
+            for (;;) {
+                JsonValue item;
+                if (!parseValue(item))
+                    return false;
+                v.array.push_back(std::move(item));
+                if (consume(','))
+                    continue;
+                if (consume(']')) {
+                    ok = true;
+                    break;
+                }
+                return fail("expected ',' or ']'");
+            }
+            break;
+          }
+          case '"':
+            v.type = JsonValue::Type::String;
+            ok = parseString(v.str);
+            break;
+          case 't':
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            ok = literal("true");
+            break;
+          case 'f':
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            ok = literal("false");
+            break;
+          case 'n':
+            v.type = JsonValue::Type::Null;
+            ok = literal("null");
+            break;
+          default:
+            ok = parseNumber(v);
+        }
+        --depth;
+        return ok;
+    }
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string *error)
+{
+    JsonParser p{text};
+    out = JsonValue{};
+    if (!p.parseValue(out)) {
+        if (error)
+            *error = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "trailing garbage at offset " + std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+} // namespace usfq

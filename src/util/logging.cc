@@ -1,5 +1,6 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -10,7 +11,9 @@ namespace usfq
 namespace
 {
 
-bool quietMode = false;
+std::atomic<bool> quietMode{false};
+std::atomic<std::uint64_t> warnCalls{0};
+std::atomic<std::uint64_t> informCalls{0};
 
 std::string
 vstrprintf(const char *fmt, va_list args)
@@ -63,7 +66,8 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietMode)
+    warnCalls.fetch_add(1, std::memory_order_relaxed);
+    if (quietMode.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
@@ -75,7 +79,8 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietMode)
+    informCalls.fetch_add(1, std::memory_order_relaxed);
+    if (quietMode.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
@@ -87,7 +92,26 @@ inform(const char *fmt, ...)
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    quietMode.store(quiet, std::memory_order_relaxed);
+}
+
+std::uint64_t
+warnCount()
+{
+    return warnCalls.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+informCount()
+{
+    return informCalls.load(std::memory_order_relaxed);
+}
+
+void
+resetLogCounts()
+{
+    warnCalls.store(0, std::memory_order_relaxed);
+    informCalls.store(0, std::memory_order_relaxed);
 }
 
 } // namespace usfq

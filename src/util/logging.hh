@@ -11,6 +11,7 @@
 #define USFQ_UTIL_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace usfq
@@ -34,8 +35,21 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Informational message to stderr. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Silence warn()/inform() (used by tests and benches). */
+/** Silence warn()/inform() (used by tests and benches).  Atomic:
+ * sweep shards may toggle or log concurrently. */
 void setQuiet(bool quiet);
+
+/**
+ * Total warn() / inform() calls since process start (or the last
+ * resetLogCounts()).  Counted even while quiet, so "0 warnings" is a
+ * machine-checkable property of a run: bench artifacts embed these and
+ * obs::captureLogStats() mirrors them into the stats registry.
+ */
+std::uint64_t warnCount();
+std::uint64_t informCount();
+
+/** Zero the warn/inform counters (tests, bench harness setup). */
+void resetLogCounts();
 
 } // namespace usfq
 

@@ -25,6 +25,7 @@
 #include "core/encoding.hh"
 #include "core/multiplier.hh"
 #include "core/pnm.hh"
+#include "obs/stats.hh"
 #include "sim/netlist.hh"
 #include "sim/trace.hh"
 #include "sfq/sources.hh"
@@ -249,6 +250,20 @@ TEST(GoldenTrace, CountingNetwork8)
     channels.push_back(
         {"out_flat", runCountingNetwork({32, 32, 32, 32, 32, 32, 32, 32})});
     checkGolden("counting_network8", channels);
+}
+
+// Kernel instrumentation (USFQ_OBS=1) must be invisible to simulation
+// results: the same scenario re-checks against the same golden file
+// with stats collection force-enabled.
+TEST(GoldenTrace, UnipolarMultiplierEpochUnchangedUnderObs)
+{
+    obs::setKernelStatsEnabled(true);
+    Channels channels;
+    channels.push_back({"out_n32_rl32", runMultiplierEpoch(6, 32, 32)});
+    channels.push_back({"out_n17_rl45", runMultiplierEpoch(6, 17, 45)});
+    channels.push_back({"out_n63_rl1", runMultiplierEpoch(6, 63, 1)});
+    obs::setKernelStatsEnabled(false);
+    checkGolden("multiplier_epoch", channels);
 }
 
 TEST(GoldenTrace, PnmStreams)
