@@ -19,12 +19,72 @@
 #include "obs/perfetto.hh"
 #include "obs/phase.hh"
 #include "obs/stats.hh"
+#include "sim/backend.hh"
+#include "util/args.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/types.hh"
 
 namespace usfq::bench
 {
+
+/**
+ * Parsed command line of a two-backend figure harness.
+ *
+ * Recognized flags (all extracted loudly via util/args):
+ *
+ *  - `--json <path>` / `--json=<path>`: artifact destination; with
+ *    `--backend both` the backend tag is spliced in before ".json" so
+ *    the two artifacts do not clobber each other.
+ *  - `--backend pulse|functional|both`: which engine(s) to run
+ *    (default both).
+ *
+ * Anything else left in argv that looks like a flag is a fatal error
+ * (the old parser silently ignored typos and, worse, treated a flag
+ * following `--json` as the output path).
+ */
+struct BenchArgs
+{
+    std::string jsonPath;
+    bool runPulse = true;
+    bool runFunctional = true;
+
+    static BenchArgs
+    parse(int *argc, char **argv)
+    {
+        BenchArgs a;
+        a.jsonPath = args::extractFlag(argc, argv, "json");
+        const std::string backend =
+            args::extractFlag(argc, argv, "backend");
+        if (!backend.empty()) {
+            if (backend == "both") {
+                // default
+            } else {
+                Backend b;
+                if (!parseBackend(backend.c_str(), b))
+                    fatal("--backend: '%s' is not pulse, functional, "
+                          "or both",
+                          backend.c_str());
+                a.runPulse = b == Backend::PulseLevel;
+                a.runFunctional = b == Backend::Functional;
+            }
+        }
+        args::rejectUnknownFlags(*argc, argv);
+        return a;
+    }
+
+    /** The engines selected, in fixed (pulse-first) order. */
+    std::vector<Backend>
+    backends() const
+    {
+        std::vector<Backend> out;
+        if (runPulse)
+            out.push_back(Backend::PulseLevel);
+        if (runFunctional)
+            out.push_back(Backend::Functional);
+        return out;
+    }
+};
 
 /** Banner naming the experiment and the paper's claim it checks. */
 inline void
@@ -89,14 +149,40 @@ class Artifact
                       char **argv = nullptr)
         : name(std::move(bench_name))
     {
-        if (argc != nullptr && argv != nullptr)
-            stripJsonFlag(argc, argv);
-        if (outPath.empty()) {
-            if (const char *dir = std::getenv("USFQ_BENCH_JSON");
-                dir != nullptr && dir[0] != '\0')
-                outPath =
-                    std::string(dir) + "/BENCH_" + name + ".json";
+        if (argc != nullptr && argv != nullptr) {
+            // Loud flag handling (util/args): `--json` followed by
+            // another flag or a typo'd flag aborts instead of being
+            // mangled away.  google-benchmark flags pass through.
+            outPath = args::extractFlag(argc, argv, "json");
+            args::rejectUnknownFlags(*argc, argv, {"--benchmark_"});
         }
+        resolveDirFallback();
+    }
+
+    /**
+     * Backend-tagged artifact of a two-backend figure harness: the
+     * bench name gains a `_pulse` / `_functional` suffix and an
+     * explicit `--json out.json` becomes `out_<backend>.json`, so a
+     * `--backend both` run leaves one artifact per engine.  The
+     * backend is also recorded as a note.
+     */
+    Artifact(const std::string &bench_name, const BenchArgs &args,
+             Backend tag)
+        : name(bench_name + "_" + backendName(tag))
+    {
+        if (!args.jsonPath.empty()) {
+            outPath = args.jsonPath;
+            const std::string suffix =
+                std::string("_") + backendName(tag);
+            const std::size_t dot = outPath.rfind(".json");
+            if (dot != std::string::npos &&
+                dot + 5 == outPath.size())
+                outPath.insert(dot, suffix);
+            else
+                outPath += suffix;
+        }
+        resolveDirFallback();
+        note("backend", backendName(tag));
     }
 
     ~Artifact() { write(); }
@@ -169,22 +255,13 @@ class Artifact
     };
 
     void
-    stripJsonFlag(int *argc, char **argv)
+    resolveDirFallback()
     {
-        int w = 1;
-        for (int r = 1; r < *argc; ++r) {
-            if (std::strcmp(argv[r], "--json") == 0 && r + 1 < *argc) {
-                outPath = argv[++r];
-                continue;
-            }
-            if (std::strncmp(argv[r], "--json=", 7) == 0) {
-                outPath = argv[r] + 7;
-                continue;
-            }
-            argv[w++] = argv[r];
-        }
-        *argc = w;
-        argv[w] = nullptr;
+        if (!outPath.empty())
+            return;
+        if (const char *dir = std::getenv("USFQ_BENCH_JSON");
+            dir != nullptr && dir[0] != '\0')
+            outPath = std::string(dir) + "/BENCH_" + name + ".json";
     }
 
     void

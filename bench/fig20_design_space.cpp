@@ -13,7 +13,10 @@
  * The grid is evaluated as a parallel sweep (sim/sweep.hh): one shard
  * per bits row computes all three metrics for every tap count, and the
  * rows merge back in order, so the heatmaps are thread-count
- * independent.
+ * independent.  With --backend both the whole grid runs once per
+ * engine -- the pulse leg prices area with the closed form validated
+ * against the netlist, the functional leg asks the src/func/ FIR
+ * component -- and the bench asserts the grids are identical.
  */
 
 #include <cmath>
@@ -23,8 +26,10 @@
 #include "baseline/binary_models.hh"
 #include "bench_common.hh"
 #include "core/fir.hh"
+#include "func/components.hh"
 #include "sfq/cells.hh"
 #include "sfq/sources.hh"
+#include "sim/backend.hh"
 #include "sim/netlist.hh"
 #include "sim/sweep.hh"
 #include "sta/monte_carlo.hh"
@@ -100,6 +105,20 @@ printMap(const char *title, const std::vector<GridRow> &rows,
     std::printf("\n");
 }
 
+/** Unary FIR area as priced by the selected engine. */
+long long
+unaryAreaJJ(Backend backend, int taps, int bits)
+{
+    if (backend == Backend::PulseLevel)
+        return usfqFirAreaJJ(taps, bits);
+    // Functional engine: the src/func/ component reports its own
+    // area into the hierarchy rollup; ask it directly.
+    Netlist nl;
+    UsfqFirConfig cfg{.taps = taps, .bits = bits};
+    auto &fir = nl.create<func::UsfqFir>("fir", cfg);
+    return fir.jjCount();
+}
+
 double
 latencyGain(int taps, int bits)
 {
@@ -108,30 +127,54 @@ latencyGain(int taps, int bits)
 }
 
 double
-areaGain(int taps, int bits)
+areaGain(Backend backend, int taps, int bits)
 {
-    return gainPct(static_cast<double>(usfqFirAreaJJ(taps, bits)),
+    return gainPct(static_cast<double>(unaryAreaJJ(backend, taps, bits)),
                    baseline::BinaryFir{taps, bits}.areaJJ(), false);
 }
 
 double
-efficiencyGain(int taps, int bits)
+efficiencyGain(Backend backend, int taps, int bits)
 {
     const double u_eff =
         taps / (unaryLatencyPs(bits) * 1e-12) /
-        static_cast<double>(usfqFirAreaJJ(taps, bits));
+        static_cast<double>(unaryAreaJJ(backend, taps, bits));
     return gainPct(u_eff,
                    baseline::BinaryFir{taps, bits}.efficiencyOpsPerJJ(),
                    true);
 }
 
 void
-referencePoint(const char *label, int taps, int bits)
+referencePoint(Backend backend, const char *label, int taps, int bits)
 {
     std::printf("  %-28s (%4d taps, %2d bits): latency %+6.1f%%, "
                 "area %+6.1f%%, efficiency %+7.1f%%\n",
                 label, taps, bits, latencyGain(taps, bits),
-                areaGain(taps, bits), efficiencyGain(taps, bits));
+                areaGain(backend, taps, bits),
+                efficiencyGain(backend, taps, bits));
+}
+
+std::vector<GridRow>
+computeGrid(Backend backend)
+{
+    // One shard per bits row, top row first to match print order.
+    SweepOptions opt;
+    opt.backend = backend;
+    return runSweep(
+        static_cast<std::size_t>(kBitsHi - kBitsLo + 1),
+        [](const ShardContext &ctx) {
+            GridRow row;
+            row.bits = kBitsHi - static_cast<int>(ctx.index);
+            for (int taps : kTaps) {
+                row.latency.push_back(latencyGain(taps, row.bits));
+                row.area.push_back(
+                    areaGain(ctx.backend, taps, row.bits));
+                row.efficiency.push_back(
+                    efficiencyGain(ctx.backend, taps, row.bits));
+            }
+            return row;
+        },
+        opt);
 }
 
 } // namespace
@@ -139,98 +182,120 @@ referencePoint(const char *label, int taps, int bits)
 int
 main(int argc, char **argv)
 {
-    bench::Artifact artifact("fig20_design_space", &argc, argv);
+    const bench::BenchArgs args = bench::BenchArgs::parse(&argc, argv);
     bench::banner("Fig. 20: design-space heatmaps (unary gain % over "
                   "WP binary FIR)",
                   "colored regions = unary gain; IR sensors and SDR "
                   "marked; RTL-2832U class point evaluated");
 
-    // One shard per bits row, top row first to match print order.
-    const auto rows = runSweep(
-        static_cast<std::size_t>(kBitsHi - kBitsLo + 1),
-        [](const ShardContext &ctx) {
-            GridRow row;
-            row.bits = kBitsHi - static_cast<int>(ctx.index);
-            for (int taps : kTaps) {
-                row.latency.push_back(latencyGain(taps, row.bits));
-                row.area.push_back(areaGain(taps, row.bits));
-                row.efficiency.push_back(
-                    efficiencyGain(taps, row.bits));
-            }
-            return row;
-        });
+    std::vector<GridRow> reference;
+    for (Backend backend : args.backends()) {
+        bench::Artifact artifact("fig20_design_space", args, backend);
+        std::printf("--- %s backend ---\n\n", backendName(backend));
+        const auto rows = computeGrid(backend);
 
-    printMap("(a) latency gain", rows, &GridRow::latency);
-    printMap("(b) area gain", rows, &GridRow::area);
-    printMap("(c) efficiency gain (throughput per JJ)", rows,
-             &GridRow::efficiency);
-
-    std::printf("application reference points:\n");
-    referencePoint("IR sensor filter", 32, 7);
-    referencePoint("IR sensor filter (8 bits)", 32, 8);
-    referencePoint("RTL-2832U-class SDR", 256, 8);
-    referencePoint("RSP-class SDR", 512, 12);
-    artifact.metric("ir_latency_gain", latencyGain(32, 7), "%");
-    artifact.metric("ir_area_gain", areaGain(32, 7), "%");
-    artifact.metric("ir_efficiency_gain", efficiencyGain(32, 7), "%");
-    artifact.metric("rtl_area_gain", areaGain(256, 8), "%");
-    artifact.metric("rtl_efficiency_gain", efficiencyGain(256, 8),
-                    "%");
-    std::printf("\npaper: IR sensors gain 13-78%% latency / ~40%% "
-                "area / 62-89%% efficiency; the RTL-class filter "
-                "pays ~60%% area for ~80%% better efficiency.\n");
-
-    // Margin robustness: Monte-Carlo STA (sta/monte_carlo.hh) of the
-    // DFF capture grid every clocked design point above relies on: a
-    // 4-sink clock tree where each sink's data and clock branches run
-    // through their own JTLs, so per-cell delay jitter genuinely moves
-    // the capture skew.  Nominal data-to-clock lag 4 ps against the
-    // 2 ps setup window leaves 2 ps of slack; yield = fraction of
-    // trials where every sink still captures.  The trial list is a
-    // parallel sweep, so the numbers are thread-count independent.
-    std::printf("\ntiming-margin Monte-Carlo (4-sink DFF clock grid, "
-                "2 ps nominal capture slack, per-cell delay "
-                "jitter):\n");
-    for (Tick amp : {0, 1, 2, 3}) {
-        StaJitterOptions mc;
-        mc.trials = 64;
-        mc.amplitude = amp * kPicosecond;
-        const StaJitterStats stats = runStaJitter(
-            [](Netlist &nl) {
-                constexpr Tick kTclk = 200 * kPicosecond;
-                auto &clk = nl.create<ClockSource>("clk");
-                auto &root = nl.create<Splitter>("root");
-                auto &ha = nl.create<Splitter>("ha");
-                auto &hb = nl.create<Splitter>("hb");
-                clk.out.connect(root.in);
-                root.out1.connect(ha.in);
-                root.out2.connect(hb.in);
-                OutputPort *leaves[4] = {&ha.out1, &ha.out2,
-                                         &hb.out1, &hb.out2};
-                for (int i = 0; i < 4; ++i) {
-                    const std::string n = std::to_string(i);
-                    auto &sink = nl.create<Splitter>("sink" + n);
-                    auto &jd = nl.create<Jtl>("jd" + n);
-                    auto &jc = nl.create<Jtl>("jc" + n);
-                    auto &ff = nl.create<Dff>("ff" + n);
-                    leaves[i]->connect(sink.in);
-                    sink.out1.connect(jd.in);
-                    sink.out2.connect(jc.in);
-                    jd.out.connect(ff.d);
-                    jc.out.connect(ff.clk, 4 * kPicosecond);
-                    ff.q.markOpen("margin study endpoint");
+        // Cross-backend contract: both engines price the design space
+        // identically (the functional FIR reports the same closed-form
+        // area the netlist validates cell by cell).
+        if (reference.empty()) {
+            reference = rows;
+        } else {
+            for (std::size_t r = 0; r < rows.size(); ++r) {
+                if (rows[r].area != reference[r].area ||
+                    rows[r].latency != reference[r].latency ||
+                    rows[r].efficiency != reference[r].efficiency) {
+                    std::fprintf(stderr,
+                                 "FAIL: design-space grids disagree "
+                                 "between backends at bits=%d\n",
+                                 rows[r].bits);
+                    return 1;
                 }
-                clk.program(kTclk, kTclk, 16);
-            },
-            mc);
-        std::printf("  +/-%lld ps jitter: worst slack %6.1f .. %6.1f "
-                    "ps (mean %6.1f), yield %5.1f%%\n",
-                    static_cast<long long>(amp),
-                    ticksToPs(stats.slackMin), ticksToPs(stats.slackMax),
-                    stats.slackMean / kPicosecond,
-                    stats.yield() * 100.0);
-        artifact.metric("yield_jitter_" + std::to_string(amp) + "ps",
-                        stats.yield() * 100.0, "%");
+            }
+            std::printf("cross-backend check: grid identical to the "
+                        "pulse-level pricing.\n\n");
+        }
+
+        printMap("(a) latency gain", rows, &GridRow::latency);
+        printMap("(b) area gain", rows, &GridRow::area);
+        printMap("(c) efficiency gain (throughput per JJ)", rows,
+                 &GridRow::efficiency);
+
+        std::printf("application reference points:\n");
+        referencePoint(backend, "IR sensor filter", 32, 7);
+        referencePoint(backend, "IR sensor filter (8 bits)", 32, 8);
+        referencePoint(backend, "RTL-2832U-class SDR", 256, 8);
+        referencePoint(backend, "RSP-class SDR", 512, 12);
+        artifact.metric("ir_latency_gain", latencyGain(32, 7), "%");
+        artifact.metric("ir_area_gain", areaGain(backend, 32, 7), "%");
+        artifact.metric("ir_efficiency_gain",
+                        efficiencyGain(backend, 32, 7), "%");
+        artifact.metric("rtl_area_gain", areaGain(backend, 256, 8),
+                        "%");
+        artifact.metric("rtl_efficiency_gain",
+                        efficiencyGain(backend, 256, 8), "%");
+        std::printf("\npaper: IR sensors gain 13-78%% latency / ~40%% "
+                    "area / 62-89%% efficiency; the RTL-class filter "
+                    "pays ~60%% area for ~80%% better efficiency.\n");
+
+        if (backend != Backend::PulseLevel)
+            continue;
+
+        // Margin robustness: Monte-Carlo STA (sta/monte_carlo.hh) of
+        // the DFF capture grid every clocked design point above relies
+        // on: a 4-sink clock tree where each sink's data and clock
+        // branches run through their own JTLs, so per-cell delay
+        // jitter genuinely moves the capture skew.  Nominal
+        // data-to-clock lag 4 ps against the 2 ps setup window leaves
+        // 2 ps of slack; yield = fraction of trials where every sink
+        // still captures.  The trial list is a parallel sweep, so the
+        // numbers are thread-count independent.  Pulse-level only:
+        // the functional engine has no cell timing to perturb.
+        std::printf("\ntiming-margin Monte-Carlo (4-sink DFF clock "
+                    "grid, 2 ps nominal capture slack, per-cell delay "
+                    "jitter):\n");
+        for (Tick amp : {0, 1, 2, 3}) {
+            StaJitterOptions mc;
+            mc.trials = 64;
+            mc.amplitude = amp * kPicosecond;
+            const StaJitterStats stats = runStaJitter(
+                [](Netlist &nl) {
+                    constexpr Tick kTclk = 200 * kPicosecond;
+                    auto &clk = nl.create<ClockSource>("clk");
+                    auto &root = nl.create<Splitter>("root");
+                    auto &ha = nl.create<Splitter>("ha");
+                    auto &hb = nl.create<Splitter>("hb");
+                    clk.out.connect(root.in);
+                    root.out1.connect(ha.in);
+                    root.out2.connect(hb.in);
+                    OutputPort *leaves[4] = {&ha.out1, &ha.out2,
+                                             &hb.out1, &hb.out2};
+                    for (int i = 0; i < 4; ++i) {
+                        const std::string n = std::to_string(i);
+                        auto &sink = nl.create<Splitter>("sink" + n);
+                        auto &jd = nl.create<Jtl>("jd" + n);
+                        auto &jc = nl.create<Jtl>("jc" + n);
+                        auto &ff = nl.create<Dff>("ff" + n);
+                        leaves[i]->connect(sink.in);
+                        sink.out1.connect(jd.in);
+                        sink.out2.connect(jc.in);
+                        jd.out.connect(ff.d);
+                        jc.out.connect(ff.clk, 4 * kPicosecond);
+                        ff.q.markOpen("margin study endpoint");
+                    }
+                    clk.program(kTclk, kTclk, 16);
+                },
+                mc);
+            std::printf("  +/-%lld ps jitter: worst slack %6.1f .. "
+                        "%6.1f ps (mean %6.1f), yield %5.1f%%\n",
+                        static_cast<long long>(amp),
+                        ticksToPs(stats.slackMin),
+                        ticksToPs(stats.slackMax),
+                        stats.slackMean / kPicosecond,
+                        stats.yield() * 100.0);
+            artifact.metric("yield_jitter_" + std::to_string(amp) +
+                                "ps",
+                            stats.yield() * 100.0, "%");
+        }
     }
     return 0;
 }

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * google-benchmark micro benches of the stream-level functional
+ * backend (src/func/), plus a measured head-to-head against the
+ * pulse-level event kernel on the identical workload.
+ *
+ * The headline artifact metric is speedup_vs_pulse_dpu8: wall-clock
+ * ratio of the pulse-level BM_DpuEpochPulseLevel/8 workload
+ * (micro_simkernel.cpp) to the same epoch evaluated by
+ * func::DotProductUnit.  The bench FAILS (exit 1) if the functional
+ * engine is less than 50x faster -- that floor is the reason the
+ * backend exists (docs/functional.md).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_gbench.hh"
+#include "core/dpu.hh"
+#include "core/encoding.hh"
+#include "func/components.hh"
+#include "func/stream.hh"
+#include "sim/netlist.hh"
+#include "sim/trace.hh"
+#include "sfq/sources.hh"
+
+using namespace usfq;
+
+namespace
+{
+
+/** The BM_DpuEpochPulseLevel workload: one epoch, netlist-in-loop. */
+std::size_t
+pulseDpuEpoch(int length, const EpochConfig &cfg)
+{
+    Netlist nl;
+    auto &dpu =
+        nl.create<DotProductUnit>("dpu", length, DpuMode::Unipolar);
+    auto &e = nl.create<PulseSource>("e");
+    PulseTrace out;
+    e.out.connect(dpu.epochIn());
+    dpu.out().connect(out.input());
+    e.pulseAt(0);
+    for (int i = 0; i < length; ++i) {
+        auto &r = nl.create<PulseSource>("a" + std::to_string(i));
+        auto &s = nl.create<PulseSource>("b" + std::to_string(i));
+        r.out.connect(dpu.rlIn(i));
+        s.out.connect(dpu.streamIn(i));
+        r.pulseAt(20 * kPicosecond + cfg.rlTime(cfg.nmax() / 2));
+        s.pulsesAt(cfg.streamTimes(cfg.nmax() / 2));
+    }
+    nl.run();
+    return out.count();
+}
+
+/** The same epoch on the functional backend, netlist-in-loop. */
+int
+funcDpuEpoch(int length, const EpochConfig &cfg)
+{
+    Netlist nl;
+    auto &dpu = nl.create<func::DotProductUnit>("dpu", length,
+                                                DpuMode::Unipolar);
+    const std::vector<int> streams(static_cast<std::size_t>(length),
+                                   cfg.nmax() / 2);
+    const std::vector<int> rls(static_cast<std::size_t>(length),
+                               cfg.nmax() / 2);
+    return dpu.evaluate(cfg, streams, rls);
+}
+
+void
+BM_DpuEpochFunctional(benchmark::State &state)
+{
+    const int length = static_cast<int>(state.range(0));
+    const EpochConfig cfg(6, 40 * kPicosecond);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(funcDpuEpoch(length, cfg));
+    state.SetItemsProcessed(state.iterations() * length);
+}
+BENCHMARK(BM_DpuEpochFunctional)->Arg(8)->Arg(32);
+
+void
+BM_DpuEpochFunctionalReuse(benchmark::State &state)
+{
+    // Component built once, evaluated per iteration: the steady-state
+    // cost of a functional sweep that keeps its netlist.
+    const int length = static_cast<int>(state.range(0));
+    const EpochConfig cfg(6, 40 * kPicosecond);
+    Netlist nl;
+    auto &dpu = nl.create<func::DotProductUnit>("dpu", length,
+                                                DpuMode::Unipolar);
+    const std::vector<int> streams(static_cast<std::size_t>(length),
+                                   cfg.nmax() / 2);
+    const std::vector<int> rls(static_cast<std::size_t>(length),
+                               cfg.nmax() / 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dpu.evaluate(cfg, streams, rls));
+    state.SetItemsProcessed(state.iterations() * length);
+}
+BENCHMARK(BM_DpuEpochFunctionalReuse)->Arg(8)->Arg(32);
+
+void
+BM_PulseStreamProduct(benchmark::State &state)
+{
+    // Packed-bitstream mode: a full bipolar product on the slot grid.
+    const EpochConfig cfg(static_cast<int>(state.range(0)));
+    const auto a = func::PulseStream::euclidean(cfg, cfg.nmax() / 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            func::bipolarProductStream(a, cfg.nmax() / 2).count());
+}
+BENCHMARK(BM_PulseStreamProduct)->Arg(6)->Arg(10)->Arg(14);
+
+/**
+ * Measured head-to-head on the BM_DpuEpochPulseLevel/8 workload.
+ * Returns the speedup (pulse time / functional time).
+ */
+double
+measureSpeedup()
+{
+    using clock = std::chrono::steady_clock;
+    const EpochConfig cfg(6, 40 * kPicosecond);
+    const int length = 8;
+
+    // Equal work check first: both engines must produce the same
+    // output count for this workload before timing means anything.
+    const auto pulse_count = pulseDpuEpoch(length, cfg);
+    const auto func_count = funcDpuEpoch(length, cfg);
+    if (static_cast<int>(pulse_count) != func_count) {
+        std::fprintf(stderr,
+                     "FAIL: engines disagree on the workload: pulse "
+                     "%zu vs functional %d\n",
+                     pulse_count, func_count);
+        return -1.0;
+    }
+
+    const int pulse_iters = 30;
+    const auto t0 = clock::now();
+    for (int i = 0; i < pulse_iters; ++i)
+        benchmark::DoNotOptimize(pulseDpuEpoch(length, cfg));
+    const auto t1 = clock::now();
+
+    const int func_iters = 3000;
+    for (int i = 0; i < func_iters; ++i)
+        benchmark::DoNotOptimize(funcDpuEpoch(length, cfg));
+    const auto t2 = clock::now();
+
+    const double pulse_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        pulse_iters;
+    const double func_ns =
+        std::chrono::duration<double, std::nano>(t2 - t1).count() /
+        func_iters;
+    std::printf("\nhead-to-head (DPU length 8, one epoch, build in "
+                "loop):\n  pulse-level %.0f ns/epoch, functional "
+                "%.0f ns/epoch, speedup %.0fx\n",
+                pulse_ns, func_ns, pulse_ns / func_ns);
+    return pulse_ns / func_ns;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Artifact artifact("micro_func", &argc, argv);
+    bench::ArtifactReporter reporter(artifact);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const double speedup = measureSpeedup();
+    if (speedup < 0)
+        return 1;
+    artifact.metric("speedup_vs_pulse_dpu8", speedup, "x");
+    if (speedup < 50.0) {
+        std::fprintf(stderr,
+                     "FAIL: functional backend only %.1fx faster than "
+                     "the pulse-level kernel (floor: 50x)\n",
+                     speedup);
+        return 1;
+    }
+    return 0;
+}

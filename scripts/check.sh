@@ -5,11 +5,15 @@
 #
 #   ./scripts/check.sh                 # both configurations, full suite
 #   ./scripts/check.sh -- -L unit      # both configurations, unit tier
+#   ./scripts/check.sh diff            # functional-backend gate: unit,
+#                                      # golden, diff and sta tiers under
+#                                      # default and ASan builds
 #   ./scripts/check.sh bench-artifacts # run benches with artifact
 #                                      # output into ./artifacts/ and
 #                                      # validate every BENCH_*.json
 #
-# docs/observability.md describes the artifact format.
+# docs/observability.md describes the artifact format; docs/functional.md
+# describes the diff tier (differential fuzzer + functional goldens).
 
 set -euo pipefail
 
@@ -17,8 +21,8 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 mode="default"
-if [[ "${1:-}" == "bench-artifacts" ]]; then
-    mode="bench-artifacts"
+if [[ "${1:-}" == "bench-artifacts" || "${1:-}" == "diff" ]]; then
+    mode="$1"
     shift
 fi
 
@@ -26,6 +30,13 @@ ctest_args=()
 if [[ "${1:-}" == "--" ]]; then
     shift
     ctest_args=("$@")
+fi
+
+if [[ "$mode" == "diff" ]]; then
+    # The tiers that lock the functional backend to the pulse-level
+    # simulator: unit (properties + models), golden (incl. functional
+    # goldens), diff (the differential fuzzer) and sta.
+    ctest_args=(-L 'unit|golden|diff|sta' "${ctest_args[@]}")
 fi
 
 run_config() {

@@ -46,6 +46,13 @@ class MergerTreeAdder : public Component
 
     int numInputs() const { return fanIn; }
 
+    /** Closed-form junction count of an M:1 merger tree. */
+    static constexpr int
+    jjsFor(int num_inputs)
+    {
+        return (num_inputs - 1) * cell::kMergerJJs;
+    }
+
     int jjCount() const override;
     void reset() override;
 
@@ -88,6 +95,10 @@ class BalancerRoutingUnit : public Component
     OutputPort c1;
     OutputPort c2;
 
+    /** Closed-form junction count (BFF, 2 splitters, 2 mergers). */
+    static constexpr int kJJs = cell::kBffJJs + 2 * cell::kSplitterJJs +
+                                2 * cell::kMergerJJs;
+
     int jjCount() const override;
     void reset() override;
     TimingModel timingModel() const override;
@@ -121,6 +132,12 @@ class Balancer : public Component
     InputPort &inB() { return splB.in; }
     OutputPort &y1() { return mergY1.out; }
     OutputPort &y2() { return mergY2.out; }
+
+    /** Closed-form junction count (2 splitters, 2 DFF2s, RU, 2 mergers). */
+    static constexpr int kJJs = 2 * cell::kSplitterJJs +
+                                2 * cell::kDff2JJs +
+                                BalancerRoutingUnit::kJJs +
+                                2 * cell::kMergerJJs;
 
     int jjCount() const override;
     void reset() override;
@@ -179,6 +196,13 @@ class TreeCountingNetwork : public Component
 
     int numInputs() const { return fanIn; }
     int numBalancers() const { return static_cast<int>(nodes.size()); }
+
+    /** Closed-form junction count of an M:1 balancer tree. */
+    static constexpr int
+    jjsFor(int num_inputs)
+    {
+        return (num_inputs - 1) * Balancer::kJJs;
+    }
 
     int jjCount() const override;
     void reset() override;

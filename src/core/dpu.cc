@@ -119,21 +119,7 @@ DotProductUnit::expectedCount(const EpochConfig &cfg, DpuMode mode,
                               const std::vector<int> &stream_counts,
                               const std::vector<int> &rl_ids)
 {
-    if (stream_counts.size() != rl_ids.size())
-        panic("DotProductUnit::expectedCount: operand size mismatch");
-    std::size_t padded = 2;
-    while (padded < stream_counts.size())
-        padded <<= 1;
-    std::vector<int> products(padded, 0);
-    for (std::size_t i = 0; i < stream_counts.size(); ++i) {
-        products[i] =
-            mode == DpuMode::Unipolar
-                ? unipolarProductCount(cfg, stream_counts[i], rl_ids[i])
-                : bipolarProductCount(cfg, stream_counts[i], rl_ids[i]);
-    }
-    // Padded inputs carry no pulses (a bipolar -1); decode()
-    // compensates for their contribution.
-    return treeNetworkCount(products);
+    return dpuExpectedCount(cfg, mode, stream_counts, rl_ids);
 }
 
 double

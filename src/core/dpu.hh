@@ -24,13 +24,6 @@
 namespace usfq
 {
 
-/** Data representation of a DPU instance. */
-enum class DpuMode
-{
-    Unipolar,
-    Bipolar,
-};
-
 /**
  * The dot-product unit.  Element count is padded internally to the
  * next power of two for the counting tree; padded inputs contribute
@@ -63,6 +56,26 @@ class DotProductUnit : public Component
 
     int jjCount() const override;
     void reset() override;
+
+    /**
+     * Closed-form junction count of a DPU instance: the padded
+     * counting tree, L multipliers, and the delay-balanced splitter
+     * fanout of the epoch marker (plus the grid clock in bipolar
+     * mode).  Matches jjCount() of a constructed netlist exactly.
+     */
+    static constexpr int
+    jjsFor(int length, DpuMode mode)
+    {
+        int padded = 2;
+        while (padded < length)
+            padded <<= 1;
+        const int mult = mode == DpuMode::Unipolar
+                             ? UnipolarMultiplier::kJJs
+                             : BipolarMultiplier::kJJs;
+        const int fans = mode == DpuMode::Unipolar ? 1 : 2;
+        return TreeCountingNetwork::jjsFor(padded) + length * mult +
+               fans * (length - 1) * cell::kSplitterJJs;
+    }
 
     /** Ignored routing-unit pulses in the tree (error diagnostics). */
     std::uint64_t ignoredInputs() const { return tree->ignoredInputs(); }

@@ -188,4 +188,94 @@ treeNetworkCount(std::vector<int> inputs)
     return inputs.front();
 }
 
+int
+mergerTreeUnionCount(const EpochConfig &cfg,
+                     const std::vector<int> &counts)
+{
+    if (counts.empty())
+        panic("mergerTreeUnionCount: no inputs");
+    // Union of the Euclidean slot sets.  Slot i of an n-count stream
+    // is occupied iff floor((i+1)n/N) > floor(i*n/N); evaluate the
+    // predicate directly per (slot, stream).
+    const int n_slots = cfg.nmax();
+    int unioned = 0;
+    for (int i = 0; i < n_slots; ++i) {
+        for (int n : counts) {
+            if (n < 0 || n > n_slots)
+                panic("mergerTreeUnionCount: count %d out of range", n);
+            const auto lo = static_cast<std::int64_t>(i) * n / n_slots;
+            const auto hi =
+                static_cast<std::int64_t>(i + 1) * n / n_slots;
+            if (hi > lo) {
+                ++unioned;
+                break;
+            }
+        }
+    }
+    return unioned;
+}
+
+int
+mergerTreeCollisionLoss(const EpochConfig &cfg,
+                        const std::vector<int> &counts)
+{
+    int sum = 0;
+    for (int n : counts)
+        sum += n;
+    return sum - mergerTreeUnionCount(cfg, counts);
+}
+
+std::vector<int>
+uniformPnmSlots(int bits, int value)
+{
+    if (bits < 1 || bits > 20)
+        panic("uniformPnmSlots: %d bits unsupported", bits);
+    if (value < 0 || value >= (1 << bits))
+        panic("uniformPnmSlots: value %d out of range 0..%d", value,
+              (1 << bits) - 1);
+    std::vector<int> slots;
+    slots.reserve(static_cast<std::size_t>(value));
+    for (int i = 1; i < (1 << bits); ++i) {
+        // Stage k = 2-adic valuation of the 1-based clock index; the
+        // index 2^bits itself (valuation == bits) is the epoch marker.
+        int k = 0;
+        while (((i >> k) & 1) == 0)
+            ++k;
+        if ((value >> (bits - 1 - k)) & 1)
+            slots.push_back(i - 1);
+    }
+    return slots;
+}
+
+int
+dpuExpectedCount(const EpochConfig &cfg, DpuMode mode,
+                 const std::vector<int> &stream_counts,
+                 const std::vector<int> &rl_ids)
+{
+    if (stream_counts.size() != rl_ids.size())
+        panic("dpuExpectedCount: operand size mismatch");
+    std::size_t padded = 2;
+    while (padded < stream_counts.size())
+        padded <<= 1;
+    std::vector<int> products(padded, 0);
+    for (std::size_t i = 0; i < stream_counts.size(); ++i) {
+        products[i] =
+            mode == DpuMode::Unipolar
+                ? unipolarProductCount(cfg, stream_counts[i], rl_ids[i])
+                : bipolarProductCount(cfg, stream_counts[i], rl_ids[i]);
+    }
+    // Padded inputs carry no pulses (a bipolar -1); the DPU decode
+    // compensates for their contribution.
+    return treeNetworkCount(products);
+}
+
+int
+peExpectedSlot(const EpochConfig &cfg, int in1_id, int in2_count,
+               int in3_count)
+{
+    const int product = unipolarProductCount(cfg, in2_count, in1_id);
+    const int slot = treeNetworkCount({product, in3_count});
+    return std::min(slot, cfg.nmax());
+}
+
 } // namespace usfq

@@ -128,6 +128,17 @@ class EpochConfig
 };
 
 /**
+ * Data representation of a DPU / FIR instance.  Lives here (not in
+ * dpu.hh) so the pure counting models below can be shared by the
+ * pulse-level netlists and the src/func/ stream-level backend.
+ */
+enum class DpuMode
+{
+    Unipolar,
+    Bipolar,
+};
+
+/**
  * Pure counting model of the unipolar U-SFQ multiplier (paper §4.1):
  * the number of stream pulses that pass the NDRO before the RL pulse
  * arrives at slot @p rl_id, for an @p n-pulse stream on an N-slot grid.
@@ -147,6 +158,50 @@ int bipolarProductCount(const EpochConfig &cfg, int n, int rl_id);
  * power-of-two size.
  */
 int treeNetworkCount(std::vector<int> inputs);
+
+/**
+ * Pure model of an M:1 merger tree over same-grid streams: the output
+ * carries the slot-wise union of the input streams (each laid out as
+ * streamSlots()), because same-slot pulses coincide exactly and the
+ * merger forwards only one of a colliding pair.  Exact whenever the
+ * slot width exceeds the merger collision window -- true for every
+ * EpochConfig in the repo (slot >= 9 ps vs a 5 ps window).
+ */
+int mergerTreeUnionCount(const EpochConfig &cfg,
+                         const std::vector<int> &counts);
+
+/**
+ * Pulses a merger tree loses to collisions for the given same-grid
+ * input streams: sum of counts minus their slot union.
+ */
+int mergerTreeCollisionLoss(const EpochConfig &cfg,
+                            const std::vector<int> &counts);
+
+/**
+ * Pure model of the uniform PNM's stream layout (paper Fig. 9b):
+ * divider stage k fires on the clock indices i in 1..2^bits whose
+ * 2-adic valuation is exactly k (the TFF2 chain partitions the epoch's
+ * clock phases), gated by bit (bits-1-k) of @p value.  Returns the
+ * sorted 0-based slot indices; the slot count is exactly @p value.
+ */
+std::vector<int> uniformPnmSlots(int bits, int value);
+
+/**
+ * Pure counting model of the dot-product unit (paper §5.3): per-element
+ * multiplier products through a padded-to-power-of-two counting tree.
+ * Shared by DotProductUnit::expectedCount and func::DotProductUnit.
+ */
+int dpuExpectedCount(const EpochConfig &cfg, DpuMode mode,
+                     const std::vector<int> &stream_counts,
+                     const std::vector<int> &rl_ids);
+
+/**
+ * Pure model of the processing element (paper §5.2): the RL slot the
+ * PE emits for operands (in1 as RL id, in2/in3 as stream counts),
+ * clamped to the integrator's nmax ceiling.
+ */
+int peExpectedSlot(const EpochConfig &cfg, int in1_id, int in2_count,
+                   int in3_count);
 
 } // namespace usfq
 

@@ -43,6 +43,9 @@ class UnipolarMultiplier : public Component
     InputPort &streamIn() { return ndro.clk; }
     OutputPort &out() { return outJtl.out; }
 
+    /** Closed-form junction count (one NDRO plus the output JTL). */
+    static constexpr int kJJs = cell::kNdroJJs + cell::kJtlJJs;
+
     int jjCount() const override;
     void reset() override;
 
@@ -75,6 +78,11 @@ class BipolarMultiplier : public Component
     InputPort &streamIn() { return splA.in; }
     InputPort &clkIn() { return inv.clk; }
     OutputPort &out() { return outMerger.out; }
+
+    /** Closed-form junction count (3 splitters, 2 NDROs, INV, merger). */
+    static constexpr int kJJs = 3 * cell::kSplitterJJs +
+                                2 * cell::kNdroJJs + cell::kInverterJJs +
+                                cell::kMergerJJs;
 
     int jjCount() const override;
     void reset() override;

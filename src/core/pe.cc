@@ -106,9 +106,7 @@ int
 ProcessingElement::expectedSlot(const EpochConfig &cfg, int in1_id,
                                 int in2_count, int in3_count)
 {
-    const int product = unipolarProductCount(cfg, in2_count, in1_id);
-    const int slot = treeNetworkCount({product, in3_count});
-    return std::min(slot, cfg.nmax());
+    return peExpectedSlot(cfg, in1_id, in2_count, in3_count);
 }
 
 // --- PeChain ------------------------------------------------------------------

@@ -45,7 +45,10 @@ class PulseToRlIntegrator : public Component
     InputPort epochIn; ///< Epoch marker: converts and restarts.
     OutputPort out;    ///< RL pulse at slot = accumulated count.
 
-    int jjCount() const override { return 48; }
+    /** Junction count of the integrator cell (paper Fig. 10c). */
+    static constexpr int kJJs = 48;
+
+    int jjCount() const override { return kJJs; }
     void reset() override;
     TimingModel timingModel() const override;
 
@@ -75,6 +78,12 @@ class ProcessingElement : public Component
     InputPort &in2() { return mult.streamIn(); }
     InputPort &in3() { return in3Jtl.in; }
     OutputPort &out() { return integ.out; }
+
+    /** Closed-form junction count: 126 JJs independent of resolution. */
+    static constexpr int kJJs = cell::kSplitterJJs +
+                                UnipolarMultiplier::kJJs +
+                                cell::kJtlJJs + Balancer::kJJs +
+                                PulseToRlIntegrator::kJJs;
 
     int jjCount() const override;
     void reset() override;

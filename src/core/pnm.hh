@@ -70,6 +70,17 @@ class ClassicPnm : public PulseNumberMultiplier
     OutputPort &epochOut() override;
     void program(int value) override;
 
+    /** Closed-form junction count: per-bit TFF+splitter+NDRO stages,
+     * merger tree, epoch JTL. */
+    static constexpr int
+    jjsFor(int bits)
+    {
+        return cell::kJtlJJs +
+               bits * (cell::kTffJJs + cell::kSplitterJJs +
+                       cell::kNdroJJs) +
+               (bits - 1) * cell::kMergerJJs;
+    }
+
     int jjCount() const override;
     void reset() override;
 
@@ -91,6 +102,16 @@ class UniformPnm : public PulseNumberMultiplier
     OutputPort &out() override;
     OutputPort &epochOut() override;
     void program(int value) override;
+
+    /** Closed-form junction count: per-bit TFF2+NDRO stages, merger
+     * tree, epoch JTL. */
+    static constexpr int
+    jjsFor(int bits)
+    {
+        return cell::kJtlJJs +
+               bits * (cell::kTff2JJs + cell::kNdroJJs) +
+               (bits - 1) * cell::kMergerJJs;
+    }
 
     int jjCount() const override;
     void reset() override;

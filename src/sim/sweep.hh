@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/stats.hh"
+#include "sim/backend.hh"
 
 namespace usfq
 {
@@ -43,6 +44,14 @@ struct SweepOptions
 
     /** Base seed every per-shard seed is derived from. */
     std::uint64_t baseSeed = 0x5eedu;
+
+    /**
+     * Engine the shard functions should evaluate on.  Purely a
+     * pass-through to ShardContext: the sweep runner itself is
+     * backend-agnostic, but threading the choice here lets one shard
+     * function serve both engines (docs/functional.md).
+     */
+    Backend backend = Backend::PulseLevel;
 };
 
 /** What a shard function receives. */
@@ -51,6 +60,7 @@ struct ShardContext
     std::size_t index; ///< shard number, 0-based
     std::size_t total; ///< total shards in the sweep
     std::uint64_t seed; ///< deterministic per-shard RNG seed
+    Backend backend;   ///< engine requested via SweepOptions
 };
 
 /**
@@ -93,7 +103,8 @@ runSweep(std::size_t num_shards, Fn &&fn, const SweepOptions &opt = {})
     const int threads = resolveSweepThreads(opt.threads);
     detail::runIndexed(num_shards, threads, [&](std::size_t i) {
         const ShardContext ctx{i, num_shards,
-                               shardSeed(opt.baseSeed, i)};
+                               shardSeed(opt.baseSeed, i),
+                               opt.backend};
         // Shard-private registry: stats recorded inside fn (netlist
         // exports, kernel counters) land here, not in the caller's.
         obs::ScopedStatsRegistry guard(shardStats[i]);

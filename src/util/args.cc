@@ -1,0 +1,72 @@
+#include "util/args.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace usfq::args
+{
+
+bool
+isFlag(const char *arg)
+{
+    return arg != nullptr && std::strncmp(arg, "--", 2) == 0 &&
+           arg[2] != '\0';
+}
+
+std::string
+extractFlag(int *argc, char **argv, const std::string &name)
+{
+    const std::string plain = "--" + name;
+    const std::string eq = plain + "=";
+    std::string value;
+    int w = 1;
+    for (int r = 1; r < *argc; ++r) {
+        if (plain == argv[r]) {
+            if (r + 1 >= *argc)
+                fatal("%s: missing value (expected %s <value>)",
+                      plain.c_str(), plain.c_str());
+            if (isFlag(argv[r + 1]))
+                fatal("%s: missing value ('%s' looks like another "
+                      "flag, not a value)",
+                      plain.c_str(), argv[r + 1]);
+            value = argv[++r];
+            continue;
+        }
+        if (std::strncmp(argv[r], eq.c_str(), eq.size()) == 0) {
+            value = argv[r] + eq.size();
+            continue;
+        }
+        argv[w++] = argv[r];
+    }
+    *argc = w;
+    argv[w] = nullptr;
+    return value;
+}
+
+void
+rejectUnknownFlags(int argc, char *const *argv,
+                   const std::vector<std::string> &allowed_prefixes)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (!isFlag(argv[i]))
+            continue;
+        bool ok = false;
+        for (const std::string &prefix : allowed_prefixes) {
+            if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) ==
+                0) {
+                ok = true;
+                break;
+            }
+        }
+        if (!ok)
+            fatal("unknown flag '%s' (this binary accepts --json "
+                  "<path>%s)",
+                  argv[i],
+                  allowed_prefixes.empty()
+                      ? ""
+                      : " plus the listed pass-through prefixes");
+    }
+}
+
+} // namespace usfq::args

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal command-line flag handling shared by the bench harnesses.
+ *
+ * Two primitives, both loud about mistakes (util/logging fatal()):
+ *
+ *  - extractFlag() pulls "--name <value>" / "--name=<value>" out of
+ *    argv, compacting the remainder in place.  A flag followed by
+ *    another "--flag" instead of a value is an error, not a value --
+ *    the silent-argv-mangling bug this replaces treated the next flag
+ *    as the value and dropped it from argv.
+ *
+ *  - rejectUnknownFlags() fails on any remaining "--flag" argument
+ *    that does not match an allowed prefix, so a typo like
+ *    "--jsn out.json" aborts the run instead of being ignored.
+ *
+ * Positional (non "--") arguments always pass through untouched.
+ */
+
+#ifndef USFQ_UTIL_ARGS_HH
+#define USFQ_UTIL_ARGS_HH
+
+#include <string>
+#include <vector>
+
+namespace usfq::args
+{
+
+/** True for "--something" arguments (the only syntax we treat as flags). */
+bool isFlag(const char *arg);
+
+/**
+ * Remove every occurrence of "--<name> <value>" or "--<name>=<value>"
+ * from argv (updating *argc and null-terminating the compacted array)
+ * and return the last value given, or "" when the flag is absent.
+ *
+ * fatal()s when the flag is present without a value, or when the
+ * would-be value is itself another "--flag".
+ */
+std::string extractFlag(int *argc, char **argv, const std::string &name);
+
+/**
+ * fatal() on the first remaining "--flag" in argv that does not start
+ * with one of @p allowed_prefixes (e.g. "--benchmark_" for binaries
+ * that forward to google-benchmark).
+ */
+void rejectUnknownFlags(int argc, char *const *argv,
+                        const std::vector<std::string> &allowed_prefixes
+                        = {});
+
+} // namespace usfq::args
+
+#endif // USFQ_UTIL_ARGS_HH

@@ -23,10 +23,13 @@
 
 #include "core/adder.hh"
 #include "core/encoding.hh"
+#include "core/fir.hh"
 #include "core/multiplier.hh"
 #include "core/pnm.hh"
+#include "func/components.hh"
 #include "obs/stats.hh"
 #include "sim/netlist.hh"
+#include "sim/sweep.hh"
 #include "sim/trace.hh"
 #include "sfq/sources.hh"
 #include "sta/sta.hh"
@@ -274,6 +277,93 @@ TEST(GoldenTrace, PnmStreams)
     for (auto &ch : runPnm<ClassicPnm>(6, 11, 1))
         channels.push_back({"classic11_" + ch.name, ch.times});
     checkGolden("pnm_streams", channels);
+}
+
+// --- functional-backend goldens ---------------------------------------------
+//
+// The src/func/ engine has no pulse times to freeze, so its goldens
+// pin integer epoch results instead: the channel "times" are output
+// pulse counts (and JJ figures), one entry per design point.  Both
+// scenarios mirror the pinned fig16/fig19 bench runs and are evaluated
+// through a Backend::Functional sweep, so the goldens also cover the
+// backend plumbing end to end.
+
+TEST(GoldenTrace, FunctionalDpuFig16Pinned)
+{
+    // fig16's pinned-operand bipolar DPU at every bench vector length.
+    const std::vector<int> taps{16, 32, 64, 128, 256};
+    SweepOptions opt;
+    opt.backend = Backend::Functional;
+    const auto rows = runSweep(
+        taps.size(),
+        [&taps](const ShardContext &ctx) {
+            EXPECT_EQ(ctx.backend, Backend::Functional);
+            const int t = taps[ctx.index];
+            const EpochConfig cfg(8);
+            Netlist nl;
+            auto &dpu = nl.create<func::DotProductUnit>(
+                "dpu", t, DpuMode::Bipolar);
+            std::vector<int> streams, rls;
+            for (int i = 0; i < t; ++i) {
+                streams.push_back((i * 37 + 11) % (cfg.nmax() + 1));
+                rls.push_back((i * 53 + 7) % (cfg.nmax() + 1));
+            }
+            return std::pair<Tick, Tick>(
+                dpu.evaluate(cfg, streams, rls), dpu.jjCount());
+        },
+        opt);
+
+    Channels channels(2);
+    channels[0].name = "count";
+    channels[1].name = "jj";
+    for (const auto &[count, jj] : rows) {
+        channels[0].times.push_back(count);
+        channels[1].times.push_back(jj);
+    }
+    checkGolden("func_dpu_fig16", channels);
+}
+
+TEST(GoldenTrace, FunctionalFirFig19Pinned)
+{
+    // fig19's pinned pulse-equivalence scenario on the functional
+    // engine: per-epoch output pulse counts of the 4-tap unipolar FIR,
+    // plus the documented pulse-vs-functional tolerance -- freezing
+    // that tolerance in-repo so a bench-side relaxation cannot slip
+    // through unnoticed.
+    const int taps = 4, bits = 6;
+    UsfqFirConfig cfg{.taps = taps, .bits = bits,
+                      .mode = DpuMode::Unipolar};
+    const EpochConfig ecfg(bits, cfg.clockPeriod());
+    const std::vector<double> h{0.95, 0.3, 0.2, 0.1};
+    const std::vector<double> x{0.0, 0.2, 0.8, 0.5, 0.9, 0.1,
+                                0.6, 0.3, 0.7, 0.4, 0.5, 0.5};
+
+    SweepOptions opt;
+    opt.backend = Backend::Functional;
+    const auto counts = runSweep(
+        1,
+        [&](const ShardContext &) {
+            Netlist nl;
+            auto &fir = nl.create<func::UsfqFir>("fir", cfg);
+            for (int k = 0; k < taps; ++k)
+                fir.setCoefficient(k, h[static_cast<std::size_t>(k)]);
+            std::vector<Tick> out;
+            std::vector<int> window;
+            for (double sample : x) {
+                window.insert(window.begin(),
+                              ecfg.rlIdOfUnipolar(sample));
+                if (static_cast<int>(window.size()) > taps)
+                    window.pop_back();
+                out.push_back(fir.stepCount(window));
+            }
+            return out;
+        },
+        opt)[0];
+
+    Channels channels;
+    channels.push_back({"count", counts});
+    channels.push_back({"pulse_equiv_tolerance", {2}});
+    checkGolden("func_fir_fig19", channels);
 }
 
 } // namespace

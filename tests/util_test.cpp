@@ -8,7 +8,11 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "util/args.hh"
 #include "util/csv.hh"
 #include "util/fixed_point.hh"
 #include "util/random.hh"
@@ -319,6 +323,98 @@ TEST(Stats, MeanOfVector)
 {
     EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+// --- args ----------------------------------------------------------------
+
+/** Build a mutable argv from literals; keeps the strings alive. */
+struct ArgvFixture
+{
+    explicit ArgvFixture(std::vector<std::string> args)
+        : storage(std::move(args))
+    {
+        for (std::string &s : storage)
+            argv.push_back(s.data());
+        argv.push_back(nullptr);
+        argc = static_cast<int>(storage.size());
+    }
+
+    std::vector<std::string> storage;
+    std::vector<char *> argv;
+    int argc;
+};
+
+TEST(Args, IsFlagOnlyMatchesDoubleDash)
+{
+    EXPECT_TRUE(args::isFlag("--json"));
+    EXPECT_FALSE(args::isFlag("-j"));
+    EXPECT_FALSE(args::isFlag("out.json"));
+    EXPECT_FALSE(args::isFlag(""));
+}
+
+TEST(Args, ExtractFlagSeparateValueCompactsArgv)
+{
+    ArgvFixture fx({"bench", "--json", "out.json", "positional"});
+    EXPECT_EQ(args::extractFlag(&fx.argc, fx.argv.data(), "json"),
+              "out.json");
+    ASSERT_EQ(fx.argc, 2);
+    EXPECT_STREQ(fx.argv[0], "bench");
+    EXPECT_STREQ(fx.argv[1], "positional");
+    EXPECT_EQ(fx.argv[2], nullptr); // null-terminated after compaction
+}
+
+TEST(Args, ExtractFlagEqualsForm)
+{
+    ArgvFixture fx({"bench", "--json=artifacts/x.json"});
+    EXPECT_EQ(args::extractFlag(&fx.argc, fx.argv.data(), "json"),
+              "artifacts/x.json");
+    EXPECT_EQ(fx.argc, 1);
+}
+
+TEST(Args, ExtractFlagAbsentReturnsEmptyAndLeavesArgv)
+{
+    ArgvFixture fx({"bench", "--backend", "both"});
+    EXPECT_EQ(args::extractFlag(&fx.argc, fx.argv.data(), "json"), "");
+    EXPECT_EQ(fx.argc, 3);
+}
+
+TEST(Args, ExtractFlagLastOccurrenceWins)
+{
+    ArgvFixture fx({"bench", "--json", "a.json", "--json", "b.json"});
+    EXPECT_EQ(args::extractFlag(&fx.argc, fx.argv.data(), "json"),
+              "b.json");
+    EXPECT_EQ(fx.argc, 1);
+}
+
+TEST(Args, ExtractFlagMissingValueIsFatal)
+{
+    // The latent bench bug this layer fixed: "--json" at the end of the
+    // line used to silently produce an empty path.
+    ArgvFixture fx({"bench", "--json"});
+    EXPECT_EXIT(args::extractFlag(&fx.argc, fx.argv.data(), "json"),
+                ::testing::ExitedWithCode(1), "--json");
+}
+
+TEST(Args, ExtractFlagFlagAsValueIsFatal)
+{
+    // ...and "--json --foo" used to eat "--foo" as the output path.
+    ArgvFixture fx({"bench", "--json", "--foo"});
+    EXPECT_EXIT(args::extractFlag(&fx.argc, fx.argv.data(), "json"),
+                ::testing::ExitedWithCode(1), "--foo");
+}
+
+TEST(Args, RejectUnknownFlagsPassesPositionalsAndAllowed)
+{
+    ArgvFixture fx({"bench", "positional", "--benchmark_filter=x"});
+    args::rejectUnknownFlags(fx.argc, fx.argv.data(), {"--benchmark_"});
+    SUCCEED();
+}
+
+TEST(Args, RejectUnknownFlagsIsFatalOnTypo)
+{
+    ArgvFixture fx({"bench", "--jsn", "out.json"});
+    EXPECT_EXIT(args::rejectUnknownFlags(fx.argc, fx.argv.data()),
+                ::testing::ExitedWithCode(1), "--jsn");
 }
 
 } // namespace
