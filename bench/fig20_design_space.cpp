@@ -154,6 +154,21 @@ referencePoint(Backend backend, const char *label, int taps, int bits)
                 efficiencyGain(backend, taps, bits));
 }
 
+/** One bits row of the grid, priced by @p backend. */
+GridRow
+computeRow(Backend backend, std::size_t index)
+{
+    GridRow row;
+    row.bits = kBitsHi - static_cast<int>(index);
+    for (int taps : kTaps) {
+        row.latency.push_back(latencyGain(taps, row.bits));
+        row.area.push_back(areaGain(backend, taps, row.bits));
+        row.efficiency.push_back(
+            efficiencyGain(backend, taps, row.bits));
+    }
+    return row;
+}
+
 std::vector<GridRow>
 computeGrid(Backend backend)
 {
@@ -163,18 +178,46 @@ computeGrid(Backend backend)
     return runSweep(
         static_cast<std::size_t>(kBitsHi - kBitsLo + 1),
         [](const ShardContext &ctx) {
-            GridRow row;
-            row.bits = kBitsHi - static_cast<int>(ctx.index);
-            for (int taps : kTaps) {
-                row.latency.push_back(latencyGain(taps, row.bits));
-                row.area.push_back(
-                    areaGain(ctx.backend, taps, row.bits));
-                row.efficiency.push_back(
-                    efficiencyGain(ctx.backend, taps, row.bits));
-            }
-            return row;
+            return computeRow(ctx.backend, ctx.index);
         },
         opt);
+}
+
+/**
+ * The same grid through the lane-coalescing sweep runner (--batch N):
+ * rows are grouped width-at-a-time and each group returns one GridRow
+ * per lane.  The determinism contract (sim/sweep.hh) promises this is
+ * bit-identical to computeGrid() at any width; main() asserts it.
+ */
+std::vector<GridRow>
+computeGridBatched(Backend backend, int width)
+{
+    SweepOptions opt;
+    opt.backend = backend;
+    opt.batch.width = width;
+    return runBatchedSweep(
+        static_cast<std::size_t>(kBitsHi - kBitsLo + 1),
+        [](const LaneGroupContext &ctx) {
+            std::vector<GridRow> rows;
+            for (int b = 0; b < ctx.lanes; ++b)
+                rows.push_back(
+                    computeRow(ctx.backend, ctx.item(b)));
+            return rows;
+        },
+        opt);
+}
+
+bool
+sameGrid(const std::vector<GridRow> &a, const std::vector<GridRow> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t r = 0; r < a.size(); ++r)
+        if (a[r].bits != b[r].bits || a[r].latency != b[r].latency ||
+            a[r].area != b[r].area ||
+            a[r].efficiency != b[r].efficiency)
+            return false;
+    return true;
 }
 
 } // namespace
@@ -193,6 +236,25 @@ main(int argc, char **argv)
         bench::Artifact artifact("fig20_design_space", args, backend);
         std::printf("--- %s backend ---\n\n", backendName(backend));
         const auto rows = computeGrid(backend);
+
+        // --batch N: the lane-coalescing sweep runner must reproduce
+        // the scalar sweep bit for bit (sim/sweep.hh determinism
+        // contract), whatever the width.
+        if (args.batch > 1) {
+            const auto batched =
+                computeGridBatched(backend, args.batch);
+            if (!sameGrid(rows, batched)) {
+                std::fprintf(stderr,
+                             "FAIL: batched sweep (width %d) "
+                             "disagrees with the scalar sweep on the "
+                             "%s backend\n",
+                             args.batch, backendName(backend));
+                return 1;
+            }
+            std::printf("batched-sweep check: grid at width %d "
+                        "identical to the scalar sweep.\n\n",
+                        args.batch);
+        }
 
         // Cross-backend contract: both engines price the design space
         // identically (the functional FIR reports the same closed-form

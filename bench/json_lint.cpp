@@ -56,6 +56,30 @@ main(int argc, char **argv)
                 ++bad;
                 continue;
             }
+            // Batched-engine artifacts (BENCH_*_batched.json) must
+            // record the lane count they measured at: downstream
+            // tooling cannot compare per-epoch numbers without it.
+            if (base.size() >= 18 &&
+                base.rfind("_batched.json") ==
+                    base.size() - 13) {
+                const usfq::JsonValue *metrics = doc.find("metrics");
+                const usfq::JsonValue *width =
+                    metrics ? metrics->find("batch_width") : nullptr;
+                const usfq::JsonValue *value =
+                    width ? width->find("value") : nullptr;
+                if (value == nullptr ||
+                    value->type !=
+                        usfq::JsonValue::Type::Number ||
+                    value->number < 1.0) {
+                    std::fprintf(stderr,
+                                 "json_lint: %s: batched artifact "
+                                 "without a batch_width metric "
+                                 ">= 1\n",
+                                 path.c_str());
+                    ++bad;
+                    continue;
+                }
+            }
         }
         std::printf("json_lint: %s ok\n", path.c_str());
     }

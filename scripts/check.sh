@@ -8,6 +8,10 @@
 #   ./scripts/check.sh diff            # functional-backend gate: unit,
 #                                      # golden, diff and sta tiers under
 #                                      # default and ASan builds
+#   ./scripts/check.sh batch           # batched-engine gate: the batch
+#                                      # tier (span kernels + lane-level
+#                                      # differential) under default,
+#                                      # ASan and UBSan builds
 #   ./scripts/check.sh bench-artifacts # run benches with artifact
 #                                      # output into ./artifacts/ and
 #                                      # validate every BENCH_*.json
@@ -21,7 +25,8 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 mode="default"
-if [[ "${1:-}" == "bench-artifacts" || "${1:-}" == "diff" ]]; then
+if [[ "${1:-}" == "bench-artifacts" || "${1:-}" == "diff" ||
+      "${1:-}" == "batch" ]]; then
     mode="$1"
     shift
 fi
@@ -37,6 +42,12 @@ if [[ "$mode" == "diff" ]]; then
     # simulator: unit (properties + models), golden (incl. functional
     # goldens), diff (the differential fuzzer) and sta.
     ctest_args=(-L 'unit|golden|diff|sta' "${ctest_args[@]}")
+elif [[ "$mode" == "batch" ]]; then
+    # The batched-engine gate: the span-kernel fuzzer and the
+    # lane-level differential tier (docs/functional.md, "Batched
+    # evaluation").  Runs under UBSan as well -- the SIMD kernels and
+    # the arena are exactly the code where silent UB would hide.
+    ctest_args=(-L 'batch' "${ctest_args[@]}")
 fi
 
 run_config() {
@@ -78,5 +89,9 @@ fi
 
 run_config default "$repo/build"
 run_config asan "$repo/build-asan" -DUSFQ_SANITIZE=address
-
-echo "==> all checks passed (default + asan)"
+if [[ "$mode" == "batch" ]]; then
+    run_config ubsan "$repo/build-ubsan" -DUSFQ_SANITIZE=undefined
+    echo "==> all checks passed (default + asan + ubsan)"
+else
+    echo "==> all checks passed (default + asan)"
+fi

@@ -1,0 +1,402 @@
+#include "func/batch.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/span_kernels.hh"
+
+namespace usfq::func
+{
+
+namespace
+{
+
+/** Valid-bit mask of the last word per lane (see stream.cc). */
+std::uint64_t
+tailMask(const EpochConfig &cfg)
+{
+    const int tail = cfg.nmax() % 64;
+    return tail == 0 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << tail) - 1;
+}
+
+void
+checkSameShape(const char *what, const BatchStream &a,
+               const BatchStream &b)
+{
+    if (a.config() != b.config())
+        panic("BatchStream: epoch-config mismatch in %s", what);
+    if (a.lanes() != b.lanes())
+        panic("BatchStream: lane-count mismatch in %s (%d vs %d)",
+              what, a.lanes(), b.lanes());
+}
+
+void
+checkLaneSpan(const char *what, const BatchStream &a,
+              std::size_t got)
+{
+    if (got != static_cast<std::size_t>(a.lanes()))
+        panic("BatchStream: %s got %zu per-lane values for %d lanes",
+              what, got, a.lanes());
+}
+
+} // namespace
+
+BatchStream::BatchStream(const EpochConfig &config, int lanes,
+                         WordArena &arena)
+    : cfg(config),
+      numLanes(lanes),
+      laneWords(PulseStream::wordCount(config)),
+      storage(nullptr)
+{
+    if (lanes < 1)
+        panic("BatchStream: need at least one lane, got %d", lanes);
+    storage = arena.alloc(totalWords());
+}
+
+BatchStream
+BatchStream::zeros(const EpochConfig &cfg, int lanes, WordArena &arena)
+{
+    BatchStream out(cfg, lanes, arena);
+    span::wordFill(out.storage, 0, out.totalWords());
+    return out;
+}
+
+BatchStream
+BatchStream::euclidean(const EpochConfig &cfg,
+                       std::span<const int> counts, WordArena &arena)
+{
+    BatchStream out(cfg, static_cast<int>(counts.size()), arena);
+    const int n_slots = cfg.nmax();
+    for (int b = 0; b < out.numLanes; ++b) {
+        const int n = counts[static_cast<std::size_t>(b)];
+        if (n < 0 || n > n_slots)
+            panic("BatchStream: stream count %d out of range 0..%d "
+                  "in lane %d",
+                  n, n_slots, b);
+        std::uint64_t *lane = out.lane(b);
+        // Euclidean rhythm, word at a time: slot i fires iff
+        // floor((i+1)n/N) advances past floor(i*n/N).
+        std::int64_t acc = 0;
+        for (std::size_t w = 0; w < out.laneWords; ++w) {
+            std::uint64_t word = 0;
+            const int base = static_cast<int>(w) * 64;
+            const int top = std::min(base + 64, n_slots);
+            for (int i = base; i < top; ++i) {
+                const std::int64_t next =
+                    static_cast<std::int64_t>(i + 1) * n / n_slots;
+                if (next > acc)
+                    word |= std::uint64_t{1} << (i - base);
+                acc = next;
+            }
+            lane[w] = word;
+        }
+    }
+    return out;
+}
+
+BatchStream
+BatchStream::prefixMasks(const EpochConfig &cfg,
+                         std::span<const int> rl_ids, WordArena &arena)
+{
+    BatchStream out(cfg, static_cast<int>(rl_ids.size()), arena);
+    for (int b = 0; b < out.numLanes; ++b) {
+        const int id = rl_ids[static_cast<std::size_t>(b)];
+        if (id < 0 || id > cfg.nmax())
+            panic("BatchStream: RL id %d out of range 0..%d in lane "
+                  "%d",
+                  id, cfg.nmax(), b);
+        std::uint64_t *lane = out.lane(b);
+        for (std::size_t w = 0; w < out.laneWords; ++w) {
+            const int base = static_cast<int>(w) * 64;
+            if (id >= base + 64)
+                lane[w] = ~std::uint64_t{0};
+            else if (id > base)
+                lane[w] = (std::uint64_t{1} << (id - base)) - 1;
+            else
+                lane[w] = 0;
+        }
+    }
+    return out;
+}
+
+std::uint64_t *
+BatchStream::lane(int b)
+{
+    if (b < 0 || b >= numLanes)
+        panic("BatchStream: lane %d out of range 0..%d", b,
+              numLanes - 1);
+    return storage + static_cast<std::size_t>(b) * laneWords;
+}
+
+const std::uint64_t *
+BatchStream::lane(int b) const
+{
+    return const_cast<BatchStream *>(this)->lane(b);
+}
+
+PulseStream
+BatchStream::extractLane(int b) const
+{
+    return PulseStream::fromWords(cfg, lane(b));
+}
+
+void
+BatchStream::counts(std::span<int> out) const
+{
+    checkLaneSpan("counts()", *this, out.size());
+    for (int b = 0; b < numLanes; ++b)
+        out[static_cast<std::size_t>(b)] = static_cast<int>(
+            span::wordPopcount(lane(b), laneWords));
+}
+
+std::uint64_t
+BatchStream::totalCount() const
+{
+    return span::wordPopcount(storage, totalWords());
+}
+
+void
+BatchStream::clearTails()
+{
+    const std::uint64_t mask = tailMask(cfg);
+    if (mask == ~std::uint64_t{0})
+        return;
+    for (int b = 0; b < numLanes; ++b)
+        lane(b)[laneWords - 1] &= mask;
+}
+
+// --- whole-batch ops ---------------------------------------------------------
+
+BatchStream
+batchUnion(const BatchStream &a, const BatchStream &b, WordArena &arena)
+{
+    checkSameShape("batchUnion", a, b);
+    BatchStream out(a.config(), a.lanes(), arena);
+    span::wordOr(out.data(), a.data(), b.data(), a.totalWords());
+    return out;
+}
+
+BatchStream
+batchIntersect(const BatchStream &a, const BatchStream &b,
+               WordArena &arena)
+{
+    checkSameShape("batchIntersect", a, b);
+    BatchStream out(a.config(), a.lanes(), arena);
+    span::wordAnd(out.data(), a.data(), b.data(), a.totalWords());
+    return out;
+}
+
+BatchStream
+batchComplement(const BatchStream &a, WordArena &arena)
+{
+    BatchStream out(a.config(), a.lanes(), arena);
+    span::wordNot(out.data(), a.data(), a.totalWords());
+    out.clearTails();
+    return out;
+}
+
+BatchStream
+batchMaskBelow(const BatchStream &a, std::span<const int> rl_ids,
+               WordArena &arena)
+{
+    checkLaneSpan("batchMaskBelow", a, rl_ids.size());
+    const BatchStream masks =
+        BatchStream::prefixMasks(a.config(), rl_ids, arena);
+    BatchStream out(a.config(), a.lanes(), arena);
+    span::wordAnd(out.data(), a.data(), masks.data(), a.totalWords());
+    return out;
+}
+
+BatchStream
+batchMaskAtOrAbove(const BatchStream &a, std::span<const int> rl_ids,
+                   WordArena &arena)
+{
+    checkLaneSpan("batchMaskAtOrAbove", a, rl_ids.size());
+    const BatchStream masks =
+        BatchStream::prefixMasks(a.config(), rl_ids, arena);
+    BatchStream out(a.config(), a.lanes(), arena);
+    span::wordAndNot(out.data(), a.data(), masks.data(),
+                     a.totalWords());
+    return out;
+}
+
+BatchStream
+batchBipolarProduct(const BatchStream &a, std::span<const int> rl_ids,
+                    WordArena &arena)
+{
+    // (A & P) | (!A & !P) over the window collapses to XNOR with the
+    // prefix mask P; only the tail bits (where the window mask cuts
+    // in) need clearing afterwards.
+    checkLaneSpan("batchBipolarProduct", a, rl_ids.size());
+    const BatchStream masks =
+        BatchStream::prefixMasks(a.config(), rl_ids, arena);
+    BatchStream out(a.config(), a.lanes(), arena);
+    span::wordXnor(out.data(), a.data(), masks.data(), a.totalWords());
+    out.clearTails();
+    return out;
+}
+
+void
+batchIntersectCounts(const BatchStream &a, const BatchStream &b,
+                     std::span<int> out)
+{
+    checkSameShape("batchIntersectCounts", a, b);
+    checkLaneSpan("batchIntersectCounts", a, out.size());
+    for (int lane = 0; lane < a.lanes(); ++lane)
+        out[static_cast<std::size_t>(lane)] =
+            static_cast<int>(span::wordPopcountAnd(
+                a.lane(lane), b.lane(lane), a.wordsPerLane()));
+}
+
+// --- batched counting arithmetic --------------------------------------------
+
+namespace
+{
+
+void
+checkOperandRange(const char *what, const EpochConfig &cfg,
+                  std::span<const int> values)
+{
+    for (int v : values)
+        if (v < 0 || v > cfg.nmax())
+            panic("%s: operand %d out of range 0..%d", what, v,
+                  cfg.nmax());
+}
+
+} // namespace
+
+void
+batchUnipolarProductCount(const EpochConfig &cfg,
+                          std::span<const int> ns,
+                          std::span<const int> rl_ids,
+                          std::span<int> out)
+{
+    if (ns.size() != rl_ids.size() || ns.size() != out.size())
+        panic("batchUnipolarProductCount: span size mismatch");
+    checkOperandRange("batchUnipolarProductCount", cfg, ns);
+    checkOperandRange("batchUnipolarProductCount", cfg, rl_ids);
+    const std::int64_t nmax = cfg.nmax();
+    for (std::size_t b = 0; b < ns.size(); ++b)
+        out[b] = static_cast<int>(
+            static_cast<std::int64_t>(rl_ids[b]) * ns[b] / nmax);
+}
+
+void
+batchBipolarProductCount(const EpochConfig &cfg,
+                         std::span<const int> ns,
+                         std::span<const int> rl_ids,
+                         std::span<int> out)
+{
+    if (ns.size() != rl_ids.size() || ns.size() != out.size())
+        panic("batchBipolarProductCount: span size mismatch");
+    checkOperandRange("batchBipolarProductCount", cfg, ns);
+    checkOperandRange("batchBipolarProductCount", cfg, rl_ids);
+    const std::int64_t nmax = cfg.nmax();
+    for (std::size_t b = 0; b < ns.size(); ++b) {
+        // o1 + o2 with o1 = |A&B|, o2 = (N-n) - (id-o1): identical
+        // arithmetic to bipolarProductCount, folded per lane.
+        const int o1 = static_cast<int>(
+            static_cast<std::int64_t>(rl_ids[b]) * ns[b] / nmax);
+        out[b] = 2 * o1 + cfg.nmax() - ns[b] - rl_ids[b];
+    }
+}
+
+void
+batchTreeNetworkCount(std::span<int> products, int lanes,
+                      std::span<int> out)
+{
+    if (lanes < 1)
+        panic("batchTreeNetworkCount: need at least one lane");
+    const std::size_t stride = static_cast<std::size_t>(lanes);
+    if (products.size() % stride != 0)
+        panic("batchTreeNetworkCount: %zu values not a multiple of "
+              "%d lanes",
+              products.size(), lanes);
+    std::size_t operands = products.size() / stride;
+    if (operands == 0 || (operands & (operands - 1)) != 0)
+        panic("batchTreeNetworkCount: %zu operands (need a power of "
+              "two)",
+              operands);
+    if (out.size() != stride)
+        panic("batchTreeNetworkCount: output span size mismatch");
+    while (operands > 1) {
+        // One balancer level across every lane: pair p collapses into
+        // slot p with the Y1-chain ceiling.  Writes trail reads, so
+        // the halving is safely in place and the inner loop is a
+        // contiguous vectorizable pass.
+        for (std::size_t p = 0; p < operands / 2; ++p) {
+            int *dst = products.data() + p * stride;
+            const int *l = products.data() + 2 * p * stride;
+            const int *r = l + stride;
+            for (std::size_t b = 0; b < stride; ++b)
+                dst[b] = (l[b] + r[b] + 1) / 2;
+        }
+        operands /= 2;
+    }
+    std::copy(products.begin(),
+              products.begin() + static_cast<std::ptrdiff_t>(stride),
+              out.begin());
+}
+
+void
+batchDpuExpectedCount(const EpochConfig &cfg, DpuMode mode, int length,
+                      std::span<const int> stream_counts,
+                      std::span<const int> rl_ids, std::span<int> out,
+                      WordArena &arena)
+{
+    const std::size_t lanes = out.size();
+    if (length < 1)
+        panic("batchDpuExpectedCount: need at least one element");
+    if (stream_counts.size() !=
+            static_cast<std::size_t>(length) * lanes ||
+        rl_ids.size() != stream_counts.size())
+        panic("batchDpuExpectedCount: operand span size mismatch");
+    std::size_t padded = 2;
+    while (padded < static_cast<std::size_t>(length))
+        padded <<= 1;
+    int *products = arena.allocAs<int>(padded * lanes);
+    for (int k = 0; k < length; ++k) {
+        const std::size_t off = static_cast<std::size_t>(k) * lanes;
+        std::span<int> lane_out(products + off, lanes);
+        if (mode == DpuMode::Unipolar)
+            batchUnipolarProductCount(
+                cfg, stream_counts.subspan(off, lanes),
+                rl_ids.subspan(off, lanes), lane_out);
+        else
+            batchBipolarProductCount(
+                cfg, stream_counts.subspan(off, lanes),
+                rl_ids.subspan(off, lanes), lane_out);
+    }
+    // Padded inputs carry no pulses (a bipolar -1), as in the scalar
+    // model.
+    std::fill(products + static_cast<std::size_t>(length) * lanes,
+              products + padded * lanes, 0);
+    batchTreeNetworkCount(
+        std::span<int>(products, padded * lanes),
+        static_cast<int>(lanes), out);
+}
+
+void
+batchPeExpectedSlot(const EpochConfig &cfg,
+                    std::span<const int> in1_ids,
+                    std::span<const int> in2_counts,
+                    std::span<const int> in3_counts, std::span<int> out,
+                    WordArena &arena)
+{
+    const std::size_t lanes = out.size();
+    if (in1_ids.size() != lanes || in2_counts.size() != lanes ||
+        in3_counts.size() != lanes)
+        panic("batchPeExpectedSlot: operand span size mismatch");
+    int *products = arena.allocAs<int>(lanes);
+    batchUnipolarProductCount(cfg, in2_counts, in1_ids,
+                              std::span<int>(products, lanes));
+    for (std::size_t b = 0; b < lanes; ++b) {
+        // treeNetworkCount({product, in3}) = one balancer ceiling,
+        // clamped at the integrator's nmax, as in peExpectedSlot.
+        const int slot = (products[b] + in3_counts[b] + 1) / 2;
+        out[b] = std::min(slot, cfg.nmax());
+    }
+}
+
+} // namespace usfq::func

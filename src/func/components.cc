@@ -4,6 +4,7 @@
 
 #include "sfq/params.hh"
 #include "util/logging.hh"
+#include "util/span_kernels.hh"
 
 namespace usfq::func
 {
@@ -16,6 +17,23 @@ int
 epochSwitches(int jj)
 {
     return cell::switchesPerOp(jj);
+}
+
+/** Batched evaluations record one epoch's switching per lane, so the
+ *  power rollup of a B-lane call equals B scalar calls. */
+int
+batchSwitches(int jj, std::size_t lanes)
+{
+    return static_cast<int>(lanes) * epochSwitches(jj);
+}
+
+void
+checkBatchSpans(const char *what, const std::string &name,
+                std::size_t got, int operands, std::size_t lanes)
+{
+    if (got != static_cast<std::size_t>(operands) * lanes)
+        panic("%s %s: %zu operand values for %d inputs x %zu lanes",
+              what, name.c_str(), got, operands, lanes);
 }
 
 void
@@ -51,6 +69,26 @@ UnipolarMultiplier::evaluateStream(const PulseStream &a, int rl_id)
     return a.maskBelow(rl_id);
 }
 
+void
+UnipolarMultiplier::evaluateBatch(const EpochConfig &cfg,
+                                  std::span<const int> ns,
+                                  std::span<const int> rl_ids,
+                                  std::span<int> out)
+{
+    recordSwitches(batchSwitches(jjCount(), out.size()));
+    batchUnipolarProductCount(cfg, ns, rl_ids, out);
+}
+
+BatchStream
+UnipolarMultiplier::evaluateStreamBatch(const BatchStream &a,
+                                        std::span<const int> rl_ids,
+                                        WordArena &arena)
+{
+    recordSwitches(batchSwitches(jjCount(),
+                                 static_cast<std::size_t>(a.lanes())));
+    return batchMaskBelow(a, rl_ids, arena);
+}
+
 BipolarMultiplier::BipolarMultiplier(Netlist &nl,
                                      const std::string &name)
     : Component(nl, name)
@@ -70,6 +108,26 @@ BipolarMultiplier::evaluateStream(const PulseStream &a, int rl_id)
 {
     recordSwitches(epochSwitches(jjCount()));
     return bipolarProductStream(a, rl_id);
+}
+
+void
+BipolarMultiplier::evaluateBatch(const EpochConfig &cfg,
+                                 std::span<const int> ns,
+                                 std::span<const int> rl_ids,
+                                 std::span<int> out)
+{
+    recordSwitches(batchSwitches(jjCount(), out.size()));
+    batchBipolarProductCount(cfg, ns, rl_ids, out);
+}
+
+BatchStream
+BipolarMultiplier::evaluateStreamBatch(const BatchStream &a,
+                                       std::span<const int> rl_ids,
+                                       WordArena &arena)
+{
+    recordSwitches(batchSwitches(jjCount(),
+                                 static_cast<std::size_t>(a.lanes())));
+    return batchBipolarProduct(a, rl_ids, arena);
 }
 
 // --- adders -----------------------------------------------------------------
@@ -94,6 +152,37 @@ MergerTreeAdder::evaluate(const EpochConfig &cfg,
     return mergerTreeUnionCount(cfg, counts);
 }
 
+void
+MergerTreeAdder::evaluateBatch(const EpochConfig &cfg,
+                               std::span<const int> counts,
+                               std::span<int> out, WordArena &arena)
+{
+    const std::size_t lanes = out.size();
+    checkBatchSpans("func::MergerTreeAdder", name(), counts.size(),
+                    fanIn, lanes);
+    recordSwitches(batchSwitches(jjCount(), lanes));
+    // Union the per-input Euclidean batches in place: lane b ends up
+    // with the slot union of lane b's input streams, exactly the
+    // scalar mergerTreeUnionCount set.
+    BatchStream acc =
+        BatchStream::euclidean(cfg, counts.first(lanes), arena);
+    for (int k = 1; k < fanIn; ++k) {
+        const BatchStream next = BatchStream::euclidean(
+            cfg, counts.subspan(static_cast<std::size_t>(k) * lanes,
+                                lanes),
+            arena);
+        span::wordOr(acc.data(), acc.data(), next.data(),
+                     acc.totalWords());
+    }
+    acc.counts(out);
+    for (std::size_t b = 0; b < lanes; ++b) {
+        int sum = 0;
+        for (int k = 0; k < fanIn; ++k)
+            sum += counts[static_cast<std::size_t>(k) * lanes + b];
+        lost += static_cast<std::uint64_t>(sum - out[b]);
+    }
+}
+
 TreeCountingNetwork::TreeCountingNetwork(Netlist &nl,
                                          const std::string &name,
                                          int num_inputs)
@@ -112,6 +201,20 @@ TreeCountingNetwork::evaluate(std::vector<int> counts)
     return treeNetworkCount(std::move(counts));
 }
 
+void
+TreeCountingNetwork::evaluateBatch(std::span<const int> counts,
+                                   std::span<int> out, WordArena &arena)
+{
+    const std::size_t lanes = out.size();
+    checkBatchSpans("func::TreeCountingNetwork", name(), counts.size(),
+                    fanIn, lanes);
+    recordSwitches(batchSwitches(jjCount(), lanes));
+    int *scratch = arena.allocAs<int>(counts.size());
+    std::copy(counts.begin(), counts.end(), scratch);
+    batchTreeNetworkCount(std::span<int>(scratch, counts.size()),
+                          static_cast<int>(lanes), out);
+}
+
 // --- race logic -------------------------------------------------------------
 
 FirstArrival::FirstArrival(Netlist &nl, const std::string &name)
@@ -128,6 +231,26 @@ FirstArrival::evaluate(const std::vector<int> &rl_ids)
     return *std::min_element(rl_ids.begin(), rl_ids.end());
 }
 
+void
+FirstArrival::evaluateBatch(std::span<const int> rl_ids, int operands,
+                            std::span<int> out)
+{
+    if (operands < 1)
+        panic("func::FirstArrival %s: no operands", name().c_str());
+    const std::size_t lanes = out.size();
+    checkBatchSpans("func::FirstArrival", name(), rl_ids.size(),
+                    operands, lanes);
+    recordSwitches(batchSwitches(jjCount(), lanes));
+    std::copy(rl_ids.begin(),
+              rl_ids.begin() + static_cast<std::ptrdiff_t>(lanes),
+              out.begin());
+    for (int k = 1; k < operands; ++k)
+        for (std::size_t b = 0; b < lanes; ++b)
+            out[b] = std::min(
+                out[b],
+                rl_ids[static_cast<std::size_t>(k) * lanes + b]);
+}
+
 LastArrival::LastArrival(Netlist &nl, const std::string &name)
     : Component(nl, name)
 {
@@ -140,6 +263,26 @@ LastArrival::evaluate(const std::vector<int> &rl_ids)
         panic("func::LastArrival %s: no operands", name().c_str());
     recordSwitches(epochSwitches(jjCount()));
     return *std::max_element(rl_ids.begin(), rl_ids.end());
+}
+
+void
+LastArrival::evaluateBatch(std::span<const int> rl_ids, int operands,
+                           std::span<int> out)
+{
+    if (operands < 1)
+        panic("func::LastArrival %s: no operands", name().c_str());
+    const std::size_t lanes = out.size();
+    checkBatchSpans("func::LastArrival", name(), rl_ids.size(),
+                    operands, lanes);
+    recordSwitches(batchSwitches(jjCount(), lanes));
+    std::copy(rl_ids.begin(),
+              rl_ids.begin() + static_cast<std::ptrdiff_t>(lanes),
+              out.begin());
+    for (int k = 1; k < operands; ++k)
+        for (std::size_t b = 0; b < lanes; ++b)
+            out[b] = std::max(
+                out[b],
+                rl_ids[static_cast<std::size_t>(k) * lanes + b]);
 }
 
 // --- PNMs -------------------------------------------------------------------
@@ -241,6 +384,17 @@ ProcessingElement::evaluate(int in1_id, int in2_count, int in3_count)
     return peExpectedSlot(cfg, in1_id, in2_count, in3_count);
 }
 
+void
+ProcessingElement::evaluateBatch(std::span<const int> in1_ids,
+                                 std::span<const int> in2_counts,
+                                 std::span<const int> in3_counts,
+                                 std::span<int> out, WordArena &arena)
+{
+    recordSwitches(batchSwitches(jjCount(), out.size()));
+    batchPeExpectedSlot(cfg, in1_ids, in2_counts, in3_counts, out,
+                        arena);
+}
+
 // --- DPU --------------------------------------------------------------------
 
 DotProductUnit::DotProductUnit(Netlist &nl, const std::string &name,
@@ -266,6 +420,22 @@ DotProductUnit::evaluate(const EpochConfig &cfg,
               name().c_str());
     recordSwitches(epochSwitches(jjCount()));
     return dpuExpectedCount(cfg, dpuMode, stream_counts, rl_ids);
+}
+
+void
+DotProductUnit::evaluateBatch(const EpochConfig &cfg,
+                              std::span<const int> stream_counts,
+                              std::span<const int> rl_ids,
+                              std::span<int> out, WordArena &arena)
+{
+    const std::size_t lanes = out.size();
+    checkBatchSpans("func::DotProductUnit", name(),
+                    stream_counts.size(), numElems, lanes);
+    checkBatchSpans("func::DotProductUnit", name(), rl_ids.size(),
+                    numElems, lanes);
+    recordSwitches(batchSwitches(jjCount(), lanes));
+    batchDpuExpectedCount(cfg, dpuMode, numElems, stream_counts,
+                          rl_ids, out, arena);
 }
 
 double
@@ -343,6 +513,39 @@ UsfqFir::stepCount(const std::vector<int> &window_ids)
                       epoch, hCounts[static_cast<std::size_t>(k)], id);
     }
     return treeNetworkCount(std::move(products));
+}
+
+void
+UsfqFir::stepCountBatch(std::span<const int> window_ids,
+                        std::span<int> out, WordArena &arena)
+{
+    const std::size_t lanes = out.size();
+    checkBatchSpans("func::UsfqFir", name(), window_ids.size(),
+                    cfg.taps, lanes);
+    recordSwitches(batchSwitches(jjCount(), lanes));
+    int *products = arena.allocAs<int>(
+        static_cast<std::size_t>(padded) * lanes);
+    int *hs = arena.allocAs<int>(lanes);
+    for (int k = 0; k < cfg.taps; ++k) {
+        std::fill(hs, hs + lanes,
+                  hCounts[static_cast<std::size_t>(k)]);
+        const std::size_t off = static_cast<std::size_t>(k) * lanes;
+        std::span<int> lane_out(products + off, lanes);
+        if (cfg.mode == DpuMode::Unipolar)
+            batchUnipolarProductCount(
+                epoch, std::span<const int>(hs, lanes),
+                window_ids.subspan(off, lanes), lane_out);
+        else
+            batchBipolarProductCount(
+                epoch, std::span<const int>(hs, lanes),
+                window_ids.subspan(off, lanes), lane_out);
+    }
+    std::fill(products + static_cast<std::size_t>(cfg.taps) * lanes,
+              products + static_cast<std::size_t>(padded) * lanes, 0);
+    batchTreeNetworkCount(
+        std::span<int>(products,
+                       static_cast<std::size_t>(padded) * lanes),
+        static_cast<int>(lanes), out);
 }
 
 double

@@ -26,6 +26,7 @@
 #ifndef USFQ_FUNC_COMPONENTS_HH
 #define USFQ_FUNC_COMPONENTS_HH
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "core/pe.hh"
 #include "core/pnm.hh"
 #include "core/shift_register.hh"
+#include "func/batch.hh"
 #include "func/stream.hh"
 #include "sim/component.hh"
 #include "sim/netlist.hh"
@@ -55,6 +57,19 @@ class UnipolarMultiplier : public Component
     /** Product stream (packed bitmap) for one epoch. */
     PulseStream evaluateStream(const PulseStream &a, int rl_id);
 
+    /**
+     * B independent epochs at once: out[b] = evaluate(cfg, ns[b],
+     * rl_ids[b]) lane-by-lane, with the switching estimate recorded
+     * once per lane (stats match B scalar calls exactly).
+     */
+    void evaluateBatch(const EpochConfig &cfg, std::span<const int> ns,
+                       std::span<const int> rl_ids, std::span<int> out);
+
+    /** Lane b = evaluateStream(a.lane(b), rl_ids[b]). */
+    BatchStream evaluateStreamBatch(const BatchStream &a,
+                                    std::span<const int> rl_ids,
+                                    WordArena &arena);
+
     int jjCount() const override { return usfq::UnipolarMultiplier::kJJs; }
 };
 
@@ -67,6 +82,15 @@ class BipolarMultiplier : public Component
     int evaluate(const EpochConfig &cfg, int stream_count, int rl_id);
 
     PulseStream evaluateStream(const PulseStream &a, int rl_id);
+
+    /** out[b] = evaluate(cfg, ns[b], rl_ids[b]), lane-by-lane. */
+    void evaluateBatch(const EpochConfig &cfg, std::span<const int> ns,
+                       std::span<const int> rl_ids, std::span<int> out);
+
+    /** Lane b = evaluateStream(a.lane(b), rl_ids[b]). */
+    BatchStream evaluateStreamBatch(const BatchStream &a,
+                                    std::span<const int> rl_ids,
+                                    WordArena &arena);
 
     int jjCount() const override { return usfq::BipolarMultiplier::kJJs; }
 };
@@ -82,6 +106,16 @@ class MergerTreeAdder : public Component
 
     /** Output pulse count: the slot union of the input streams. */
     int evaluate(const EpochConfig &cfg, const std::vector<int> &counts);
+
+    /**
+     * B epochs at once.  @p counts is operand-major (input k's B lane
+     * values contiguous, numInputs()*B total); out[b] = evaluate over
+     * lane b's counts.  Collision losses accumulate per lane, so the
+     * ledger matches B scalar evaluations.
+     */
+    void evaluateBatch(const EpochConfig &cfg,
+                       std::span<const int> counts, std::span<int> out,
+                       WordArena &arena);
 
     /** Pulses lost to same-slot coincidences across all evaluations. */
     std::uint64_t collisions() const { return lost; }
@@ -109,6 +143,11 @@ class TreeCountingNetwork : public Component
     /** Output pulse count (sum of inputs / M, ceiling per level). */
     int evaluate(std::vector<int> counts);
 
+    /** B epochs at once: operand-major @p counts (numInputs()*B),
+     *  out[b] = evaluate over lane b's counts. */
+    void evaluateBatch(std::span<const int> counts, std::span<int> out,
+                       WordArena &arena);
+
     int jjCount() const override
     {
         return usfq::TreeCountingNetwork::jjsFor(fanIn);
@@ -127,6 +166,11 @@ class FirstArrival : public Component
     /** MIN of the operand RL slot ids. */
     int evaluate(const std::vector<int> &rl_ids);
 
+    /** B epochs at once: operand-major @p rl_ids (operands*B),
+     *  out[b] = MIN over lane b's ids. */
+    void evaluateBatch(std::span<const int> rl_ids, int operands,
+                       std::span<int> out);
+
     int jjCount() const override { return cell::kFirstArrivalJJs; }
 };
 
@@ -138,6 +182,11 @@ class LastArrival : public Component
 
     /** MAX of the operand RL slot ids. */
     int evaluate(const std::vector<int> &rl_ids);
+
+    /** B epochs at once: operand-major @p rl_ids (operands*B),
+     *  out[b] = MAX over lane b's ids. */
+    void evaluateBatch(std::span<const int> rl_ids, int operands,
+                       std::span<int> out);
 
     int jjCount() const override { return cell::kLastArrivalJJs; }
 };
@@ -232,6 +281,12 @@ class ProcessingElement : public Component
     /** The RL slot emitted one epoch later. */
     int evaluate(int in1_id, int in2_count, int in3_count);
 
+    /** out[b] = evaluate(in1_ids[b], in2_counts[b], in3_counts[b]). */
+    void evaluateBatch(std::span<const int> in1_ids,
+                       std::span<const int> in2_counts,
+                       std::span<const int> in3_counts,
+                       std::span<int> out, WordArena &arena);
+
     int jjCount() const override
     {
         return usfq::ProcessingElement::kJJs;
@@ -256,6 +311,16 @@ class DotProductUnit : public Component
     int evaluate(const EpochConfig &cfg,
                  const std::vector<int> &stream_counts,
                  const std::vector<int> &rl_ids);
+
+    /**
+     * B epochs at once.  Operand-major spans (element k's B lane
+     * values contiguous, length()*B total); out[b] = evaluate over
+     * lane b's operands.
+     */
+    void evaluateBatch(const EpochConfig &cfg,
+                       std::span<const int> stream_counts,
+                       std::span<const int> rl_ids, std::span<int> out,
+                       WordArena &arena);
 
     /** Decode an output count to the dot-product value. */
     double decode(const EpochConfig &cfg, std::size_t count) const;
@@ -319,6 +384,14 @@ class UsfqFir : public Component
 
     /** Output pulse count for a window of RL sample ids (x[n] first). */
     int stepCount(const std::vector<int> &window_ids);
+
+    /**
+     * B windows at once.  @p window_ids is operand-major (tap k's B
+     * lane ids contiguous, taps*B total -- batched windows are always
+     * full); out[b] = stepCount over lane b's window.
+     */
+    void stepCountBatch(std::span<const int> window_ids,
+                        std::span<int> out, WordArena &arena);
 
     /** One decoded output sample from the sample window. */
     double step(const std::vector<double> &window);

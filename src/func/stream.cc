@@ -1,8 +1,10 @@
 #include "func/stream.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.hh"
+#include "util/span_kernels.hh"
 
 namespace usfq::func
 {
@@ -10,17 +12,31 @@ namespace usfq::func
 namespace
 {
 
-std::size_t
-wordsFor(const EpochConfig &cfg)
+/**
+ * Mask of the valid bits in the last packed word of a cfg-sized
+ * stream: all ones when nmax is a multiple of 64.  Every op that can
+ * set bits beyond the window (complement, XNOR products) must AND its
+ * last word with this -- the tail-bit invariant.
+ */
+std::uint64_t
+tailMask(const EpochConfig &cfg)
 {
-    return (static_cast<std::size_t>(cfg.nmax()) + 63) / 64;
+    const int tail = cfg.nmax() % 64;
+    return tail == 0 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << tail) - 1;
 }
 
 } // namespace
 
 PulseStream::PulseStream(const EpochConfig &config)
-    : cfg(config), words(wordsFor(config), 0)
+    : cfg(config), bits(wordCount(config), 0)
 {
+}
+
+std::size_t
+PulseStream::wordCount(const EpochConfig &cfg)
+{
+    return (static_cast<std::size_t>(cfg.nmax()) + 63) / 64;
 }
 
 PulseStream
@@ -36,7 +52,7 @@ PulseStream::fromSlots(const EpochConfig &cfg,
     PulseStream s(cfg);
     for (int i : slots) {
         const int slot = s.checkedSlot(i);
-        s.words[static_cast<std::size_t>(slot) / 64] |=
+        s.bits[static_cast<std::size_t>(slot) / 64] |=
             std::uint64_t{1} << (slot % 64);
     }
     return s;
@@ -46,6 +62,18 @@ PulseStream
 PulseStream::empty(const EpochConfig &cfg)
 {
     return PulseStream(cfg);
+}
+
+PulseStream
+PulseStream::fromWords(const EpochConfig &cfg, const std::uint64_t *raw)
+{
+    PulseStream s(cfg);
+    std::copy(raw, raw + s.bits.size(), s.bits.begin());
+    if ((s.bits.back() & ~tailMask(cfg)) != 0)
+        panic("PulseStream: raw words carry bits beyond the %d-slot "
+              "window",
+              cfg.nmax());
+    return s;
 }
 
 int
@@ -60,18 +88,15 @@ PulseStream::checkedSlot(int i) const
 int
 PulseStream::count() const
 {
-    int total = 0;
-    for (std::uint64_t w : words)
-        total += std::popcount(w);
-    return total;
+    return static_cast<int>(span::wordPopcount(bits.data(),
+                                               bits.size()));
 }
 
 bool
 PulseStream::occupied(int i) const
 {
     const int slot = checkedSlot(i);
-    return (words[static_cast<std::size_t>(slot) / 64] >>
-            (slot % 64)) &
+    return (bits[static_cast<std::size_t>(slot) / 64] >> (slot % 64)) &
            1;
 }
 
@@ -79,12 +104,8 @@ PulseStream
 PulseStream::complement() const
 {
     PulseStream out(cfg);
-    for (std::size_t w = 0; w < words.size(); ++w)
-        out.words[w] = ~words[w];
-    // Clear bits beyond nmax in the last word.
-    const int tail = cfg.nmax() % 64;
-    if (tail != 0)
-        out.words.back() &= (std::uint64_t{1} << tail) - 1;
+    span::wordNot(out.bits.data(), bits.data(), bits.size());
+    out.bits.back() &= tailMask(cfg);
     return out;
 }
 
@@ -95,14 +116,13 @@ PulseStream::maskBelow(int rl_id) const
         panic("PulseStream: RL id %d out of range 0..%d", rl_id,
               cfg.nmax());
     PulseStream out(cfg);
-    for (std::size_t w = 0; w < words.size(); ++w) {
+    for (std::size_t w = 0; w < bits.size(); ++w) {
         const int base = static_cast<int>(w) * 64;
         if (rl_id >= base + 64) {
-            out.words[w] = words[w];
+            out.bits[w] = bits[w];
         } else if (rl_id > base) {
-            out.words[w] =
-                words[w] &
-                ((std::uint64_t{1} << (rl_id - base)) - 1);
+            out.bits[w] =
+                bits[w] & ((std::uint64_t{1} << (rl_id - base)) - 1);
         }
     }
     return out;
@@ -113,8 +133,8 @@ PulseStream::maskAtOrAbove(int rl_id) const
 {
     PulseStream below = maskBelow(rl_id);
     PulseStream out(cfg);
-    for (std::size_t w = 0; w < words.size(); ++w)
-        out.words[w] = words[w] & ~below.words[w];
+    span::wordAndNot(out.bits.data(), bits.data(), below.bits.data(),
+                     bits.size());
     return out;
 }
 
@@ -124,8 +144,8 @@ PulseStream::unionWith(const PulseStream &other) const
     if (cfg != other.cfg)
         panic("PulseStream: epoch-config mismatch in union");
     PulseStream out(cfg);
-    for (std::size_t w = 0; w < words.size(); ++w)
-        out.words[w] = words[w] | other.words[w];
+    span::wordOr(out.bits.data(), bits.data(), other.bits.data(),
+                 bits.size());
     return out;
 }
 
@@ -135,8 +155,8 @@ PulseStream::intersectWith(const PulseStream &other) const
     if (cfg != other.cfg)
         panic("PulseStream: epoch-config mismatch in intersection");
     PulseStream out(cfg);
-    for (std::size_t w = 0; w < words.size(); ++w)
-        out.words[w] = words[w] & other.words[w];
+    span::wordAnd(out.bits.data(), bits.data(), other.bits.data(),
+                  bits.size());
     return out;
 }
 
@@ -145,12 +165,12 @@ PulseStream::slots() const
 {
     std::vector<int> out;
     out.reserve(static_cast<std::size_t>(count()));
-    for (std::size_t w = 0; w < words.size(); ++w) {
-        std::uint64_t bits = words[w];
-        while (bits != 0) {
-            const int b = std::countr_zero(bits);
+    for (std::size_t w = 0; w < bits.size(); ++w) {
+        std::uint64_t word = bits[w];
+        while (word != 0) {
+            const int b = std::countr_zero(word);
             out.push_back(static_cast<int>(w) * 64 + b);
-            bits &= bits - 1;
+            word &= word - 1;
         }
     }
     return out;

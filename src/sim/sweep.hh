@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,33 @@
 
 namespace usfq
 {
+
+/**
+ * Batched-evaluation request for a sweep (docs/functional.md,
+ * "Batched evaluation").
+ *
+ * width is the number of sweep items coalesced into one lane group:
+ * runBatchedSweep hands the shard function groups of up to width
+ * consecutive items, each with its own item-derived seed.  Because the
+ * per-item seed depends only on (base seed, item index) -- never on
+ * the group shape -- results are bit-identical at any width and any
+ * thread count; width changes wall-clock time and nothing else.
+ */
+struct BatchSpec
+{
+    /** Lanes per group; <= 1 means scalar (one item per group). */
+    int width = 1;
+
+    /** Lanes a group of items starting at @p first actually gets. */
+    int lanesFor(std::size_t first, std::size_t total) const
+    {
+        const int w = width < 1 ? 1 : width;
+        const std::size_t left = total - first;
+        return left < static_cast<std::size_t>(w)
+                   ? static_cast<int>(left)
+                   : w;
+    }
+};
 
 /** Tuning knobs of a sweep. */
 struct SweepOptions
@@ -52,6 +80,10 @@ struct SweepOptions
      * function serve both engines (docs/functional.md).
      */
     Backend backend = Backend::PulseLevel;
+
+    /** Lane coalescing for runBatchedSweep (ignored by runSweep
+     *  beyond the ShardContext pass-through). */
+    BatchSpec batch;
 };
 
 /** What a shard function receives. */
@@ -61,6 +93,26 @@ struct ShardContext
     std::size_t total; ///< total shards in the sweep
     std::uint64_t seed; ///< deterministic per-shard RNG seed
     Backend backend;   ///< engine requested via SweepOptions
+    int batchWidth = 1; ///< SweepOptions::batch.width pass-through
+};
+
+/** What a batched shard function receives: one group of lanes. */
+struct LaneGroupContext
+{
+    std::size_t first; ///< sweep-item index of lane 0
+    std::size_t total; ///< total items in the sweep
+    int lanes;         ///< lanes in this group (tail groups are short)
+    Backend backend;   ///< engine requested via SweepOptions
+
+    /** seeds[b] = shardSeed(base, first + b): identical to what the
+     *  scalar sweep hands item first+b, whatever the batch width. */
+    std::span<const std::uint64_t> seeds;
+
+    /** The sweep-item index lane @p b evaluates. */
+    std::size_t item(int b) const
+    {
+        return first + static_cast<std::size_t>(b);
+    }
 };
 
 /**
@@ -83,6 +135,10 @@ namespace detail
 void runIndexed(std::size_t n, int threads,
                 const std::function<void(std::size_t)> &fn);
 
+/** Panic unless a batched shard returned one result per lane. */
+void checkGroupResultSize(std::size_t got, int lanes,
+                          std::size_t first);
+
 } // namespace detail
 
 /**
@@ -103,8 +159,9 @@ runSweep(std::size_t num_shards, Fn &&fn, const SweepOptions &opt = {})
     const int threads = resolveSweepThreads(opt.threads);
     detail::runIndexed(num_shards, threads, [&](std::size_t i) {
         const ShardContext ctx{i, num_shards,
-                               shardSeed(opt.baseSeed, i),
-                               opt.backend};
+                               shardSeed(opt.baseSeed, i), opt.backend,
+                               opt.batch.width < 1 ? 1
+                                                   : opt.batch.width};
         // Shard-private registry: stats recorded inside fn (netlist
         // exports, kernel counters) land here, not in the caller's.
         obs::ScopedStatsRegistry guard(shardStats[i]);
@@ -118,6 +175,63 @@ runSweep(std::size_t num_shards, Fn &&fn, const SweepOptions &opt = {})
     results.reserve(num_shards);
     for (auto &slot : slots)
         results.push_back(std::move(*slot));
+    return results;
+}
+
+/**
+ * Run a batched sweep: @p num_items independent evaluations coalesced
+ * into lane groups of up to opt.batch.width consecutive items, each
+ * group handed to @p fn once.
+ *
+ * @p fn is invoked as fn(const LaneGroupContext &) and must return a
+ * container with one result per lane, lane order (size() == ctx.lanes
+ * -- panics otherwise).  The flattened item-order result vector is
+ * returned.
+ *
+ * Determinism contract, extending runSweep's: lane seeds derive only
+ * from (base seed, item index), groups are formed by item index alone,
+ * per-group stats registries are merged in group order.  Results and
+ * merged stats are therefore bit-identical at any thread count AND any
+ * batch width -- provided fn honours the lane-equivalence contract of
+ * func::BatchStream (lane b computes exactly what a scalar run of item
+ * first+b would).
+ */
+template <typename Fn>
+auto
+runBatchedSweep(std::size_t num_items, Fn &&fn,
+                const SweepOptions &opt = {})
+{
+    using GroupResult =
+        decltype(fn(std::declval<const LaneGroupContext &>()));
+    using Result = typename GroupResult::value_type;
+    const int width = opt.batch.width < 1 ? 1 : opt.batch.width;
+    const std::size_t stride = static_cast<std::size_t>(width);
+    const std::size_t groups = (num_items + stride - 1) / stride;
+    std::vector<std::optional<GroupResult>> slots(groups);
+    std::vector<obs::StatsRegistry> groupStats(groups);
+    obs::StatsRegistry &parent = obs::currentStats();
+    const int threads = resolveSweepThreads(opt.threads);
+    detail::runIndexed(groups, threads, [&](std::size_t g) {
+        const std::size_t first = g * stride;
+        const int lanes = opt.batch.lanesFor(first, num_items);
+        std::vector<std::uint64_t> seeds(
+            static_cast<std::size_t>(lanes));
+        for (int b = 0; b < lanes; ++b)
+            seeds[static_cast<std::size_t>(b)] = shardSeed(
+                opt.baseSeed, first + static_cast<std::size_t>(b));
+        const LaneGroupContext ctx{first, num_items, lanes,
+                                   opt.backend, seeds};
+        obs::ScopedStatsRegistry guard(groupStats[g]);
+        slots[g].emplace(fn(ctx));
+        detail::checkGroupResultSize(slots[g]->size(), lanes, first);
+    });
+    for (obs::StatsRegistry &reg : groupStats)
+        parent.mergeFrom(reg);
+    std::vector<Result> results;
+    results.reserve(num_items);
+    for (auto &slot : slots)
+        for (auto &r : *slot)
+            results.push_back(std::move(r));
     return results;
 }
 

@@ -18,6 +18,7 @@
 
 #include "core/encoding.hh"
 #include "core/fir.hh"
+#include "func/batch.hh"
 #include "func/components.hh"
 #include "func/stream.hh"
 #include "sim/netlist.hh"
@@ -300,6 +301,94 @@ TEST(FuncProperty, IntegratorBufferDelaysOneEpoch)
     EXPECT_EQ(buf.push(12), 3);
     buf.reset();
     EXPECT_EQ(buf.push(5), 0);
+}
+
+// --- tail-bit invariant ------------------------------------------------------
+//
+// Audit result pinned here: bits at or beyond nmax in the last packed
+// word must be zero after EVERY stream op.  Ops built on raw NOT/XNOR
+// word kernels (complement, bipolar products, batched variants) are
+// the ones that can violate it; popcounts and unions would then see
+// ghost pulses.
+
+std::uint64_t
+tailBits(const func::PulseStream &s)
+{
+    const int tail = s.config().nmax() % 64;
+    if (tail == 0)
+        return 0;
+    return s.words()[s.wordCountOf() - 1] &
+           ~((std::uint64_t{1} << tail) - 1);
+}
+
+std::uint64_t
+laneTailBits(const func::BatchStream &s, int b)
+{
+    const int tail = s.config().nmax() % 64;
+    if (tail == 0)
+        return 0;
+    return s.lane(b)[s.wordsPerLane() - 1] &
+           ~((std::uint64_t{1} << tail) - 1);
+}
+
+TEST(FuncProperty, TailBitsStayZeroAcrossScalarOps)
+{
+    Rng rng(0x7a11u);
+    for (int bits : {2, 3, 5}) { // nmax 4, 8, 32: all partial tails
+        const EpochConfig cfg(bits);
+        for (int trial = 0; trial < 200; ++trial) {
+            const int n = static_cast<int>(rng.uniformInt(0, cfg.nmax()));
+            const int id =
+                static_cast<int>(rng.uniformInt(0, cfg.nmax()));
+            const auto a = func::PulseStream::euclidean(cfg, n);
+            EXPECT_EQ(tailBits(a), 0u);
+            EXPECT_EQ(tailBits(a.complement()), 0u);
+            EXPECT_EQ(tailBits(a.maskBelow(id)), 0u);
+            EXPECT_EQ(tailBits(a.maskAtOrAbove(id)), 0u);
+            EXPECT_EQ(tailBits(a.unionWith(a.complement())), 0u);
+            EXPECT_EQ(tailBits(a.intersectWith(a.complement())), 0u);
+            EXPECT_EQ(tailBits(func::bipolarProductStream(a, id)), 0u);
+        }
+    }
+}
+
+TEST(FuncProperty, TailBitsStayZeroAcrossBatchedOps)
+{
+    Rng rng(0x7a12u);
+    WordArena arena;
+    for (int bits : {2, 3, 5}) {
+        const EpochConfig cfg(bits);
+        constexpr int kLanes = 17;
+        std::vector<int> ns, ids;
+        for (int b = 0; b < kLanes; ++b) {
+            ns.push_back(static_cast<int>(rng.uniformInt(0, cfg.nmax())));
+            ids.push_back(
+                static_cast<int>(rng.uniformInt(0, cfg.nmax())));
+        }
+        arena.reset();
+        const auto a = func::BatchStream::euclidean(cfg, ns, arena);
+        const auto checks = {
+            func::BatchStream::prefixMasks(cfg, ids, arena),
+            func::batchComplement(a, arena),
+            func::batchMaskBelow(a, ids, arena),
+            func::batchMaskAtOrAbove(a, ids, arena),
+            func::batchBipolarProduct(a, ids, arena),
+            func::batchUnion(a, func::batchComplement(a, arena), arena),
+        };
+        for (const auto &s : checks)
+            for (int b = 0; b < s.lanes(); ++b)
+                EXPECT_EQ(laneTailBits(s, b), 0u)
+                    << "bits=" << bits << " lane=" << b;
+    }
+}
+
+TEST(FuncProperty, FromWordsRejectsTailBitViolations)
+{
+    const EpochConfig cfg(3); // nmax = 8: bits 8..63 are tail
+    std::uint64_t raw[1] = {0xff};
+    EXPECT_EQ(func::PulseStream::fromWords(cfg, raw).count(), 8);
+    raw[0] = 0x1ff; // bit 8 = first ghost slot
+    EXPECT_DEATH(func::PulseStream::fromWords(cfg, raw), "window");
 }
 
 } // namespace
