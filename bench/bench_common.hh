@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/artifact.hh"
 #include "obs/perfetto.hh"
 #include "obs/phase.hh"
 #include "obs/stats.hh"
@@ -153,13 +154,19 @@ fmt1(double value)
  * registry unless stats() picked another).  write() also triggers the
  * Perfetto trace export when USFQ_TRACE_OUT is set, with any tracks
  * registered via track().
+ *
+ * Serialization is obs::ArtifactPayload (src/obs/artifact.hh) -- the
+ * same writer the simulation service's result cache uses as its wire
+ * format (docs/service.md) -- so this class only handles the CLI
+ * concerns: argv, output-path resolution, trace export, destructor
+ * write.
  */
 class Artifact
 {
   public:
     explicit Artifact(std::string bench_name, int *argc = nullptr,
                       char **argv = nullptr)
-        : name(std::move(bench_name))
+        : payload(std::move(bench_name))
     {
         if (argc != nullptr && argv != nullptr) {
             // Loud flag handling (util/args): `--json` followed by
@@ -180,7 +187,7 @@ class Artifact
      */
     Artifact(const std::string &bench_name, const BenchArgs &args,
              Backend tag)
-        : name(bench_name + "_" + backendName(tag))
+        : payload(bench_name + "_" + backendName(tag))
     {
         if (!args.jsonPath.empty()) {
             outPath = args.jsonPath;
@@ -213,14 +220,21 @@ class Artifact
     metric(const std::string &key, double value,
            const std::string &unit = "")
     {
-        metrics.push_back({key, value, unit});
+        payload.metric(key, value, unit);
     }
 
     /** Record one free-form string fact. */
     void
     note(const std::string &key, const std::string &value)
     {
-        notes.emplace_back(key, value);
+        payload.note(key, value);
+    }
+
+    /** Record one named numeric series (e.g. per-epoch counts). */
+    void
+    series(const std::string &key, std::vector<double> values)
+    {
+        payload.series(key, std::move(values));
     }
 
     /** Embed @p reg instead of the current registry at write() time. */
@@ -253,19 +267,14 @@ class Artifact
             warn("bench artifact: cannot open %s", outPath.c_str());
             return false;
         }
-        writeJson(os);
+        const obs::StatsRegistry &reg =
+            statsReg != nullptr ? *statsReg : obs::currentStats();
+        payload.writeJson(os, reg, obs::ArtifactHostState::capture());
         os << "\n";
         return os.good();
     }
 
   private:
-    struct Metric
-    {
-        std::string key;
-        double value;
-        std::string unit;
-    };
-
     void
     resolveDirFallback()
     {
@@ -273,96 +282,12 @@ class Artifact
             return;
         if (const char *dir = std::getenv("USFQ_BENCH_JSON");
             dir != nullptr && dir[0] != '\0')
-            outPath = std::string(dir) + "/BENCH_" + name + ".json";
+            outPath =
+                std::string(dir) + "/BENCH_" + payload.name() + ".json";
     }
 
-    void
-    writeJson(std::ostream &os) const
-    {
-        const obs::StatsRegistry &reg =
-            statsReg != nullptr ? *statsReg : obs::currentStats();
-        JsonWriter w(os);
-        w.beginObject();
-        w.kv("bench", name);
-        w.kv("schema", 1);
-
-        w.key("metrics").beginObject();
-        for (const Metric &m : metrics) {
-            w.key(m.key).beginObject();
-            w.kv("value", m.value);
-            if (!m.unit.empty())
-                w.kv("unit", m.unit);
-            w.endObject();
-        }
-        w.endObject();
-
-        w.key("notes").beginObject();
-        for (const auto &[k, v] : notes)
-            w.kv(k, v);
-        w.endObject();
-
-        w.key("phases_us").beginObject();
-        for (const auto &[phase, us] :
-             obs::PhaseLog::global().totalsUs())
-            w.kv(phase, us);
-        w.endObject();
-
-        w.key("log").beginObject();
-        w.kv("warnings", warnCount());
-        w.kv("informs", informCount());
-        w.endObject();
-
-        w.key("stats").beginObject();
-        w.key("counters").beginObject();
-        reg.forEach([&](const std::string &n,
-                        const obs::StatsRegistry::Entry &e) {
-            if (e.kind == obs::StatsRegistry::Entry::Kind::Counter)
-                w.kv(n, e.counter.value());
-        });
-        w.endObject();
-        w.key("gauges").beginObject();
-        reg.forEach([&](const std::string &n,
-                        const obs::StatsRegistry::Entry &e) {
-            if (e.kind == obs::StatsRegistry::Entry::Kind::Gauge &&
-                e.gauge.valid())
-                w.kv(n, e.gauge.value());
-        });
-        w.endObject();
-        w.key("histograms").beginObject();
-        reg.forEach([&](const std::string &n,
-                        const obs::StatsRegistry::Entry &e) {
-            if (e.kind != obs::StatsRegistry::Entry::Kind::Histogram)
-                return;
-            const obs::Histogram &h = e.histogram;
-            w.key(n).beginObject();
-            w.kv("count", h.count());
-            w.kv("sum", h.sum());
-            w.kv("min", h.min());
-            w.kv("max", h.max());
-            w.kv("mean", h.mean());
-            w.key("buckets").beginArray();
-            for (std::size_t i = 0; i < obs::Histogram::kBuckets;
-                 ++i) {
-                if (h.bucket(i) == 0)
-                    continue;
-                w.beginArray();
-                w.value(obs::Histogram::bucketLo(i));
-                w.value(h.bucket(i));
-                w.endArray();
-            }
-            w.endArray();
-            w.endObject();
-        });
-        w.endObject();
-        w.endObject();
-
-        w.endObject();
-    }
-
-    std::string name;
+    obs::ArtifactPayload payload;
     std::string outPath;
-    std::vector<Metric> metrics;
-    std::vector<std::pair<std::string, std::string>> notes;
     std::vector<obs::PulseTrack> tracks;
     const obs::StatsRegistry *statsReg = nullptr;
     bool written = false;

@@ -1,9 +1,16 @@
 /**
  * @file
- * Figs. 10/11 reproduction: the integrator-based RL buffer.  Shows the
- * device-level inductor ramp (charge to Ic in half an epoch, discharge
- * in the second half) and checks the one-epoch delay contract of the
- * behavioral buffer across resolutions and input slots.
+ * Figs. 10/11 reproduction: the integrator-based RL buffer, runnable
+ * on either engine (--backend).  Shows the device-level inductor ramp
+ * (charge to Ic in half an epoch, discharge in the second half) and
+ * checks the one-epoch delay contract of the buffer across resolutions
+ * and input slots.
+ *
+ * The pulse-level leg measures the delay on the behavioral netlist
+ * component; the functional leg drives the stream-level model's
+ * push() pipeline (this epoch's RL id in, last epoch's out) -- the
+ * same one-epoch-delay contract, slot for slot.  Both report the
+ * resolution-independent closed-form JJ count.
  */
 
 #include <iostream>
@@ -13,22 +20,142 @@
 #include "bench_common.hh"
 #include "core/encoding.hh"
 #include "core/shift_register.hh"
+#include "func/components.hh"
 #include "sim/trace.hh"
 #include "sfq/sources.hh"
 #include "util/table.hh"
 
 using namespace usfq;
 
+namespace
+{
+
+int
+runBackend(Backend backend, const bench::BenchArgs &args)
+{
+    bench::Artifact artifact("fig11_integrator_buffer", args, backend);
+
+    // Behavioral buffer: delay contract across bits and input slots.
+    Table table(std::string("One-epoch delay check (") +
+                    backendName(backend) + " backend)",
+                {"Bits", "Epoch (ns)", "Input slot", "Delay measured "
+                 "(epochs)", "Exact"});
+    bool all_exact = true;
+    for (int bits : {4, 8, 12, 16}) {
+        const Tick t_clk = static_cast<Tick>(bits) * 20 * kPicosecond;
+        const Tick period = (Tick{1} << bits) * t_clk;
+        for (int slot : {0, (1 << bits) / 3, (1 << bits) - 1}) {
+            double delay_epochs = 0;
+            if (backend == Backend::PulseLevel) {
+                Netlist nl;
+                auto &buf =
+                    nl.create<IntegratorBuffer>("buf", period);
+                auto &src = nl.create<PulseSource>("in");
+                PulseTrace out;
+                src.out.connect(buf.in);
+                buf.out.connect(out.input());
+                const Tick at = static_cast<Tick>(slot) * t_clk +
+                                EpochConfig::kRlPulseOffset;
+                src.pulseAt(at);
+                nl.run();
+                const Tick delay = out.times().front() - at;
+                delay_epochs = static_cast<double>(delay) /
+                               static_cast<double>(period);
+            } else {
+                Netlist nl;
+                auto &buf =
+                    nl.create<func::IntegratorBuffer>("buf", period);
+                nl.elaborate();
+                // push() returns the previous epoch's id: the input
+                // slot must come back exactly one epoch later, and
+                // nothing before it.
+                const int before = buf.push(slot);
+                const int after = buf.push(0);
+                delay_epochs =
+                    (before == 0 && after == slot) ? 1.0 : 0.0;
+            }
+            table.row()
+                .cell(bits)
+                .cell(ticksToNs(period), 4)
+                .cell(slot)
+                .cell(delay_epochs, 5)
+                .cell(delay_epochs == 1.0 ? "yes" : "NO");
+            if (delay_epochs != 1.0)
+                all_exact = false;
+        }
+    }
+    table.print(std::cout);
+    if (!all_exact) {
+        std::cerr << "FAIL: the one-epoch delay contract broke on "
+                     "the "
+                  << backendName(backend) << " backend\n";
+        return 1;
+    }
+
+    // Area story (ties into Fig. 12): constant in resolution on both
+    // engines.
+    int buffer_jj = 0;
+    int cell_jj = 0;
+    if (backend == Backend::PulseLevel) {
+        Netlist nl;
+        auto &buf = nl.create<IntegratorBuffer>("b", kNanosecond);
+        auto &cellm = nl.create<RlMemoryCell>("c", kNanosecond);
+        nl.waive(LintRule::DanglingInput,
+                 "area story: the buffers are instantiated unwired");
+        nl.waive(LintRule::OpenOutput,
+                 "area story: the buffers are instantiated unwired");
+        nl.elaborate();
+        buffer_jj = buf.jjCount();
+        cell_jj = cellm.jjCount();
+    } else {
+        Netlist nl;
+        auto &buf =
+            nl.create<func::IntegratorBuffer>("b", kNanosecond);
+        nl.elaborate();
+        buffer_jj = buf.jjCount();
+        // No functional twin of the double-buffered cell yet: count
+        // the real cells (an elaboration-only area query, no pulse
+        // simulation involved).
+        Netlist area("area");
+        auto &cellm = area.create<RlMemoryCell>("c", kNanosecond);
+        area.waive(LintRule::DanglingInput,
+                   "area story: the cell is instantiated unwired");
+        area.waive(LintRule::OpenOutput,
+                   "area story: the cell is instantiated unwired");
+        area.elaborate();
+        cell_jj = cellm.jjCount();
+    }
+    if (buffer_jj != IntegratorBuffer::kJJs) {
+        std::cerr << "FAIL: buffer JJ count (" << buffer_jj
+                  << ") != closed form (" << IntegratorBuffer::kJJs
+                  << ") on the " << backendName(backend)
+                  << " backend\n";
+        return 1;
+    }
+    std::cout << "\nbuffer: " << buffer_jj
+              << " JJs; double-buffered memory cell (Fig. 10d): "
+              << cell_jj
+              << " JJs -- constant in resolution; only the inductance "
+                 "value grows (x2 per bit).\n\n";
+    artifact.metric("buffer_jj", buffer_jj, "JJ");
+    artifact.metric("memory_cell_jj", cell_jj, "JJ");
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    bench::Artifact artifact("fig11_integrator_buffer", &argc, argv);
+    const bench::BenchArgs args = bench::BenchArgs::parse(&argc, argv);
     bench::banner("Fig. 11: integrator-based RL buffer",
                   "the RL input pulse reappears exactly one epoch "
                   "later; I_L ramps to Ic and back; JJ count constant "
                   "in resolution");
 
-    // Device-level ramp for a 6-bit epoch of 20 ps slots.
+    // Device-level ramp for a 6-bit epoch of 20 ps slots
+    // (backend-independent: this is the analog model under the
+    // behavioral component both engines use).
     analog::PulseIntegrator device(6, 20e-12);
     const double t_in = 9 * 20e-12;
     device.run(t_in);
@@ -41,49 +168,12 @@ main(int argc, char **argv)
     analog::printAscii(std::cout,
                        {{"I_L [uA]", device.inductorCurrent()}}, 100,
                        5);
+    std::cout << "\n";
 
-    // Behavioral buffer: delay contract across bits and input slots.
-    Table table("One-epoch delay check (behavioral buffer)",
-                {"Bits", "Epoch (ns)", "Input slot", "Delay measured "
-                 "(ns)", "Exact"});
-    for (int bits : {4, 8, 12, 16}) {
-        const Tick t_clk = static_cast<Tick>(bits) * 20 * kPicosecond;
-        const Tick period = (Tick{1} << bits) * t_clk;
-        for (int slot : {0, (1 << bits) / 3, (1 << bits) - 1}) {
-            Netlist nl;
-            auto &buf = nl.create<IntegratorBuffer>("buf", period);
-            auto &src = nl.create<PulseSource>("in");
-            PulseTrace out;
-            src.out.connect(buf.in);
-            buf.out.connect(out.input());
-            const Tick at = static_cast<Tick>(slot) * t_clk +
-                            EpochConfig::kRlPulseOffset;
-            src.pulseAt(at);
-            nl.run();
-            const Tick delay = out.times().front() - at;
-            table.row()
-                .cell(bits)
-                .cell(ticksToNs(period), 4)
-                .cell(slot)
-                .cell(ticksToNs(delay), 5)
-                .cell(delay == period ? "yes" : "NO");
-        }
+    for (Backend backend : args.backends()) {
+        const int rc = runBackend(backend, args);
+        if (rc != 0)
+            return rc;
     }
-    table.print(std::cout);
-
-    // Area story (ties into Fig. 12).
-    Netlist nl;
-    auto &buf = nl.create<IntegratorBuffer>("b", kNanosecond);
-    auto &cellm = nl.create<RlMemoryCell>("c", kNanosecond);
-    nl.waive(LintRule::DanglingInput,
-             "area story: the buffers are instantiated unwired");
-    nl.waive(LintRule::OpenOutput,
-             "area story: the buffers are instantiated unwired");
-    nl.elaborate();
-    std::cout << "\nbuffer: " << buf.jjCount()
-              << " JJs; double-buffered memory cell (Fig. 10d): "
-              << cellm.jjCount()
-              << " JJs -- constant in resolution; only the inductance "
-                 "value grows (x2 per bit).\n";
     return 0;
 }

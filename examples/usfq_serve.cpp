@@ -1,0 +1,309 @@
+// usfq_serve: the simulation service end-to-end (docs/service.md).
+//
+// Stands up a svc::Broker with a deliberately small admission queue,
+// drives a mixed stream of requests through it (all four workload
+// kinds, both engines via RequestIntent, duplicate specs so the
+// content-addressed cache earns hits, batch/thread variants to prove
+// they are cache-transparent) and then audits the run:
+//
+//   * every admitted request completed with Status::Ok,
+//   * every response document is byte-identical to a direct
+//     api::runWorkload + api::resultToJson of the same request,
+//   * the cache produced hits, and
+//   * backpressure (submit() returning nullopt) was observed.
+//
+// Exits nonzero when any of those fail, so scripts/check.sh and the
+// `svc` ctest tier run it as the broker smoke (svc_serve_smoke).
+//
+//   usfq_serve [--requests N] [--workers N] [--queue N] [--cache N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/facade.hh"
+#include "api/spec.hh"
+#include "svc/broker.hh"
+#include "util/logging.hh"
+
+using namespace usfq;
+
+namespace
+{
+
+struct RequestTemplate
+{
+    api::NetlistSpec spec;
+    api::RunParams params;
+    svc::RequestIntent intent = svc::RequestIntent::Default;
+};
+
+// The request mix.  Functional-heavy (throughput requests with batch
+// and thread variants that must land on the SAME cache line and
+// bytes), plus small pulse-level audit requests of every kind that
+// supports them, plus a seed variant to prove seeds separate lines.
+std::vector<RequestTemplate>
+makeTemplates()
+{
+    std::vector<RequestTemplate> t;
+
+    RequestTemplate dpu;
+    dpu.spec.kind = api::WorkloadKind::Dpu;
+    dpu.spec.name = "dpu16";
+    dpu.spec.taps = 16;
+    dpu.spec.bits = 6;
+    dpu.spec.mode = DpuMode::Bipolar;
+    dpu.params.epochs = 32;
+    dpu.intent = svc::RequestIntent::Throughput;
+    t.push_back(dpu);
+
+    // Same design + params at a different batch width and thread
+    // count: bit-identity contracts make these cache-transparent.
+    RequestTemplate dpuBatched = dpu;
+    dpuBatched.params.batch = 8;
+    dpuBatched.params.threads = 2;
+    t.push_back(dpuBatched);
+
+    // Same design, different seed: a distinct cache line.
+    RequestTemplate dpuSeed = dpu;
+    dpuSeed.params.seed = 0xfeedULL;
+    t.push_back(dpuSeed);
+
+    RequestTemplate dpuUni;
+    dpuUni.spec.kind = api::WorkloadKind::Dpu;
+    dpuUni.spec.name = "dpu8u";
+    dpuUni.spec.taps = 8;
+    dpuUni.spec.bits = 5;
+    dpuUni.spec.mode = DpuMode::Unipolar;
+    dpuUni.params.epochs = 24;
+    dpuUni.intent = svc::RequestIntent::Throughput;
+    t.push_back(dpuUni);
+
+    RequestTemplate pe;
+    pe.spec.kind = api::WorkloadKind::Pe;
+    pe.spec.name = "pe5";
+    pe.spec.bits = 5;
+    pe.params.epochs = 24;
+    pe.intent = svc::RequestIntent::Throughput;
+    t.push_back(pe);
+
+    RequestTemplate fir;
+    fir.spec.kind = api::WorkloadKind::Fir;
+    fir.spec.name = "fir4";
+    fir.spec.taps = 4;
+    fir.spec.bits = 6;
+    fir.spec.mode = DpuMode::Unipolar;
+    fir.params.epochs = 24;
+    fir.params.batch = 4;
+    fir.intent = svc::RequestIntent::Throughput;
+    t.push_back(fir);
+
+    RequestTemplate inv;
+    inv.spec.kind = api::WorkloadKind::Inverter;
+    inv.spec.name = "inv111";
+    inv.spec.clockPeriodPs = 12.0;
+    inv.spec.clockCount = 64;
+    t.push_back(inv);
+
+    // Audit requests: intent forces the pulse-level engine whatever
+    // params.backend says.  Kept small -- event-accurate runs are the
+    // expensive path, which is also what fills the queue and makes
+    // the backpressure this smoke asserts on.
+    RequestTemplate dpuAudit;
+    dpuAudit.spec.kind = api::WorkloadKind::Dpu;
+    dpuAudit.spec.name = "dpu4a";
+    dpuAudit.spec.taps = 4;
+    dpuAudit.spec.bits = 4;
+    dpuAudit.spec.mode = DpuMode::Bipolar;
+    dpuAudit.params.epochs = 4;
+    dpuAudit.intent = svc::RequestIntent::Audit;
+    t.push_back(dpuAudit);
+
+    RequestTemplate peAudit;
+    peAudit.spec.kind = api::WorkloadKind::Pe;
+    peAudit.spec.name = "pe4a";
+    peAudit.spec.bits = 4;
+    peAudit.params.epochs = 3;
+    peAudit.intent = svc::RequestIntent::Audit;
+    t.push_back(peAudit);
+
+    RequestTemplate firAudit;
+    firAudit.spec.kind = api::WorkloadKind::Fir;
+    firAudit.spec.name = "fir3a";
+    firAudit.spec.taps = 3;
+    firAudit.spec.bits = 5;
+    firAudit.spec.mode = DpuMode::Unipolar;
+    firAudit.params.epochs = 6;
+    firAudit.intent = svc::RequestIntent::Audit;
+    t.push_back(firAudit);
+
+    RequestTemplate invAudit = inv;
+    invAudit.intent = svc::RequestIntent::Audit;
+    t.push_back(invAudit);
+
+    return t;
+}
+
+long
+argValue(int argc, char **argv, int &i, const char *flag)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "usfq_serve: %s needs a value\n", flag);
+        std::exit(2);
+    }
+    return std::strtol(argv[++i], nullptr, 10);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int requests = 1000;
+    svc::BrokerOptions opts;
+    opts.workers = 4;
+    opts.queueCapacity = 4; // small on purpose: provoke backpressure
+    opts.cacheCapacity = 64;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--requests") == 0)
+            requests = static_cast<int>(argValue(argc, argv, i,
+                                                 "--requests"));
+        else if (std::strcmp(argv[i], "--workers") == 0)
+            opts.workers = static_cast<int>(argValue(argc, argv, i,
+                                                     "--workers"));
+        else if (std::strcmp(argv[i], "--queue") == 0)
+            opts.queueCapacity = static_cast<std::size_t>(
+                argValue(argc, argv, i, "--queue"));
+        else if (std::strcmp(argv[i], "--cache") == 0)
+            opts.cacheCapacity = static_cast<std::size_t>(
+                argValue(argc, argv, i, "--cache"));
+        else {
+            std::fprintf(stderr, "usfq_serve: unknown arg %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+
+    const std::vector<RequestTemplate> templates = makeTemplates();
+
+    // Ground truth: one direct, broker-free run per template, through
+    // the same facade entry points a standalone tool would use.  Every
+    // broker response -- cache hit or recomputation, any batch width,
+    // any worker interleaving -- must match these bytes exactly.
+    std::printf("usfq_serve: %zu request templates, %d requests, "
+                "%d workers, queue %zu, cache %zu\n",
+                templates.size(), requests, opts.workers,
+                opts.queueCapacity, opts.cacheCapacity);
+    std::vector<std::string> expected;
+    expected.reserve(templates.size());
+    for (const RequestTemplate &t : templates) {
+        svc::Request probe{t.spec, t.params, t.intent};
+        api::RunParams resolved = t.params;
+        resolved.backend = svc::Broker::resolveBackend(probe);
+        const api::RunResult direct =
+            api::runWorkload(t.spec, resolved);
+        expected.push_back(
+            api::resultToJson(t.spec, resolved, direct));
+    }
+
+    svc::Broker broker(opts);
+
+    struct Issued
+    {
+        std::size_t templateIndex;
+        std::future<svc::Response> future;
+    };
+    std::vector<Issued> issued;
+    issued.reserve(static_cast<std::size_t>(requests));
+
+    for (int i = 0; i < requests; ++i) {
+        const std::size_t which =
+            static_cast<std::size_t>(i) % templates.size();
+        const RequestTemplate &t = templates[which];
+        for (;;) {
+            std::optional<std::future<svc::Response>> f =
+                broker.submit(
+                    svc::Request{t.spec, t.params, t.intent});
+            if (f.has_value()) {
+                issued.push_back(Issued{which, std::move(*f)});
+                break;
+            }
+            // Backpressure: back off briefly, then resubmit.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+        }
+    }
+
+    broker.drain();
+
+    int failures = 0;
+    std::uint64_t hits = 0;
+    for (Issued &req : issued) {
+        svc::Response r = req.future.get();
+        if (r.status != api::Status::Ok) {
+            std::fprintf(stderr,
+                         "FAIL: request %llu -> %s: %s\n",
+                         static_cast<unsigned long long>(r.requestId),
+                         api::statusName(r.status), r.error.c_str());
+            ++failures;
+            continue;
+        }
+        if (r.json != expected[req.templateIndex]) {
+            std::fprintf(stderr,
+                         "FAIL: request %llu (template %zu, %s) "
+                         "diverged from the direct run\n",
+                         static_cast<unsigned long long>(r.requestId),
+                         req.templateIndex,
+                         r.cacheHit ? "cache hit" : "recomputed");
+            ++failures;
+        }
+        if (r.cacheHit)
+            ++hits;
+    }
+
+    const svc::BrokerStats bs = broker.stats();
+    const svc::CacheStats cs = broker.cacheStats();
+    std::printf("usfq_serve: %llu completed (%llu failed), "
+                "%llu backpressure rejections\n",
+                static_cast<unsigned long long>(bs.completed),
+                static_cast<unsigned long long>(bs.failed),
+                static_cast<unsigned long long>(bs.rejected));
+    std::printf("usfq_serve: cache %llu hits / %llu misses "
+                "(%.1f%% hit rate), %llu insertions\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                100.0 * cs.hitRate(),
+                static_cast<unsigned long long>(cs.insertions));
+
+    if (failures != 0) {
+        std::fprintf(stderr, "usfq_serve: %d failures\n", failures);
+        return 1;
+    }
+    if (bs.completed != static_cast<std::uint64_t>(requests) ||
+        bs.failed != 0) {
+        std::fprintf(stderr,
+                     "usfq_serve: expected %d clean completions\n",
+                     requests);
+        return 1;
+    }
+    if (hits == 0 || cs.hits == 0) {
+        std::fprintf(stderr, "usfq_serve: no cache hits observed\n");
+        return 1;
+    }
+    if (bs.rejected == 0) {
+        std::fprintf(stderr,
+                     "usfq_serve: no backpressure observed "
+                     "(queue never filled)\n");
+        return 1;
+    }
+    std::printf("usfq_serve: OK -- all responses bit-identical to "
+                "direct runs\n");
+    return 0;
+}

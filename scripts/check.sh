@@ -12,6 +12,11 @@
 #                                      # tier (span kernels + lane-level
 #                                      # differential) under default,
 #                                      # ASan and UBSan builds
+#   ./scripts/check.sh svc             # service gate: the svc tier
+#                                      # (C API, structural hash, result
+#                                      # cache, broker + the usfq_serve
+#                                      # 1000-request smoke) under
+#                                      # default and ASan builds
 #   ./scripts/check.sh bench-artifacts # run benches with artifact
 #                                      # output into ./artifacts/ and
 #                                      # validate every BENCH_*.json
@@ -26,7 +31,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 mode="default"
 if [[ "${1:-}" == "bench-artifacts" || "${1:-}" == "diff" ||
-      "${1:-}" == "batch" ]]; then
+      "${1:-}" == "batch" || "${1:-}" == "svc" ]]; then
     mode="$1"
     shift
 fi
@@ -48,6 +53,13 @@ elif [[ "$mode" == "batch" ]]; then
     # evaluation").  Runs under UBSan as well -- the SIMD kernels and
     # the arena are exactly the code where silent UB would hide.
     ctest_args=(-L 'batch' "${ctest_args[@]}")
+elif [[ "$mode" == "svc" ]]; then
+    # The simulation-service gate (docs/service.md): the stable C API
+    # round-trips, structural-hash determinism, cache hit-vs-recompute
+    # bit-identity, broker behavior, and the usfq_serve smoke that
+    # pushes >=1000 mixed requests through the worker pool and checks
+    # every response against a direct engine run.
+    ctest_args=(-L 'svc' "${ctest_args[@]}")
 fi
 
 run_config() {

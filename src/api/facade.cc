@@ -1,0 +1,955 @@
+#include "api/facade.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/dpu.hh"
+#include "core/fir.hh"
+#include "core/multiplier.hh"
+#include "core/pe.hh"
+#include "func/components.hh"
+#include "obs/artifact.hh"
+#include "sfq/cells.hh"
+#include "sfq/sources.hh"
+#include "sim/netlist.hh"
+#include "sim/sweep.hh"
+#include "sim/trace.hh"
+#include "util/arena.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace usfq::api
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+fnvU64(std::uint64_t h, std::uint64_t v)
+{
+    return fnv1a(h, &v, sizeof(v));
+}
+
+std::uint64_t
+fnvStr(std::uint64_t h, const std::string &s)
+{
+    h = fnvU64(h, s.size());
+    return fnv1a(h, s.data(), s.size());
+}
+
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** PE epoch slot width (the differential-test drive geometry). */
+constexpr Tick kPeSlot = 30 * kPicosecond;
+
+int
+nextPow2(int n)
+{
+    int p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+int
+log2Of(int pow2)
+{
+    int d = 0;
+    while ((1 << d) < pow2)
+        ++d;
+    return d;
+}
+
+/**
+ * Slot width for a DPU of @p padded lanes: wide enough for the set-lag
+ * plus both grid phases, slot >= 2 * (3 * log2(L) + 1), never below
+ * the 9 ps inverter recovery floor.  Reproduces the differential
+ * tests' 40 ps at depth 6 and stays tight for shallow trees.
+ */
+Tick
+dpuSlotWidth(int padded)
+{
+    const Tick need =
+        2 * (3 * static_cast<Tick>(log2Of(padded)) + 1) + 2;
+    return std::max<Tick>(need, 9) * kPicosecond;
+}
+
+std::vector<double>
+firCoefficients(const NetlistSpec &spec)
+{
+    if (!spec.coefficients.empty())
+        return spec.coefficients;
+    return std::vector<double>(
+        static_cast<std::size_t>(spec.taps),
+        0.5 / static_cast<double>(spec.taps));
+}
+
+Tick
+inverterPeriod(const NetlistSpec &spec)
+{
+    const double ticks =
+        spec.clockPeriodPs * static_cast<double>(kPicosecond);
+    return std::max<Tick>(1, static_cast<Tick>(ticks + 0.5));
+}
+
+// --- pulse-level run harnesses (the differential-test drives) -----------
+
+Tick
+dpuSetLag(int length)
+{
+    int depth = 0, n = 1;
+    while (n < length) {
+        n <<= 1;
+        ++depth;
+    }
+    return static_cast<Tick>(depth) * 3 * kPicosecond;
+}
+
+int
+runPulseDpu(const EpochConfig &cfg, DpuMode mode,
+            const std::vector<int> &streams, const std::vector<int> &ids)
+{
+    const int length = static_cast<int>(streams.size());
+    Netlist nl;
+    auto &dpu = nl.create<DotProductUnit>("dpu", length, mode);
+    auto &src_e = nl.create<PulseSource>("e");
+    auto &src_clk = nl.create<PulseSource>("clk");
+    PulseTrace out;
+    src_e.out.connect(dpu.epochIn());
+    if (mode == DpuMode::Bipolar)
+        src_clk.out.connect(dpu.clkIn());
+    dpu.out().connect(out.input());
+
+    std::vector<PulseSource *> rl_srcs, st_srcs;
+    for (int i = 0; i < length; ++i) {
+        auto &r = nl.create<PulseSource>("a" + std::to_string(i));
+        auto &s = nl.create<PulseSource>("b" + std::to_string(i));
+        r.out.connect(dpu.rlIn(i));
+        s.out.connect(dpu.streamIn(i));
+        rl_srcs.push_back(&r);
+        st_srcs.push_back(&s);
+    }
+    const Tick rl_off = dpuSetLag(length) + 1 * kPicosecond;
+    src_e.pulseAt(0);
+    if (mode == DpuMode::Bipolar)
+        src_clk.pulsesAt(BipolarMultiplier::gridClockTimes(cfg, 0));
+    for (int i = 0; i < length; ++i) {
+        rl_srcs[static_cast<std::size_t>(i)]->pulseAt(
+            rl_off + cfg.rlTime(ids[static_cast<std::size_t>(i)]));
+        st_srcs[static_cast<std::size_t>(i)]->pulsesAt(
+            cfg.streamTimes(streams[static_cast<std::size_t>(i)]));
+    }
+    nl.queue().run();
+    return static_cast<int>(out.count());
+}
+
+int
+runPulsePe(const EpochConfig &cfg, int in1_id, int in2_count,
+           int in3_count)
+{
+    constexpr Tick kRlOff = 5 * kPicosecond;
+    Netlist nl;
+    auto &pe = nl.create<ProcessingElement>("pe", cfg);
+    auto &src_e = nl.create<PulseSource>("e");
+    auto &src1 = nl.create<PulseSource>("in1");
+    auto &src2 = nl.create<PulseSource>("in2");
+    auto &src3 = nl.create<PulseSource>("in3");
+    PulseTrace out;
+    src_e.out.connect(pe.epoch());
+    src1.out.connect(pe.in1());
+    src2.out.connect(pe.in2());
+    src3.out.connect(pe.in3());
+    pe.out().connect(out.input());
+
+    src_e.pulseAt(0);
+    src1.pulseAt(kRlOff + cfg.rlTime(in1_id));
+    src2.pulsesAt(cfg.streamTimes(in2_count));
+    src3.pulsesAt(cfg.streamTimes(in3_count));
+    src_e.pulseAt(cfg.duration()); // conversion trigger
+    nl.queue().run();
+    for (Tick t : out.times()) {
+        if (t > cfg.duration())
+            return cfg.rlSlotOf(t - cfg.duration() - kPeSlot -
+                                3 * kPicosecond -
+                                EpochConfig::kRlPulseOffset);
+    }
+    return -1;
+}
+
+/**
+ * Pulse-level FIR run (the fig19 equivalence drive): one netlist, one
+ * event-queue run, per-epoch output pulse counts read back from marker
+ * windows.  The sample delay line starts in its reset state, so the
+ * first `taps` epochs differ from the zero-padded functional window --
+ * a per-backend fact the cache key covers via the backend field.
+ */
+std::vector<long long>
+runPulseFir(const NetlistSpec &spec, const RunParams &params)
+{
+    UsfqFirConfig cfg{.taps = spec.taps, .bits = spec.bits,
+                      .mode = spec.mode};
+    const EpochConfig ecfg(spec.bits, cfg.clockPeriod());
+    const std::vector<double> h = firCoefficients(spec);
+    const std::size_t epochs = static_cast<std::size_t>(params.epochs);
+
+    std::vector<int> ids(epochs);
+    for (std::size_t e = 0; e < epochs; ++e) {
+        Rng rng(shardSeed(params.seed, e));
+        ids[e] = static_cast<int>(rng.uniformInt(0, ecfg.nmax()));
+    }
+
+    Netlist nl;
+    auto &fir = nl.create<UsfqFir>(spec.name, cfg);
+    for (int k = 0; k < spec.taps; ++k)
+        fir.setCoefficient(k, h[static_cast<std::size_t>(k)]);
+    auto &clk = nl.create<ClockSource>("clk");
+    auto &xin = nl.create<PulseSource>("x");
+    PulseTrace out;
+    clk.out.connect(fir.clkIn());
+    xin.out.connect(fir.sampleIn());
+    fir.out().connect(out.input());
+    fir.epochOut().markOpen("svc fir run: windows read from the trace");
+
+    const Tick t_clk0 = 100 * kPicosecond;
+    const Tick period = cfg.clockPeriod();
+    clk.program(t_clk0, period,
+                (epochs + 2) << static_cast<unsigned>(spec.bits));
+    const Tick rl_off = 20 * kPicosecond;
+    for (std::size_t e = 0; e < epochs; ++e) {
+        const Tick marker =
+            t_clk0 + static_cast<Tick>(e) * cfg.epochLatency() +
+            fir.markerLag();
+        xin.pulseAt(marker + rl_off + ecfg.rlTime(ids[e]));
+    }
+    nl.queue().run();
+
+    std::vector<long long> counts(epochs);
+    for (std::size_t e = 0; e < epochs; ++e) {
+        const Tick lo = t_clk0 +
+                        static_cast<Tick>(e) * cfg.epochLatency() +
+                        fir.markerLag() + period;
+        counts[e] = static_cast<long long>(
+            out.countInWindow(lo, lo + cfg.epochLatency()));
+    }
+    return counts;
+}
+
+// --- per-kind sweeps -----------------------------------------------------
+
+SweepOptions
+sweepOptions(const RunParams &params)
+{
+    SweepOptions opt;
+    opt.threads = params.threads;
+    opt.baseSeed = params.seed;
+    opt.backend = params.backend;
+    opt.batch.width = params.batch;
+    return opt;
+}
+
+std::vector<long long>
+widen(const std::vector<int> &counts)
+{
+    return {counts.begin(), counts.end()};
+}
+
+std::vector<long long>
+runDpu(const NetlistSpec &spec, const RunParams &params)
+{
+    const int padded = nextPow2(spec.taps);
+    const EpochConfig cfg(spec.bits, dpuSlotWidth(padded));
+    const std::size_t epochs = static_cast<std::size_t>(params.epochs);
+    const auto gen = [&](Rng &rng, std::vector<int> &streams,
+                         std::vector<int> &ids) {
+        for (int i = 0; i < spec.taps; ++i) {
+            streams.push_back(
+                static_cast<int>(rng.uniformInt(0, cfg.nmax())));
+            ids.push_back(
+                static_cast<int>(rng.uniformInt(0, cfg.nmax())));
+        }
+    };
+    if (params.backend == Backend::Functional && params.batch > 1) {
+        return widen(runBatchedSweep(
+            epochs,
+            [&](const LaneGroupContext &ctx) {
+                const auto lanes =
+                    static_cast<std::size_t>(ctx.lanes);
+                // Operand-major: element k's lane values contiguous.
+                std::vector<int> streams(
+                    static_cast<std::size_t>(spec.taps) * lanes);
+                std::vector<int> ids(streams.size());
+                for (std::size_t b = 0; b < lanes; ++b) {
+                    Rng rng(ctx.seeds[b]);
+                    std::vector<int> s, d;
+                    gen(rng, s, d);
+                    for (std::size_t k = 0;
+                         k < static_cast<std::size_t>(spec.taps); ++k) {
+                        streams[k * lanes + b] = s[k];
+                        ids[k * lanes + b] = d[k];
+                    }
+                }
+                Netlist fnl;
+                auto &dpu = fnl.create<func::DotProductUnit>(
+                    "dpu", spec.taps, spec.mode);
+                std::vector<int> res(lanes);
+                WordArena arena;
+                dpu.evaluateBatch(cfg, streams, ids, res, arena);
+                return res;
+            },
+            sweepOptions(params)));
+    }
+    return widen(runSweep(
+        epochs,
+        [&](const ShardContext &ctx) {
+            Rng rng(ctx.seed);
+            std::vector<int> streams, ids;
+            gen(rng, streams, ids);
+            if (ctx.backend == Backend::Functional) {
+                Netlist fnl;
+                return fnl
+                    .create<func::DotProductUnit>("dpu", spec.taps,
+                                                  spec.mode)
+                    .evaluate(cfg, streams, ids);
+            }
+            return runPulseDpu(cfg, spec.mode, streams, ids);
+        },
+        sweepOptions(params)));
+}
+
+std::vector<long long>
+runPe(const NetlistSpec &spec, const RunParams &params)
+{
+    const EpochConfig cfg(spec.bits, kPeSlot);
+    const std::size_t epochs = static_cast<std::size_t>(params.epochs);
+    if (params.backend == Backend::Functional && params.batch > 1) {
+        return widen(runBatchedSweep(
+            epochs,
+            [&](const LaneGroupContext &ctx) {
+                const auto lanes =
+                    static_cast<std::size_t>(ctx.lanes);
+                std::vector<int> in1(lanes), in2(lanes), in3(lanes);
+                for (std::size_t b = 0; b < lanes; ++b) {
+                    Rng rng(ctx.seeds[b]);
+                    in1[b] =
+                        static_cast<int>(rng.uniformInt(0, cfg.nmax()));
+                    in2[b] =
+                        static_cast<int>(rng.uniformInt(0, cfg.nmax()));
+                    in3[b] =
+                        static_cast<int>(rng.uniformInt(0, cfg.nmax()));
+                }
+                Netlist fnl;
+                auto &pe = fnl.create<func::ProcessingElement>("pe", cfg);
+                std::vector<int> res(lanes);
+                WordArena arena;
+                pe.evaluateBatch(in1, in2, in3, res, arena);
+                return res;
+            },
+            sweepOptions(params)));
+    }
+    return widen(runSweep(
+        epochs,
+        [&](const ShardContext &ctx) {
+            Rng rng(ctx.seed);
+            const int in1 =
+                static_cast<int>(rng.uniformInt(0, cfg.nmax()));
+            const int in2 =
+                static_cast<int>(rng.uniformInt(0, cfg.nmax()));
+            const int in3 =
+                static_cast<int>(rng.uniformInt(0, cfg.nmax()));
+            if (ctx.backend == Backend::Functional) {
+                Netlist fnl;
+                return fnl.create<func::ProcessingElement>("pe", cfg)
+                    .evaluate(in1, in2, in3);
+            }
+            return runPulsePe(cfg, in1, in2, in3);
+        },
+        sweepOptions(params)));
+}
+
+std::vector<long long>
+runFunctionalFir(const NetlistSpec &spec, const RunParams &params)
+{
+    UsfqFirConfig cfg{.taps = spec.taps, .bits = spec.bits,
+                      .mode = spec.mode};
+    const EpochConfig ecfg(spec.bits, cfg.clockPeriod());
+    const std::vector<double> h = firCoefficients(spec);
+    const std::size_t epochs = static_cast<std::size_t>(params.epochs);
+    const auto taps = static_cast<std::size_t>(spec.taps);
+
+    // Sample ids are a pure function of (seed, epoch), never of sweep
+    // shape, so the zero-padded windows below are identical at any
+    // batch width -- the cache-transparency contract.
+    std::vector<int> ids(epochs);
+    for (std::size_t e = 0; e < epochs; ++e) {
+        Rng rng(shardSeed(params.seed, e));
+        ids[e] = static_cast<int>(rng.uniformInt(0, ecfg.nmax()));
+    }
+    const auto windowId = [&](std::size_t e, std::size_t k) {
+        return e >= k ? ids[e - k] : 0;
+    };
+    const auto makeFir = [&](Netlist &fnl) -> func::UsfqFir & {
+        auto &fir = fnl.create<func::UsfqFir>(spec.name, cfg);
+        for (int k = 0; k < spec.taps; ++k)
+            fir.setCoefficient(k, h[static_cast<std::size_t>(k)]);
+        return fir;
+    };
+    if (params.batch > 1) {
+        return widen(runBatchedSweep(
+            epochs,
+            [&](const LaneGroupContext &ctx) {
+                const auto lanes =
+                    static_cast<std::size_t>(ctx.lanes);
+                std::vector<int> windows(taps * lanes);
+                for (std::size_t k = 0; k < taps; ++k)
+                    for (std::size_t b = 0; b < lanes; ++b)
+                        windows[k * lanes + b] =
+                            windowId(ctx.first + b, k);
+                Netlist fnl;
+                auto &fir = makeFir(fnl);
+                std::vector<int> res(lanes);
+                WordArena arena;
+                fir.stepCountBatch(windows, res, arena);
+                return res;
+            },
+            sweepOptions(params)));
+    }
+    return widen(runSweep(
+        epochs,
+        [&](const ShardContext &ctx) {
+            std::vector<int> window(taps);
+            for (std::size_t k = 0; k < taps; ++k)
+                window[k] = windowId(ctx.index, k);
+            Netlist fnl;
+            return makeFir(fnl).stepCount(window);
+        },
+        sweepOptions(params)));
+}
+
+std::vector<long long>
+runInverter(const NetlistSpec &spec, const RunParams &params)
+{
+    if (params.backend == Backend::Functional) {
+        // Closed form: with no data pulse ever arriving, the inverter
+        // emits at Q on every clock pulse.
+        return {static_cast<long long>(spec.clockCount)};
+    }
+    Netlist nl;
+    auto &clk = nl.create<ClockSource>("clk");
+    auto &inv = nl.create<Inverter>(spec.name);
+    PulseTrace out;
+    clk.out.connect(inv.clk);
+    inv.d.markOptional("svc inverter probe: clock-only drive");
+    inv.q.connect(out.input());
+    const Tick period = inverterPeriod(spec);
+    clk.program(period, period,
+                static_cast<std::uint64_t>(spec.clockCount));
+    nl.queue().run();
+    return {static_cast<long long>(out.count())};
+}
+
+std::uint64_t
+countsChecksum(const std::vector<long long> &counts)
+{
+    std::uint64_t h = kFnvBasis;
+    for (long long c : counts)
+        h = fnvU64(h, static_cast<std::uint64_t>(c));
+    return h;
+}
+
+void
+writeFinding(JsonWriter &w, const LintFinding &f)
+{
+    w.beginObject();
+    w.kv("rule", lintRuleName(f.rule));
+    w.kv("subject", f.subject);
+    w.kv("component", f.component);
+    w.kv("message", f.message);
+    w.kv("waived", f.waived);
+    if (!f.waiverReason.empty())
+        w.kv("waiver_reason", f.waiverReason);
+    w.kv("margin_ticks", static_cast<std::int64_t>(f.margin));
+    w.endObject();
+}
+
+// --- structural-hash records ---------------------------------------------
+
+std::uint64_t
+hashTimingModel(std::uint64_t h, const TimingModel &tm)
+{
+    h = fnvU64(h, tm.arcs.size());
+    for (const TimingArc &a : tm.arcs) {
+        h = fnvU64(h, a.from);
+        h = fnvU64(h, a.to);
+        h = fnvU64(h, static_cast<std::uint64_t>(a.minDelay));
+        h = fnvU64(h, static_cast<std::uint64_t>(a.maxDelay));
+        h = fnvU64(h, a.rateDiv);
+    }
+    h = fnvU64(h, tm.checks.size());
+    for (const TimingCheck &c : tm.checks) {
+        h = fnvU64(h, static_cast<std::uint64_t>(c.kind));
+        h = fnvU64(h, c.data);
+        h = fnvU64(h, c.ref);
+        h = fnvU64(h, static_cast<std::uint64_t>(c.setup));
+        h = fnvU64(h, static_cast<std::uint64_t>(c.hold));
+        h = fnvU64(h, static_cast<std::uint64_t>(c.window));
+    }
+    h = fnvU64(h, tm.floors.size());
+    for (const OutputFloor &f : tm.floors) {
+        h = fnvU64(h, f.port);
+        h = fnvU64(h, static_cast<std::uint64_t>(f.spacing));
+    }
+    h = fnvU64(h, static_cast<std::uint64_t>(tm.recovery));
+    h = fnvU64(h, tm.absorbs ? 1 : 0);
+    h = fnvU64(h, tm.registered ? 1 : 0);
+    return h;
+}
+
+std::uint64_t
+portKey(std::uint64_t h, const Component *owner, const std::string &port)
+{
+    h = fnvStr(h, owner != nullptr ? owner->name() : std::string());
+    return fnvStr(h, port);
+}
+
+/**
+ * Content record of one component: identity, area, timing, ports,
+ * outgoing edges, aliases and stimulus schedule.  Everything that can
+ * change what a simulation of the graph computes is in here; nothing
+ * that depends on registration order is.
+ */
+std::uint64_t
+componentRecord(const Component &c)
+{
+    std::uint64_t h = kFnvBasis;
+    h = fnvStr(h, c.name());
+    h = fnvU64(h, static_cast<std::uint64_t>(c.jjCount()));
+    h = fnvU64(h, static_cast<std::uint64_t>(c.minInternalDelay()));
+    h = hashTimingModel(h, c.timingModel());
+
+    h = fnvU64(h, c.inputPorts().size());
+    for (const InputPort *p : c.inputPorts())
+        h = fnvStr(h, p->name());
+    h = fnvU64(h, c.outputPorts().size());
+    for (const OutputPort *p : c.outputPorts()) {
+        h = fnvStr(h, p->name());
+        h = fnvU64(h, p->connectionList().size());
+        for (const OutputPort::Connection &e : p->connectionList()) {
+            h = portKey(h, e.dst->owner(), e.dst->name());
+            h = fnvU64(h, static_cast<std::uint64_t>(e.delay));
+        }
+    }
+    h = fnvU64(h, c.portAliases().size());
+    for (const Component::PortAlias &a : c.portAliases()) {
+        h = portKey(h, a.outer->owner(), a.outer->name());
+        h = portKey(h, a.inner->owner(), a.inner->name());
+    }
+    if (const PulseAnchor *anchor = c.stimulusAnchor();
+        anchor != nullptr) {
+        h = fnvU64(h, static_cast<std::uint64_t>(anchor->first));
+        h = fnvU64(h, static_cast<std::uint64_t>(anchor->last));
+        h = fnvU64(h, static_cast<std::uint64_t>(anchor->minSpacing));
+        h = fnvU64(h, anchor->count);
+        h = fnvU64(h, anchor->periodic ? 1 : 0);
+    }
+    return h;
+}
+
+} // namespace
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+    case Status::Ok:
+        return "ok";
+    case Status::InvalidArg:
+        return "invalid_arg";
+    case Status::ParseError:
+        return "parse_error";
+    case Status::LintError:
+        return "lint_error";
+    case Status::StaError:
+        return "sta_error";
+    case Status::RunError:
+        return "run_error";
+    case Status::Unsupported:
+        return "unsupported";
+    case Status::Internal:
+        return "internal";
+    }
+    return "?";
+}
+
+bool
+buildNetlist(const NetlistSpec &spec, Netlist &nl, std::string *err)
+{
+    std::string msg;
+    if (!spec.validate(&msg)) {
+        if (err != nullptr)
+            *err = msg;
+        return false;
+    }
+    switch (spec.kind) {
+    case WorkloadKind::Dpu:
+        nl.create<DotProductUnit>(spec.name, spec.taps, spec.mode);
+        break;
+    case WorkloadKind::Pe:
+        nl.create<ProcessingElement>(spec.name,
+                                     EpochConfig(spec.bits, kPeSlot));
+        break;
+    case WorkloadKind::Fir: {
+        UsfqFirConfig cfg{.taps = spec.taps, .bits = spec.bits,
+                          .mode = spec.mode};
+        auto &fir = nl.create<UsfqFir>(spec.name, cfg);
+        const std::vector<double> h = firCoefficients(spec);
+        for (int k = 0; k < spec.taps; ++k)
+            fir.setCoefficient(k, h[static_cast<std::size_t>(k)]);
+        break;
+    }
+    case WorkloadKind::Inverter: {
+        auto &clk = nl.create<ClockSource>("clk");
+        auto &inv = nl.create<Inverter>(spec.name);
+        clk.out.connect(inv.clk);
+        inv.d.markOptional("svc inverter probe: clock-only drive");
+        inv.q.markOpen("svc inverter probe: rate study output");
+        const Tick period = inverterPeriod(spec);
+        clk.program(period, period,
+                    static_cast<std::uint64_t>(spec.clockCount));
+        break;
+    }
+    }
+    if (spec.waiveUnwired && spec.kind != WorkloadKind::Inverter) {
+        nl.waive(LintRule::DanglingInput,
+                 "svc spec: stimulus-less device under test");
+        nl.waive(LintRule::OpenOutput,
+                 "svc spec: stimulus-less device under test");
+    }
+    return true;
+}
+
+std::uint64_t
+structuralHash(Netlist &nl)
+{
+    nl.elaborate();
+    // Wrapping sum of per-component records: two builds that register
+    // the same components in a different order hash identically, while
+    // any change to a name, parameter, timing number or edge changes
+    // the record it lives in.
+    std::uint64_t sum = 0;
+    std::size_t n = 0;
+    for (const Component *c : nl.graphComponents()) {
+        sum += componentRecord(*c);
+        ++n;
+    }
+    return fnvU64(fnvU64(kFnvBasis, sum), n);
+}
+
+RunResult
+runWorkload(const NetlistSpec &spec, const RunParams &params)
+{
+    RunResult out;
+    out.backend = params.backend;
+    obs::ScopedStatsRegistry guard(out.stats);
+
+    {
+        Netlist scratch;
+        std::string err;
+        if (!buildNetlist(spec, scratch, &err))
+            fatal("runWorkload: %s", err.c_str());
+        out.totalJJ = scratch.totalJJs();
+    }
+
+    switch (spec.kind) {
+    case WorkloadKind::Dpu:
+        out.counts = runDpu(spec, params);
+        break;
+    case WorkloadKind::Pe:
+        out.counts = runPe(spec, params);
+        break;
+    case WorkloadKind::Fir:
+        out.counts = params.backend == Backend::Functional
+                         ? runFunctionalFir(spec, params)
+                         : runPulseFir(spec, params);
+        break;
+    case WorkloadKind::Inverter:
+        out.counts = runInverter(spec, params);
+        break;
+    }
+    out.checksum = countsChecksum(out.counts);
+
+    long long pulses = 0;
+    for (long long c : out.counts)
+        pulses += c > 0 ? c : 0;
+    out.stats.counter("svc/run/epochs")
+        .inc(static_cast<std::uint64_t>(out.counts.size()));
+    out.stats.counter("svc/run/pulses")
+        .inc(static_cast<std::uint64_t>(pulses));
+    return out;
+}
+
+std::string
+resultToJson(const NetlistSpec &spec, const RunParams &params,
+             const RunResult &result)
+{
+    obs::ArtifactPayload payload(std::string("svc_") +
+                                 workloadKindName(spec.kind));
+    payload.note("kind", workloadKindName(spec.kind));
+    payload.note("name", spec.name);
+    payload.note("backend", backendName(result.backend));
+    payload.note("mode", spec.mode == DpuMode::Unipolar ? "unipolar"
+                                                        : "bipolar");
+    payload.note("seed", hexU64(params.seed));
+    payload.note("checksum", hexU64(result.checksum));
+    payload.metric("taps", spec.taps);
+    payload.metric("bits", spec.bits);
+    payload.metric("epochs", static_cast<double>(result.counts.size()));
+    payload.metric("total_jj", static_cast<double>(result.totalJJ),
+                   "JJ");
+    // batch/threads are deliberately absent: the wire format must be
+    // byte-identical however the result was scheduled, so a cache hit
+    // stored by a batched run serves a scalar request verbatim.
+    std::vector<double> series(result.counts.begin(),
+                               result.counts.end());
+    payload.series("counts", std::move(series));
+    // Default (empty) host state: no wall-clock phases, no process log
+    // counters -- the serialization is a pure function of the result.
+    return payload.toJson(result.stats);
+}
+
+std::string
+findingsToJson(const std::vector<LintFinding> &findings)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    std::size_t errors = 0;
+    for (const LintFinding &f : findings)
+        errors += f.waived ? 0 : 1;
+    w.kv("errors", static_cast<std::uint64_t>(errors));
+    w.key("findings").beginArray();
+    for (const LintFinding &f : findings)
+        writeFinding(w, f);
+    w.endArray();
+    w.endObject();
+    return os.str();
+}
+
+std::string
+staReportToJson(const StaReport &report)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("errors", static_cast<std::uint64_t>(report.errors()));
+    w.key("findings").beginArray();
+    for (const LintFinding &f : report.findings)
+        writeFinding(w, f);
+    w.endArray();
+    w.kv("required_stream_spacing_ticks",
+         static_cast<std::int64_t>(report.requiredStreamSpacing));
+    w.kv("max_stream_rate_hz", report.maxStreamRateHz());
+    if (report.hasWorstSlack)
+        w.kv("worst_slack_ticks",
+             static_cast<std::int64_t>(report.worstSlack));
+    w.key("critical_path").beginObject();
+    w.kv("valid", report.criticalPath.valid);
+    if (report.criticalPath.valid) {
+        w.kv("startpoint", report.criticalPath.startpoint);
+        w.kv("endpoint", report.criticalPath.endpoint);
+        w.kv("length_ticks",
+             static_cast<std::int64_t>(report.criticalPath.length));
+        w.kv("hops", static_cast<std::uint64_t>(
+                         report.criticalPath.hops.size()));
+    }
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+// --- Session -------------------------------------------------------------
+
+Session::Session(NetlistSpec spec) : sp(std::move(spec)) {}
+
+Session::~Session() = default;
+
+Status
+Session::failWith(Status status, std::string message)
+{
+    errMsg = std::move(message);
+    return status;
+}
+
+Status
+Session::build()
+{
+    if (nl != nullptr)
+        return Status::Ok;
+    std::string err;
+    if (!sp.validate(&err))
+        return failWith(Status::InvalidArg, err);
+    ScopedFatalThrow guard;
+    try {
+        auto fresh = std::make_unique<Netlist>("svc");
+        if (!buildNetlist(sp, *fresh, &err))
+            return failWith(Status::InvalidArg, err);
+        nl = std::move(fresh);
+    } catch (const FatalError &e) {
+        return failWith(Status::Internal, e.what());
+    } catch (const std::exception &e) {
+        return failWith(Status::Internal, e.what());
+    }
+    return Status::Ok;
+}
+
+Status
+Session::elaborate()
+{
+    if (const Status s = build(); s != Status::Ok)
+        return s;
+    if (elaborateOk)
+        return Status::Ok;
+    ScopedFatalThrow guard;
+    try {
+        lastFindings = nl->lint();
+        std::size_t errors = 0;
+        std::string first;
+        for (const LintFinding &f : lastFindings) {
+            if (f.waived)
+                continue;
+            ++errors;
+            if (first.empty())
+                first = f.message;
+        }
+        if (errors != 0)
+            return failWith(Status::LintError,
+                            std::to_string(errors) +
+                                " unwaived lint finding(s): " + first);
+        nl->elaborate();
+        elaborateOk = true;
+    } catch (const FatalError &e) {
+        return failWith(Status::LintError, e.what());
+    } catch (const std::exception &e) {
+        return failWith(Status::Internal, e.what());
+    }
+    return Status::Ok;
+}
+
+Status
+Session::analyzeTiming()
+{
+    if (const Status s = elaborate(); s != Status::Ok)
+        return s;
+    ScopedFatalThrow guard;
+    try {
+        StaOptions opts;
+        opts.anchorMode = sp.kind == WorkloadKind::Inverter
+                              ? StaOptions::AnchorMode::Stimulus
+                              : StaOptions::AnchorMode::Zero;
+        if (opts.anchorMode == StaOptions::AnchorMode::Zero) {
+            // Zero anchoring launches every input at t=0, so any two
+            // reconvergent paths of equal depth "collide" by
+            // construction; only the window/recovery structure is
+            // meaningful, not pairwise pulse spacing.
+            opts.waivers.emplace(
+                LintRule::CollisionRisk,
+                "zero-anchor STA: simultaneous launch makes pairwise "
+                "spacing artificial");
+            opts.waivers.emplace(
+                LintRule::SetupHoldViolation,
+                "zero-anchor STA: simultaneous launch makes capture "
+                "alignment artificial");
+        }
+        sta = std::make_unique<StaReport>(runSta(*nl, opts));
+        lastFindings = sta->findings;
+        if (sta->errors() != 0) {
+            std::string first;
+            for (const LintFinding &f : sta->findings) {
+                if (!f.waived) {
+                    first = f.message;
+                    break;
+                }
+            }
+            return failWith(Status::StaError,
+                            std::to_string(sta->errors()) +
+                                " unwaived timing finding(s): " + first);
+        }
+    } catch (const FatalError &e) {
+        return failWith(Status::StaError, e.what());
+    } catch (const std::exception &e) {
+        return failWith(Status::Internal, e.what());
+    }
+    return Status::Ok;
+}
+
+Status
+Session::run(const RunParams &params, RunResult &out)
+{
+    std::string err;
+    if (!sp.validate(&err))
+        return failWith(Status::InvalidArg, err);
+    if (!params.validate(&err))
+        return failWith(Status::InvalidArg, err);
+    if (params.backend == Backend::PulseLevel) {
+        if (sp.kind == WorkloadKind::Dpu && nextPow2(sp.taps) > 64)
+            return failWith(Status::Unsupported,
+                            "pulse-level DPU runs support up to 64 "
+                            "(padded) taps; use the functional backend");
+        if (sp.kind == WorkloadKind::Fir &&
+            sp.mode != DpuMode::Unipolar)
+            return failWith(Status::Unsupported,
+                            "pulse-level FIR runs are unipolar-only; "
+                            "use the functional backend");
+        if (sp.kind == WorkloadKind::Fir && sp.bits > 8)
+            return failWith(Status::Unsupported,
+                            "pulse-level FIR runs support up to 8 "
+                            "bits; use the functional backend");
+    }
+    ScopedFatalThrow guard;
+    try {
+        out = runWorkload(sp, params);
+    } catch (const FatalError &e) {
+        return failWith(Status::RunError, e.what());
+    } catch (const std::exception &e) {
+        return failWith(Status::Internal, e.what());
+    }
+    return Status::Ok;
+}
+
+Status
+Session::contentHash(std::uint64_t &out)
+{
+    if (const Status s = elaborate(); s != Status::Ok)
+        return s;
+    ScopedFatalThrow guard;
+    try {
+        out = structuralHash(*nl);
+    } catch (const FatalError &e) {
+        return failWith(Status::Internal, e.what());
+    } catch (const std::exception &e) {
+        return failWith(Status::Internal, e.what());
+    }
+    return Status::Ok;
+}
+
+} // namespace usfq::api

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Stable C ABI of the U-SFQ simulation engine (docs/service.md).
+ *
+ * Design rules:
+ *
+ *  - Flat C: opaque handles, integer error codes, JSON strings in and
+ *    out.  No C++ type ever crosses this boundary, so any FFI (ctypes,
+ *    JNI, dlopen) can drive the engine.
+ *  - Exception-free and abort-free: every entry point runs the engine
+ *    in fatal-throw mode (util/logging.hh) and converts failures --
+ *    malformed specs, lint errors, timing violations, engine fatals --
+ *    into a usfq_status plus a retrievable message.  No input can
+ *    bring the host process down.
+ *  - Strings returned through `char **` out-parameters are owned by
+ *    the caller and must be released with usfq_string_free().
+ *
+ * Typical round trip (api_test.cpp drives exactly this):
+ *
+ *     usfq_engine *eng = NULL;
+ *     usfq_engine_create("{\"kind\": \"dpu\", \"taps\": 8}", &eng);
+ *     usfq_engine_elaborate(eng);            // lint as status, not abort
+ *     usfq_engine_analyze_timing(eng);       // STA as status
+ *     char *json = NULL;
+ *     usfq_engine_run(eng, "{\"backend\": \"functional\"}", &json);
+ *     ...                                     // artifact-schema JSON
+ *     usfq_string_free(json);
+ *     usfq_engine_destroy(eng);
+ */
+
+#ifndef USFQ_API_USFQ_H
+#define USFQ_API_USFQ_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/** ABI version; bumped on any breaking change to this header. */
+#define USFQ_ABI_VERSION 1
+
+/** Result code of every entry point (mirrors api::Status). */
+typedef enum usfq_status {
+    USFQ_OK = 0,
+    USFQ_ERR_INVALID_ARG = 1,  /* malformed spec/params */
+    USFQ_ERR_PARSE = 2,        /* JSON did not parse */
+    USFQ_ERR_LINT = 3,         /* unwaived structural findings */
+    USFQ_ERR_STA = 4,          /* unwaived timing findings */
+    USFQ_ERR_RUN = 5,          /* evaluation failed */
+    USFQ_ERR_UNSUPPORTED = 6,  /* combo not available */
+    USFQ_ERR_INTERNAL = 7      /* unexpected failure (a bug) */
+} usfq_status;
+
+/** One engine instance: a session over one netlist spec. */
+typedef struct usfq_engine usfq_engine;
+
+/** ABI version of the linked library (compare with USFQ_ABI_VERSION). */
+int32_t usfq_abi_version(void);
+
+/** Stable lower-case name of a status code (never NULL). */
+const char *usfq_status_name(int32_t status);
+
+/**
+ * Create an engine from a netlist-spec JSON object (api/spec.hh
+ * vocabulary: kind/name/taps/bits/mode/coefficients/clock_period_ps/
+ * clock_count/waive_unwired; all fields optional).  On success stores
+ * the handle in @p out.  On failure @p out is untouched and the
+ * returned status tells why (USFQ_ERR_PARSE / USFQ_ERR_INVALID_ARG).
+ */
+int32_t usfq_engine_create(const char *spec_json, usfq_engine **out);
+
+/** Destroy an engine and everything it owns.  NULL is a no-op. */
+void usfq_engine_destroy(usfq_engine *engine);
+
+/**
+ * Message describing the engine's last non-OK status (empty string
+ * when none).  Owned by the engine; valid until the next call on it.
+ */
+const char *usfq_engine_last_error(const usfq_engine *engine);
+
+/**
+ * Elaborate the spec's netlist: structural lint + freeze.  Unwaived
+ * findings return USFQ_ERR_LINT (the process never aborts); the full
+ * finding list is available via usfq_engine_findings either way.
+ */
+int32_t usfq_engine_elaborate(usfq_engine *engine);
+
+/**
+ * Run static timing analysis.  Unwaived timing findings (e.g. an
+ * inverter probe clocked past the 111 GHz recovery ceiling) return
+ * USFQ_ERR_STA; the findings stay retrievable.
+ */
+int32_t usfq_engine_analyze_timing(usfq_engine *engine);
+
+/**
+ * Findings of the last elaborate/analyze_timing call as a JSON object
+ * ({"errors": N, "findings": [...]}).  Caller frees @p out_json with
+ * usfq_string_free.
+ */
+int32_t usfq_engine_findings(usfq_engine *engine, char **out_json);
+
+/**
+ * Deterministic structural hash of the elaborated netlist -- the
+ * content address the result cache (src/svc/cache.hh) keys on.
+ */
+int32_t usfq_engine_hash(usfq_engine *engine, uint64_t *out_hash);
+
+/**
+ * Evaluate the spec's workload with run-params JSON (backend/epochs/
+ * seed/batch/threads; all optional) and return the result in the
+ * artifact wire format (docs/observability.md schema 2).  The JSON is
+ * byte-deterministic in (spec, params result-affecting fields), which
+ * is what the result cache verifies hits against.  Caller frees
+ * @p out_json with usfq_string_free.
+ */
+int32_t usfq_engine_run(usfq_engine *engine, const char *params_json,
+                        char **out_json);
+
+/** Release a string returned via a `char **` out-parameter. */
+void usfq_string_free(char *str);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* USFQ_API_USFQ_H */

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The one serializer of the machine-readable run-artifact schema
+ * (docs/observability.md): BENCH_*.json files written by the bench
+ * harnesses AND the wire format of the simulation service's result
+ * cache (src/svc/, docs/service.md) both go through ArtifactPayload,
+ * so the schema cannot fork.
+ *
+ * The payload itself holds only deterministic facts (metrics, notes,
+ * series).  Nondeterministic host state -- wall-clock phase totals and
+ * the process-wide warn/inform counters -- is supplied separately at
+ * write time via ArtifactHostState: benches capture() the live
+ * process state, while the service passes the default (empty) state so
+ * cached results are bit-identical to recomputation.
+ */
+
+#ifndef USFQ_OBS_ARTIFACT_HH
+#define USFQ_OBS_ARTIFACT_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/stats.hh"
+
+namespace usfq::obs
+{
+
+/**
+ * Host-side (nondeterministic) facts embedded in an artifact: phase
+ * wall-clock totals and the process log counters.  Default-constructed
+ * = "none", which keeps the serialized artifact a pure function of the
+ * payload and stats registry.
+ */
+struct ArtifactHostState
+{
+    std::map<std::string, double> phasesUs;
+    std::uint64_t warnings = 0;
+    std::uint64_t informs = 0;
+
+    /** Snapshot the live process state (global phase log + counters). */
+    static ArtifactHostState capture();
+};
+
+/**
+ * Deterministic content of one run artifact plus the serializer that
+ * turns it (with a stats registry and optional host state) into the
+ * schema-2 JSON document.  Schema 2 is schema 1 plus the optional
+ * "series" section (named numeric arrays, e.g. per-epoch counts).
+ */
+class ArtifactPayload
+{
+  public:
+    explicit ArtifactPayload(std::string artifact_name)
+        : payloadName(std::move(artifact_name))
+    {
+    }
+
+    /** Artifact name (the "bench" key; BENCH_<name>.json file stem). */
+    const std::string &name() const { return payloadName; }
+
+    /** Record one headline number. */
+    void
+    metric(const std::string &key, double value,
+           const std::string &unit = "")
+    {
+        metrics.push_back({key, value, unit});
+    }
+
+    /** Record one free-form string fact. */
+    void
+    note(const std::string &key, const std::string &value)
+    {
+        notes.emplace_back(key, value);
+    }
+
+    /** Record one named numeric series (e.g. per-epoch counts). */
+    void
+    series(const std::string &key, std::vector<double> values)
+    {
+        seriesData.emplace_back(key, std::move(values));
+    }
+
+    /**
+     * Serialize the full artifact document: payload + @p reg snapshot
+     * + @p host.  The output is byte-deterministic in (payload, reg,
+     * host).
+     */
+    void writeJson(std::ostream &os, const StatsRegistry &reg,
+                   const ArtifactHostState &host = {}) const;
+
+    /** writeJson into a string (with the trailing newline). */
+    std::string toJson(const StatsRegistry &reg,
+                       const ArtifactHostState &host = {}) const;
+
+  private:
+    struct Metric
+    {
+        std::string key;
+        double value;
+        std::string unit;
+    };
+
+    std::string payloadName;
+    std::vector<Metric> metrics;
+    std::vector<std::pair<std::string, std::string>> notes;
+    std::vector<std::pair<std::string, std::vector<double>>> seriesData;
+};
+
+} // namespace usfq::obs
+
+#endif // USFQ_OBS_ARTIFACT_HH

@@ -1,0 +1,202 @@
+#include "svc/broker.hh"
+
+#include "util/logging.hh"
+
+namespace usfq::svc
+{
+
+Broker::Broker(BrokerOptions options)
+    : opts(options), cache(options.cacheCapacity)
+{
+    if (opts.workers < 1)
+        opts.workers = 1;
+    if (opts.queueCapacity < 1)
+        opts.queueCapacity = 1;
+    workers.reserve(static_cast<std::size_t>(opts.workers));
+    for (int i = 0; i < opts.workers; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+Broker::~Broker() { shutdown(); }
+
+Backend
+Broker::resolveBackend(const Request &request)
+{
+    switch (request.intent) {
+    case RequestIntent::Throughput:
+        return Backend::Functional;
+    case RequestIntent::Audit:
+        return Backend::PulseLevel;
+    case RequestIntent::Default:
+        break;
+    }
+    return request.params.backend;
+}
+
+std::optional<std::future<Response>>
+Broker::submit(Request request)
+{
+    std::promise<Response> promise;
+    std::future<Response> future = promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping)
+            return std::nullopt;
+        if (queue.size() >= opts.queueCapacity) {
+            ++counters.rejected;
+            return std::nullopt;
+        }
+        ++counters.submitted;
+        queue.push_back(
+            Pending{nextId++, std::move(request), std::move(promise)});
+    }
+    cvQueue.notify_one();
+    return future;
+}
+
+void
+Broker::drain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cvDrain.wait(lock,
+                 [this] { return queue.empty() && inFlight == 0; });
+}
+
+void
+Broker::shutdown()
+{
+    std::vector<Pending> orphaned;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping && workers.empty())
+            return;
+        stopping = true;
+        while (!queue.empty()) {
+            orphaned.push_back(std::move(queue.front()));
+            queue.pop_front();
+        }
+    }
+    cvQueue.notify_all();
+    for (Pending &p : orphaned) {
+        Response r;
+        r.requestId = p.id;
+        r.status = api::Status::Internal;
+        r.error = "broker shut down before the request ran";
+        p.promise.set_value(std::move(r));
+    }
+    for (std::thread &t : workers)
+        if (t.joinable())
+            t.join();
+    workers.clear();
+    cvDrain.notify_all();
+}
+
+BrokerStats
+Broker::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters;
+}
+
+obs::StatsRegistry
+Broker::mergedStats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    obs::StatsRegistry merged;
+    // std::map iteration is ascending id order: deterministic fold.
+    for (const auto &[id, reg] : requestStats)
+        merged.mergeFrom(reg);
+    return merged;
+}
+
+void
+Broker::workerLoop()
+{
+    for (;;) {
+        Pending job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cvQueue.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+            ++inFlight;
+        }
+        Response response = process(job.id, job.request);
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --inFlight;
+            ++counters.completed;
+            if (response.status != api::Status::Ok)
+                ++counters.failed;
+        }
+        job.promise.set_value(std::move(response));
+        cvDrain.notify_all();
+    }
+}
+
+Response
+Broker::process(std::uint64_t id, const Request &request)
+{
+    Response response;
+    response.requestId = id;
+
+    api::RunParams params = request.params;
+    params.backend = resolveBackend(request);
+    response.backend = params.backend;
+
+    api::Session session(request.spec);
+
+    // Elaborate first: a spec that does not lint never reaches the
+    // cache or an engine, and the finding-derived message survives in
+    // the response.
+    if (const api::Status s = session.elaborate();
+        s != api::Status::Ok) {
+        response.status = s;
+        response.error = session.lastError();
+        return response;
+    }
+
+    std::uint64_t structural = 0;
+    if (const api::Status s = session.contentHash(structural);
+        s != api::Status::Ok) {
+        response.status = s;
+        response.error = session.lastError();
+        return response;
+    }
+    response.structural = structural;
+
+    CacheKey key;
+    key.structural = structural;
+    key.spec = api::specHash(request.spec);
+    key.params = api::runParamsKeyHash(params);
+    key.backend = params.backend;
+    key.seed = params.seed;
+
+    if (std::optional<std::string> hit = cache.lookup(key);
+        hit.has_value()) {
+        response.cacheHit = true;
+        response.json = std::move(*hit);
+        return response;
+    }
+
+    api::RunResult result;
+    if (const api::Status s = session.run(params, result);
+        s != api::Status::Ok) {
+        response.status = s;
+        response.error = session.lastError();
+        return response;
+    }
+    response.json = api::resultToJson(request.spec, params, result);
+    cache.insert(key, response.json);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        requestStats[id] = std::move(result.stats);
+    }
+    return response;
+}
+
+} // namespace usfq::svc

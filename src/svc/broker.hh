@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Request broker of the simulation service (docs/service.md): a
+ * bounded request queue feeding a worker pool, with admission control
+ * (reject-with-backpressure instead of unbounded queueing), backend
+ * auto-selection (functional for throughput requests, pulse-level for
+ * audit requests) and a shared content-addressed result cache
+ * (svc/cache.hh).
+ *
+ * Each request runs in its own api::Session, so lint/STA/run failures
+ * come back as a Status in the Response -- a poisoned request can
+ * never take the broker (or the host) down.  Each run's deterministic
+ * stats registry is retained per request id; mergedStats() folds them
+ * in ascending id order, so the roll-up is independent of worker
+ * scheduling.
+ */
+
+#ifndef USFQ_SVC_BROKER_HH
+#define USFQ_SVC_BROKER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/facade.hh"
+#include "api/spec.hh"
+#include "obs/stats.hh"
+#include "svc/cache.hh"
+
+namespace usfq::svc
+{
+
+/** Broker sizing knobs. */
+struct BrokerOptions
+{
+    /** Worker threads executing requests. */
+    int workers = 4;
+
+    /**
+     * Bound of the pending-request queue.  submit() on a full queue
+     * rejects immediately (backpressure) instead of blocking or
+     * growing without limit.
+     */
+    std::size_t queueCapacity = 64;
+
+    /** Result-cache capacity in entries. */
+    std::size_t cacheCapacity = 256;
+};
+
+/** What the caller wants optimized; drives backend auto-selection. */
+enum class RequestIntent
+{
+    /** Run on whatever RunParams::backend says. */
+    Default,
+    /** Throughput: force the functional engine. */
+    Throughput,
+    /** Audit: force the pulse-level engine (event-accurate). */
+    Audit,
+};
+
+/** One simulation request. */
+struct Request
+{
+    api::NetlistSpec spec;
+    api::RunParams params;
+    RequestIntent intent = RequestIntent::Default;
+};
+
+/** One finished (or failed) request. */
+struct Response
+{
+    std::uint64_t requestId = 0;
+    api::Status status = api::Status::Ok;
+
+    /** Human-readable failure message (empty on Ok). */
+    std::string error;
+
+    /** Result document in the artifact wire format (empty on error). */
+    std::string json;
+
+    /** Engine the request actually ran on (after auto-selection). */
+    Backend backend = Backend::Functional;
+
+    /** True when the result came out of the cache. */
+    bool cacheHit = false;
+
+    /** Structural hash of the request's netlist (0 on early failure). */
+    std::uint64_t structural = 0;
+};
+
+/** Broker-level accounting (monotonic over the broker's lifetime). */
+struct BrokerStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0; ///< backpressure refusals
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0; ///< completed with status != Ok
+};
+
+/** The request broker. */
+class Broker
+{
+  public:
+    explicit Broker(BrokerOptions options = {});
+
+    /** Drains nothing: pending requests are failed, workers joined. */
+    ~Broker();
+
+    Broker(const Broker &) = delete;
+    Broker &operator=(const Broker &) = delete;
+
+    /**
+     * Admit one request.  Returns a future for its response, or
+     * std::nullopt when the queue is full (backpressure: the caller
+     * should back off and resubmit).
+     */
+    std::optional<std::future<Response>> submit(Request request);
+
+    /** Block until every admitted request has completed. */
+    void drain();
+
+    /** Stop accepting, finish nothing more, join the workers. */
+    void shutdown();
+
+    BrokerStats stats() const;
+    CacheStats cacheStats() const { return cache.stats(); }
+
+    /**
+     * Fold the per-request stats registries of every completed request
+     * into one, in ascending request-id order -- deterministic however
+     * the workers interleaved.  Cache hits contribute no registry (the
+     * run they reused already did).
+     */
+    obs::StatsRegistry mergedStats() const;
+
+    /** The backend a request's intent resolves to. */
+    static Backend resolveBackend(const Request &request);
+
+  private:
+    struct Pending
+    {
+        std::uint64_t id;
+        Request request;
+        std::promise<Response> promise;
+    };
+
+    void workerLoop();
+    Response process(std::uint64_t id, const Request &request);
+
+    BrokerOptions opts;
+    ResultCache cache;
+
+    mutable std::mutex mu;
+    std::condition_variable cvQueue; ///< workers wait for work
+    std::condition_variable cvDrain; ///< drain() waits for quiescence
+    std::deque<Pending> queue;
+    std::uint64_t nextId = 1;
+    std::size_t inFlight = 0;
+    bool stopping = false;
+    BrokerStats counters;
+    std::map<std::uint64_t, obs::StatsRegistry> requestStats;
+
+    std::vector<std::thread> workers;
+};
+
+} // namespace usfq::svc
+
+#endif // USFQ_SVC_BROKER_HH

@@ -14,6 +14,9 @@ namespace
 std::atomic<bool> quietMode{false};
 std::atomic<std::uint64_t> warnCalls{0};
 std::atomic<std::uint64_t> informCalls{0};
+std::atomic<FatalMode> fatalDisposition{FatalMode::Exit};
+std::atomic<FatalCallback> fatalCb{nullptr};
+std::atomic<void *> fatalCbCtx{nullptr};
 
 std::string
 vstrprintf(const char *fmt, va_list args)
@@ -59,8 +62,34 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string s = vstrprintf(fmt, args);
     va_end(args);
+    if (FatalCallback cb = fatalCb.load(std::memory_order_acquire))
+        cb(s.c_str(), fatalCbCtx.load(std::memory_order_acquire));
+    if (fatalDisposition.load(std::memory_order_acquire) ==
+        FatalMode::Throw)
+        throw FatalError(s);
     std::fprintf(stderr, "fatal: %s\n", s.c_str());
     std::exit(1);
+}
+
+FatalMode
+fatalMode()
+{
+    return fatalDisposition.load(std::memory_order_acquire);
+}
+
+FatalMode
+setFatalMode(FatalMode mode)
+{
+    return fatalDisposition.exchange(mode, std::memory_order_acq_rel);
+}
+
+void
+setFatalCallback(FatalCallback cb, void *ctx)
+{
+    // Context first: a reader pairing the new callback with the old
+    // context would be the dangerous interleaving.
+    fatalCbCtx.store(ctx, std::memory_order_release);
+    fatalCb.store(cb, std::memory_order_release);
 }
 
 void

@@ -12,10 +12,35 @@
 
 #include <cstdarg>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace usfq
 {
+
+/**
+ * The exception fatal() raises in FatalMode::Throw: what() carries the
+ * formatted message.  Embedding hosts (the C ABI in src/api/, the
+ * request broker in src/svc/) catch this at their boundary and turn it
+ * into an error code instead of losing the process.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+/** What fatal() does after formatting its message. */
+enum class FatalMode
+{
+    /** Print to stderr and exit(1) -- the CLI bench default. */
+    Exit,
+    /** Throw FatalError (nothing is printed; the host reports). */
+    Throw,
+};
 
 /** Printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
@@ -25,9 +50,50 @@ std::string strprintf(const char *fmt, ...)
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Unrecoverable user error: print and exit(1). */
+/**
+ * Unrecoverable user error.  In FatalMode::Exit (the default): print
+ * and exit(1).  In FatalMode::Throw: raise FatalError instead, so an
+ * embedding host survives bad requests.  Either way the registered
+ * fatal callback (if any) sees the message first, and the call never
+ * returns.
+ */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/** Current process-wide fatal() disposition. */
+FatalMode fatalMode();
+
+/** Set the fatal() disposition; returns the previous mode. */
+FatalMode setFatalMode(FatalMode mode);
+
+/**
+ * Observer invoked with the formatted message before fatal() exits or
+ * throws -- lets a host log/forward diagnostics regardless of mode.
+ * One callback process-wide; null (the default) disables it.  The
+ * callback must not itself call fatal().
+ */
+using FatalCallback = void (*)(const char *message, void *ctx);
+void setFatalCallback(FatalCallback cb, void *ctx = nullptr);
+
+/**
+ * RAII guard switching fatal() to FatalMode::Throw for its lifetime
+ * (restoring the previous mode on destruction).  The mode is
+ * process-wide, not thread-local, so sweep worker threads spawned
+ * inside the guarded region inherit it and their FatalError propagates
+ * back through runSweep's rethrow; overlapping guards on different
+ * threads restore in destruction order.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow() : prev(setFatalMode(FatalMode::Throw)) {}
+    ~ScopedFatalThrow() { setFatalMode(prev); }
+    ScopedFatalThrow(const ScopedFatalThrow &) = delete;
+    ScopedFatalThrow &operator=(const ScopedFatalThrow &) = delete;
+
+  private:
+    FatalMode prev;
+};
 
 /** Non-fatal warning to stderr. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

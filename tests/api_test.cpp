@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Engine facade + C ABI tests (src/api/, docs/service.md): the spec
+ * vocabulary round-trips through JSON, the Session pipeline surfaces
+ * lint/STA/run failures as Status values, results are bit-identical
+ * across batch widths and sweep thread counts, and the whole
+ * build -> elaborate -> STA -> run flow is drivable purely through
+ * the exception-free C ABI (usfq.h) -- including its error paths,
+ * which must come back as error codes, never as an abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/facade.hh"
+#include "api/spec.hh"
+#include "api/usfq.h"
+#include "core/encoding.hh"
+#include "util/logging.hh"
+
+namespace usfq
+{
+namespace
+{
+
+api::NetlistSpec
+dpuSpec()
+{
+    api::NetlistSpec spec;
+    spec.kind = api::WorkloadKind::Dpu;
+    spec.name = "dpu";
+    spec.taps = 8;
+    spec.bits = 5;
+    spec.mode = DpuMode::Bipolar;
+    return spec;
+}
+
+api::RunParams
+functionalParams(int epochs = 12)
+{
+    api::RunParams params;
+    params.backend = Backend::Functional;
+    params.epochs = epochs;
+    params.seed = 0xabcdULL;
+    return params;
+}
+
+// --- spec / params vocabulary --------------------------------------------
+
+TEST(ApiSpec, WorkloadKindNamesRoundTrip)
+{
+    for (const api::WorkloadKind kind :
+         {api::WorkloadKind::Dpu, api::WorkloadKind::Pe,
+          api::WorkloadKind::Fir, api::WorkloadKind::Inverter}) {
+        api::WorkloadKind parsed;
+        ASSERT_TRUE(
+            api::parseWorkloadKind(api::workloadKindName(kind),
+                                   parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    api::WorkloadKind parsed;
+    EXPECT_FALSE(api::parseWorkloadKind("nonsense", parsed));
+}
+
+TEST(ApiSpec, SpecJsonRoundTrip)
+{
+    api::NetlistSpec spec;
+    spec.kind = api::WorkloadKind::Fir;
+    spec.name = "lowpass";
+    spec.taps = 3;
+    spec.bits = 7;
+    spec.mode = DpuMode::Unipolar;
+    spec.coefficients = {0.25, 0.5, 0.25};
+    spec.waiveUnwired = false;
+
+    api::NetlistSpec back;
+    std::string err;
+    ASSERT_TRUE(api::specFromJson(api::specToJson(spec), back, &err))
+        << err;
+    EXPECT_EQ(back, spec);
+}
+
+TEST(ApiSpec, RunParamsJsonRoundTrip)
+{
+    api::RunParams params;
+    params.backend = Backend::PulseLevel;
+    params.epochs = 7;
+    params.seed = 0x123456789abcdef0ULL;
+
+    api::RunParams back;
+    std::string err;
+    ASSERT_TRUE(api::runParamsFromJson(api::runParamsToJson(params),
+                                       back, &err))
+        << err;
+    EXPECT_EQ(back, params);
+}
+
+TEST(ApiSpec, ValidateRejectsOutOfRange)
+{
+    api::NetlistSpec spec = dpuSpec();
+    spec.taps = 0;
+    std::string err;
+    EXPECT_FALSE(spec.validate(&err));
+    EXPECT_NE(err.find("taps"), std::string::npos);
+
+    api::RunParams params;
+    params.batch = 8;
+    params.backend = Backend::PulseLevel;
+    EXPECT_FALSE(params.validate(&err));
+    EXPECT_NE(err.find("batch"), std::string::npos);
+}
+
+TEST(ApiSpec, SpecHashSeparatesParameters)
+{
+    const api::NetlistSpec a = dpuSpec();
+    api::NetlistSpec b = a;
+    EXPECT_EQ(api::specHash(a), api::specHash(b));
+    b.taps = a.taps + 1;
+    EXPECT_NE(api::specHash(a), api::specHash(b));
+}
+
+// --- session pipeline ----------------------------------------------------
+
+TEST(ApiSession, DpuPipelineRuns)
+{
+    api::Session session(dpuSpec());
+    ASSERT_EQ(session.build(), api::Status::Ok);
+    ASSERT_EQ(session.elaborate(), api::Status::Ok);
+    ASSERT_EQ(session.analyzeTiming(), api::Status::Ok)
+        << session.lastError();
+    ASSERT_NE(session.staReport(), nullptr);
+
+    api::RunResult result;
+    ASSERT_EQ(session.run(functionalParams(), result), api::Status::Ok)
+        << session.lastError();
+    EXPECT_EQ(result.counts.size(), 12u);
+    EXPECT_GT(result.totalJJ, 0);
+    EXPECT_FALSE(result.stats.empty());
+}
+
+TEST(ApiSession, RunIsDeterministic)
+{
+    const api::NetlistSpec spec = dpuSpec();
+    const api::RunParams params = functionalParams();
+    const api::RunResult a = api::runWorkload(spec, params);
+    const api::RunResult b = api::runWorkload(spec, params);
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(api::resultToJson(spec, params, a),
+              api::resultToJson(spec, params, b));
+}
+
+TEST(ApiSession, ResultBitIdenticalAcrossBatchAndThreads)
+{
+    const api::NetlistSpec spec = dpuSpec();
+    const api::RunParams base = functionalParams(16);
+    const api::RunResult reference = api::runWorkload(spec, base);
+    const std::string referenceJson =
+        api::resultToJson(spec, base, reference);
+
+    for (const int batch : {1, 3, 8}) {
+        for (const int threads : {1, 4}) {
+            api::RunParams params = base;
+            params.batch = batch;
+            params.threads = threads;
+            const api::RunResult got = api::runWorkload(spec, params);
+            EXPECT_EQ(got.counts, reference.counts)
+                << "batch " << batch << " threads " << threads;
+            EXPECT_EQ(got.checksum, reference.checksum);
+            // The wire format deliberately omits batch/threads, so the
+            // document is the same bytes too (cache transparency).
+            EXPECT_EQ(api::resultToJson(spec, params, got),
+                      referenceJson);
+        }
+    }
+}
+
+TEST(ApiSession, PulseAndFunctionalEnginesAgree)
+{
+    api::NetlistSpec spec = dpuSpec();
+    spec.taps = 4;
+    spec.bits = 4;
+    api::RunParams params = functionalParams(4);
+    const api::RunResult functional = api::runWorkload(spec, params);
+    params.backend = Backend::PulseLevel;
+    const api::RunResult pulse = api::runWorkload(spec, params);
+    EXPECT_EQ(functional.counts, pulse.counts);
+    EXPECT_EQ(functional.totalJJ, pulse.totalJJ);
+}
+
+TEST(ApiSession, UnwaivedLintSurfacesAsLintError)
+{
+    api::NetlistSpec spec = dpuSpec();
+    spec.waiveUnwired = false;
+    api::Session session(spec);
+    EXPECT_EQ(session.elaborate(), api::Status::LintError);
+    EXPECT_FALSE(session.findings().empty());
+    EXPECT_FALSE(session.lastError().empty());
+}
+
+TEST(ApiSession, OverclockedInverterSurfacesAsStaError)
+{
+    api::NetlistSpec spec;
+    spec.kind = api::WorkloadKind::Inverter;
+    spec.name = "inv";
+    spec.clockPeriodPs = 5.0; // below the 9 ps inverter recovery
+    spec.clockCount = 16;
+    api::Session session(spec);
+    ASSERT_EQ(session.elaborate(), api::Status::Ok)
+        << session.lastError();
+    EXPECT_EQ(session.analyzeTiming(), api::Status::StaError);
+    ASSERT_NE(session.staReport(), nullptr);
+    EXPECT_FALSE(session.lastError().empty());
+}
+
+TEST(ApiSession, ContentHashSeparatesTopologies)
+{
+    api::Session a(dpuSpec());
+    api::Session b(dpuSpec());
+    std::uint64_t ha = 0;
+    std::uint64_t hb = 0;
+    ASSERT_EQ(a.contentHash(ha), api::Status::Ok);
+    ASSERT_EQ(b.contentHash(hb), api::Status::Ok);
+    EXPECT_EQ(ha, hb);
+
+    api::NetlistSpec wider = dpuSpec();
+    wider.taps = 9;
+    api::Session c(wider);
+    std::uint64_t hc = 0;
+    ASSERT_EQ(c.contentHash(hc), api::Status::Ok);
+    EXPECT_NE(hc, ha);
+}
+
+// --- the C ABI -----------------------------------------------------------
+
+TEST(ApiAbi, VersionAndStatusNames)
+{
+    EXPECT_EQ(usfq_abi_version(), USFQ_ABI_VERSION);
+    EXPECT_STREQ(usfq_status_name(USFQ_OK), "ok");
+    EXPECT_STREQ(usfq_status_name(USFQ_ERR_LINT), "lint_error");
+    EXPECT_STREQ(usfq_status_name(12345), "?");
+}
+
+TEST(ApiAbi, RoundTripMatchesFacade)
+{
+    const api::NetlistSpec spec = dpuSpec();
+    const api::RunParams params = functionalParams();
+
+    usfq_engine *engine = nullptr;
+    ASSERT_EQ(usfq_engine_create(api::specToJson(spec).c_str(),
+                                 &engine),
+              USFQ_OK);
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(usfq_engine_elaborate(engine), USFQ_OK)
+        << usfq_engine_last_error(engine);
+    EXPECT_EQ(usfq_engine_analyze_timing(engine), USFQ_OK)
+        << usfq_engine_last_error(engine);
+
+    uint64_t hash = 0;
+    EXPECT_EQ(usfq_engine_hash(engine, &hash), USFQ_OK);
+    EXPECT_NE(hash, 0u);
+
+    char *json = nullptr;
+    ASSERT_EQ(usfq_engine_run(engine,
+                              api::runParamsToJson(params).c_str(),
+                              &json),
+              USFQ_OK)
+        << usfq_engine_last_error(engine);
+    ASSERT_NE(json, nullptr);
+
+    // The ABI's result document is the same bytes the facade emits.
+    const api::RunResult direct = api::runWorkload(spec, params);
+    EXPECT_EQ(std::string(json),
+              api::resultToJson(spec, params, direct));
+    usfq_string_free(json);
+    usfq_engine_destroy(engine);
+}
+
+TEST(ApiAbi, LintFailureIsAnErrorCodeNotAnAbort)
+{
+    api::NetlistSpec spec = dpuSpec();
+    spec.waiveUnwired = false;
+
+    usfq_engine *engine = nullptr;
+    ASSERT_EQ(usfq_engine_create(api::specToJson(spec).c_str(),
+                                 &engine),
+              USFQ_OK);
+    EXPECT_EQ(usfq_engine_elaborate(engine), USFQ_ERR_LINT);
+    EXPECT_STRNE(usfq_engine_last_error(engine), "");
+
+    char *findings = nullptr;
+    ASSERT_EQ(usfq_engine_findings(engine, &findings), USFQ_OK);
+    ASSERT_NE(findings, nullptr);
+    EXPECT_NE(std::string(findings).find("dangling-input"),
+              std::string::npos);
+    usfq_string_free(findings);
+    usfq_engine_destroy(engine);
+}
+
+TEST(ApiAbi, StaFailureIsAnErrorCodeNotAnAbort)
+{
+    api::NetlistSpec spec;
+    spec.kind = api::WorkloadKind::Inverter;
+    spec.name = "inv";
+    spec.clockPeriodPs = 5.0;
+    spec.clockCount = 16;
+
+    usfq_engine *engine = nullptr;
+    ASSERT_EQ(usfq_engine_create(api::specToJson(spec).c_str(),
+                                 &engine),
+              USFQ_OK);
+    ASSERT_EQ(usfq_engine_elaborate(engine), USFQ_OK)
+        << usfq_engine_last_error(engine);
+    EXPECT_EQ(usfq_engine_analyze_timing(engine), USFQ_ERR_STA);
+    EXPECT_STRNE(usfq_engine_last_error(engine), "");
+    usfq_engine_destroy(engine);
+}
+
+TEST(ApiAbi, MalformedJsonIsParseError)
+{
+    usfq_engine *engine = nullptr;
+    EXPECT_EQ(usfq_engine_create("this is not json", &engine),
+              USFQ_ERR_PARSE);
+    EXPECT_EQ(engine, nullptr);
+}
+
+TEST(ApiAbi, OutOfRangeSpecIsInvalidArg)
+{
+    usfq_engine *engine = nullptr;
+    EXPECT_EQ(usfq_engine_create(
+                  R"({"kind": "dpu", "name": "d", "taps": 0})",
+                  &engine),
+              USFQ_ERR_INVALID_ARG);
+    EXPECT_EQ(engine, nullptr);
+}
+
+TEST(ApiAbi, NullArgumentsAreInvalidArg)
+{
+    EXPECT_EQ(usfq_engine_create(nullptr, nullptr),
+              USFQ_ERR_INVALID_ARG);
+    EXPECT_EQ(usfq_engine_elaborate(nullptr), USFQ_ERR_INVALID_ARG);
+    EXPECT_EQ(usfq_engine_hash(nullptr, nullptr),
+              USFQ_ERR_INVALID_ARG);
+    EXPECT_EQ(usfq_engine_run(nullptr, nullptr, nullptr),
+              USFQ_ERR_INVALID_ARG);
+    usfq_engine_destroy(nullptr); // must be a safe no-op
+    usfq_string_free(nullptr);    // likewise
+}
+
+TEST(ApiAbi, UnsupportedPulseVariantIsUnsupported)
+{
+    // The pulse-level FIR harness is unipolar-only; asking for a
+    // bipolar FIR on the pulse engine must come back Unsupported.
+    api::NetlistSpec spec;
+    spec.kind = api::WorkloadKind::Fir;
+    spec.name = "fir";
+    spec.taps = 3;
+    spec.bits = 5;
+    spec.mode = DpuMode::Bipolar;
+
+    usfq_engine *engine = nullptr;
+    ASSERT_EQ(usfq_engine_create(api::specToJson(spec).c_str(),
+                                 &engine),
+              USFQ_OK);
+    api::RunParams params = functionalParams(4);
+    params.backend = Backend::PulseLevel;
+    char *json = nullptr;
+    EXPECT_EQ(usfq_engine_run(engine,
+                              api::runParamsToJson(params).c_str(),
+                              &json),
+              USFQ_ERR_UNSUPPORTED);
+    EXPECT_EQ(json, nullptr);
+    usfq_engine_destroy(engine);
+}
+
+} // namespace
+} // namespace usfq

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Simulation-service tests (src/svc/, docs/service.md): the
+ * content-addressed cache key (structural hash determinism and
+ * sensitivity), the LRU result store, hit-vs-recompute bit identity
+ * across batch widths and sweep thread counts, and the request broker
+ * (completion, backend auto-selection, backpressure, deterministic
+ * stats merging, error isolation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/facade.hh"
+#include "api/spec.hh"
+#include "sfq/cells.hh"
+#include "sfq/sources.hh"
+#include "sim/netlist.hh"
+#include "svc/broker.hh"
+#include "svc/cache.hh"
+
+namespace usfq
+{
+namespace
+{
+
+api::NetlistSpec
+dpuSpec(int taps = 8, int bits = 5)
+{
+    api::NetlistSpec spec;
+    spec.kind = api::WorkloadKind::Dpu;
+    spec.name = "dpu";
+    spec.taps = taps;
+    spec.bits = bits;
+    spec.mode = DpuMode::Bipolar;
+    return spec;
+}
+
+api::RunParams
+functionalParams(int epochs = 10)
+{
+    api::RunParams params;
+    params.backend = Backend::Functional;
+    params.epochs = epochs;
+    params.seed = 0x5eedULL;
+    return params;
+}
+
+/**
+ * The facade's inverter-probe netlist, with the two cells registered
+ * in either order: the structural hash must not care.
+ */
+void
+buildProbe(Netlist &nl, bool clockFirst)
+{
+    ClockSource *clk = nullptr;
+    Inverter *inv = nullptr;
+    if (clockFirst) {
+        clk = &nl.create<ClockSource>("clk");
+        inv = &nl.create<Inverter>("inv");
+    } else {
+        inv = &nl.create<Inverter>("inv");
+        clk = &nl.create<ClockSource>("clk");
+    }
+    clk->out.connect(inv->clk);
+    inv->d.markOptional("probe: clock-only drive");
+    inv->q.markOpen("probe: rate study output");
+    clk->program(1200, 1200, 16);
+}
+
+// --- structural hash -----------------------------------------------------
+
+TEST(SvcHash, IdenticalSpecsHashIdentically)
+{
+    Netlist a("a");
+    Netlist b("b");
+    std::string err;
+    ASSERT_TRUE(api::buildNetlist(dpuSpec(), a, &err)) << err;
+    ASSERT_TRUE(api::buildNetlist(dpuSpec(), b, &err)) << err;
+    EXPECT_EQ(api::structuralHash(a), api::structuralHash(b));
+}
+
+TEST(SvcHash, RegistrationOrderDoesNotMatter)
+{
+    Netlist a("a");
+    Netlist b("b");
+    buildProbe(a, /*clockFirst=*/true);
+    buildProbe(b, /*clockFirst=*/false);
+    EXPECT_EQ(api::structuralHash(a), api::structuralHash(b));
+}
+
+TEST(SvcHash, HashIsStableAcrossRepeatedCalls)
+{
+    Netlist nl("n");
+    std::string err;
+    ASSERT_TRUE(api::buildNetlist(dpuSpec(), nl, &err)) << err;
+    const std::uint64_t first = api::structuralHash(nl);
+    EXPECT_EQ(api::structuralHash(nl), first);
+}
+
+TEST(SvcHash, ParameterChangesMoveTheHash)
+{
+    Netlist base("base");
+    Netlist wider("wider");
+    Netlist deeper("deeper");
+    Netlist unipolar("unipolar");
+    std::string err;
+    ASSERT_TRUE(api::buildNetlist(dpuSpec(8, 5), base, &err)) << err;
+    ASSERT_TRUE(api::buildNetlist(dpuSpec(9, 5), wider, &err)) << err;
+    ASSERT_TRUE(api::buildNetlist(dpuSpec(8, 6), deeper, &err)) << err;
+    api::NetlistSpec uni = dpuSpec(8, 5);
+    uni.mode = DpuMode::Unipolar;
+    ASSERT_TRUE(api::buildNetlist(uni, unipolar, &err)) << err;
+
+    const std::uint64_t h = api::structuralHash(base);
+    EXPECT_NE(api::structuralHash(wider), h);
+    EXPECT_NE(api::structuralHash(unipolar), h);
+
+    // Resolution independence (the paper's headline property): more
+    // bits lengthen the epoch, not the netlist, so the structural
+    // hash must NOT move -- the spec hash carries the distinction
+    // into the cache key instead.
+    EXPECT_EQ(api::structuralHash(deeper), h);
+    EXPECT_NE(api::specHash(dpuSpec(8, 6)), api::specHash(dpuSpec(8, 5)));
+}
+
+TEST(SvcHash, TopologyChangesMoveTheHash)
+{
+    // Same component set, different wiring/anchoring: probe vs an
+    // unclocked pair.
+    Netlist wired("wired");
+    Netlist unwired("unwired");
+    buildProbe(wired, true);
+    {
+        auto &clk = unwired.create<ClockSource>("clk");
+        auto &inv = unwired.create<Inverter>("inv");
+        (void)clk;
+        inv.d.markOptional("probe variant");
+        inv.clk.markOptional("probe variant");
+        inv.q.markOpen("probe variant");
+        unwired.waive(LintRule::OpenOutput, "probe variant");
+    }
+    EXPECT_NE(api::structuralHash(wired),
+              api::structuralHash(unwired));
+}
+
+TEST(SvcHash, CacheKeySeparatesBackendSeedAndEpochs)
+{
+    const api::NetlistSpec spec = dpuSpec();
+    Netlist nl("n");
+    std::string err;
+    ASSERT_TRUE(api::buildNetlist(spec, nl, &err)) << err;
+
+    const api::RunParams base = functionalParams();
+    const svc::CacheKey k0 = svc::cacheKeyFor(spec, nl, base);
+
+    api::RunParams other = base;
+    other.backend = Backend::PulseLevel;
+    EXPECT_FALSE(svc::cacheKeyFor(spec, nl, other) == k0);
+
+    other = base;
+    other.seed = base.seed + 1;
+    EXPECT_FALSE(svc::cacheKeyFor(spec, nl, other) == k0);
+
+    other = base;
+    other.epochs = base.epochs + 1;
+    EXPECT_FALSE(svc::cacheKeyFor(spec, nl, other) == k0);
+
+    // batch/threads are cache-transparent: same key.
+    other = base;
+    other.batch = 8;
+    other.threads = 4;
+    EXPECT_TRUE(svc::cacheKeyFor(spec, nl, other) == k0);
+
+    // A bits bump leaves the (resolution-independent) netlist alone
+    // but must still address a different cache line via the spec hash.
+    const api::NetlistSpec deeper = dpuSpec(8, 6);
+    Netlist nl6("n6");
+    ASSERT_TRUE(api::buildNetlist(deeper, nl6, &err)) << err;
+    EXPECT_FALSE(svc::cacheKeyFor(deeper, nl6, base) == k0);
+}
+
+// --- result cache --------------------------------------------------------
+
+TEST(SvcCache, LookupInsertAndStats)
+{
+    svc::ResultCache cache(4);
+    svc::CacheKey key;
+    key.structural = 1;
+
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    cache.insert(key, "doc");
+    const std::optional<std::string> hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "doc");
+
+    // Duplicate insert is a no-op (documents are deterministic).
+    cache.insert(key, "other");
+    EXPECT_EQ(*cache.lookup(key), "doc");
+
+    const svc::CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 2.0 / 3.0);
+}
+
+TEST(SvcCache, EvictsLeastRecentlyUsed)
+{
+    svc::ResultCache cache(2);
+    svc::CacheKey a, b, c;
+    a.structural = 1;
+    b.structural = 2;
+    c.structural = 3;
+    cache.insert(a, "a");
+    cache.insert(b, "b");
+    ASSERT_TRUE(cache.lookup(a).has_value()); // refresh a; b is LRU
+    cache.insert(c, "c");                     // evicts b
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.lookup(a).has_value());
+    EXPECT_FALSE(cache.lookup(b).has_value());
+    EXPECT_TRUE(cache.lookup(c).has_value());
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SvcCache, HitIsBitIdenticalToRecomputation)
+{
+    const api::NetlistSpec spec = dpuSpec();
+    const api::RunParams params = functionalParams();
+
+    Netlist nl("n");
+    std::string err;
+    ASSERT_TRUE(api::buildNetlist(spec, nl, &err)) << err;
+    const svc::CacheKey key = svc::cacheKeyFor(spec, nl, params);
+
+    svc::ResultCache cache;
+    cache.insert(key,
+                 api::resultToJson(spec, params,
+                                   api::runWorkload(spec, params)));
+
+    // Recompute at a different batch width and thread count: the hit
+    // stored above must be the exact bytes this run produces too.
+    api::RunParams batched = params;
+    batched.batch = 8;
+    batched.threads = 4;
+    const std::string recomputed = api::resultToJson(
+        spec, batched, api::runWorkload(spec, batched));
+    const std::optional<std::string> hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, recomputed);
+}
+
+// --- broker --------------------------------------------------------------
+
+TEST(SvcBroker, IntentSelectsTheBackend)
+{
+    svc::Request request;
+    request.params.backend = Backend::PulseLevel;
+    EXPECT_EQ(svc::Broker::resolveBackend(request),
+              Backend::PulseLevel);
+    request.intent = svc::RequestIntent::Throughput;
+    EXPECT_EQ(svc::Broker::resolveBackend(request),
+              Backend::Functional);
+    request.intent = svc::RequestIntent::Audit;
+    EXPECT_EQ(svc::Broker::resolveBackend(request),
+              Backend::PulseLevel);
+}
+
+TEST(SvcBroker, CompletesRequestsAndHitsTheCache)
+{
+    svc::BrokerOptions opts;
+    opts.workers = 2;
+    opts.queueCapacity = 64;
+    svc::Broker broker(opts);
+
+    const api::NetlistSpec spec = dpuSpec();
+    const api::RunParams params = functionalParams();
+    const std::string expected = api::resultToJson(
+        spec, params, api::runWorkload(spec, params));
+
+    std::vector<std::future<svc::Response>> futures;
+    for (int i = 0; i < 16; ++i) {
+        auto f = broker.submit(svc::Request{spec, params,
+                                            svc::RequestIntent::Default});
+        ASSERT_TRUE(f.has_value());
+        futures.push_back(std::move(*f));
+    }
+    broker.drain();
+
+    std::uint64_t hits = 0;
+    for (auto &f : futures) {
+        svc::Response r = f.get();
+        ASSERT_EQ(r.status, api::Status::Ok) << r.error;
+        EXPECT_EQ(r.backend, Backend::Functional);
+        EXPECT_NE(r.structural, 0u);
+        EXPECT_EQ(r.json, expected);
+        if (r.cacheHit)
+            ++hits;
+    }
+    EXPECT_GT(hits, 0u);
+    const svc::BrokerStats stats = broker.stats();
+    EXPECT_EQ(stats.submitted, 16u);
+    EXPECT_EQ(stats.completed, 16u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_GT(broker.cacheStats().hits, 0u);
+}
+
+TEST(SvcBroker, AuditIntentRunsPulseLevelWithIdenticalCounts)
+{
+    svc::Broker broker;
+    api::NetlistSpec spec = dpuSpec(4, 4);
+    api::RunParams params = functionalParams(4);
+
+    auto audit = broker.submit(
+        svc::Request{spec, params, svc::RequestIntent::Audit});
+    auto fast = broker.submit(
+        svc::Request{spec, params, svc::RequestIntent::Throughput});
+    ASSERT_TRUE(audit.has_value());
+    ASSERT_TRUE(fast.has_value());
+    svc::Response ra = audit->get();
+    svc::Response rf = fast->get();
+    ASSERT_EQ(ra.status, api::Status::Ok) << ra.error;
+    ASSERT_EQ(rf.status, api::Status::Ok) << rf.error;
+    EXPECT_EQ(ra.backend, Backend::PulseLevel);
+    EXPECT_EQ(rf.backend, Backend::Functional);
+    EXPECT_FALSE(ra.json == rf.json); // backend is in the document
+    EXPECT_EQ(ra.structural, rf.structural);
+}
+
+TEST(SvcBroker, FullQueueRejectsWithBackpressure)
+{
+    svc::BrokerOptions opts;
+    opts.workers = 1;
+    opts.queueCapacity = 1;
+    svc::Broker broker(opts);
+
+    const api::NetlistSpec spec = dpuSpec();
+    const api::RunParams params = functionalParams(64);
+
+    // One request occupies the worker, one the queue; keep submitting
+    // until admission control pushes back.  Each run takes far longer
+    // than a submit, so this terminates almost immediately.
+    std::vector<std::future<svc::Response>> futures;
+    bool rejected = false;
+    for (int i = 0; i < 100000 && !rejected; ++i) {
+        auto f = broker.submit(svc::Request{spec, params,
+                                            svc::RequestIntent::Default});
+        if (f.has_value())
+            futures.push_back(std::move(*f));
+        else
+            rejected = true;
+    }
+    EXPECT_TRUE(rejected);
+    broker.drain();
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, api::Status::Ok);
+    EXPECT_GT(broker.stats().rejected, 0u);
+    EXPECT_EQ(broker.stats().completed, futures.size());
+}
+
+TEST(SvcBroker, BadRequestsFailWithoutPoisoningTheBroker)
+{
+    svc::Broker broker;
+
+    api::NetlistSpec bad = dpuSpec();
+    bad.waiveUnwired = false; // unwaived lint findings
+    auto fbad = broker.submit(
+        svc::Request{bad, functionalParams(),
+                     svc::RequestIntent::Default});
+    ASSERT_TRUE(fbad.has_value());
+    svc::Response rbad = fbad->get();
+    EXPECT_EQ(rbad.status, api::Status::LintError);
+    EXPECT_FALSE(rbad.error.empty());
+    EXPECT_TRUE(rbad.json.empty());
+
+    // The broker keeps serving good requests afterwards.
+    auto fok = broker.submit(
+        svc::Request{dpuSpec(), functionalParams(),
+                     svc::RequestIntent::Default});
+    ASSERT_TRUE(fok.has_value());
+    EXPECT_EQ(fok->get().status, api::Status::Ok);
+    EXPECT_EQ(broker.stats().failed, 1u);
+}
+
+TEST(SvcBroker, MergedStatsAreSchedulingIndependent)
+{
+    // Distinct requests (no cache hits), run through brokers with
+    // different worker counts: the id-ordered fold must be identical.
+    std::vector<svc::Request> requests;
+    for (int taps = 2; taps <= 9; ++taps)
+        requests.push_back(svc::Request{dpuSpec(taps),
+                                        functionalParams(6),
+                                        svc::RequestIntent::Default});
+
+    const auto runThrough = [&requests](int workerCount) {
+        svc::BrokerOptions opts;
+        opts.workers = workerCount;
+        opts.queueCapacity = 64;
+        svc::Broker broker(opts);
+        std::vector<std::future<svc::Response>> futures;
+        for (const svc::Request &r : requests) {
+            auto f = broker.submit(r);
+            EXPECT_TRUE(f.has_value());
+            if (f.has_value())
+                futures.push_back(std::move(*f));
+        }
+        broker.drain();
+        for (auto &f : futures)
+            EXPECT_EQ(f.get().status, api::Status::Ok);
+        std::ostringstream os;
+        broker.mergedStats().print(os);
+        return os.str();
+    };
+
+    EXPECT_EQ(runThrough(1), runThrough(4));
+}
+
+} // namespace
+} // namespace usfq

@@ -15,6 +15,7 @@
 #include "util/args.hh"
 #include "util/csv.hh"
 #include "util/fixed_point.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -323,6 +324,53 @@ TEST(Stats, MeanOfVector)
 {
     EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+// --- logging: pluggable fatal() ------------------------------------------
+
+TEST(Logging, FatalDefaultModeExits)
+{
+    ASSERT_EQ(fatalMode(), FatalMode::Exit);
+    EXPECT_EXIT(fatal("bad config: %d", 42),
+                ::testing::ExitedWithCode(1), "bad config: 42");
+}
+
+TEST(Logging, FatalThrowModeRaisesFatalError)
+{
+    ScopedFatalThrow guard;
+    try {
+        fatal("rejected: %s", "reason");
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "rejected: reason");
+    }
+}
+
+TEST(Logging, ScopedFatalThrowRestoresPreviousMode)
+{
+    ASSERT_EQ(fatalMode(), FatalMode::Exit);
+    {
+        ScopedFatalThrow guard;
+        EXPECT_EQ(fatalMode(), FatalMode::Throw);
+        {
+            ScopedFatalThrow nested;
+            EXPECT_EQ(fatalMode(), FatalMode::Throw);
+        }
+        EXPECT_EQ(fatalMode(), FatalMode::Throw);
+    }
+    EXPECT_EQ(fatalMode(), FatalMode::Exit);
+}
+
+TEST(Logging, FatalCallbackSeesMessageInThrowMode)
+{
+    static std::string seen;
+    seen.clear();
+    setFatalCallback(
+        [](const char *message, void *) { seen = message; });
+    ScopedFatalThrow guard;
+    EXPECT_THROW(fatal("observed %d", 7), FatalError);
+    setFatalCallback(nullptr);
+    EXPECT_EQ(seen, "observed 7");
 }
 
 // --- args ----------------------------------------------------------------
