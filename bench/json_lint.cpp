@@ -80,6 +80,38 @@ main(int argc, char **argv)
                     continue;
                 }
             }
+            // Temporal-NoC artifacts must record the fabric geometry:
+            // downstream tooling normalizes delivered/ledgered counts
+            // per tile, which is meaningless without it.
+            if (base.rfind("BENCH_fig_noc_", 0) == 0) {
+                const usfq::JsonValue *metrics = doc.find("metrics");
+                bool geom = metrics != nullptr;
+                const char *missing = nullptr;
+                for (const char *key :
+                     {"grid_rows", "grid_cols", "tiles"}) {
+                    const usfq::JsonValue *m =
+                        geom ? metrics->find(key) : nullptr;
+                    const usfq::JsonValue *value =
+                        m ? m->find("value") : nullptr;
+                    if (value == nullptr ||
+                        value->type !=
+                            usfq::JsonValue::Type::Number ||
+                        value->number < 1.0) {
+                        geom = false;
+                        missing = key;
+                        break;
+                    }
+                }
+                if (!geom) {
+                    std::fprintf(stderr,
+                                 "json_lint: %s: NoC artifact "
+                                 "without a %s metric >= 1\n",
+                                 path.c_str(),
+                                 missing ? missing : "grid geometry");
+                    ++bad;
+                    continue;
+                }
+            }
         }
         std::printf("json_lint: %s ok\n", path.c_str());
     }

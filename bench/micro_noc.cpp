@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark micro benches of the temporal NoC (src/noc/):
+ * plan placement cost, pulse-level fabric evaluation throughput, and
+ * the stream-level functional mirror (scalar and batched) -- the
+ * fabric-scale twin of micro_func's component-level numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_gbench.hh"
+#include "func/noc.hh"
+#include "noc/grid.hh"
+#include "noc/plan.hh"
+#include "util/arena.hh"
+
+using namespace usfq;
+
+namespace
+{
+
+noc::GridSpec
+meshSpec(int rowsCols)
+{
+    noc::GridSpec spec;
+    spec.rows = rowsCols;
+    spec.cols = rowsCols;
+    spec.kind = noc::TileKind::Dpu;
+    spec.taps = 2;
+    spec.bits = 4;
+    spec.mode = DpuMode::Bipolar;
+    spec.flows = noc::columnCollectFlows(rowsCols, rowsCols);
+    return spec;
+}
+
+void
+BM_NocPlanGrid(benchmark::State &state)
+{
+    const noc::GridSpec spec =
+        meshSpec(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        noc::GridPlan plan = noc::planGrid(spec);
+        benchmark::DoNotOptimize(plan.maxFlowLatency);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NocPlanGrid)->Arg(4)->Arg(8);
+
+void
+BM_NocPulseFabric(benchmark::State &state)
+{
+    const noc::GridPlan plan =
+        noc::planGrid(meshSpec(static_cast<int>(state.range(0))));
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        const noc::PulseFabricResult res =
+            noc::runPulseFabric(plan, seed++);
+        benchmark::DoNotOptimize(res.obs.delivered);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NocPulseFabric)->Arg(2)->Arg(4);
+
+void
+BM_NocFunctionalFabric(benchmark::State &state)
+{
+    const noc::GridPlan plan =
+        noc::planGrid(meshSpec(static_cast<int>(state.range(0))));
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        const noc::FabricObservation obs =
+            func::evaluateFabricSeed(plan, seed++);
+        benchmark::DoNotOptimize(obs.delivered);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NocFunctionalFabric)->Arg(4)->Arg(8);
+
+void
+BM_NocFunctionalFabricBatched(benchmark::State &state)
+{
+    const noc::GridPlan plan = noc::planGrid(meshSpec(4));
+    const std::size_t lanes =
+        static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint64_t> seeds(lanes);
+    std::vector<noc::FabricObservation> out;
+    WordArena arena;
+    std::uint64_t next = 1;
+    for (auto _ : state) {
+        for (std::uint64_t &s : seeds)
+            s = next++;
+        func::evaluateFabricBatch(plan, seeds, out, arena);
+        benchmark::DoNotOptimize(out.back().delivered);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_NocFunctionalFabricBatched)->Arg(8)->Arg(64);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::gbenchMain("micro_noc", argc, argv);
+}

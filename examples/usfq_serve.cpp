@@ -111,6 +111,21 @@ makeTemplates()
     inv.spec.clockCount = 64;
     t.push_back(inv);
 
+    // NoC mesh (docs/noc.md): fabric-level requests flow through the
+    // same broker/cache path as the component workloads.
+    RequestTemplate mesh;
+    mesh.spec.kind = api::WorkloadKind::NocMesh;
+    mesh.spec.name = "mesh4x4";
+    mesh.spec.gridRows = 4;
+    mesh.spec.gridCols = 4;
+    mesh.spec.taps = 2;
+    mesh.spec.bits = 4;
+    mesh.spec.mode = DpuMode::Bipolar;
+    mesh.params.epochs = 8;
+    mesh.params.batch = 4;
+    mesh.intent = svc::RequestIntent::Throughput;
+    t.push_back(mesh);
+
     // Audit requests: intent forces the pulse-level engine whatever
     // params.backend says.  Kept small -- event-accurate runs are the
     // expensive path, which is also what fills the queue and makes
@@ -146,6 +161,17 @@ makeTemplates()
     RequestTemplate invAudit = inv;
     invAudit.intent = svc::RequestIntent::Audit;
     t.push_back(invAudit);
+
+    RequestTemplate meshAudit;
+    meshAudit.spec.kind = api::WorkloadKind::NocMesh;
+    meshAudit.spec.name = "mesh2x2a";
+    meshAudit.spec.gridRows = 2;
+    meshAudit.spec.gridCols = 2;
+    meshAudit.spec.taps = 2;
+    meshAudit.spec.bits = 4;
+    meshAudit.params.epochs = 2;
+    meshAudit.intent = svc::RequestIntent::Audit;
+    t.push_back(meshAudit);
 
     return t;
 }

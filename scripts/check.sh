@@ -17,6 +17,12 @@
 #                                      # cache, broker + the usfq_serve
 #                                      # 1000-request smoke) under
 #                                      # default and ASan builds
+#   ./scripts/check.sh noc             # temporal-NoC gate: the noc tier
+#                                      # (plan/router/grid units, the
+#                                      # fabric differential up to 8x8,
+#                                      # the fig_noc_* benches and the
+#                                      # noc_mesh smoke) under default
+#                                      # and ASan builds
 #   ./scripts/check.sh bench-artifacts # run benches with artifact
 #                                      # output into ./artifacts/ and
 #                                      # validate every BENCH_*.json
@@ -31,7 +37,8 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 mode="default"
 if [[ "${1:-}" == "bench-artifacts" || "${1:-}" == "diff" ||
-      "${1:-}" == "batch" || "${1:-}" == "svc" ]]; then
+      "${1:-}" == "batch" || "${1:-}" == "svc" ||
+      "${1:-}" == "noc" ]]; then
     mode="$1"
     shift
 fi
@@ -60,6 +67,13 @@ elif [[ "$mode" == "svc" ]]; then
     # pushes >=1000 mixed requests through the worker pool and checks
     # every response against a direct engine run.
     ctest_args=(-L 'svc' "${ctest_args[@]}")
+elif [[ "$mode" == "noc" ]]; then
+    # The temporal-NoC gate (docs/noc.md): plan placement and router
+    # units, the flit-for-flit fabric differential (sink counts AND
+    # per-router collision ledgers, pulse vs functional, up to 8x8),
+    # the facade thread/batch bit-identity contracts, the fig_noc_*
+    # bench binaries and the noc_mesh example smoke.
+    ctest_args=(-L 'noc' "${ctest_args[@]}")
 fi
 
 run_config() {

@@ -8,6 +8,8 @@
 #include "core/multiplier.hh"
 #include "core/pe.hh"
 #include "func/components.hh"
+#include "func/noc.hh"
+#include "noc/grid.hh"
 #include "obs/artifact.hh"
 #include "sfq/cells.hh"
 #include "sfq/sources.hh"
@@ -446,6 +448,74 @@ runFunctionalFir(const NetlistSpec &spec, const RunParams &params)
         sweepOptions(params)));
 }
 
+/** GridPlan of a NocMesh spec: column-collect traffic by default. */
+noc::GridPlan
+nocPlan(const NetlistSpec &spec)
+{
+    noc::GridSpec gs;
+    gs.rows = spec.gridRows;
+    gs.cols = spec.gridCols;
+    gs.kind = noc::TileKind::Dpu;
+    gs.taps = spec.taps;
+    gs.bits = spec.bits;
+    gs.mode = spec.mode;
+    gs.flows = noc::columnCollectFlows(spec.gridRows, spec.gridCols);
+    gs.sharedSinkWindows = spec.nocShareWindows;
+    return noc::planGrid(gs);
+}
+
+/**
+ * NoC epochs report a digest of the full fabric observation (sink
+ * window tables + router collision ledgers), not a single count --
+ * truncated to 31 bits so it travels the counts vector.  Both engines
+ * digest the same observation type, so pulse == functional epoch-wise
+ * exactly when the fabrics agree flit-for-flit.
+ */
+int
+nocDigest(const noc::FabricObservation &obs)
+{
+    return static_cast<int>(noc::observationDigest(obs) & 0x7fffffff);
+}
+
+std::vector<long long>
+runNocMesh(const NetlistSpec &spec, const RunParams &params)
+{
+    const noc::GridPlan plan = nocPlan(spec);
+    const std::size_t epochs = static_cast<std::size_t>(params.epochs);
+    if (params.backend == Backend::Functional && params.batch > 1) {
+        return widen(runBatchedSweep(
+            epochs,
+            [&](const LaneGroupContext &ctx) {
+                std::vector<std::uint64_t> seeds(ctx.seeds.begin(),
+                                                 ctx.seeds.end());
+                std::vector<noc::FabricObservation> obs;
+                WordArena arena;
+                func::evaluateFabricBatch(plan, seeds, obs, arena);
+                std::vector<int> res(obs.size());
+                for (std::size_t b = 0; b < obs.size(); ++b)
+                    res[b] = nocDigest(obs[b]);
+                return res;
+            },
+            sweepOptions(params)));
+    }
+    return widen(runSweep(
+        epochs,
+        [&](const ShardContext &ctx) {
+            if (ctx.backend == Backend::Functional)
+                return nocDigest(
+                    func::evaluateFabricSeed(plan, ctx.seed));
+            const noc::PulseFabricResult res =
+                noc::runPulseFabric(plan, ctx.seed);
+            if (res.latePulses != 0 || res.misaligned != 0)
+                fatal("noc fabric: %llu late / %llu misaligned pulses "
+                      "(TDM schedule bug)",
+                      static_cast<unsigned long long>(res.latePulses),
+                      static_cast<unsigned long long>(res.misaligned));
+            return nocDigest(res.obs);
+        },
+        sweepOptions(params)));
+}
+
 std::vector<long long>
 runInverter(const NetlistSpec &spec, const RunParams &params)
 {
@@ -627,6 +697,15 @@ buildNetlist(const NetlistSpec &spec, Netlist &nl, std::string *err)
             fir.setCoefficient(k, h[static_cast<std::size_t>(k)]);
         break;
     }
+    case WorkloadKind::NocMesh: {
+        const noc::GridPlan plan = nocPlan(spec);
+        noc::TileGrid grid(nl, plan);
+        // Representative stimulus at a fixed seed: the structural
+        // hash covers stimulus anchors, and per-run operand draws
+        // must not move the cache key.
+        grid.programOperands(noc::drawTileOperands(plan, 0x5eedULL));
+        break;
+    }
     case WorkloadKind::Inverter: {
         auto &clk = nl.create<ClockSource>("clk");
         auto &inv = nl.create<Inverter>(spec.name);
@@ -639,7 +718,10 @@ buildNetlist(const NetlistSpec &spec, Netlist &nl, std::string *err)
         break;
     }
     }
-    if (spec.waiveUnwired && spec.kind != WorkloadKind::Inverter) {
+    // The inverter probe is self-driving and the NoC mesh is built
+    // fully wired; neither needs the area-study waivers.
+    if (spec.waiveUnwired && spec.kind != WorkloadKind::Inverter &&
+        spec.kind != WorkloadKind::NocMesh) {
         nl.waive(LintRule::DanglingInput,
                  "svc spec: stimulus-less device under test");
         nl.waive(LintRule::OpenOutput,
@@ -695,6 +777,9 @@ runWorkload(const NetlistSpec &spec, const RunParams &params)
     case WorkloadKind::Inverter:
         out.counts = runInverter(spec, params);
         break;
+    case WorkloadKind::NocMesh:
+        out.counts = runNocMesh(spec, params);
+        break;
     }
     out.checksum = countsChecksum(out.counts);
 
@@ -723,6 +808,13 @@ resultToJson(const NetlistSpec &spec, const RunParams &params,
     payload.note("checksum", hexU64(result.checksum));
     payload.metric("taps", spec.taps);
     payload.metric("bits", spec.bits);
+    if (spec.kind == WorkloadKind::NocMesh) {
+        payload.metric("grid_rows", spec.gridRows);
+        payload.metric("grid_cols", spec.gridCols);
+        payload.metric("tiles",
+                       static_cast<double>(spec.gridRows) *
+                           static_cast<double>(spec.gridCols));
+    }
     payload.metric("epochs", static_cast<double>(result.counts.size()));
     payload.metric("total_jj", static_cast<double>(result.totalJJ),
                    "JJ");
@@ -863,9 +955,20 @@ Session::analyzeTiming()
     ScopedFatalThrow guard;
     try {
         StaOptions opts;
-        opts.anchorMode = sp.kind == WorkloadKind::Inverter
+        opts.anchorMode = sp.kind == WorkloadKind::Inverter ||
+                                  sp.kind == WorkloadKind::NocMesh
                               ? StaOptions::AnchorMode::Stimulus
                               : StaOptions::AnchorMode::Zero;
+        if (sp.kind == WorkloadKind::NocMesh) {
+            // Same rationale as noc::analyzeFabric: tile counting
+            // trees arbitrate same-stream pulses dynamically, and
+            // shared-window merger losses are ledgered by design.
+            opts.waivers.emplace(
+                LintRule::CollisionRisk,
+                "noc fabric: counting trees arbitrate dynamically and "
+                "shared-window merger losses are accounted by the "
+                "router ledger");
+        }
         if (opts.anchorMode == StaOptions::AnchorMode::Zero) {
             // Zero anchoring launches every input at t=0, so any two
             // reconvergent paths of equal depth "collide" by
@@ -924,6 +1027,11 @@ Session::run(const RunParams &params, RunResult &out)
             return failWith(Status::Unsupported,
                             "pulse-level FIR runs support up to 8 "
                             "bits; use the functional backend");
+        if (sp.kind == WorkloadKind::NocMesh &&
+            sp.gridRows * sp.gridCols > 64)
+            return failWith(Status::Unsupported,
+                            "pulse-level NoC runs support up to 64 "
+                            "tiles; use the functional backend");
     }
     ScopedFatalThrow guard;
     try {

@@ -88,6 +88,8 @@ workloadKindName(WorkloadKind kind)
         return "fir";
     case WorkloadKind::Inverter:
         return "inverter";
+    case WorkloadKind::NocMesh:
+        return "noc";
     }
     return "?";
 }
@@ -103,6 +105,8 @@ parseWorkloadKind(const std::string &s, WorkloadKind &out)
         out = WorkloadKind::Fir;
     else if (s == "inverter")
         out = WorkloadKind::Inverter;
+    else if (s == "noc")
+        out = WorkloadKind::NocMesh;
     else
         return false;
     return true;
@@ -122,6 +126,16 @@ NetlistSpec::validate(std::string *err) const
         static_cast<int>(coefficients.size()) != taps)
         return fail(err, "spec: coefficients must be empty or one "
                          "per tap");
+    if (kind == WorkloadKind::NocMesh) {
+        if (gridRows < 2 || gridRows > 16)
+            return fail(err, "spec: grid_rows must be in [2, 16]");
+        if (gridCols < 1 || gridCols > 16)
+            return fail(err, "spec: grid_cols must be in [1, 16]");
+        if (taps < 1 || taps > 16)
+            return fail(err, "spec: noc taps must be in [1, 16]");
+        if (bits > 8)
+            return fail(err, "spec: noc bits must be in [2, 8]");
+    }
     if (kind == WorkloadKind::Inverter) {
         if (!(clockPeriodPs > 0.0) || clockPeriodPs > 1e6)
             return fail(err,
@@ -176,6 +190,12 @@ specFromJson(const std::string &json, NetlistSpec &out,
     s.clockCount =
         static_cast<int>(numberOr(doc, "clock_count", s.clockCount));
     s.waiveUnwired = boolOr(doc, "waive_unwired", s.waiveUnwired);
+    s.gridRows =
+        static_cast<int>(numberOr(doc, "grid_rows", s.gridRows));
+    s.gridCols =
+        static_cast<int>(numberOr(doc, "grid_cols", s.gridCols));
+    s.nocShareWindows =
+        boolOr(doc, "noc_share_windows", s.nocShareWindows);
 
     if (!s.validate(err))
         return false;
@@ -204,6 +224,9 @@ specToJson(const NetlistSpec &spec)
     w.kv("clock_period_ps", spec.clockPeriodPs);
     w.kv("clock_count", spec.clockCount);
     w.kv("waive_unwired", spec.waiveUnwired);
+    w.kv("grid_rows", spec.gridRows);
+    w.kv("grid_cols", spec.gridCols);
+    w.kv("noc_share_windows", spec.nocShareWindows);
     w.endObject();
     return os.str();
 }
@@ -313,6 +336,9 @@ specHash(const NetlistSpec &spec)
     h = fnv1a(h, &spec.clockPeriodPs, sizeof(spec.clockPeriodPs));
     h = fnvU64(h, static_cast<std::uint64_t>(spec.clockCount));
     h = fnvU64(h, spec.waiveUnwired ? 1 : 0);
+    h = fnvU64(h, static_cast<std::uint64_t>(spec.gridRows));
+    h = fnvU64(h, static_cast<std::uint64_t>(spec.gridCols));
+    h = fnvU64(h, spec.nocShareWindows ? 1 : 0);
     return h;
 }
 

@@ -33,6 +33,7 @@ enum class WorkloadKind
     Pe,       ///< processing element (core/pe.hh)
     Fir,      ///< U-SFQ FIR filter, `taps` taps (core/fir.hh)
     Inverter, ///< clocked inverter probe (the 111 GHz rate study)
+    NocMesh,  ///< 2D temporal-NoC mesh of DPU tiles (noc/grid.hh)
 };
 
 /** Stable lower-case name of a workload kind. */
@@ -80,6 +81,17 @@ struct NetlistSpec
      * elaboration fails -- the lint error path of the C ABI.
      */
     bool waiveUnwired = true;
+
+    /**
+     * NocMesh only: mesh dimensions (gridRows x gridCols DPU tiles,
+     * `taps` x `bits` each, column-collect traffic) and the TDM
+     * policy -- false gives every flow its own collision-free window,
+     * true shares one window per sink so merger arbitration (and the
+     * router collision ledger) engages.
+     */
+    int gridRows = 4;
+    int gridCols = 4;
+    bool nocShareWindows = false;
 
     /** Range/consistency check; fills @p err on failure. */
     bool validate(std::string *err = nullptr) const;

@@ -10,102 +10,17 @@
 #include "api/usfq.h"
 
 #include <cstdlib>
-#include <cstring>
-#include <new>
 #include <string>
 
 #include "api/facade.hh"
 #include "api/spec.hh"
+#include "api/usfq_internal.hh"
 #include "util/logging.hh"
 
-using usfq::FatalError;
 using usfq::ScopedFatalThrow;
 namespace api = usfq::api;
-
-/** The opaque engine: a facade session plus the last-error string. */
-struct usfq_engine
-{
-    explicit usfq_engine(api::NetlistSpec spec)
-        : session(std::move(spec))
-    {
-    }
-
-    api::Session session;
-    std::string lastError;
-};
-
-namespace
-{
-
-int32_t
-toStatus(api::Status status)
-{
-    switch (status) {
-    case api::Status::Ok:
-        return USFQ_OK;
-    case api::Status::InvalidArg:
-        return USFQ_ERR_INVALID_ARG;
-    case api::Status::ParseError:
-        return USFQ_ERR_PARSE;
-    case api::Status::LintError:
-        return USFQ_ERR_LINT;
-    case api::Status::StaError:
-        return USFQ_ERR_STA;
-    case api::Status::RunError:
-        return USFQ_ERR_RUN;
-    case api::Status::Unsupported:
-        return USFQ_ERR_UNSUPPORTED;
-    case api::Status::Internal:
-        return USFQ_ERR_INTERNAL;
-    }
-    return USFQ_ERR_INTERNAL;
-}
-
-/** Copy a std::string into a malloc'd C string (usfq_string_free). */
-char *
-dupString(const std::string &s)
-{
-    char *out = static_cast<char *>(std::malloc(s.size() + 1));
-    if (out == nullptr)
-        return nullptr;
-    std::memcpy(out, s.c_str(), s.size() + 1);
-    return out;
-}
-
-/**
- * Run @p body (returning an api::Status) under the full armor and
- * record any failure message on the engine.
- */
-template <typename Fn>
-int32_t
-guarded(usfq_engine *engine, Fn &&body)
-{
-    if (engine == nullptr)
-        return USFQ_ERR_INVALID_ARG;
-    engine->lastError.clear();
-    ScopedFatalThrow guard;
-    try {
-        const api::Status s = body();
-        if (s != api::Status::Ok &&
-            engine->lastError.empty())
-            engine->lastError = engine->session.lastError();
-        return toStatus(s);
-    } catch (const FatalError &e) {
-        engine->lastError = e.what();
-        return USFQ_ERR_INTERNAL;
-    } catch (const std::bad_alloc &) {
-        engine->lastError = "out of memory";
-        return USFQ_ERR_INTERNAL;
-    } catch (const std::exception &e) {
-        engine->lastError = e.what();
-        return USFQ_ERR_INTERNAL;
-    } catch (...) {
-        engine->lastError = "unknown exception";
-        return USFQ_ERR_INTERNAL;
-    }
-}
-
-} // namespace
+using usfq::api::abi::dupString;
+using usfq::api::abi::guarded;
 
 extern "C" {
 

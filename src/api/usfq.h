@@ -117,6 +117,45 @@ int32_t usfq_engine_hash(usfq_engine *engine, uint64_t *out_hash);
 int32_t usfq_engine_run(usfq_engine *engine, const char *params_json,
                         char **out_json);
 
+/**
+ * Shared result cache (src/svc/cache.hh): a bounded LRU keyed on the
+ * content address of a run -- structural hash of the elaborated
+ * netlist, spec hash, backend, seed, result-affecting params.  One
+ * cache can serve many engines.  These entry points live in the
+ * service library: link usfq_svc (not just usfq_api) to use them.
+ */
+typedef struct usfq_cache usfq_cache;
+
+/**
+ * Create a result cache holding up to @p capacity entries (least
+ * recently used beyond that is evicted).  Zero capacity or NULL @p out
+ * is USFQ_ERR_INVALID_ARG.
+ */
+int32_t usfq_cache_create(uint64_t capacity, usfq_cache **out);
+
+/** Destroy a cache and every stored result.  NULL is a no-op. */
+void usfq_cache_destroy(usfq_cache *cache);
+
+/**
+ * Accounting of a cache as a JSON object: {"capacity": C, "size": S,
+ * "hits": H, "misses": M, "insertions": I, "evictions": E,
+ * "hit_rate": R}.  Caller frees @p out_json with usfq_string_free.
+ */
+int32_t usfq_cache_stats(const usfq_cache *cache, char **out_json);
+
+/**
+ * usfq_engine_run through the cache: elaborates if needed, computes
+ * the content address, and returns the stored document on a hit
+ * (*out_hit = 1) or evaluates, stores, and returns the fresh document
+ * on a miss (*out_hit = 0).  The deterministic wire format makes a
+ * hit byte-identical to recomputation -- svc_test verifies this
+ * through the ABI.  @p out_hit may be NULL.  Caller frees @p out_json
+ * with usfq_string_free.
+ */
+int32_t usfq_engine_run_cached(usfq_engine *engine, usfq_cache *cache,
+                               const char *params_json,
+                               int32_t *out_hit, char **out_json);
+
 /** Release a string returned via a `char **` out-parameter. */
 void usfq_string_free(char *str);
 

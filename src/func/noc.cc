@@ -1,0 +1,159 @@
+#include "func/noc.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "func/components.hh"
+#include "sim/netlist.hh"
+
+namespace usfq::func
+{
+
+std::vector<int>
+nocTileCounts(const noc::GridPlan &plan, const noc::TileOperands &ops)
+{
+    std::vector<int> counts(static_cast<std::size_t>(plan.tiles()), 0);
+    if (plan.spec.kind == noc::TileKind::Pe) {
+        // The PE's converted result is a single RL pulse: the injected
+        // count is exactly 1 regardless of operands (the slot, which
+        // the functional PE models to +/-1, never enters the fabric).
+        for (const noc::FlowPlan &f : plan.flows)
+            counts[static_cast<std::size_t>(f.spec.src)] = 1;
+        return counts;
+    }
+    Netlist fnl("noc_func");
+    auto &dpu = fnl.create<DotProductUnit>("dpu", plan.spec.taps,
+                                           plan.spec.mode);
+    const std::size_t taps = static_cast<std::size_t>(plan.spec.taps);
+    for (const noc::FlowPlan &f : plan.flows) {
+        const std::size_t t = static_cast<std::size_t>(f.spec.src);
+        const std::vector<int> streams(
+            ops.streams.begin() + static_cast<std::ptrdiff_t>(t * taps),
+            ops.streams.begin() +
+                static_cast<std::ptrdiff_t>((t + 1) * taps));
+        const std::vector<int> ids(
+            ops.ids.begin() + static_cast<std::ptrdiff_t>(t * taps),
+            ops.ids.begin() +
+                static_cast<std::ptrdiff_t>((t + 1) * taps));
+        counts[t] = std::min(dpu.evaluate(plan.cfg, streams, ids),
+                             plan.cfg.nmax());
+    }
+    return counts;
+}
+
+noc::FabricObservation
+evaluateFabric(const noc::GridPlan &plan, const std::vector<int> &counts)
+{
+    const EpochConfig &cfg = plan.cfg;
+    noc::FabricObservation obs;
+    obs.sinks = plan.sinkTiles();
+    obs.sinkWindowCounts.assign(
+        obs.sinks.size(),
+        std::vector<std::uint64_t>(
+            static_cast<std::size_t>(plan.windows), 0));
+
+    // Sink deliveries: per (sink, window), the slot union of the
+    // sharing flows' Euclidean streams.
+    for (std::size_t si = 0; si < obs.sinks.size(); ++si) {
+        for (int w = 0; w < plan.windows; ++w) {
+            std::vector<int> sharing;
+            for (const noc::FlowPlan &f : plan.flows)
+                if (f.spec.dst == obs.sinks[si] && f.window == w)
+                    sharing.push_back(
+                        counts[static_cast<std::size_t>(f.spec.src)]);
+            if (sharing.empty())
+                continue;
+            const std::uint64_t u = static_cast<std::uint64_t>(
+                mergerTreeUnionCount(cfg, sharing));
+            obs.sinkWindowCounts[si][static_cast<std::size_t>(w)] = u;
+            obs.delivered += u;
+        }
+    }
+
+    // Router ledgers: per (router, output, window), the pulses the
+    // merger tree absorbs = sum of per-input stream sizes minus the
+    // overall union.  Union loss is associative, so this is exact for
+    // any balanced tree topology.
+    obs.routerCollisions.assign(plan.routers.size(), 0);
+    std::map<std::tuple<int, int, int>, std::map<int, std::vector<int>>>
+        via;
+    for (const noc::FlowPlan &f : plan.flows)
+        for (std::size_t k = 0; k < f.routers.size(); ++k)
+            via[{f.routers[k], f.outDir[k], f.window}][f.inDir[k]]
+                .push_back(
+                    counts[static_cast<std::size_t>(f.spec.src)]);
+    for (const auto &[key, byInput] : via) {
+        const int r = std::get<0>(key);
+        std::vector<int> all;
+        long long inputSum = 0;
+        for (const auto &[in, flowCounts] : byInput) {
+            inputSum += mergerTreeUnionCount(cfg, flowCounts);
+            all.insert(all.end(), flowCounts.begin(),
+                       flowCounts.end());
+        }
+        const long long loss =
+            inputSum - mergerTreeUnionCount(cfg, all);
+        obs.routerCollisions[static_cast<std::size_t>(r)] +=
+            static_cast<std::uint64_t>(loss);
+        obs.collisions += static_cast<std::uint64_t>(loss);
+    }
+    return obs;
+}
+
+noc::FabricObservation
+evaluateFabricSeed(const noc::GridPlan &plan, std::uint64_t seed)
+{
+    return evaluateFabric(plan,
+                          nocTileCounts(plan, drawTileOperands(plan,
+                                                               seed)));
+}
+
+void
+evaluateFabricBatch(const noc::GridPlan &plan,
+                    const std::vector<std::uint64_t> &seeds,
+                    std::vector<noc::FabricObservation> &out,
+                    WordArena &arena)
+{
+    const std::size_t lanes = seeds.size();
+    const std::size_t tiles = static_cast<std::size_t>(plan.tiles());
+    const std::size_t taps = static_cast<std::size_t>(plan.spec.taps);
+    std::vector<noc::TileOperands> ops;
+    ops.reserve(lanes);
+    for (std::uint64_t seed : seeds)
+        ops.push_back(drawTileOperands(plan, seed));
+
+    std::vector<std::vector<int>> counts(
+        lanes, std::vector<int>(tiles, 0));
+    if (plan.spec.kind == noc::TileKind::Pe) {
+        for (const noc::FlowPlan &f : plan.flows)
+            for (std::size_t l = 0; l < lanes; ++l)
+                counts[l][static_cast<std::size_t>(f.spec.src)] = 1;
+    } else {
+        Netlist fnl("noc_func");
+        auto &dpu = fnl.create<DotProductUnit>("dpu", plan.spec.taps,
+                                               plan.spec.mode);
+        std::vector<int> streams(taps * lanes);
+        std::vector<int> ids(taps * lanes);
+        std::vector<int> res(lanes);
+        for (const noc::FlowPlan &f : plan.flows) {
+            const std::size_t t = static_cast<std::size_t>(f.spec.src);
+            for (std::size_t k = 0; k < taps; ++k)
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    streams[k * lanes + l] =
+                        ops[l].streams[t * taps + k];
+                    ids[k * lanes + l] = ops[l].ids[t * taps + k];
+                }
+            dpu.evaluateBatch(plan.cfg, streams, ids, res, arena);
+            for (std::size_t l = 0; l < lanes; ++l)
+                counts[l][t] = std::min(res[l], plan.cfg.nmax());
+        }
+    }
+
+    out.clear();
+    out.reserve(lanes);
+    for (std::size_t l = 0; l < lanes; ++l)
+        out.push_back(evaluateFabric(plan, counts[l]));
+}
+
+} // namespace usfq::func

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Stream-level functional mirror of the temporal NoC (docs/noc.md).
+ *
+ * The plan's latency equalization puts every stream in the fabric on
+ * one global slot grid with zero relative shift inside a TDM window
+ * (noc/plan.hh), so the entire pulse-level fabric reduces to counting
+ * algebra over Euclidean slot bitmaps:
+ *
+ *  - a sink's per-window delivery is the slot union of the counts of
+ *    the flows sharing that (sink, window) -- mergerTreeUnionCount;
+ *  - a router's collision ledger is, per output and window, the sum of
+ *    its per-input stream sizes minus their overall union (union loss
+ *    is associative over the merger-tree topology).
+ *
+ * Tile results come from the func:: component models (exact for DPU /
+ * FIR-step counts; the PE injects exactly one result pulse, so its
+ * count is exact too even though its slot is +/-1).  The differential
+ * tier (tests/noc_differential_test.cpp) locks all of this to the
+ * pulse engine flit-for-flit.
+ */
+
+#ifndef USFQ_FUNC_NOC_HH
+#define USFQ_FUNC_NOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/plan.hh"
+#include "util/arena.hh"
+
+namespace usfq::func
+{
+
+/**
+ * Injected result count per tile (capped at nmax, as the injector
+ * caps) for one operand draw; non-source tiles report 0.
+ */
+std::vector<int> nocTileCounts(const noc::GridPlan &plan,
+                               const noc::TileOperands &ops);
+
+/** Fabric counting algebra over per-tile injected counts. */
+noc::FabricObservation evaluateFabric(const noc::GridPlan &plan,
+                                      const std::vector<int> &counts);
+
+/** One full functional evaluation of a seeded epoch. */
+noc::FabricObservation evaluateFabricSeed(const noc::GridPlan &plan,
+                                          std::uint64_t seed);
+
+/**
+ * B seeded epochs at once: tile counts via the word-level batched
+ * DPU kernels (operand-major lanes, arena scratch), then the per-lane
+ * fabric algebra.  out[b] == evaluateFabricSeed(plan, seeds[b])
+ * bit-identically (the batch tier's contract).
+ */
+void evaluateFabricBatch(const noc::GridPlan &plan,
+                         const std::vector<std::uint64_t> &seeds,
+                         std::vector<noc::FabricObservation> &out,
+                         WordArena &arena);
+
+} // namespace usfq::func
+
+#endif // USFQ_FUNC_NOC_HH

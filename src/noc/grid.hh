@@ -1,0 +1,104 @@
+/**
+ * @file
+ * TileGrid: instantiates a planned NoC fabric (noc/plan.hh) inside a
+ * Netlist -- compute tiles (DPU / PE / FIR-step), injector and sink
+ * terminals, routers, links, and the TDM schedule sources (injector
+ * triggers + demux selects) -- wired lint-clean and grouped so
+ * Netlist::report() rolls the fabric up per tile / router / link.
+ *
+ * The builder is deliberately NOT a Component: everything it makes is
+ * create<>'d on the netlist (correct totalJJs() and report() without
+ * double counting), and the builder object itself is just handles.
+ *
+ * One TileGrid == one computing epoch: program the seeded operands
+ * once (programOperands), elaborate, run(plan.horizon), observe().
+ */
+
+#ifndef USFQ_NOC_GRID_HH
+#define USFQ_NOC_GRID_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dpu.hh"
+#include "core/pe.hh"
+#include "noc/plan.hh"
+#include "noc/router.hh"
+#include "sfq/sources.hh"
+#include "sim/netlist.hh"
+
+namespace usfq::noc
+{
+
+class TileGrid
+{
+  public:
+    TileGrid(Netlist &nl, const GridPlan &plan);
+
+    const GridPlan &plan() const { return gp; }
+
+    /**
+     * Program the per-tile operand sources (the only seed-dependent
+     * stimulus; triggers / selects / epoch markers are planned and
+     * programmed at construction).  Call exactly once, before run.
+     */
+    void programOperands(const TileOperands &ops);
+
+    /** Collect the flit-for-flit observables after a run. */
+    FabricObservation observe() const;
+
+    /** Tile pulses that arrived at injectors after their trigger. */
+    std::uint64_t latePulses() const;
+
+    /**
+     * Per-tile injected value (post-cap), 0 for non-source tiles --
+     * comparable against func::nocTileCounts after a run.
+     */
+    std::vector<int> injectedCounts() const;
+
+    /** Sink pulses off the global window/slot grid. */
+    std::uint64_t misaligned() const;
+
+    /** Router at @p id, or null when no flow crosses it. */
+    NocRouter *router(int id) { return routers[id]; }
+    const NocRouter *router(int id) const { return routers[id]; }
+
+  private:
+    struct Tile
+    {
+        DotProductUnit *dpu = nullptr;
+        ProcessingElement *pe = nullptr;
+        std::vector<PulseSource *> rl;     ///< DPU a_i sources
+        std::vector<PulseSource *> stream; ///< DPU b_i sources
+        PulseSource *in1 = nullptr;        ///< PE operand sources
+        PulseSource *in2 = nullptr;
+        PulseSource *in3 = nullptr;
+        NocInjector *inj = nullptr;
+        NocSink *snk = nullptr;
+    };
+
+    void buildTile(int t, int flow);
+    void buildRouters();
+    void buildLinks();
+
+    Netlist &nl;
+    GridPlan gp;
+    std::vector<Tile> tiles;
+    std::vector<NocRouter *> routers;
+};
+
+/** One pulse-level fabric evaluation (fresh netlist, one epoch). */
+struct PulseFabricResult
+{
+    FabricObservation obs;
+    std::uint64_t latePulses = 0;
+    std::uint64_t misaligned = 0;
+    long long totalJJ = 0;
+};
+
+PulseFabricResult runPulseFabric(const GridPlan &plan,
+                                 std::uint64_t seed);
+
+} // namespace usfq::noc
+
+#endif // USFQ_NOC_GRID_HH

@@ -1,0 +1,257 @@
+#include "noc/router.hh"
+
+#include <algorithm>
+
+#include "sfq/params.hh"
+#include "util/logging.hh"
+
+namespace usfq::noc
+{
+
+NocLink::NocLink(Netlist &nl, const std::string &name, int hops,
+                 Tick targetLatency)
+    : Component(nl, name)
+{
+    // The last stage absorbs the slot-rounding remainder; targetLatency
+    // >= hops * kJtlDelay always holds by construction (plan.cc).
+    const Tick tail =
+        targetLatency - static_cast<Tick>(hops - 1) * cell::kJtlDelay;
+    for (int i = 0; i < hops; ++i) {
+        const Tick delay = i == hops - 1 ? tail : cell::kJtlDelay;
+        stages.push_back(std::make_unique<Jtl>(
+            netlist(), this->name() + ".j" + std::to_string(i), delay));
+        if (i > 0)
+            stages[i - 1]->out.connect(stages[i]->in);
+    }
+}
+
+int
+NocLink::jjCount() const
+{
+    return static_cast<int>(stages.size()) * cell::kJtlJJs;
+}
+
+NocRouter::NocRouter(Netlist &nl, const std::string &name,
+                     const RouterPlan &plan, Tick routerLatency)
+    : Component(nl, name), rp(plan)
+{
+    // Input buffers, demux trees and pad JTLs.
+    for (int in = 0; in < kDirCount; ++in) {
+        if (!rp.inUsed[in])
+            continue;
+        bufs[in] = std::make_unique<Jtl>(
+            netlist(),
+            this->name() + ".buf_" + dirName(in));
+        for (std::size_t d = 0; d < rp.demux[in].size(); ++d)
+            demuxes[in].push_back(std::make_unique<Demux>(
+                netlist(), this->name() + ".dx_" + dirName(in) + "_" +
+                               std::to_string(d)));
+        for (int out : rp.branches[in]) {
+            const Tick raw =
+                cell::kJtlDelay +
+                static_cast<Tick>(rp.demuxDepth(in, out)) *
+                    cell::kMuxDelay +
+                static_cast<Tick>(rp.mergerDepth(out)) *
+                    cell::kMergerDelay;
+            pads[in][out] = std::make_unique<Jtl>(
+                netlist(),
+                this->name() + ".pad_" + dirName(in) + "_" +
+                    dirName(out),
+                routerLatency - raw);
+        }
+    }
+
+    // Output merger trees (padded to a power of two; silent leaves are
+    // waived -- they model the tree's unused arbitration capacity).
+    for (int out = 0; out < kDirCount; ++out) {
+        const int n = static_cast<int>(rp.feeders[out].size());
+        if (n < 2)
+            continue;
+        int padded = 2;
+        while (padded < n)
+            padded <<= 1;
+        trees[out] = std::make_unique<MergerTreeAdder>(
+            netlist(), this->name() + ".mrg_" + dirName(out), padded);
+        for (int i = n; i < padded; ++i)
+            trees[out]->in(i).markOptional(
+                "noc router: merger tree padded to a power of two");
+    }
+
+    // Wiring: buf -> demux tree -> pad -> merger leaf.
+    for (int in = 0; in < kDirCount; ++in) {
+        if (!rp.inUsed[in])
+            continue;
+        const auto &outs = rp.branches[in];
+        if (outs.size() == 1) {
+            bufs[in]->out.connect(pads[in][outs[0]]->in);
+        } else {
+            bufs[in]->out.connect(demuxes[in][0]->in);
+            for (std::size_t d = 0; d < rp.demux[in].size(); ++d) {
+                const RouterPlan::DemuxNode &node = rp.demux[in][d];
+                const auto wire = [&](int lo, int hi, OutputPort &src) {
+                    if (hi - lo >= 2) {
+                        for (std::size_t c = 0; c < rp.demux[in].size();
+                             ++c)
+                            if (rp.demux[in][c].lo == lo &&
+                                rp.demux[in][c].hi == hi)
+                                src.connect(demuxes[in][c]->in);
+                    } else {
+                        src.connect(pads[in][outs[lo]]->in);
+                    }
+                };
+                wire(node.lo, node.mid, demuxes[in][d]->out0);
+                wire(node.mid, node.hi, demuxes[in][d]->out1);
+            }
+        }
+        for (int out : outs) {
+            if (!trees[out])
+                continue;
+            const auto &fdrs = rp.feeders[out];
+            int leaf = 0;
+            while (fdrs[leaf] != in)
+                ++leaf;
+            pads[in][out]->out.connect(trees[out]->in(leaf));
+        }
+    }
+}
+
+OutputPort &
+NocRouter::out(int dir)
+{
+    if (trees[dir])
+        return trees[dir]->out();
+    return pads[rp.feeders[dir][0]][dir]->out;
+}
+
+InputPort &
+NocRouter::sel(int dir, int node, int side)
+{
+    Demux &dx = *demuxes[dir][node];
+    return side == 0 ? dx.sel0 : dx.sel1;
+}
+
+std::uint64_t
+NocRouter::collisions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &tree : trees)
+        if (tree)
+            total += tree->collisions();
+    return total;
+}
+
+int
+NocRouter::jjCount() const
+{
+    int jjs = 0;
+    for (int in = 0; in < kDirCount; ++in) {
+        if (bufs[in])
+            jjs += bufs[in]->jjCount();
+        for (const auto &dx : demuxes[in])
+            jjs += dx->jjCount();
+        for (int out = 0; out < kDirCount; ++out)
+            if (pads[in][out])
+                jjs += pads[in][out]->jjCount();
+    }
+    for (const auto &tree : trees)
+        if (tree)
+            jjs += tree->jjCount();
+    return jjs;
+}
+
+void
+NocRouter::reset()
+{
+    for (int in = 0; in < kDirCount; ++in) {
+        if (bufs[in])
+            bufs[in]->reset();
+        for (auto &dx : demuxes[in])
+            dx->reset();
+        for (int out = 0; out < kDirCount; ++out)
+            if (pads[in][out])
+                pads[in][out]->reset();
+    }
+    for (auto &tree : trees)
+        if (tree)
+            tree->reset();
+}
+
+NocInjector::NocInjector(Netlist &nl, const std::string &name,
+                         const EpochConfig &cfg, Tick countFrom)
+    : Component(nl, name),
+      in("in",
+         [this](Tick t) {
+             if (t < this->countFrom)
+                 return;
+             if (fired)
+                 ++late;
+             else
+                 ++count;
+         }),
+      trigger("trigger",
+              [this](Tick t) {
+                  fired = true;
+                  const int n = std::min(
+                      static_cast<int>(count), this->cfg.nmax());
+                  for (Tick at : this->cfg.streamTimes(n))
+                      out.emit(t + at);
+              }),
+      out("out", &nl.queue()), cfg(cfg), countFrom(countFrom)
+{
+    addPorts(in, trigger);
+    addPort(out);
+}
+
+void
+NocInjector::reset()
+{
+    count = 0;
+    late = 0;
+    fired = false;
+}
+
+TimingModel
+NocInjector::timingModel() const
+{
+    TimingModel model;
+    // The stream launches inside [slot/2, epoch - slot/2] after the
+    // trigger; the tile-side input only changes stored state (no arc),
+    // which is also what keeps the tile's local epoch windows from
+    // leaking onto the fabric's slot grid.
+    model.arcs.push_back({1, 0, cfg.slotWidth() / 2,
+                          cfg.duration() - cfg.slotWidth() / 2, 1});
+    model.floors.push_back({0, cfg.slotWidth()});
+    model.registered = true;
+    return model;
+}
+
+NocSink::NocSink(Netlist &nl, const std::string &name, int windows,
+                 int nmax, Tick firstArrival, Tick pitch, Tick slot)
+    : Component(nl, name),
+      in("in",
+         [this](Tick t) {
+             const Tick rel = t - base;
+             const Tick w = rel >= 0 ? rel / this->pitch : -1;
+             const Tick off =
+                 w >= 0 ? rel - w * this->pitch : static_cast<Tick>(-1);
+             if (w < 0 || w >= static_cast<Tick>(counts.size()) ||
+                 off % this->slot != 0 ||
+                 off / this->slot >= this->nmax)
+                 ++offGrid;
+             else
+                 ++counts[static_cast<std::size_t>(w)];
+         }),
+      nmax(nmax), base(firstArrival), pitch(pitch), slot(slot),
+      counts(static_cast<std::size_t>(windows), 0)
+{
+    addPort(in);
+}
+
+void
+NocSink::reset()
+{
+    counts.assign(counts.size(), 0);
+    offGrid = 0;
+}
+
+} // namespace usfq::noc

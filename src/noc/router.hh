@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Pulse-level NoC hardware (docs/noc.md): the SFQ router and link
+ * models, plus the injector / sink terminals that put tile results
+ * onto the fabric and observe deliveries.
+ *
+ * A router is input-buffered and built from the cell library only: a
+ * JTL buffer per used input, a binary demux tree steering each input
+ * to its destination outputs (the TDM circuit switch -- select pulses
+ * arrive from the schedule sources at window boundaries), a pad JTL
+ * per turn equalizing every traversal to the grid-wide router latency,
+ * and a balanced merger tree per output arbitrating the inputs that
+ * feed it.  Same-slot pulses meeting in a merger collide; the router's
+ * collision ledger (collisions()) counts every such absorption.
+ *
+ * A link is a JTL chain whose last stage absorbs the slot-rounding pad,
+ * so links too contribute an exact multiple of the slot width.
+ */
+
+#ifndef USFQ_NOC_ROUTER_HH
+#define USFQ_NOC_ROUTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adder.hh"
+#include "noc/plan.hh"
+#include "sfq/cells.hh"
+#include "sim/component.hh"
+#include "sim/netlist.hh"
+
+namespace usfq::noc
+{
+
+/** A mesh link: @p hops JTL stages padded to @p targetLatency. */
+class NocLink : public Component
+{
+  public:
+    NocLink(Netlist &nl, const std::string &name, int hops,
+            Tick targetLatency);
+
+    InputPort &in() { return stages.front()->in; }
+    OutputPort &out() { return stages.back()->out; }
+
+    static long long
+    jjsFor(int hops)
+    {
+        return static_cast<long long>(hops) * cell::kJtlJJs;
+    }
+
+    int jjCount() const override;
+
+  private:
+    std::vector<std::unique_ptr<Jtl>> stages;
+};
+
+/**
+ * One mesh router, instantiated from its RouterPlan.  All internal
+ * cells register as hierarchy children, so lint, STA and report()
+ * see the real circuit; jjCount() is the inclusive composite total
+ * (the builder create<>s the router, not its members).
+ */
+class NocRouter : public Component
+{
+  public:
+    NocRouter(Netlist &nl, const std::string &name,
+              const RouterPlan &plan, Tick routerLatency);
+
+    const RouterPlan &plan() const { return rp; }
+
+    /** Input port of direction @p dir (must be used by the plan). */
+    InputPort &in(int dir) { return bufs[dir]->in; }
+    const InputPort &in(int dir) const { return bufs[dir]->in; }
+
+    /** Output port of direction @p dir (must be used by the plan). */
+    OutputPort &out(int dir);
+
+    /**
+     * Select input of demux-tree node @p node on input @p dir; side 0
+     * steers to the low branch range.  Driven by the TDM schedule
+     * sources the grid builder creates.
+     */
+    InputPort &sel(int dir, int node, int side);
+
+    /** Collision ledger: pulses absorbed by this router's mergers. */
+    std::uint64_t collisions() const;
+
+    int jjCount() const override;
+    void reset() override;
+
+  private:
+    RouterPlan rp;
+    std::unique_ptr<Jtl> bufs[kDirCount];
+    std::vector<std::unique_ptr<Demux>> demuxes[kDirCount];
+    std::unique_ptr<Jtl> pads[kDirCount][kDirCount];
+    std::unique_ptr<MergerTreeAdder> trees[kDirCount];
+};
+
+/**
+ * Flow source terminal: counts the pulses its tile emits (from
+ * @p countFrom onward), then re-times the value as a clean Euclidean
+ * pulse stream when the TDM trigger fires -- the PNM-style
+ * store-and-regenerate boundary between a tile's local epoch and the
+ * fabric's global slot grid.  Idealized: jjCount() is 0 and the
+ * trigger comes from a schedule source, so the terminal adds no area;
+ * the fabric area model is routers + links (fabricJJs()).
+ */
+class NocInjector : public Component
+{
+  public:
+    NocInjector(Netlist &nl, const std::string &name,
+                const EpochConfig &cfg, Tick countFrom);
+
+    InputPort in;      ///< tile result pulses (counted)
+    InputPort trigger; ///< TDM window start: emit the stream
+    OutputPort out;    ///< Euclidean stream of the counted value
+
+    /** Pulses counted toward the injected value. */
+    std::uint64_t counted() const { return count; }
+
+    /** Tile pulses that arrived after the trigger (schedule bug). */
+    std::uint64_t latePulses() const { return late; }
+
+    int jjCount() const override { return 0; }
+    void reset() override;
+    TimingModel timingModel() const override;
+
+  private:
+    EpochConfig cfg;
+    Tick countFrom;
+    std::uint64_t count = 0;
+    std::uint64_t late = 0;
+    bool fired = false;
+};
+
+/**
+ * Observation terminal at a sink tile: bins every delivered pulse into
+ * its TDM window and checks it sits exactly on the global slot grid
+ * (misaligned() counts violations -- always 0 for a well-formed plan).
+ * Idealized observation pad, jjCount() 0.
+ */
+class NocSink : public Component
+{
+  public:
+    /** @p firstArrival: arrival time of a slot-0 pulse of window 0
+     *  (computeStart + maxFlowLatency + slot/2 in plan terms). */
+    NocSink(Netlist &nl, const std::string &name, int windows,
+            int nmax, Tick firstArrival, Tick pitch, Tick slot);
+
+    InputPort in;
+
+    const std::vector<std::uint64_t> &windowCounts() const
+    {
+        return counts;
+    }
+    std::uint64_t misaligned() const { return offGrid; }
+
+    int jjCount() const override { return 0; }
+    void reset() override;
+
+  private:
+    int nmax;
+    Tick base; ///< arrival time of slot 0 of window 0
+    Tick pitch;
+    Tick slot;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t offGrid = 0;
+};
+
+} // namespace usfq::noc
+
+#endif // USFQ_NOC_ROUTER_HH

@@ -347,19 +347,95 @@ HierReport::print(std::ostream &os, int max_depth) const
     // tree, so pre-STA report output is unchanged.
     const bool slack = root.hasSlack;
 
-    os << std::left << std::setw(44) << "block" << std::right
-       << std::setw(8) << "JJ" << std::setw(9) << "childJJ"
-       << std::setw(12) << "switches" << std::setw(12) << "inPulses"
-       << std::setw(12) << "outPulses" << std::setw(8) << "lost";
-    if (slack)
-        os << std::setw(11) << "slack(ps)";
+    // Columns size themselves to their widest cell (fabric-scale
+    // rollups overflow any fixed layout: hundreds of tiles push both
+    // the indented labels and the pulse totals past single-tile
+    // widths).  The measuring pass mirrors the printing pass exactly.
+    enum
+    {
+        kJj,
+        kChildJj,
+        kSwitches,
+        kIn,
+        kOut,
+        kLost,
+        kSlack,
+        kCols
+    };
+    static const char *const kHeaders[kCols] = {
+        "JJ",       "childJJ",   "switches", "inPulses",
+        "outPulses", "lost",     "slack(ps)"};
+    const auto slackText = [](const Node &n) -> std::string {
+        if (!n.hasSlack)
+            return "-";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      ticksToPs(n.worstSlack));
+        return buf;
+    };
+    const auto cellText = [&](const Node &n, int col) -> std::string {
+        switch (col) {
+        case kJj:
+            return std::to_string(n.jj);
+        case kChildJj:
+            return std::to_string(n.jjChildren);
+        case kSwitches:
+            return std::to_string(n.switches);
+        case kIn:
+            return std::to_string(n.inPulses);
+        case kOut:
+            return std::to_string(n.outPulses);
+        case kLost:
+            return std::to_string(n.lost);
+        default:
+            return slackText(n);
+        }
+    };
+
+    std::size_t labelWidth = std::string("block").size();
+    std::size_t width[kCols];
+    for (int c = 0; c < kCols; ++c)
+        width[c] = std::string(kHeaders[c]).size();
+
+    struct Measure
+    {
+        int max_depth;
+        std::size_t &labelWidth;
+        std::size_t *width;
+        const decltype(cellText) &cell;
+
+        void
+        visit(const Node &n, int depth)
+        {
+            if (max_depth >= 0 && depth > max_depth)
+                return;
+            labelWidth =
+                std::max(labelWidth, static_cast<std::size_t>(depth) *
+                                             2 +
+                                         n.name.size());
+            for (int c = 0; c < kCols; ++c)
+                width[c] = std::max(width[c], cell(n, c).size());
+            for (const auto &child : n.children)
+                visit(child, depth + 1);
+        }
+    };
+    Measure{max_depth, labelWidth, width, cellText}.visit(root, 0);
+
+    const int lastCol = slack ? kCols : kCols - 1;
+    os << std::left << std::setw(static_cast<int>(labelWidth))
+       << "block" << std::right;
+    for (int c = 0; c < lastCol; ++c)
+        os << std::setw(static_cast<int>(width[c]) + 2) << kHeaders[c];
     os << "\n";
 
     struct Printer
     {
         std::ostream &os;
         int max_depth;
-        bool slack;
+        int lastCol;
+        std::size_t labelWidth;
+        const std::size_t *width;
+        const decltype(cellText) &cell;
 
         void
         visit(const Node &n, int depth)
@@ -368,27 +444,18 @@ HierReport::print(std::ostream &os, int max_depth) const
                 return;
             std::string label(static_cast<std::size_t>(depth) * 2, ' ');
             label += n.name;
-            os << std::left << std::setw(44) << label << std::right
-               << std::setw(8) << n.jj << std::setw(9) << n.jjChildren
-               << std::setw(12) << n.switches << std::setw(12)
-               << n.inPulses << std::setw(12) << n.outPulses
-               << std::setw(8) << n.lost;
-            if (slack) {
-                if (n.hasSlack) {
-                    char buf[32];
-                    std::snprintf(buf, sizeof(buf), "%.1f",
-                                  ticksToPs(n.worstSlack));
-                    os << std::setw(11) << buf;
-                } else {
-                    os << std::setw(11) << "-";
-                }
-            }
+            os << std::left << std::setw(static_cast<int>(labelWidth))
+               << label << std::right;
+            for (int c = 0; c < lastCol; ++c)
+                os << std::setw(static_cast<int>(width[c]) + 2)
+                   << cell(n, c);
             os << "\n";
             for (const auto &child : n.children)
                 visit(child, depth + 1);
         }
     };
-    Printer{os, max_depth, slack}.visit(root, 0);
+    Printer{os, max_depth, lastCol, labelWidth, width, cellText}.visit(
+        root, 0);
 }
 
 } // namespace usfq

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Temporal NoC unit tests (src/noc/, docs/noc.md): plan validation and
+ * placement properties, the slot-aligned latency budget, TDM window
+ * coloring, closed-form fabric area against the built netlist, router
+ * merger/ledger behavior, sink alignment, small-grid pulse-vs-
+ * functional differentials, fabric STA route extraction, and the
+ * dynamic report-column layout that fabric-scale rollups rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "func/noc.hh"
+#include "noc/grid.hh"
+#include "noc/plan.hh"
+#include "noc/sta.hh"
+#include "sim/elaborate.hh"
+#include "sim/netlist.hh"
+#include "util/logging.hh"
+
+namespace usfq
+{
+namespace
+{
+
+noc::GridSpec
+meshSpec(int rows, int cols, bool shared = false,
+         DpuMode mode = DpuMode::Bipolar)
+{
+    noc::GridSpec spec;
+    spec.rows = rows;
+    spec.cols = cols;
+    spec.kind = noc::TileKind::Dpu;
+    spec.taps = 2;
+    spec.bits = 4;
+    spec.mode = mode;
+    spec.flows = noc::columnCollectFlows(rows, cols);
+    spec.sharedSinkWindows = shared;
+    return spec;
+}
+
+TEST(NocPlan, ValidateRejectsBadSpecs)
+{
+    std::string err;
+
+    noc::GridSpec spec = meshSpec(2, 2);
+    EXPECT_TRUE(spec.validate(&err)) << err;
+
+    spec.rows = 0;
+    EXPECT_FALSE(spec.validate(&err));
+    EXPECT_NE(err.find("rows and cols"), std::string::npos);
+
+    spec = meshSpec(2, 2);
+    spec.flows = {{1, 1}};
+    EXPECT_FALSE(spec.validate(&err));
+    EXPECT_NE(err.find("src and dst must differ"), std::string::npos);
+
+    spec = meshSpec(2, 2);
+    spec.flows = {{2, 0}, {2, 1}};
+    EXPECT_FALSE(spec.validate(&err));
+    EXPECT_NE(err.find("one flow per source"), std::string::npos);
+
+    spec = meshSpec(2, 2);
+    spec.flows = {{4, 0}};
+    EXPECT_FALSE(spec.validate(&err));
+    EXPECT_NE(err.find("tile ids"), std::string::npos);
+}
+
+TEST(NocPlan, RoutesAreXYAndLatenciesSlotAligned)
+{
+    const noc::GridPlan plan = noc::planGrid(meshSpec(4, 4));
+    const Tick slot = plan.cfg.slotWidth();
+    ASSERT_EQ(plan.flows.size(), 12u);
+
+    EXPECT_EQ(plan.routerLatency % slot, 0);
+    EXPECT_EQ(plan.linkLatency % slot, 0);
+    EXPECT_EQ(plan.windowPitch, plan.cfg.duration() + plan.maxFlowLatency);
+
+    for (const noc::FlowPlan &f : plan.flows) {
+        // XY dimension order: column moves (E/W) never follow a row
+        // move (N/S).
+        bool sawRowMove = false;
+        for (std::size_t k = 0; k < f.routers.size(); ++k) {
+            const int out = f.outDir[k];
+            if (out == noc::kDirN || out == noc::kDirS)
+                sawRowMove = true;
+            if (out == noc::kDirE || out == noc::kDirW) {
+                EXPECT_FALSE(sawRowMove) << "flow " << f.spec.src;
+            }
+        }
+        EXPECT_EQ(f.routers.front(), f.spec.src);
+        EXPECT_EQ(f.routers.back(), f.spec.dst);
+        EXPECT_EQ(f.inDir.front(), noc::kDirLocal);
+        EXPECT_EQ(f.outDir.back(), noc::kDirLocal);
+
+        // Equalized: latency is a slot multiple and remainingAfter
+        // walks down to zero at the sink.
+        EXPECT_EQ(f.latency % slot, 0);
+        EXPECT_LE(f.latency, plan.maxFlowLatency);
+        const int flow = static_cast<int>(&f - plan.flows.data());
+        EXPECT_EQ(plan.remainingAfter(
+                      flow, static_cast<int>(f.routers.size()) - 1),
+                  0);
+    }
+}
+
+TEST(NocPlan, ChannelSharingFlowsGetDisjointWindows)
+{
+    const noc::GridPlan plan = noc::planGrid(meshSpec(4, 1));
+
+    // All three flows ride the same column, so the TDM coloring must
+    // give each its own window: mergers never arbitrate.
+    std::set<int> windows;
+    for (const noc::FlowPlan &f : plan.flows)
+        windows.insert(f.window);
+    EXPECT_EQ(windows.size(), plan.flows.size());
+    EXPECT_EQ(plan.windows, static_cast<int>(windows.size()));
+}
+
+TEST(NocPlan, SharedSinkWindowsGroupBySink)
+{
+    noc::GridSpec spec = meshSpec(3, 3, /*shared=*/true);
+    spec.flows = noc::hotspotFlows(3, 3, /*dst=*/4);
+    const noc::GridPlan plan = noc::planGrid(spec);
+
+    // Every flow ends at the hotspot, so they all share one window.
+    for (const noc::FlowPlan &f : plan.flows)
+        EXPECT_EQ(f.window, 0);
+    EXPECT_EQ(plan.windows, 1);
+}
+
+TEST(NocPlan, FabricJJsMatchesBuiltNetlist)
+{
+    const noc::GridPlan plan = noc::planGrid(meshSpec(3, 2));
+    Netlist nl("noc");
+    noc::TileGrid grid(nl, plan);
+    grid.programOperands(noc::drawTileOperands(plan, 1));
+    nl.elaborate();
+
+    // Routers own their outgoing links in the rollup (dotted names),
+    // so summing the r*_* top-level nodes isolates fabric area from
+    // tiles / injectors / sinks.
+    const HierReport rollup = nl.report();
+    long long fabric = 0;
+    for (const auto &node : rollup.root.children)
+        if (!node.name.empty() && node.name[0] == 'r')
+            fabric += node.jj;
+    EXPECT_EQ(fabric, noc::fabricJJs(plan));
+    EXPECT_GT(fabric, 0);
+    EXPECT_LT(fabric, nl.totalJJs()); // tiles dominate
+}
+
+TEST(NocGrid, CollisionFreeScheduleDeliversEveryFlit)
+{
+    const noc::GridPlan plan = noc::planGrid(meshSpec(2, 2));
+    const noc::PulseFabricResult res = noc::runPulseFabric(plan, 7);
+
+    EXPECT_EQ(res.latePulses, 0u);
+    EXPECT_EQ(res.misaligned, 0u);
+    EXPECT_EQ(res.obs.collisions, 0u);
+
+    // Everything injected arrives: delivered == sum of tile counts.
+    std::uint64_t injected = 0;
+    for (int c :
+         func::nocTileCounts(plan, noc::drawTileOperands(plan, 7)))
+        injected += static_cast<std::uint64_t>(c);
+    EXPECT_EQ(res.obs.delivered, injected);
+}
+
+TEST(NocGrid, SharedWindowLedgerCountsMergerLoss)
+{
+    noc::GridSpec spec = meshSpec(3, 3, /*shared=*/true,
+                                  DpuMode::Unipolar);
+    spec.flows = noc::hotspotFlows(3, 3, /*dst=*/4);
+    const noc::GridPlan plan = noc::planGrid(spec);
+    const noc::PulseFabricResult res = noc::runPulseFabric(plan, 3);
+
+    EXPECT_EQ(res.latePulses, 0u);
+    EXPECT_EQ(res.misaligned, 0u);
+    EXPECT_GT(res.obs.collisions, 0u); // arbitration engaged
+
+    // Conservation: delivered + ledgered loss == injected.
+    std::uint64_t injected = 0;
+    for (int c :
+         func::nocTileCounts(plan, noc::drawTileOperands(plan, 3)))
+        injected += static_cast<std::uint64_t>(c);
+    EXPECT_EQ(res.obs.delivered + res.obs.collisions, injected);
+}
+
+TEST(NocDifferential, SmallGridsMatchFlitForFlit)
+{
+    const noc::GridSpec specs[] = {
+        meshSpec(2, 2),
+        meshSpec(4, 1),
+        meshSpec(2, 3, false, DpuMode::Unipolar),
+    };
+    for (const noc::GridSpec &spec : specs) {
+        const noc::GridPlan plan = noc::planGrid(spec);
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+            const noc::PulseFabricResult pulse =
+                noc::runPulseFabric(plan, seed);
+            const noc::FabricObservation func =
+                func::evaluateFabricSeed(plan, seed);
+            EXPECT_EQ(pulse.obs, func)
+                << spec.rows << "x" << spec.cols << " seed " << seed;
+        }
+    }
+}
+
+TEST(NocSta, AnalyzeFabricExtractsCriticalRoute)
+{
+    const noc::GridPlan plan = noc::planGrid(meshSpec(3, 3));
+    Netlist nl("noc");
+    noc::TileGrid grid(nl, plan);
+    grid.programOperands(noc::drawTileOperands(plan, 1));
+    nl.elaborate();
+
+    const noc::FabricStaReport rep = noc::analyzeFabric(nl, grid);
+    ASSERT_EQ(rep.routes.size(), plan.flows.size());
+    ASSERT_GE(rep.criticalFlow, 0);
+    EXPECT_EQ(rep.criticalLatency,
+              plan.flows[static_cast<std::size_t>(rep.criticalFlow)]
+                  .latency);
+    EXPECT_EQ(rep.criticalLatency, plan.maxFlowLatency);
+    EXPECT_GT(rep.maxRouteRateHz(), 0.0);
+
+    const std::string route =
+        noc::describeRoute(plan, rep.criticalFlow);
+    EXPECT_NE(route.find("t2_"), std::string::npos) << route;
+    EXPECT_NE(route.find("-> t0_"), std::string::npos) << route;
+}
+
+/**
+ * Satellite regression: the rollup table must keep its columns
+ * aligned however wide the cells get -- fabric-scale reports carry
+ * hundred-million-JJ totals and deeply indented labels that overflow
+ * any fixed-width layout.
+ */
+TEST(HierReportFormat, ColumnsStayAlignedAtFabricScale)
+{
+    HierReport rep;
+    rep.root.name = "noc";
+    rep.root.jj = 123456789;
+    rep.root.jjChildren = 123456789;
+    rep.root.switches = 987654321012345ull;
+    rep.root.inPulses = 55555555555ull;
+    rep.root.outPulses = 44444444444ull;
+    rep.root.lost = 3;
+
+    HierReport::Node tile;
+    tile.name = "a_rather_long_tile_instance_name_t15_15";
+    tile.jj = 7;
+    tile.switches = 12;
+    HierReport::Node leaf;
+    leaf.name = "m";
+    leaf.jj = 123456789;
+    tile.children.push_back(leaf);
+    rep.root.children.push_back(tile);
+
+    std::ostringstream os;
+    rep.print(os);
+    const std::string text = os.str();
+
+    // Parse the table back: every row must have exactly one label plus
+    // six numeric columns (no slack column pre-STA), and each column's
+    // right edge must line up across every row.
+    std::istringstream lines(text);
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("block"), std::string::npos);
+    EXPECT_NE(line.find("switches"), std::string::npos);
+    EXPECT_EQ(line.find("slack"), std::string::npos);
+
+    std::vector<std::size_t> edges;
+    for (std::size_t i = 0; i < line.size(); ++i)
+        if (line[i] != ' ' && (i + 1 == line.size() || line[i + 1] == ' '))
+            edges.push_back(i);
+    ASSERT_EQ(edges.size(), 7u); // label + 6 metric columns
+
+    int rows = 0;
+    while (std::getline(lines, line)) {
+        ++rows;
+        // Right-aligned numeric cells end exactly where the headers do
+        // (the label column is left-aligned, so skip edges[0]).
+        for (std::size_t c = 1; c < edges.size(); ++c) {
+            ASSERT_LT(edges[c], line.size()) << line;
+            EXPECT_NE(line[edges[c]], ' ') << line;
+            EXPECT_TRUE(edges[c] + 1 == line.size() ||
+                        line[edges[c] + 1] == ' ')
+                << line;
+        }
+        // No two columns ever fused: the widest cell still has a
+        // separator on its left.
+        if (const std::size_t at = line.find("987654321012345");
+            at != std::string::npos) {
+            EXPECT_EQ(line[at - 1], ' ') << line;
+        }
+    }
+    EXPECT_EQ(rows, 3); // root, tile, leaf
+}
+
+} // namespace
+} // namespace usfq

@@ -19,6 +19,7 @@
 
 #include "api/facade.hh"
 #include "api/spec.hh"
+#include "api/usfq.h"
 #include "sfq/cells.hh"
 #include "sfq/sources.hh"
 #include "sim/netlist.hh"
@@ -419,6 +420,139 @@ TEST(SvcBroker, MergedStatsAreSchedulingIndependent)
     };
 
     EXPECT_EQ(runThrough(1), runThrough(4));
+}
+
+api::NetlistSpec
+nocSpec(int rows = 3, int cols = 3)
+{
+    api::NetlistSpec spec;
+    spec.kind = api::WorkloadKind::NocMesh;
+    spec.name = "mesh";
+    spec.gridRows = rows;
+    spec.gridCols = cols;
+    spec.taps = 2;
+    spec.bits = 4;
+    return spec;
+}
+
+TEST(SvcBroker, NocRequestBackpressuresAndDrainsInOrder)
+{
+    svc::BrokerOptions opts;
+    opts.workers = 1;
+    opts.queueCapacity = 2;
+    svc::Broker broker(opts);
+
+    // A pulse-level NoC fabric run occupies the single worker for far
+    // longer than a submit takes, so admission control must start
+    // rejecting once the queue fills behind it.
+    api::RunParams slow = functionalParams(4);
+    slow.backend = Backend::PulseLevel;
+    auto first = broker.submit(
+        svc::Request{nocSpec(), slow, svc::RequestIntent::Audit});
+    ASSERT_TRUE(first.has_value());
+
+    std::vector<std::future<svc::Response>> queued;
+    bool rejected = false;
+    for (int i = 0; i < 100000 && !rejected; ++i) {
+        api::RunParams fast = functionalParams(2);
+        fast.seed = 0x9000u + static_cast<std::uint64_t>(i);
+        auto f = broker.submit(svc::Request{
+            nocSpec(), fast, svc::RequestIntent::Throughput});
+        if (f.has_value())
+            queued.push_back(std::move(f.value()));
+        else
+            rejected = true;
+    }
+    EXPECT_TRUE(rejected);
+    EXPECT_GT(broker.stats().rejected, 0u);
+
+    broker.drain();
+    svc::Response r0 = first->get();
+    EXPECT_EQ(r0.status, api::Status::Ok);
+    EXPECT_EQ(r0.backend, Backend::PulseLevel);
+    EXPECT_NE(r0.json.find("\"grid_rows\""), std::string::npos);
+
+    // FIFO drain: responses carry the monotonically assigned request
+    // ids, and the single worker serves the deque in admission order.
+    std::uint64_t lastId = r0.requestId;
+    for (auto &f : queued) {
+        svc::Response r = f.get();
+        EXPECT_EQ(r.status, api::Status::Ok);
+        EXPECT_GT(r.requestId, lastId);
+        lastId = r.requestId;
+    }
+    EXPECT_EQ(broker.stats().completed, queued.size() + 1);
+}
+
+TEST(SvcCacheAbi, StatsAndEvictionOrderThroughTheCAbi)
+{
+    usfq_cache *cache = nullptr;
+    ASSERT_EQ(usfq_cache_create(2, &cache), USFQ_OK);
+
+    const auto makeEngine = [](int taps) {
+        usfq_engine *eng = nullptr;
+        const std::string spec = "{\"kind\": \"dpu\", \"taps\": " +
+                                 std::to_string(taps) +
+                                 ", \"bits\": 4}";
+        EXPECT_EQ(usfq_engine_create(spec.c_str(), &eng), USFQ_OK);
+        return eng;
+    };
+    const auto runCached = [&cache](usfq_engine *eng) {
+        int32_t hit = -1;
+        char *json = nullptr;
+        EXPECT_EQ(usfq_engine_run_cached(eng, cache,
+                                         "{\"epochs\": 2}", &hit,
+                                         &json),
+                  USFQ_OK);
+        EXPECT_NE(json, nullptr);
+        usfq_string_free(json);
+        return hit;
+    };
+
+    usfq_engine *a = makeEngine(2);
+    usfq_engine *b = makeEngine(3);
+    usfq_engine *c = makeEngine(4);
+
+    EXPECT_EQ(runCached(a), 0); // miss: cache = [a]
+    EXPECT_EQ(runCached(b), 0); // miss: cache = [b, a]
+    EXPECT_EQ(runCached(a), 1); // hit refreshes: cache = [a, b]
+    EXPECT_EQ(runCached(c), 0); // miss evicts LRU b: cache = [c, a]
+    EXPECT_EQ(runCached(a), 1); // a survived the eviction
+    EXPECT_EQ(runCached(b), 0); // b did not: the refresh reordered
+
+    char *stats = nullptr;
+    ASSERT_EQ(usfq_cache_stats(cache, &stats), USFQ_OK);
+    const std::string json(stats);
+    usfq_string_free(stats);
+    EXPECT_NE(json.find("\"capacity\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"size\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"hits\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"misses\": 4"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"evictions\": 2"), std::string::npos)
+        << json;
+
+    // Byte identity of a hit against the recomputation it replaced.
+    char *fresh = nullptr;
+    char *cached = nullptr;
+    EXPECT_EQ(usfq_engine_run(b, "{\"epochs\": 2}", &fresh), USFQ_OK);
+    int32_t hit = -1;
+    EXPECT_EQ(usfq_engine_run_cached(b, cache, "{\"epochs\": 2}",
+                                     &hit, &cached),
+              USFQ_OK);
+    EXPECT_EQ(hit, 1);
+    EXPECT_STREQ(fresh, cached);
+    usfq_string_free(fresh);
+    usfq_string_free(cached);
+
+    usfq_engine_destroy(a);
+    usfq_engine_destroy(b);
+    usfq_engine_destroy(c);
+    usfq_cache_destroy(cache);
+
+    // NULL / zero-capacity argument armor.
+    EXPECT_EQ(usfq_cache_create(0, &cache), USFQ_ERR_INVALID_ARG);
+    char *out = nullptr;
+    EXPECT_EQ(usfq_cache_stats(nullptr, &out), USFQ_ERR_INVALID_ARG);
 }
 
 } // namespace
