@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Bench-artifact regression gate (docs/observability.md): compare a
+ * freshly generated artifact directory against the committed baseline
+ * (artifacts/) and fail on regressions.
+ *
+ *     bench_diff [--threshold PCT] [--perf-threshold PCT] \
+ *                <baseline_dir> <fresh_dir>
+ *     bench_diff --self-test <baseline_dir>
+ *
+ * Every BENCH_*.json in the baseline must exist in the fresh set, and
+ * every baseline metric must reappear.  Deterministic metrics (JJ
+ * counts, delivered flits, error figures -- everything the engines
+ * compute) must match exactly, or within --threshold percent when
+ * given.  Wall-clock-derived metrics (throughput, speedups, raw
+ * timings: keys containing "speedup", "per_second", "ns_per",
+ * "us_per", "wall", "real_time" or "cpu_time") are machine-dependent,
+ * so they gate only when --perf-threshold is given, and then only
+ * against regressions in their good direction.
+ * result_digest notes must match exactly -- they fingerprint what the
+ * engines observed.
+ *
+ * --self-test proves the gate can fire: it degrades a copy of the
+ * baseline in memory (a deterministic metric bumped, a result digest
+ * flipped) and exits 0 only if both degradations are detected.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+struct Artifact
+{
+    std::string name; ///< file name (BENCH_*.json)
+    std::map<std::string, double> metrics;
+    std::map<std::string, std::string> notes;
+};
+
+/** True for metrics derived from wall-clock time, not simulation. */
+bool
+isPerfMetric(const std::string &key)
+{
+    for (const char *tag :
+         {"speedup", "per_second", "ns_per", "us_per", "wall",
+          "real_time", "cpu_time"})
+        if (key.find(tag) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** True when a larger value of @p key is better. */
+bool
+higherIsBetter(const std::string &key)
+{
+    return key.find("speedup") != std::string::npos ||
+           key.find("per_second") != std::string::npos;
+}
+
+bool
+loadArtifact(const fs::path &path, Artifact &out, std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open " + path.string();
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    usfq::JsonValue doc;
+    if (!usfq::parseJson(buf.str(), doc, &err)) {
+        err = path.string() + ": " + err;
+        return false;
+    }
+    out.name = path.filename().string();
+    if (const usfq::JsonValue *metrics = doc.find("metrics");
+        metrics != nullptr) {
+        for (const auto &[key, m] : metrics->object) {
+            const usfq::JsonValue *value = m.find("value");
+            if (value != nullptr &&
+                value->type == usfq::JsonValue::Type::Number)
+                out.metrics[key] = value->number;
+        }
+    }
+    if (const usfq::JsonValue *notes = doc.find("notes");
+        notes != nullptr) {
+        for (const auto &[key, n] : notes->object)
+            if (n.type == usfq::JsonValue::Type::String)
+                out.notes[key] = n.str;
+    }
+    return true;
+}
+
+bool
+loadDirectory(const std::string &dir,
+              std::map<std::string, Artifact> &out)
+{
+    if (!fs::is_directory(dir)) {
+        std::fprintf(stderr, "bench_diff: %s is not a directory\n",
+                     dir.c_str());
+        return false;
+    }
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        const std::string base = entry.path().filename().string();
+        if (base.rfind("BENCH_", 0) != 0 ||
+            entry.path().extension() != ".json")
+            continue;
+        Artifact a;
+        std::string err;
+        if (!loadArtifact(entry.path(), a, err)) {
+            std::fprintf(stderr, "bench_diff: %s\n", err.c_str());
+            return false;
+        }
+        out.emplace(base, std::move(a));
+    }
+    return true;
+}
+
+/**
+ * Compare @p fresh against @p baseline.  Returns the regression
+ * messages (empty = gate passes).  @p threshold / @p perfThreshold in
+ * percent; a negative perfThreshold skips perf metrics entirely.
+ */
+std::vector<std::string>
+compare(const std::map<std::string, Artifact> &baseline,
+        const std::map<std::string, Artifact> &fresh, double threshold,
+        double perfThreshold)
+{
+    std::vector<std::string> failures;
+    for (const auto &[name, base] : baseline) {
+        const auto it = fresh.find(name);
+        if (it == fresh.end()) {
+            failures.push_back(name + ": missing from fresh run");
+            continue;
+        }
+        const Artifact &now = it->second;
+        for (const auto &[key, was] : base.metrics) {
+            const auto mi = now.metrics.find(key);
+            if (mi == now.metrics.end()) {
+                failures.push_back(name + ": metric " + key +
+                                   " disappeared");
+                continue;
+            }
+            const double is = mi->second;
+            const double scale = std::max(std::abs(was), 1e-12);
+            if (isPerfMetric(key)) {
+                if (perfThreshold < 0.0)
+                    continue;
+                const double regression =
+                    (higherIsBetter(key) ? was - is : is - was) /
+                    scale * 100.0;
+                if (regression > perfThreshold) {
+                    char msg[256];
+                    std::snprintf(msg, sizeof msg,
+                                  "%s: %s regressed %.1f%% "
+                                  "(%g -> %g)",
+                                  name.c_str(), key.c_str(),
+                                  regression, was, is);
+                    failures.emplace_back(msg);
+                }
+                continue;
+            }
+            const double drift =
+                std::abs(is - was) / scale * 100.0;
+            if (drift > threshold) {
+                char msg[256];
+                std::snprintf(msg, sizeof msg,
+                              "%s: %s drifted %.3f%% (%g -> %g)",
+                              name.c_str(), key.c_str(), drift, was,
+                              is);
+                failures.emplace_back(msg);
+            }
+        }
+        const auto bd = base.notes.find("result_digest");
+        if (bd != base.notes.end()) {
+            const auto nd = now.notes.find("result_digest");
+            if (nd == now.notes.end())
+                failures.push_back(name +
+                                   ": result_digest disappeared");
+            else if (nd->second != bd->second)
+                failures.push_back(name + ": result_digest changed (" +
+                                   bd->second + " -> " + nd->second +
+                                   ")");
+        }
+    }
+    return failures;
+}
+
+/** Degrade a baseline copy and verify compare() catches it. */
+int
+selfTest(const std::map<std::string, Artifact> &baseline)
+{
+    if (baseline.empty()) {
+        std::fprintf(stderr,
+                     "bench_diff: self-test needs a non-empty "
+                     "baseline\n");
+        return 1;
+    }
+    bool metricDegraded = false;
+    bool digestDegraded = false;
+    std::map<std::string, Artifact> degraded = baseline;
+    for (auto &[name, artifact] : degraded) {
+        if (!metricDegraded)
+            for (auto &[key, value] : artifact.metrics)
+                if (!isPerfMetric(key) && value != 0.0) {
+                    value *= 1.5;
+                    metricDegraded = true;
+                    break;
+                }
+        if (!digestDegraded) {
+            const auto d = artifact.notes.find("result_digest");
+            if (d != artifact.notes.end()) {
+                d->second += "_corrupt";
+                digestDegraded = true;
+            }
+        }
+    }
+    if (!metricDegraded) {
+        std::fprintf(stderr,
+                     "bench_diff: self-test found no degradable "
+                     "metric\n");
+        return 1;
+    }
+    const std::vector<std::string> failures =
+        compare(baseline, degraded, 0.0, -1.0);
+    const std::size_t expected =
+        (metricDegraded ? 1u : 0u) + (digestDegraded ? 1u : 0u);
+    if (failures.size() < expected) {
+        std::fprintf(stderr,
+                     "bench_diff: self-test FAILED -- %zu degradations "
+                     "injected, %zu detected\n",
+                     expected, failures.size());
+        return 1;
+    }
+    // And the clean comparison must stay clean.
+    if (!compare(baseline, baseline, 0.0, -1.0).empty()) {
+        std::fprintf(stderr,
+                     "bench_diff: self-test FAILED -- clean baseline "
+                     "compared unequal to itself\n");
+        return 1;
+    }
+    std::printf("bench_diff: self-test ok (%zu injected degradations "
+                "all detected)\n",
+                expected);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double threshold = 0.0;
+    double perfThreshold = -1.0;
+    bool runSelfTest = false;
+    std::vector<std::string> dirs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--self-test") {
+            runSelfTest = true;
+        } else if (arg == "--threshold" && i + 1 < argc) {
+            threshold = std::atof(argv[++i]);
+        } else if (arg == "--perf-threshold" && i + 1 < argc) {
+            perfThreshold = std::atof(argv[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "bench_diff: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            dirs.push_back(arg);
+        }
+    }
+    if (runSelfTest ? dirs.size() != 1 : dirs.size() != 2) {
+        std::fprintf(
+            stderr,
+            "usage: bench_diff [--threshold PCT] [--perf-threshold "
+            "PCT] <baseline_dir> <fresh_dir>\n"
+            "       bench_diff --self-test <baseline_dir>\n");
+        return 2;
+    }
+
+    std::map<std::string, Artifact> baseline;
+    if (!loadDirectory(dirs[0], baseline))
+        return 1;
+    if (runSelfTest)
+        return selfTest(baseline);
+
+    std::map<std::string, Artifact> fresh;
+    if (!loadDirectory(dirs[1], fresh))
+        return 1;
+    const std::vector<std::string> failures =
+        compare(baseline, fresh, threshold, perfThreshold);
+    for (const std::string &f : failures)
+        std::fprintf(stderr, "bench_diff: REGRESSION %s\n", f.c_str());
+    std::printf("bench_diff: %zu baseline artifacts, %zu regressions\n",
+                baseline.size(), failures.size());
+    return failures.empty() ? 0 : 1;
+}

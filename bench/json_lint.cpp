@@ -3,16 +3,41 @@
  * Artifact linter: parse every JSON file named on the command line and
  * fail (exit 1) on the first malformed one.  Files whose name starts
  * with BENCH_ are additionally checked against the artifact schema
- * (bench/schema/metrics keys present).  scripts/check.sh runs this
- * over the artifacts a bench sweep produced.
+ * (bench/schema/metrics keys present, a numeric schema_version at or
+ * above the digest-carrying revision).  Where one bench emitted both a
+ * _pulse and a _functional artifact carrying a result_digest note, the
+ * two digests must agree -- the engines' equivalence contract checked
+ * at the artifact level.  scripts/check.sh runs this over the
+ * artifacts a bench sweep produced.
  */
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "util/json.hh"
+
+namespace
+{
+
+/** Oldest artifact schema this linter accepts. */
+constexpr double kMinSchemaVersion = 3.0;
+
+/** Strip one suffix; true (and shortens @p s) when it was there. */
+bool
+stripSuffix(std::string &s, const std::string &suffix)
+{
+    if (s.size() < suffix.size() ||
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) !=
+            0)
+        return false;
+    s.resize(s.size() - suffix.size());
+    return true;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -22,6 +47,8 @@ main(int argc, char **argv)
         return 2;
     }
     int bad = 0;
+    // stem -> per-backend result_digest note ("pulse"/"functional").
+    std::map<std::string, std::map<std::string, std::string>> digests;
     for (int i = 1; i < argc; ++i) {
         const std::string path = argv[i];
         std::ifstream in(path);
@@ -55,6 +82,35 @@ main(int argc, char **argv)
                              path.c_str());
                 ++bad;
                 continue;
+            }
+            // Every artifact must self-describe its schema revision.
+            const usfq::JsonValue *version =
+                doc.find("schema_version");
+            if (version == nullptr ||
+                version->type != usfq::JsonValue::Type::Number ||
+                version->number < kMinSchemaVersion) {
+                std::fprintf(stderr,
+                             "json_lint: %s: missing or stale "
+                             "schema_version (need a number >= %g)\n",
+                             path.c_str(), kMinSchemaVersion);
+                ++bad;
+                continue;
+            }
+            // Remember result_digest notes for the cross-backend
+            // equivalence check after the scan.
+            {
+                std::string stem = base;
+                std::string backend;
+                if (stripSuffix(stem, "_pulse.json"))
+                    backend = "pulse";
+                else if (stripSuffix(stem, "_functional.json"))
+                    backend = "functional";
+                const usfq::JsonValue *notes = doc.find("notes");
+                const usfq::JsonValue *digest =
+                    notes ? notes->find("result_digest") : nullptr;
+                if (!backend.empty() && digest != nullptr &&
+                    digest->type == usfq::JsonValue::Type::String)
+                    digests[stem][backend] = digest->str;
             }
             // Batched-engine artifacts (BENCH_*_batched.json) must
             // record the lane count they measured at: downstream
@@ -114,6 +170,28 @@ main(int argc, char **argv)
             }
         }
         std::printf("json_lint: %s ok\n", path.c_str());
+    }
+    // Cross-backend equivalence: where one bench wrote both a pulse
+    // and a functional artifact with result_digest notes, the engines
+    // must have observed the same result.
+    for (const auto &[stem, byBackend] : digests) {
+        const auto pulse = byBackend.find("pulse");
+        const auto functional = byBackend.find("functional");
+        if (pulse == byBackend.end() ||
+            functional == byBackend.end())
+            continue;
+        if (pulse->second != functional->second) {
+            std::fprintf(stderr,
+                         "json_lint: %s: pulse and functional "
+                         "result_digest disagree (%s vs %s)\n",
+                         stem.c_str(), pulse->second.c_str(),
+                         functional->second.c_str());
+            ++bad;
+        } else {
+            std::printf("json_lint: %s pulse/functional digests "
+                        "agree\n",
+                        stem.c_str());
+        }
     }
     return bad == 0 ? 0 : 1;
 }

@@ -12,24 +12,36 @@
 //   * the cache produced hits, and
 //   * backpressure (submit() returning nullopt) was observed.
 //
+// With USFQ_TRACE_OUT set the run additionally audits the request
+// traces: every admitted request must have produced one complete span
+// chain (a "request" root with queue_wait and cache_probe children),
+// and the exported file must parse as Trace Event JSON.
+//
 // Exits nonzero when any of those fail, so scripts/check.sh and the
 // `svc` ctest tier run it as the broker smoke (svc_serve_smoke).
 //
 //   usfq_serve [--requests N] [--workers N] [--queue N] [--cache N]
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
+#include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/facade.hh"
 #include "api/spec.hh"
+#include "obs/perfetto.hh"
+#include "obs/trace.hh"
 #include "svc/broker.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 using namespace usfq;
@@ -176,6 +188,69 @@ makeTemplates()
     return t;
 }
 
+/**
+ * Audit the global trace log: every one of @p requests admitted
+ * requests must read back as one complete span chain -- a "request"
+ * root whose children include the queue_wait and cache_probe steps,
+ * with no dangling parent ids.  Returns false (with a diagnostic) on
+ * the first violation.
+ */
+bool
+auditSpanChains(int requests)
+{
+    const std::vector<obs::TraceSpan> spans =
+        obs::TraceLog::global().snapshot();
+    struct Chain
+    {
+        std::uint64_t rootSpan = 0;
+        bool queueWait = false;
+        bool cacheProbe = false;
+    };
+    std::map<std::uint64_t, Chain> chains;
+    for (const obs::TraceSpan &s : spans)
+        if (s.parentSpanId == 0 && s.name == "request")
+            chains[s.traceId].rootSpan = s.spanId;
+    for (const obs::TraceSpan &s : spans) {
+        if (s.parentSpanId == 0)
+            continue;
+        const auto it = chains.find(s.traceId);
+        if (it == chains.end() ||
+            s.parentSpanId != it->second.rootSpan) {
+            std::fprintf(stderr,
+                         "usfq_serve: span \"%s\" of trace %llu has a "
+                         "dangling parent\n",
+                         s.name.c_str(),
+                         static_cast<unsigned long long>(s.traceId));
+            return false;
+        }
+        if (s.name == "queue_wait")
+            it->second.queueWait = true;
+        else if (s.name == "cache_probe")
+            it->second.cacheProbe = true;
+    }
+    if (chains.size() != static_cast<std::size_t>(requests)) {
+        std::fprintf(stderr,
+                     "usfq_serve: %zu span chains for %d admitted "
+                     "requests\n",
+                     chains.size(), requests);
+        return false;
+    }
+    for (const auto &[traceId, chain] : chains) {
+        if (!chain.queueWait || !chain.cacheProbe) {
+            std::fprintf(stderr,
+                         "usfq_serve: trace %llu is missing its %s "
+                         "span\n",
+                         static_cast<unsigned long long>(traceId),
+                         chain.queueWait ? "cache_probe"
+                                         : "queue_wait");
+            return false;
+        }
+    }
+    std::printf("usfq_serve: %zu traces, each a complete span chain\n",
+                chains.size());
+    return true;
+}
+
 long
 argValue(int argc, char **argv, int &i, const char *flag)
 {
@@ -307,6 +382,17 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cs.misses),
                 100.0 * cs.hitRate(),
                 static_cast<unsigned long long>(cs.insertions));
+    std::printf("usfq_serve: queue depth high-water %llu of %zu\n",
+                static_cast<unsigned long long>(bs.queueDepthHighWater),
+                opts.queueCapacity);
+    for (std::size_t w = 0; w < bs.workerUtil.size(); ++w)
+        std::printf("usfq_serve: worker %zu: %5.1f%% busy "
+                    "(%llu us busy, %llu us idle)\n",
+                    w, 100.0 * bs.workerUtil[w].utilization(),
+                    static_cast<unsigned long long>(
+                        bs.workerUtil[w].busyUs),
+                    static_cast<unsigned long long>(
+                        bs.workerUtil[w].idleUs));
 
     if (failures != 0) {
         std::fprintf(stderr, "usfq_serve: %d failures\n", failures);
@@ -329,6 +415,42 @@ main(int argc, char **argv)
                      "(queue never filled)\n");
         return 1;
     }
+    if (bs.queueDepthHighWater == 0) {
+        std::fprintf(stderr,
+                     "usfq_serve: queue high-water never moved\n");
+        return 1;
+    }
+
+    // Request tracing (docs/observability.md, "Request tracing"):
+    // audit the span chains, export the trace, and parse it back.
+    if (obs::tracingEnabled()) {
+        if (!auditSpanChains(requests))
+            return 1;
+        if (!obs::writeTraceIfRequested()) {
+            std::fprintf(stderr,
+                         "usfq_serve: tracing on but no trace "
+                         "written\n");
+            return 1;
+        }
+        const std::string path = obs::traceOutPath();
+        std::ifstream in(path);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        JsonValue doc;
+        std::string error;
+        if (!parseJson(buf.str(), doc, &error) ||
+            doc.find("traceEvents") == nullptr) {
+            std::fprintf(stderr,
+                         "usfq_serve: %s is not Trace Event JSON "
+                         "(%s)\n",
+                         path.c_str(), error.c_str());
+            return 1;
+        }
+        std::printf("usfq_serve: trace written to %s (valid Trace "
+                    "Event JSON)\n",
+                    path.c_str());
+    }
+
     std::printf("usfq_serve: OK -- all responses bit-identical to "
                 "direct runs\n");
     return 0;

@@ -26,6 +26,19 @@
 #   ./scripts/check.sh bench-artifacts # run benches with artifact
 #                                      # output into ./artifacts/ and
 #                                      # validate every BENCH_*.json
+#   ./scripts/check.sh regress         # regression gate: regenerate
+#                                      # artifacts into a temp dir and
+#                                      # diff them against the committed
+#                                      # ./artifacts baseline
+#                                      # (bench/bench_diff.cpp), after
+#                                      # proving the gate can fire via
+#                                      # its --self-test
+#   ./scripts/check.sh obs             # observability gate: the obs
+#                                      # tier (trace round-trips, broker
+#                                      # tracing, metrics ABI), golden
+#                                      # tiers rerun with tracing forced
+#                                      # on (USFQ_TRACE_OUT), then the
+#                                      # regress stage
 #
 # docs/observability.md describes the artifact format; docs/functional.md
 # describes the diff tier (differential fuzzer + functional goldens).
@@ -38,7 +51,8 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 mode="default"
 if [[ "${1:-}" == "bench-artifacts" || "${1:-}" == "diff" ||
       "${1:-}" == "batch" || "${1:-}" == "svc" ||
-      "${1:-}" == "noc" ]]; then
+      "${1:-}" == "noc" || "${1:-}" == "regress" ||
+      "${1:-}" == "obs" ]]; then
     mode="$1"
     shift
 fi
@@ -110,6 +124,50 @@ if [[ "$mode" == "bench-artifacts" ]]; then
     echo "==> [bench-artifacts] validating ${#files[@]} artifacts"
     "$repo/build/bench/json_lint" "${files[@]}"
     echo "==> bench artifacts ok (${#files[@]} files in ./artifacts)"
+    exit 0
+fi
+
+if [[ "$mode" == "regress" || "$mode" == "obs" ]]; then
+    cmake -B "$repo/build" -S "$repo"
+    cmake --build "$repo/build" -j "$jobs"
+    tmproot="$(mktemp -d)"
+    trap 'rm -rf "$tmproot"' EXIT
+
+    if [[ "$mode" == "obs" ]]; then
+        # The obs tier: trace round-trips, broker span chains, metrics
+        # ABI, telemetry mirroring.
+        echo "==> [obs] tracing + metrics tier"
+        ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" \
+            -L 'obs' "${ctest_args[@]}"
+        # Tracing must be invisible to results: rerun the golden tier
+        # with a trace sink forced on (serially -- the test processes
+        # would race on the shared sink file), then parse what the last
+        # writer left behind.
+        echo "==> [obs] golden tier with USFQ_TRACE_OUT forced on"
+        USFQ_TRACE_OUT="$tmproot/golden_trace.json" ctest \
+            --test-dir "$repo/build" --output-on-failure -j 1 -L golden
+        if [[ -s "$tmproot/golden_trace.json" ]]; then
+            "$repo/build/bench/json_lint" "$tmproot/golden_trace.json"
+        fi
+    fi
+
+    # Regression gate: the committed ./artifacts baseline vs a fresh
+    # regeneration, after proving the gate can fire at all.
+    baseline="$repo/artifacts"
+    if [[ ! -d "$baseline" ]]; then
+        echo "==> [regress] FAILED: no committed ./artifacts baseline" >&2
+        echo "    (run ./scripts/check.sh bench-artifacts, commit it)" >&2
+        exit 1
+    fi
+    echo "==> [regress] proving the gate fires (bench_diff --self-test)"
+    "$repo/build/bench/bench_diff" --self-test "$baseline"
+    echo "==> [regress] regenerating artifacts into a scratch dir"
+    mkdir -p "$tmproot/fresh"
+    USFQ_BENCH_JSON="$tmproot/fresh" ctest --test-dir "$repo/build" \
+        --output-on-failure -j "$jobs" -L 'lint|bench-smoke' >/dev/null
+    echo "==> [regress] diffing fresh artifacts against ./artifacts"
+    "$repo/build/bench/bench_diff" "$baseline" "$tmproot/fresh"
+    echo "==> ${mode} gate passed"
     exit 0
 fi
 

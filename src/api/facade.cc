@@ -492,8 +492,11 @@ runNocMesh(const NetlistSpec &spec, const RunParams &params)
                 WordArena arena;
                 func::evaluateFabricBatch(plan, seeds, obs, arena);
                 std::vector<int> res(obs.size());
-                for (std::size_t b = 0; b < obs.size(); ++b)
+                for (std::size_t b = 0; b < obs.size(); ++b) {
+                    noc::exportFabricTelemetry(plan, obs[b],
+                                               obs::currentStats());
                     res[b] = nocDigest(obs[b]);
+                }
                 return res;
             },
             sweepOptions(params)));
@@ -501,9 +504,13 @@ runNocMesh(const NetlistSpec &spec, const RunParams &params)
     return widen(runSweep(
         epochs,
         [&](const ShardContext &ctx) {
-            if (ctx.backend == Backend::Functional)
-                return nocDigest(
-                    func::evaluateFabricSeed(plan, ctx.seed));
+            if (ctx.backend == Backend::Functional) {
+                const noc::FabricObservation obs =
+                    func::evaluateFabricSeed(plan, ctx.seed);
+                noc::exportFabricTelemetry(plan, obs,
+                                           obs::currentStats());
+                return nocDigest(obs);
+            }
             const noc::PulseFabricResult res =
                 noc::runPulseFabric(plan, ctx.seed);
             if (res.latePulses != 0 || res.misaligned != 0)
@@ -511,6 +518,8 @@ runNocMesh(const NetlistSpec &spec, const RunParams &params)
                       "(TDM schedule bug)",
                       static_cast<unsigned long long>(res.latePulses),
                       static_cast<unsigned long long>(res.misaligned));
+            noc::exportFabricTelemetry(plan, res.obs,
+                                       obs::currentStats());
             return nocDigest(res.obs);
         },
         sweepOptions(params)));

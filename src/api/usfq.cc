@@ -10,11 +10,13 @@
 #include "api/usfq.h"
 
 #include <cstdlib>
+#include <sstream>
 #include <string>
 
 #include "api/facade.hh"
 #include "api/spec.hh"
 #include "api/usfq_internal.hh"
+#include "obs/artifact.hh"
 #include "util/logging.hh"
 
 using usfq::ScopedFatalThrow;
@@ -168,6 +170,25 @@ usfq_engine_run(usfq_engine *engine, const char *params_json,
             return s;
         char *copy = dupString(
             api::resultToJson(engine->session.spec(), params, result));
+        if (copy == nullptr) {
+            engine->lastError = "out of memory";
+            return api::Status::Internal;
+        }
+        engine->metrics.mergeFrom(result.stats);
+        *out_json = copy;
+        return api::Status::Ok;
+    });
+}
+
+int32_t
+usfq_engine_metrics(usfq_engine *engine, char **out_json)
+{
+    if (out_json == nullptr)
+        return USFQ_ERR_INVALID_ARG;
+    return guarded(engine, [&] {
+        std::ostringstream os;
+        usfq::obs::writeStatsJson(os, engine->metrics);
+        char *copy = dupString(os.str());
         if (copy == nullptr) {
             engine->lastError = "out of memory";
             return api::Status::Internal;

@@ -118,6 +118,16 @@ int32_t usfq_engine_run(usfq_engine *engine, const char *params_json,
                         char **out_json);
 
 /**
+ * Deterministic stats accumulated by every successful run on this
+ * engine (usfq_engine_run and usfq_engine_run_cached misses; cache
+ * hits reuse an earlier run and add nothing), as a JSON object
+ * {"counters": ..., "gauges": ..., "histograms": ...} -- the same
+ * shape as an artifact's "stats" section.  Caller frees @p out_json
+ * with usfq_string_free.
+ */
+int32_t usfq_engine_metrics(usfq_engine *engine, char **out_json);
+
+/**
  * Shared result cache (src/svc/cache.hh): a bounded LRU keyed on the
  * content address of a run -- structural hash of the elaborated
  * netlist, spec hash, backend, seed, result-affecting params.  One
@@ -155,6 +165,56 @@ int32_t usfq_cache_stats(const usfq_cache *cache, char **out_json);
 int32_t usfq_engine_run_cached(usfq_engine *engine, usfq_cache *cache,
                                const char *params_json,
                                int32_t *out_hit, char **out_json);
+
+/**
+ * The request broker (src/svc/broker.hh) behind a flat handle: a
+ * bounded queue feeding a worker pool with backend auto-selection and
+ * a private result cache.  Lives in the service library like
+ * usfq_cache: link usfq_svc to use it.
+ */
+typedef struct usfq_broker usfq_broker;
+
+/**
+ * Create a broker with @p workers threads, a pending queue bounded at
+ * @p queue_capacity and a result cache of @p cache_capacity entries.
+ * Zero or negative values select the built-in defaults.
+ */
+int32_t usfq_broker_create(int32_t workers, uint64_t queue_capacity,
+                           uint64_t cache_capacity, usfq_broker **out);
+
+/** Shut the broker down (joining its workers) and destroy it. */
+void usfq_broker_destroy(usfq_broker *broker);
+
+/**
+ * Message describing the broker handle's last non-OK status (empty
+ * string when none).  Owned by the broker; valid until the next call.
+ */
+const char *usfq_broker_last_error(const usfq_broker *broker);
+
+/**
+ * Submit one request -- netlist-spec JSON, run-params JSON, and an
+ * intent ("default", "throughput" or "audit"; NULL means default) --
+ * and block until it completes, retrying internally while the queue
+ * exerts backpressure.  On success stores the artifact-format result
+ * document in @p out_json (caller frees with usfq_string_free); the
+ * request's own failure (lint/STA/run) comes back as this call's
+ * status.  @p out_cache_hit (optional) is set to 1 when the result
+ * came out of the broker's cache.
+ */
+int32_t usfq_broker_run(usfq_broker *broker, const char *spec_json,
+                        const char *params_json, const char *intent,
+                        int32_t *out_cache_hit, char **out_json);
+
+/**
+ * Serving-side accounting of a broker as one JSON object:
+ * {"broker": {"submitted": ..., "rejected": ..., "completed": ...,
+ * "failed": ..., "queue_depth_high_water": ..., "workers": [{"busy_us":
+ * ..., "idle_us": ..., "utilization": ...}, ...]}, "cache": {...  as
+ * usfq_cache_stats}, "stats": {... merged per-request registries, the
+ * artifact "stats" shape}}.  Caller frees with usfq_string_free.
+ */
+int32_t usfq_broker_metrics(const usfq_broker *broker,
+                            char **out_json);
 
 /** Release a string returned via a `char **` out-parameter. */
 void usfq_string_free(char *str);

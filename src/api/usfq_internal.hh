@@ -16,6 +16,7 @@
 
 #include "api/facade.hh"
 #include "api/usfq.h"
+#include "obs/stats.hh"
 #include "util/logging.hh"
 
 /** The opaque engine: a facade session plus the last-error string. */
@@ -28,6 +29,10 @@ struct usfq_engine
 
     usfq::api::Session session;
     std::string lastError;
+
+    /** Deterministic stats merged across this engine's runs
+     *  (usfq_engine_metrics). */
+    usfq::obs::StatsRegistry metrics;
 };
 
 namespace usfq::api::abi

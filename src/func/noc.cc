@@ -74,8 +74,14 @@ evaluateFabric(const noc::GridPlan &plan, const std::vector<int> &counts)
     // Router ledgers: per (router, output, window), the pulses the
     // merger tree absorbs = sum of per-input stream sizes minus the
     // overall union.  Union loss is associative, so this is exact for
-    // any balanced tree topology.
+    // any balanced tree topology.  The overall union is also exactly
+    // what survives onto the output -- the occupancy the pulse
+    // engine's NocTap counts there.
     obs.routerCollisions.assign(plan.routers.size(), 0);
+    obs.outputWindowPulses.assign(
+        plan.routers.size() * noc::kDirCount *
+            static_cast<std::size_t>(plan.windows),
+        0);
     std::map<std::tuple<int, int, int>, std::map<int, std::vector<int>>>
         via;
     for (const noc::FlowPlan &f : plan.flows)
@@ -84,7 +90,7 @@ evaluateFabric(const noc::GridPlan &plan, const std::vector<int> &counts)
                 .push_back(
                     counts[static_cast<std::size_t>(f.spec.src)]);
     for (const auto &[key, byInput] : via) {
-        const int r = std::get<0>(key);
+        const auto [r, d, w] = key;
         std::vector<int> all;
         long long inputSum = 0;
         for (const auto &[in, flowCounts] : byInput) {
@@ -92,8 +98,14 @@ evaluateFabric(const noc::GridPlan &plan, const std::vector<int> &counts)
             all.insert(all.end(), flowCounts.begin(),
                        flowCounts.end());
         }
-        const long long loss =
-            inputSum - mergerTreeUnionCount(cfg, all);
+        const long long unionOut = mergerTreeUnionCount(cfg, all);
+        obs.outputWindowPulses
+            [(static_cast<std::size_t>(r) * noc::kDirCount +
+              static_cast<std::size_t>(d)) *
+                 static_cast<std::size_t>(plan.windows) +
+             static_cast<std::size_t>(w)] =
+            static_cast<std::uint64_t>(unionOut);
+        const long long loss = inputSum - unionOut;
         obs.routerCollisions[static_cast<std::size_t>(r)] +=
             static_cast<std::uint64_t>(loss);
         obs.collisions += static_cast<std::uint64_t>(loss);

@@ -60,6 +60,7 @@ TileGrid::TileGrid(Netlist &netlist, const GridPlan &plan)
         buildTile(t, flowOf[static_cast<std::size_t>(t)]);
     buildRouters();
     buildLinks();
+    buildTaps();
 }
 
 void
@@ -242,6 +243,36 @@ TileGrid::buildLinks()
 }
 
 void
+TileGrid::buildTaps()
+{
+    const auto bases = outputWindowBases(gp);
+    taps.assign(static_cast<std::size_t>(gp.tiles()) * kDirCount,
+                nullptr);
+    for (int r = 0; r < gp.tiles(); ++r) {
+        for (int d = 0; d < kDirCount; ++d) {
+            const std::size_t ch =
+                static_cast<std::size_t>(r) * kDirCount +
+                static_cast<std::size_t>(d);
+            if (bases[ch].empty())
+                continue;
+            std::vector<std::pair<Tick, int>> starts;
+            starts.reserve(bases[ch].size());
+            for (const OutputWindowBase &b : bases[ch])
+                starts.emplace_back(b.start, b.window);
+            auto &tap = nl.create<NocTap>(
+                routerName(gp, r) + ".tap_" + dirName(d),
+                std::move(starts), gp.windows, gp.cfg.nmax(),
+                gp.cfg.slotWidth());
+            OutputPort &out =
+                routers[static_cast<std::size_t>(r)]->out(d);
+            out.markFanoutOk(); // observation shares the output net
+            out.connect(tap.in);
+            taps[ch] = &tap;
+        }
+    }
+}
+
+void
 TileGrid::programOperands(const TileOperands &ops)
 {
     const EpochConfig &cfg = gp.cfg;
@@ -286,6 +317,17 @@ TileGrid::observe() const
             routers[r] != nullptr ? routers[r]->collisions() : 0;
         obs.collisions += obs.routerCollisions[r];
     }
+    obs.outputWindowPulses.assign(
+        taps.size() * static_cast<std::size_t>(gp.windows), 0);
+    for (std::size_t ch = 0; ch < taps.size(); ++ch) {
+        if (taps[ch] == nullptr)
+            continue;
+        const auto &counts = taps[ch]->windowCounts();
+        for (std::size_t w = 0; w < counts.size(); ++w)
+            obs.outputWindowPulses
+                [ch * static_cast<std::size_t>(gp.windows) + w] =
+                counts[w];
+    }
     return obs;
 }
 
@@ -318,6 +360,9 @@ TileGrid::misaligned() const
     for (const Tile &t : tiles)
         if (t.snk != nullptr)
             total += t.snk->misaligned();
+    for (const NocTap *tap : taps)
+        if (tap != nullptr)
+            total += tap->misbinned();
     return total;
 }
 

@@ -80,11 +80,15 @@ class TileGrid
     void buildTile(int t, int flow);
     void buildRouters();
     void buildLinks();
+    void buildTaps();
 
     Netlist &nl;
     GridPlan gp;
     std::vector<Tile> tiles;
     std::vector<NocRouter *> routers;
+
+    /** Output occupancy taps, router * kDirCount + dir (sparse). */
+    std::vector<NocTap *> taps;
 };
 
 /** One pulse-level fabric evaluation (fresh netlist, one epoch). */

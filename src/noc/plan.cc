@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
 
+#include "obs/stats.hh"
 #include "sfq/params.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -444,9 +446,120 @@ observationDigest(const FabricObservation &obs)
     }
     for (std::uint64_t c : obs.routerCollisions)
         h = fnvU64(h, c);
+    h = fnvU64(h, obs.outputWindowPulses.size());
+    for (std::uint64_t c : obs.outputWindowPulses)
+        h = fnvU64(h, c);
     h = fnvU64(h, obs.delivered);
     h = fnvU64(h, obs.collisions);
     return h;
+}
+
+std::string
+routerLabel(const GridSpec &spec, int router)
+{
+    return "r" + std::to_string(router / spec.cols) + "_" +
+           std::to_string(router % spec.cols);
+}
+
+std::vector<std::vector<OutputWindowBase>>
+outputWindowBases(const GridPlan &plan)
+{
+    std::vector<std::vector<OutputWindowBase>> bases(
+        plan.routers.size() * kDirCount);
+    const Tick sinkBase = plan.computeStart + plan.maxFlowLatency +
+                          plan.cfg.slotWidth() / 2;
+    std::map<std::pair<std::size_t, int>, Tick> seen;
+    for (std::size_t f = 0; f < plan.flows.size(); ++f) {
+        const FlowPlan &fp = plan.flows[f];
+        for (std::size_t k = 0; k < fp.routers.size(); ++k) {
+            const std::size_t ch =
+                static_cast<std::size_t>(fp.routers[k]) * kDirCount +
+                static_cast<std::size_t>(fp.outDir[k]);
+            const Tick start =
+                sinkBase +
+                static_cast<Tick>(fp.window) * plan.windowPitch -
+                plan.remainingAfter(static_cast<int>(f),
+                                    static_cast<int>(k));
+            const auto [it, fresh] =
+                seen.emplace(std::pair{ch, fp.window}, start);
+            if (!fresh) {
+                if (it->second != start)
+                    fatal("noc: window %d reaches router %d output "
+                          "%s at two different phases",
+                          fp.window, fp.routers[k],
+                          dirName(fp.outDir[k]));
+                continue;
+            }
+            bases[ch].push_back({start, fp.window});
+        }
+    }
+    for (auto &channel : bases)
+        std::sort(channel.begin(), channel.end(),
+                  [](const OutputWindowBase &a,
+                     const OutputWindowBase &b) {
+                      return a.start < b.start;
+                  });
+    return bases;
+}
+
+double
+windowUtilization(const GridPlan &plan, const FabricObservation &obs)
+{
+    std::set<std::pair<int, int>> scheduled;
+    for (const FlowPlan &f : plan.flows)
+        scheduled.insert({f.spec.dst, f.window});
+    const double capacity =
+        static_cast<double>(scheduled.size()) *
+        static_cast<double>(plan.cfg.nmax());
+    return capacity > 0.0
+               ? static_cast<double>(obs.delivered) / capacity
+               : 0.0;
+}
+
+void
+exportFabricTelemetry(const GridPlan &plan,
+                      const FabricObservation &obs,
+                      obs::StatsRegistry &reg,
+                      const std::string &prefix)
+{
+    const auto bases = outputWindowBases(plan);
+    const std::size_t windows = static_cast<std::size_t>(plan.windows);
+    for (std::size_t r = 0; r < plan.routers.size(); ++r) {
+        if (!plan.routers[r].used())
+            continue;
+        const std::string rb =
+            prefix + "/" + routerLabel(plan.spec, static_cast<int>(r));
+        reg.counter(rb + "/collisions")
+            .inc(r < obs.routerCollisions.size()
+                     ? obs.routerCollisions[r]
+                     : 0);
+        for (int d = 0; d < kDirCount; ++d) {
+            const std::size_t ch =
+                r * kDirCount + static_cast<std::size_t>(d);
+            if (bases[ch].empty())
+                continue;
+            const std::string ob = rb + "/out_" + dirName(d);
+            std::uint64_t total = 0;
+            for (const OutputWindowBase &b : bases[ch]) {
+                const std::size_t idx =
+                    ch * windows + static_cast<std::size_t>(b.window);
+                const std::uint64_t v =
+                    idx < obs.outputWindowPulses.size()
+                        ? obs.outputWindowPulses[idx]
+                        : 0;
+                reg.counter(ob + "/w" + std::to_string(b.window))
+                    .inc(v);
+                total += v;
+            }
+            if (d != kDirLocal)
+                reg.counter(ob + "/link_pulses").inc(total);
+        }
+    }
+    reg.counter(prefix + "/fabric/delivered").inc(obs.delivered);
+    reg.counter(prefix + "/fabric/collisions").inc(obs.collisions);
+    reg.gauge(prefix + "/fabric/window_utilization",
+              obs::Gauge::Merge::Max)
+        .high(windowUtilization(plan, obs));
 }
 
 TileOperands

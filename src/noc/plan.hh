@@ -34,6 +34,11 @@
 #include "core/encoding.hh"
 #include "util/types.hh"
 
+namespace usfq::obs
+{
+class StatsRegistry;
+}
+
 namespace usfq::noc
 {
 
@@ -221,6 +226,16 @@ struct FabricObservation
     /** Collision-ledger total per router (rows*cols, row-major). */
     std::vector<std::uint64_t> routerCollisions;
 
+    /**
+     * Post-merger occupancy of every router output per TDM window:
+     * index (router * kDirCount + dir) * windows + window, sized
+     * routers * kDirCount * windows, zero where no flow crosses.  The
+     * pulse engine counts these with zero-JJ output taps (NocTap); the
+     * functional mirror computes the same slot unions -- part of the
+     * flit-for-flit equality contract like everything else here.
+     */
+    std::vector<std::uint64_t> outputWindowPulses;
+
     std::uint64_t delivered = 0;
     std::uint64_t collisions = 0;
 
@@ -229,6 +244,50 @@ struct FabricObservation
 
 /** Order-sensitive FNV-1a fingerprint of an observation. */
 std::uint64_t observationDigest(const FabricObservation &obs);
+
+/** Hierarchy label of @p router ("r<row>_<col>"), the stats-path and
+ *  netlist name of the router alike. */
+std::string routerLabel(const GridSpec &spec, int router);
+
+/** Wall-clock-free window timetable entry of one router output. */
+struct OutputWindowBase
+{
+    Tick start = 0; ///< arrival time of slot 0 of @p window here
+    int window = 0;
+};
+
+/**
+ * The window timetable of every router output channel (index router *
+ * kDirCount + dir, empty where no flow crosses): for each TDM window
+ * routed through that output, when its slot-0 pulse passes -- derived
+ * purely from the plan's phase algebra (sink base minus the remaining
+ * route latency), ascending in start.  Flows sharing a channel and
+ * window share one route suffix, so the entry is unique; fatal() if
+ * the algebra ever disagrees.
+ */
+std::vector<std::vector<OutputWindowBase>>
+outputWindowBases(const GridPlan &plan);
+
+/**
+ * Delivered fraction of the fabric's scheduled window capacity:
+ * delivered / (nmax * #(sink, window) pairs carrying any flow).
+ */
+double windowUtilization(const GridPlan &plan,
+                         const FabricObservation &obs);
+
+/**
+ * Register @p obs in @p reg under router hierarchy paths
+ * ("<prefix>/r<row>_<col>/out_<dir>/w<k>", ".../out_<dir>/link_pulses"
+ * for mesh outputs, ".../collisions" per used router, and the
+ * "<prefix>/fabric/..." rollups including the window_utilization
+ * high-water gauge).  Names depend only on the plan, values only on
+ * the observation, so the export is identical for both engines --
+ * extending the flit-for-flit differential contract to telemetry.
+ */
+void exportFabricTelemetry(const GridPlan &plan,
+                           const FabricObservation &obs,
+                           obs::StatsRegistry &reg,
+                           const std::string &prefix = "noc");
 
 /**
  * Seeded per-tile operands, identical in both engines: `taps` stream

@@ -225,6 +225,45 @@ NocInjector::timingModel() const
     return model;
 }
 
+NocTap::NocTap(Netlist &nl, const std::string &name,
+               std::vector<std::pair<Tick, int>> windowStarts,
+               int windows, int nmax, Tick slot)
+    : Component(nl, name),
+      in("in",
+         [this](Tick t) {
+             // Last window whose slot-0 arrival is <= t; window
+             // regions at one output never overlap (the pitch exceeds
+             // the occupied span), so the bin is unambiguous.
+             auto it = std::upper_bound(
+                 starts.begin(), starts.end(), t,
+                 [](Tick v, const std::pair<Tick, int> &s) {
+                     return v < s.first;
+                 });
+             if (it == starts.begin()) {
+                 ++offGrid;
+                 return;
+             }
+             --it;
+             const Tick rel = t - it->first;
+             if (rel % this->slot != 0 ||
+                 rel / this->slot >= this->nmax)
+                 ++offGrid;
+             else
+                 ++counts[static_cast<std::size_t>(it->second)];
+         }),
+      starts(std::move(windowStarts)), nmax(nmax), slot(slot),
+      counts(static_cast<std::size_t>(windows), 0)
+{
+    addPort(in);
+}
+
+void
+NocTap::reset()
+{
+    counts.assign(counts.size(), 0);
+    offGrid = 0;
+}
+
 NocSink::NocSink(Netlist &nl, const std::string &name, int windows,
                  int nmax, Tick firstArrival, Tick pitch, Tick slot)
     : Component(nl, name),

@@ -136,6 +136,44 @@ class NocInjector : public Component
 };
 
 /**
+ * Observation tap on one router output: bins every pulse passing the
+ * output into its TDM window using the planned per-output window
+ * timetable (outputWindowBases), checking slot alignment like NocSink
+ * does at the fabric edge.  Zero-JJ pure observer -- it shares the
+ * output net via markFanoutOk() and never emits, so the fabric with
+ * and without taps is event-for-event identical.  Feeds the per-router
+ * occupancy telemetry (FabricObservation::outputWindowPulses).
+ */
+class NocTap : public Component
+{
+  public:
+    /** @p windowStarts: (slot-0 arrival, window) ascending in time. */
+    NocTap(Netlist &nl, const std::string &name,
+           std::vector<std::pair<Tick, int>> windowStarts, int windows,
+           int nmax, Tick slot);
+
+    InputPort in;
+
+    const std::vector<std::uint64_t> &windowCounts() const
+    {
+        return counts;
+    }
+
+    /** Pulses off the planned window/slot grid (0 when well formed). */
+    std::uint64_t misbinned() const { return offGrid; }
+
+    int jjCount() const override { return 0; }
+    void reset() override;
+
+  private:
+    std::vector<std::pair<Tick, int>> starts;
+    int nmax;
+    Tick slot;
+    std::vector<std::uint64_t> counts; ///< per TDM window
+    std::uint64_t offGrid = 0;
+};
+
+/**
  * Observation terminal at a sink tile: bins every delivered pulse into
  * its TDM window and checks it sits exactly on the global slot grid
  * (misaligned() counts violations -- always 0 for a well-formed plan).

@@ -26,7 +26,8 @@ ArtifactPayload::writeJson(std::ostream &os, const StatsRegistry &reg,
     JsonWriter w(os);
     w.beginObject();
     w.kv("bench", payloadName);
-    w.kv("schema", 2);
+    w.kv("schema", kArtifactSchemaVersion);
+    w.kv("schema_version", kArtifactSchemaVersion);
 
     w.key("metrics").beginObject();
     for (const Metric &m : metrics) {
@@ -65,6 +66,15 @@ ArtifactPayload::writeJson(std::ostream &os, const StatsRegistry &reg,
     w.endObject();
 
     w.key("stats").beginObject();
+    writeStatsSections(w, reg);
+    w.endObject();
+
+    w.endObject();
+}
+
+void
+writeStatsSections(JsonWriter &w, const StatsRegistry &reg)
+{
     w.key("counters").beginObject();
     reg.forEach([&](const std::string &n,
                     const StatsRegistry::Entry &e) {
@@ -105,8 +115,14 @@ ArtifactPayload::writeJson(std::ostream &os, const StatsRegistry &reg,
         w.endObject();
     });
     w.endObject();
-    w.endObject();
+}
 
+void
+writeStatsJson(std::ostream &os, const StatsRegistry &reg)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    writeStatsSections(w, reg);
     w.endObject();
 }
 

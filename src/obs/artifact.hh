@@ -26,6 +26,11 @@
 
 #include "obs/stats.hh"
 
+namespace usfq
+{
+class JsonWriter;
+}
+
 namespace usfq::obs
 {
 
@@ -45,11 +50,16 @@ struct ArtifactHostState
     static ArtifactHostState capture();
 };
 
+/** Current artifact schema version (the "schema_version" key). */
+constexpr int kArtifactSchemaVersion = 3;
+
 /**
  * Deterministic content of one run artifact plus the serializer that
  * turns it (with a stats registry and optional host state) into the
- * schema-2 JSON document.  Schema 2 is schema 1 plus the optional
- * "series" section (named numeric arrays, e.g. per-epoch counts).
+ * schema-3 JSON document.  Schema 2 added the optional "series"
+ * section (named numeric arrays, e.g. per-epoch counts); schema 3
+ * adds the explicit "schema_version" key every downstream consumer
+ * (bench/json_lint, bench/bench_diff) gates on.
  */
 class ArtifactPayload
 {
@@ -109,6 +119,21 @@ class ArtifactPayload
     std::vector<std::pair<std::string, std::string>> notes;
     std::vector<std::pair<std::string, std::vector<double>>> seriesData;
 };
+
+/**
+ * Serialize @p reg as the {"counters": ..., "gauges": ...,
+ * "histograms": ...} object the artifact's "stats" section carries --
+ * also the payload of the usfq_engine_metrics / usfq_broker_metrics
+ * C ABI entry points, so registries egress in exactly one shape.
+ */
+void writeStatsJson(std::ostream &os, const StatsRegistry &reg);
+
+/**
+ * The three registry sections ("counters"/"gauges"/"histograms") into
+ * an open JSON object of @p w -- the shared core of writeStatsJson and
+ * ArtifactPayload::writeJson's "stats" section.
+ */
+void writeStatsSections(JsonWriter &w, const StatsRegistry &reg);
 
 } // namespace usfq::obs
 

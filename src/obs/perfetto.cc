@@ -33,6 +33,7 @@ metadataEvent(JsonWriter &w, const char *what, int pid, int tid,
 
 void
 writeChromeTrace(std::ostream &os, const std::vector<PhaseSpan> &spans,
+                 const std::vector<TraceSpan> &requestSpans,
                  const std::vector<PulseTrack> &tracks)
 {
     JsonWriter w(os, 1);
@@ -43,6 +44,13 @@ writeChromeTrace(std::ostream &os, const std::vector<PhaseSpan> &spans,
     metadataEvent(w, "process_name", kHostPid, 0, "usfq host");
     if (!tracks.empty())
         metadataEvent(w, "process_name", kSimPid, 0, "usfq sim time");
+
+    // Host-thread names (obs::setCurrentThreadName): one metadata row
+    // per named thread so broker workers read as "worker-N", not as a
+    // bare tid.
+    for (const auto &[tid, name] : threadNames())
+        metadataEvent(w, "thread_name", kHostPid,
+                      static_cast<int>(tid), name);
 
     // Host phases: "X" complete events, ts/dur in microseconds (the
     // Trace Event time unit), one row per host thread.
@@ -55,6 +63,30 @@ writeChromeTrace(std::ostream &os, const std::vector<PhaseSpan> &spans,
         w.kv("dur", static_cast<std::uint64_t>(s.durUs));
         w.kv("pid", kHostPid);
         w.kv("tid", static_cast<std::int64_t>(s.tid));
+        w.endObject();
+    }
+
+    // Request spans (obs/trace.hh): duration events on the thread that
+    // ran the work, nested by time containment per tid; the explicit
+    // trace/span/parent ids in args keep the chain recoverable however
+    // the viewer folds rows.
+    for (const TraceSpan &s : requestSpans) {
+        w.beginObject();
+        w.kv("name", s.name);
+        w.kv("cat", "request");
+        w.kv("ph", "X");
+        w.kv("ts", static_cast<std::uint64_t>(s.startUs));
+        w.kv("dur", static_cast<std::uint64_t>(s.durUs));
+        w.kv("pid", kHostPid);
+        w.kv("tid", static_cast<std::int64_t>(s.tid));
+        w.key("args").beginObject();
+        w.kv("trace", s.traceId);
+        w.kv("span", s.spanId);
+        if (s.parentSpanId != 0)
+            w.kv("parent", s.parentSpanId);
+        for (const auto &[k, v] : s.args)
+            w.kv(k, v);
+        w.endObject();
         w.endObject();
     }
 
@@ -84,9 +116,17 @@ writeChromeTrace(std::ostream &os, const std::vector<PhaseSpan> &spans,
     os << "\n";
 }
 
+void
+writeChromeTrace(std::ostream &os, const std::vector<PhaseSpan> &spans,
+                 const std::vector<PulseTrack> &tracks)
+{
+    writeChromeTrace(os, spans, std::vector<TraceSpan>{}, tracks);
+}
+
 bool
 writeChromeTrace(const std::string &path,
                  const std::vector<PhaseSpan> &spans,
+                 const std::vector<TraceSpan> &requestSpans,
                  const std::vector<PulseTrack> &tracks)
 {
     std::ofstream out(path);
@@ -94,8 +134,17 @@ writeChromeTrace(const std::string &path,
         warn("cannot write trace to %s", path.c_str());
         return false;
     }
-    writeChromeTrace(out, spans, tracks);
+    writeChromeTrace(out, spans, requestSpans, tracks);
     return out.good();
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<PhaseSpan> &spans,
+                 const std::vector<PulseTrack> &tracks)
+{
+    return writeChromeTrace(path, spans, std::vector<TraceSpan>{},
+                            tracks);
 }
 
 std::string
@@ -112,7 +161,7 @@ writeTraceIfRequested(const std::vector<PulseTrack> &tracks)
     if (path.empty())
         return false;
     return writeChromeTrace(path, PhaseLog::global().snapshot(),
-                            tracks);
+                            TraceLog::global().snapshot(), tracks);
 }
 
 } // namespace usfq::obs

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/phase.hh"
+#include "obs/trace.hh"
 #include "util/types.hh"
 
 namespace usfq::obs
@@ -40,8 +41,18 @@ struct PulseTrack
 
 /**
  * Emit a complete Trace Event JSON document: @p spans as host duration
- * events, @p tracks as sim-time instant events.
+ * events, @p requestSpans as host duration events carrying their
+ * trace/span/parent ids in "args" (one request = one span chain, real
+ * thread ids so worker activity reads per-row), @p tracks as sim-time
+ * instant events.  Host threads named via obs::setCurrentThreadName
+ * get thread_name metadata rows.
  */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<PhaseSpan> &spans,
+                      const std::vector<TraceSpan> &requestSpans,
+                      const std::vector<PulseTrack> &tracks = {});
+
+/** Phase-spans-only convenience overload. */
 void writeChromeTrace(std::ostream &os,
                       const std::vector<PhaseSpan> &spans,
                       const std::vector<PulseTrack> &tracks = {});
@@ -52,14 +63,20 @@ void writeChromeTrace(std::ostream &os,
  */
 bool writeChromeTrace(const std::string &path,
                       const std::vector<PhaseSpan> &spans,
+                      const std::vector<TraceSpan> &requestSpans,
+                      const std::vector<PulseTrack> &tracks = {});
+
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<PhaseSpan> &spans,
                       const std::vector<PulseTrack> &tracks = {});
 
 /** Value of USFQ_TRACE_OUT, or empty when tracing is not requested. */
 std::string traceOutPath();
 
 /**
- * If USFQ_TRACE_OUT is set, write the global phase log (plus
- * @p tracks) there.  Returns true when a trace was written.
+ * If USFQ_TRACE_OUT is set, write the global phase log and the global
+ * request-trace log (plus @p tracks) there.  Returns true when a
+ * trace was written.
  */
 bool writeTraceIfRequested(const std::vector<PulseTrack> &tracks = {});
 

@@ -1,0 +1,166 @@
+#include "obs/trace.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace usfq::obs
+{
+
+namespace
+{
+
+/** -1 = unqueried, 0 = off, 1 = on (same idiom as kernel stats). */
+std::atomic<int> tracingState{-1};
+
+std::atomic<std::uint64_t> nextTrace{1};
+std::atomic<std::uint64_t> nextSpan{1};
+
+std::mutex namesLock;
+std::vector<std::pair<std::uint32_t, std::string>> &
+namesStore()
+{
+    static std::vector<std::pair<std::uint32_t, std::string>> names;
+    return names;
+}
+
+} // namespace
+
+void
+TraceLog::add(TraceSpan span)
+{
+    std::lock_guard<std::mutex> g(lock);
+    spans.push_back(std::move(span));
+}
+
+std::vector<TraceSpan>
+TraceLog::snapshot() const
+{
+    std::lock_guard<std::mutex> g(lock);
+    return spans;
+}
+
+std::size_t
+TraceLog::size() const
+{
+    std::lock_guard<std::mutex> g(lock);
+    return spans.size();
+}
+
+void
+TraceLog::clear()
+{
+    std::lock_guard<std::mutex> g(lock);
+    spans.clear();
+}
+
+TraceLog &
+TraceLog::global()
+{
+    static TraceLog log;
+    return log;
+}
+
+bool
+tracingEnabled()
+{
+    int state = tracingState.load(std::memory_order_relaxed);
+    if (state < 0) {
+        const char *env = std::getenv("USFQ_TRACE_OUT");
+        state = (env != nullptr && env[0] != '\0') ? 1 : 0;
+        tracingState.store(state, std::memory_order_relaxed);
+    }
+    return state == 1;
+}
+
+void
+setTracingEnabled(bool enabled)
+{
+    tracingState.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+newTraceId()
+{
+    return nextTrace.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+newSpanId()
+{
+    return nextSpan.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext
+TraceContext::begin()
+{
+    if (!tracingEnabled())
+        return TraceContext{};
+    return TraceContext{newTraceId(), 0};
+}
+
+ScopedSpan::ScopedSpan(const TraceContext &ctx, std::string name,
+                       TraceLog *log)
+    : sink(log)
+{
+    if (!ctx.valid()) {
+        done = true; // inert: no ids, no clock read, nothing recorded
+        return;
+    }
+    span.name = std::move(name);
+    span.traceId = ctx.traceId;
+    span.spanId = newSpanId();
+    span.parentSpanId = ctx.parentSpanId;
+    span.startUs = wallClockUs();
+    span.tid = threadId();
+}
+
+void
+ScopedSpan::arg(std::string key, std::string value)
+{
+    if (done)
+        return;
+    span.args.emplace_back(std::move(key), std::move(value));
+}
+
+void
+ScopedSpan::startAt(std::uint64_t us)
+{
+    if (done)
+        return;
+    span.startUs = us;
+}
+
+void
+ScopedSpan::finish()
+{
+    if (done)
+        return;
+    done = true;
+    const std::uint64_t end = wallClockUs();
+    span.durUs = end > span.startUs ? end - span.startUs : 0;
+    if (sink != nullptr)
+        sink->add(std::move(span));
+}
+
+void
+setCurrentThreadName(const std::string &name)
+{
+    const std::uint32_t tid = threadId();
+    std::lock_guard<std::mutex> g(namesLock);
+    auto &names = namesStore();
+    for (auto &[id, n] : names)
+        if (id == tid) {
+            n = name;
+            return;
+        }
+    names.emplace_back(tid, name);
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+threadNames()
+{
+    std::lock_guard<std::mutex> g(namesLock);
+    return namesStore();
+}
+
+} // namespace usfq::obs

@@ -1,5 +1,8 @@
 #include "svc/broker.hh"
 
+#include <algorithm>
+
+#include "obs/phase.hh"
 #include "util/logging.hh"
 
 namespace usfq::svc
@@ -12,9 +15,11 @@ Broker::Broker(BrokerOptions options)
         opts.workers = 1;
     if (opts.queueCapacity < 1)
         opts.queueCapacity = 1;
+    counters.workerUtil.resize(
+        static_cast<std::size_t>(opts.workers));
     workers.reserve(static_cast<std::size_t>(opts.workers));
     for (int i = 0; i < opts.workers; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 Broker::~Broker() { shutdown(); }
@@ -47,8 +52,13 @@ Broker::submit(Request request)
             return std::nullopt;
         }
         ++counters.submitted;
-        queue.push_back(
-            Pending{nextId++, std::move(request), std::move(promise)});
+        Pending p{nextId++, std::move(request), std::move(promise)};
+        p.enqueueUs = obs::wallClockUs();
+        p.trace = obs::TraceContext::begin();
+        queue.push_back(std::move(p));
+        counters.queueDepthHighWater = std::max(
+            counters.queueDepthHighWater,
+            static_cast<std::uint64_t>(queue.size()));
     }
     cvQueue.notify_one();
     return future;
@@ -110,28 +120,50 @@ Broker::mergedStats() const
 }
 
 void
-Broker::workerLoop()
+Broker::workerLoop(int workerIndex)
 {
+    obs::setCurrentThreadName("worker-" +
+                              std::to_string(workerIndex));
+    const std::size_t wi = static_cast<std::size_t>(workerIndex);
     for (;;) {
         Pending job;
         {
+            const std::uint64_t idleFrom = obs::wallClockUs();
             std::unique_lock<std::mutex> lock(mu);
             cvQueue.wait(lock, [this] {
                 return stopping || !queue.empty();
             });
+            counters.workerUtil[wi].idleUs +=
+                obs::wallClockUs() - idleFrom;
             if (queue.empty())
                 return; // stopping and drained
             job = std::move(queue.front());
             queue.pop_front();
             ++inFlight;
         }
-        Response response = process(job.id, job.request);
+        const std::uint64_t busyFrom = obs::wallClockUs();
+
+        // Root span covers the request's whole broker residency: it
+        // opens at admission time, so the queue wait is inside it.
+        obs::ScopedSpan root(job.trace, "request");
+        root.startAt(job.enqueueUs);
+        root.arg("id", std::to_string(job.id));
+        {
+            obs::ScopedSpan wait(root.context(), "queue_wait");
+            wait.startAt(job.enqueueUs);
+        }
+        Response response =
+            process(job.id, job.request, root.context());
+        root.finish();
+
         {
             std::lock_guard<std::mutex> lock(mu);
             --inFlight;
             ++counters.completed;
             if (response.status != api::Status::Ok)
                 ++counters.failed;
+            counters.workerUtil[wi].busyUs +=
+                obs::wallClockUs() - busyFrom;
         }
         job.promise.set_value(std::move(response));
         cvDrain.notify_all();
@@ -139,7 +171,8 @@ Broker::workerLoop()
 }
 
 Response
-Broker::process(std::uint64_t id, const Request &request)
+Broker::process(std::uint64_t id, const Request &request,
+                const obs::TraceContext &trace)
 {
     Response response;
     response.requestId = id;
@@ -150,48 +183,62 @@ Broker::process(std::uint64_t id, const Request &request)
 
     api::Session session(request.spec);
 
-    // Elaborate first: a spec that does not lint never reaches the
-    // cache or an engine, and the finding-derived message survives in
-    // the response.
-    if (const api::Status s = session.elaborate();
-        s != api::Status::Ok) {
-        response.status = s;
-        response.error = session.lastError();
-        return response;
-    }
-
-    std::uint64_t structural = 0;
-    if (const api::Status s = session.contentHash(structural);
-        s != api::Status::Ok) {
-        response.status = s;
-        response.error = session.lastError();
-        return response;
-    }
-    response.structural = structural;
-
     CacheKey key;
-    key.structural = structural;
-    key.spec = api::specHash(request.spec);
-    key.params = api::runParamsKeyHash(params);
-    key.backend = params.backend;
-    key.seed = params.seed;
+    {
+        obs::ScopedSpan span(trace, "elaborate");
+        // Elaborate first: a spec that does not lint never reaches
+        // the cache or an engine, and the finding-derived message
+        // survives in the response.
+        if (const api::Status s = session.elaborate();
+            s != api::Status::Ok) {
+            response.status = s;
+            response.error = session.lastError();
+            return response;
+        }
 
-    if (std::optional<std::string> hit = cache.lookup(key);
-        hit.has_value()) {
-        response.cacheHit = true;
-        response.json = std::move(*hit);
-        return response;
+        std::uint64_t structural = 0;
+        if (const api::Status s = session.contentHash(structural);
+            s != api::Status::Ok) {
+            response.status = s;
+            response.error = session.lastError();
+            return response;
+        }
+        response.structural = structural;
+
+        key.structural = structural;
+        key.spec = api::specHash(request.spec);
+        key.params = api::runParamsKeyHash(params);
+        key.backend = params.backend;
+        key.seed = params.seed;
+    }
+
+    {
+        obs::ScopedSpan span(trace, "cache_probe");
+        std::optional<std::string> hit = cache.lookup(key);
+        span.arg("hit", hit.has_value() ? "1" : "0");
+        if (hit.has_value()) {
+            response.cacheHit = true;
+            response.json = std::move(*hit);
+            return response;
+        }
     }
 
     api::RunResult result;
-    if (const api::Status s = session.run(params, result);
-        s != api::Status::Ok) {
-        response.status = s;
-        response.error = session.lastError();
-        return response;
+    {
+        obs::ScopedSpan span(trace, "run");
+        if (const api::Status s = session.run(params, result);
+            s != api::Status::Ok) {
+            response.status = s;
+            response.error = session.lastError();
+            return response;
+        }
     }
-    response.json = api::resultToJson(request.spec, params, result);
-    cache.insert(key, response.json);
+    {
+        obs::ScopedSpan span(trace, "serialize");
+        response.json =
+            api::resultToJson(request.spec, params, result);
+        cache.insert(key, response.json);
+    }
     {
         std::lock_guard<std::mutex> lock(mu);
         requestStats[id] = std::move(result.stats);

@@ -13,6 +13,13 @@
  * stats registry is retained per request id; mergedStats() folds them
  * in ascending id order, so the roll-up is independent of worker
  * scheduling.
+ *
+ * When tracing is on (obs/trace.hh), every admitted request opens a
+ * trace at submit() and its context crosses the queue to the worker
+ * that runs it: a root "request" span plus child spans for the queue
+ * wait, cache probe (hit/miss), session elaborate/run, and response
+ * serialization -- the whole serving story of one request as one span
+ * chain in the Perfetto export (docs/observability.md).
  */
 
 #ifndef USFQ_SVC_BROKER_HH
@@ -32,6 +39,7 @@
 #include "api/facade.hh"
 #include "api/spec.hh"
 #include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "svc/cache.hh"
 
 namespace usfq::svc
@@ -95,6 +103,24 @@ struct Response
     std::uint64_t structural = 0;
 };
 
+/** Wall-clock busy/idle split of one broker worker thread. */
+struct WorkerUtil
+{
+    std::uint64_t busyUs = 0; ///< time spent inside process()
+    std::uint64_t idleUs = 0; ///< time spent waiting for work
+
+    /** Busy fraction of the observed lifetime (0 when unobserved). */
+    double
+    utilization() const
+    {
+        const std::uint64_t total = busyUs + idleUs;
+        return total > 0
+                   ? static_cast<double>(busyUs) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
+};
+
 /** Broker-level accounting (monotonic over the broker's lifetime). */
 struct BrokerStats
 {
@@ -102,6 +128,12 @@ struct BrokerStats
     std::uint64_t rejected = 0; ///< backpressure refusals
     std::uint64_t completed = 0;
     std::uint64_t failed = 0; ///< completed with status != Ok
+
+    /** Deepest the pending queue ever got (admission high-water). */
+    std::uint64_t queueDepthHighWater = 0;
+
+    /** Busy/idle gauge per worker thread, worker order. */
+    std::vector<WorkerUtil> workerUtil;
 };
 
 /** The request broker. */
@@ -149,10 +181,17 @@ class Broker
         std::uint64_t id;
         Request request;
         std::promise<Response> promise;
+
+        /** Wall-clock admission time (queue-wait span start). */
+        std::uint64_t enqueueUs = 0;
+
+        /** Request trace (invalid when tracing is off). */
+        obs::TraceContext trace;
     };
 
-    void workerLoop();
-    Response process(std::uint64_t id, const Request &request);
+    void workerLoop(int workerIndex);
+    Response process(std::uint64_t id, const Request &request,
+                     const obs::TraceContext &trace);
 
     BrokerOptions opts;
     ResultCache cache;

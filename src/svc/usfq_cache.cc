@@ -139,6 +139,7 @@ usfq_engine_run_cached(usfq_engine *engine, usfq_cache *cache,
             return api::Status::Internal;
         }
         cache->cache.insert(key, std::move(json));
+        engine->metrics.mergeFrom(result.stats);
         if (out_hit != nullptr)
             *out_hit = 0;
         *out_json = copy;

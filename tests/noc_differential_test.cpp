@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "api/facade.hh"
@@ -20,6 +22,7 @@
 #include "noc/grid.hh"
 #include "noc/plan.hh"
 #include "noc/sta.hh"
+#include "obs/stats.hh"
 #include "sim/elaborate.hh"
 #include "sim/netlist.hh"
 
@@ -97,6 +100,45 @@ TEST(NocFabricDifferential, SharedWindowLedgersMatch)
         sawCollisions = sawCollisions || pulse.obs.collisions > 0;
     }
     EXPECT_TRUE(sawCollisions); // arbitration genuinely engaged
+}
+
+TEST(NocFabricDifferential, TelemetryRegistriesMirrorExactly)
+{
+    // The telemetry rollup is part of the differential contract: both
+    // engines' observations, exported through exportFabricTelemetry,
+    // must produce byte-identical registries -- window occupancies,
+    // link pulses, collision ledgers and the utilization gauge.
+    const auto registryText = [](const noc::GridPlan &plan,
+                                 const noc::FabricObservation &o) {
+        obs::StatsRegistry reg;
+        noc::exportFabricTelemetry(plan, o, reg);
+        std::ostringstream os;
+        reg.print(os);
+        return os.str();
+    };
+
+    noc::GridSpec hotspot = meshSpec(3, 3, true, DpuMode::Unipolar);
+    hotspot.flows = noc::hotspotFlows(3, 3, /*dst=*/4);
+    const noc::GridPlan plans[] = {
+        noc::planGrid(meshSpec(4, 4, false, DpuMode::Bipolar)),
+        noc::planGrid(hotspot),
+    };
+    for (const noc::GridPlan &plan : plans) {
+        for (std::uint64_t seed : {1ull, 0x7e1eull}) {
+            const noc::PulseFabricResult pulse =
+                noc::runPulseFabric(plan, seed);
+            const noc::FabricObservation func =
+                func::evaluateFabricSeed(plan, seed);
+            const std::string fromPulse =
+                registryText(plan, pulse.obs);
+            const std::string fromFunc = registryText(plan, func);
+            EXPECT_EQ(fromPulse, fromFunc) << "seed " << seed;
+            EXPECT_NE(fromPulse.find("window_utilization"),
+                      std::string::npos);
+            EXPECT_NE(fromPulse.find("delivered"),
+                      std::string::npos);
+        }
+    }
 }
 
 TEST(NocFabricDifferential, InjectedCountsMatchFunctionalTiles)

@@ -10,11 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/facade.hh"
@@ -25,6 +27,7 @@
 #include "sim/netlist.hh"
 #include "svc/broker.hh"
 #include "svc/cache.hh"
+#include "util/json.hh"
 
 namespace usfq
 {
@@ -482,6 +485,240 @@ TEST(SvcBroker, NocRequestBackpressuresAndDrainsInOrder)
         lastId = r.requestId;
     }
     EXPECT_EQ(broker.stats().completed, queued.size() + 1);
+}
+
+TEST(SvcBroker, QueueHighWaterAndWorkerUtilization)
+{
+    svc::BrokerOptions opts;
+    opts.workers = 3;
+    opts.queueCapacity = 32;
+    svc::Broker broker(opts);
+
+    std::vector<std::future<svc::Response>> futures;
+    for (int i = 0; i < 24; ++i) {
+        api::RunParams params = functionalParams(8);
+        params.seed = 0xa000u + static_cast<std::uint64_t>(i);
+        auto f = broker.submit(svc::Request{
+            dpuSpec(), params, svc::RequestIntent::Default});
+        ASSERT_TRUE(f.has_value());
+        futures.push_back(std::move(*f));
+    }
+    broker.drain();
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, api::Status::Ok);
+
+    const svc::BrokerStats stats = broker.stats();
+    // The queue held at least one pending request at some point, and
+    // the high-water mark can never exceed the configured capacity.
+    EXPECT_GE(stats.queueDepthHighWater, 1u);
+    EXPECT_LE(stats.queueDepthHighWater, opts.queueCapacity);
+    // One utilization slot per worker, each internally consistent.
+    ASSERT_EQ(stats.workerUtil.size(),
+              static_cast<std::size_t>(opts.workers));
+    std::uint64_t busyTotal = 0;
+    for (const svc::WorkerUtil &util : stats.workerUtil) {
+        const double u = util.utilization();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+        busyTotal += util.busyUs;
+    }
+    // 24 functional runs cannot all complete in zero microseconds.
+    EXPECT_GT(busyTotal, 0u);
+}
+
+TEST(SvcEngineAbi, EngineMetricsAccumulateAcrossRuns)
+{
+    usfq_engine *eng = nullptr;
+    ASSERT_EQ(usfq_engine_create(
+                  "{\"kind\": \"dpu\", \"taps\": 4, \"bits\": 4}",
+                  &eng),
+              USFQ_OK);
+
+    // A fresh engine reports an empty (but well-formed) registry.
+    char *before = nullptr;
+    ASSERT_EQ(usfq_engine_metrics(eng, &before), USFQ_OK);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(before, doc, &error)) << error;
+    usfq_string_free(before);
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_NE(doc.find("counters"), nullptr);
+    EXPECT_TRUE(doc.find("counters")->object.empty());
+
+    char *json = nullptr;
+    ASSERT_EQ(usfq_engine_run(eng, "{\"epochs\": 3}", &json),
+              USFQ_OK);
+    usfq_string_free(json);
+
+    char *after = nullptr;
+    ASSERT_EQ(usfq_engine_metrics(eng, &after), USFQ_OK);
+    const std::string metrics(after);
+    usfq_string_free(after);
+    ASSERT_TRUE(parseJson(metrics, doc, &error)) << error;
+    EXPECT_FALSE(doc.find("counters")->object.empty()) << metrics;
+
+    // Identical reads back to back: the export itself is pure.
+    char *again = nullptr;
+    ASSERT_EQ(usfq_engine_metrics(eng, &again), USFQ_OK);
+    EXPECT_EQ(metrics, std::string(again));
+    usfq_string_free(again);
+
+    EXPECT_EQ(usfq_engine_metrics(nullptr, &json),
+              USFQ_ERR_INVALID_ARG);
+    EXPECT_EQ(usfq_engine_metrics(eng, nullptr),
+              USFQ_ERR_INVALID_ARG);
+    usfq_engine_destroy(eng);
+}
+
+TEST(SvcBrokerAbi, RunAndMetricsThroughTheCAbi)
+{
+    usfq_broker *broker = nullptr;
+    ASSERT_EQ(usfq_broker_create(2, 16, 8, &broker), USFQ_OK);
+
+    const char *spec = "{\"kind\": \"dpu\", \"taps\": 4, \"bits\": 4}";
+    int32_t hit = -1;
+    char *first = nullptr;
+    ASSERT_EQ(usfq_broker_run(broker, spec, "{\"epochs\": 3}",
+                              "throughput", &hit, &first),
+              USFQ_OK);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(hit, 0);
+
+    // The identical request again: a cache hit with the same bytes.
+    char *second = nullptr;
+    ASSERT_EQ(usfq_broker_run(broker, spec, "{\"epochs\": 3}",
+                              "throughput", &hit, &second),
+              USFQ_OK);
+    EXPECT_EQ(hit, 1);
+    EXPECT_STREQ(first, second);
+    usfq_string_free(first);
+    usfq_string_free(second);
+
+    // Malformed spec: a parse status, a message, no broker poisoning.
+    char *bad = nullptr;
+    EXPECT_EQ(usfq_broker_run(broker, "{not json", nullptr, nullptr,
+                              &hit, &bad),
+              USFQ_ERR_PARSE);
+    EXPECT_NE(std::string(usfq_broker_last_error(broker)), "");
+    EXPECT_EQ(usfq_broker_run(broker, spec, "{\"epochs\": 3}",
+                              "no-such-intent", &hit, &bad),
+              USFQ_ERR_INVALID_ARG);
+
+    char *metrics = nullptr;
+    ASSERT_EQ(usfq_broker_metrics(broker, &metrics), USFQ_OK);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(metrics, doc, &error)) << error;
+    usfq_string_free(metrics);
+    const JsonValue *bs = doc.find("broker");
+    ASSERT_NE(bs, nullptr);
+    EXPECT_EQ(bs->find("submitted")->number, 2.0);
+    EXPECT_EQ(bs->find("completed")->number, 2.0);
+    EXPECT_GE(bs->find("queue_depth_high_water")->number, 1.0);
+    ASSERT_NE(bs->find("workers"), nullptr);
+    EXPECT_EQ(bs->find("workers")->array.size(), 2u);
+    const JsonValue *cache = doc.find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->find("hits")->number, 1.0);
+    EXPECT_EQ(cache->find("misses")->number, 1.0);
+    ASSERT_NE(doc.find("stats"), nullptr);
+    EXPECT_FALSE(doc.find("stats")->find("counters")->object.empty());
+
+    usfq_broker_destroy(broker);
+
+    // NULL armor.
+    EXPECT_EQ(usfq_broker_create(1, 1, 1, nullptr),
+              USFQ_ERR_INVALID_ARG);
+    EXPECT_EQ(usfq_broker_metrics(nullptr, &metrics),
+              USFQ_ERR_INVALID_ARG);
+}
+
+TEST(SvcCacheAbi, ConcurrentRunCachedConservesCounters)
+{
+    // >= 4 threads hammering one shared cache through the C ABI (the
+    // tier-1 ASan/TSan-adjacent configurations run this too): the
+    // counters must conserve exactly -- every call is a hit or a miss,
+    // every insertion came from a miss, and the store never exceeds
+    // its capacity.
+    constexpr int kThreads = 4;
+    constexpr int kCallsPerThread = 64;
+    constexpr int kDistinctSpecs = 6;
+
+    usfq_cache *cache = nullptr;
+    ASSERT_EQ(usfq_cache_create(4, &cache), USFQ_OK);
+
+    std::vector<usfq_engine *> engines;
+    for (int i = 0; i < kDistinctSpecs; ++i) {
+        usfq_engine *eng = nullptr;
+        const std::string spec = "{\"kind\": \"dpu\", \"taps\": " +
+                                 std::to_string(2 + i) +
+                                 ", \"bits\": 4}";
+        ASSERT_EQ(usfq_engine_create(spec.c_str(), &eng), USFQ_OK);
+        engines.push_back(eng);
+    }
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &engines, cache, &failures] {
+            for (int i = 0; i < kCallsPerThread; ++i) {
+                usfq_engine *eng =
+                    engines[static_cast<std::size_t>(t + i) %
+                            engines.size()];
+                int32_t hit = -1;
+                char *json = nullptr;
+                if (usfq_engine_run_cached(eng, cache,
+                                           "{\"epochs\": 3}", &hit,
+                                           &json) != USFQ_OK ||
+                    json == nullptr || hit < 0 || hit > 1) {
+                    ++failures;
+                    continue;
+                }
+                usfq_string_free(json);
+                // Concurrent stats reads must stay well-formed too.
+                char *stats = nullptr;
+                if (usfq_cache_stats(cache, &stats) != USFQ_OK)
+                    ++failures;
+                else
+                    usfq_string_free(stats);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    char *statsJson = nullptr;
+    ASSERT_EQ(usfq_cache_stats(cache, &statsJson), USFQ_OK);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(statsJson, doc, &error)) << error;
+    usfq_string_free(statsJson);
+    const auto number = [&doc](const char *key) {
+        const JsonValue *v = doc.find(key);
+        EXPECT_NE(v, nullptr) << key;
+        return v != nullptr ? static_cast<std::uint64_t>(v->number)
+                            : 0u;
+    };
+    const std::uint64_t hits = number("hits");
+    const std::uint64_t misses = number("misses");
+    const std::uint64_t insertions = number("insertions");
+    const std::uint64_t evictions = number("evictions");
+    const std::uint64_t size = number("size");
+    EXPECT_EQ(hits + misses,
+              static_cast<std::uint64_t>(kThreads) * kCallsPerThread);
+    // Two threads can miss the same key concurrently; the second
+    // insert of a key is a no-op, so insertions can trail misses but
+    // never exceed them.
+    EXPECT_LE(insertions, misses);
+    EXPECT_GT(insertions, 0u);
+    EXPECT_EQ(size, insertions - evictions);
+    EXPECT_LE(size, 4u);
+    EXPECT_GT(hits, 0u);
+
+    for (usfq_engine *eng : engines)
+        usfq_engine_destroy(eng);
+    usfq_cache_destroy(cache);
 }
 
 TEST(SvcCacheAbi, StatsAndEvictionOrderThroughTheCAbi)
