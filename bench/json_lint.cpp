@@ -168,6 +168,50 @@ main(int argc, char **argv)
                     continue;
                 }
             }
+            // Design-space compiler artifacts must report the swept
+            // space and its Pareto front (docs/synthesis.md): a fig20
+            // run that did not gate >= 1000 generated points through
+            // the balancing pass is not a design-space sweep.
+            if (base.rfind("BENCH_fig20_", 0) == 0) {
+                const usfq::JsonValue *metrics = doc.find("metrics");
+                bool pareto = metrics != nullptr;
+                const char *missing = nullptr;
+                const struct
+                {
+                    const char *key;
+                    double floor;
+                } checks[] = {{"points_total", 1000.0},
+                              {"points_feasible", 1.0},
+                              {"pareto_points", 1.0},
+                              {"pareto_min_area_jj", 1.0},
+                              {"pareto_max_rate_ghz", 0.0},
+                              {"pareto_best_accuracy", 0.0}};
+                for (const auto &check : checks) {
+                    const usfq::JsonValue *m =
+                        pareto ? metrics->find(check.key) : nullptr;
+                    const usfq::JsonValue *value =
+                        m ? m->find("value") : nullptr;
+                    if (value == nullptr ||
+                        value->type !=
+                            usfq::JsonValue::Type::Number ||
+                        value->number < check.floor) {
+                        pareto = false;
+                        missing = check.key;
+                        break;
+                    }
+                }
+                if (!pareto) {
+                    std::fprintf(stderr,
+                                 "json_lint: %s: design-space "
+                                 "artifact without a valid %s "
+                                 "Pareto-front metric\n",
+                                 path.c_str(),
+                                 missing ? missing
+                                         : "points/pareto");
+                    ++bad;
+                    continue;
+                }
+            }
         }
         std::printf("json_lint: %s ok\n", path.c_str());
     }

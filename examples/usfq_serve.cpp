@@ -138,6 +138,22 @@ makeTemplates()
     mesh.intent = svc::RequestIntent::Throughput;
     t.push_back(mesh);
 
+    // Generated datapath (docs/synthesis.md): the spec compiles
+    // through the STA-guided balancing pass inside buildNetlist, so a
+    // broker request is also a synthesis request.
+    RequestTemplate genDp;
+    genDp.spec.kind = api::WorkloadKind::Gen;
+    genDp.spec.name = "gen8x5";
+    genDp.spec.gen.lanes = 8;
+    genDp.spec.gen.bits = 5;
+    genDp.spec.gen.clockPeriodPs = 20;
+    genDp.spec.gen.tree = gen::TreeKind::Merger;
+    genDp.spec.gen.shape = gen::LaneShape::Skewed;
+    genDp.params.epochs = 16;
+    genDp.params.batch = 4;
+    genDp.intent = svc::RequestIntent::Throughput;
+    t.push_back(genDp);
+
     // Audit requests: intent forces the pulse-level engine whatever
     // params.backend says.  Kept small -- event-accurate runs are the
     // expensive path, which is also what fills the queue and makes
@@ -173,6 +189,18 @@ makeTemplates()
     RequestTemplate invAudit = inv;
     invAudit.intent = svc::RequestIntent::Audit;
     t.push_back(invAudit);
+
+    RequestTemplate genAudit;
+    genAudit.spec.kind = api::WorkloadKind::Gen;
+    genAudit.spec.name = "gen4x4a";
+    genAudit.spec.gen.lanes = 4;
+    genAudit.spec.gen.bits = 4;
+    genAudit.spec.gen.clockPeriodPs = 24;
+    genAudit.spec.gen.tree = gen::TreeKind::Balancer;
+    genAudit.spec.gen.shape = gen::LaneShape::Skewed;
+    genAudit.params.epochs = 4;
+    genAudit.intent = svc::RequestIntent::Audit;
+    t.push_back(genAudit);
 
     RequestTemplate meshAudit;
     meshAudit.spec.kind = api::WorkloadKind::NocMesh;

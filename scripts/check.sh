@@ -17,6 +17,12 @@
 #                                      # cache, broker + the usfq_serve
 #                                      # 1000-request smoke) under
 #                                      # default and ASan builds
+#   ./scripts/check.sh gen             # design-space compiler gate: the
+#                                      # gen tier (spec round-trips,
+#                                      # balancer convergence, the 500-spec
+#                                      # generator differential, generated
+#                                      # goldens) under default, ASan and
+#                                      # UBSan builds
 #   ./scripts/check.sh noc             # temporal-NoC gate: the noc tier
 #                                      # (plan/router/grid units, the
 #                                      # fabric differential up to 8x8,
@@ -51,8 +57,8 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 mode="default"
 if [[ "${1:-}" == "bench-artifacts" || "${1:-}" == "diff" ||
       "${1:-}" == "batch" || "${1:-}" == "svc" ||
-      "${1:-}" == "noc" || "${1:-}" == "regress" ||
-      "${1:-}" == "obs" ]]; then
+      "${1:-}" == "gen" || "${1:-}" == "noc" ||
+      "${1:-}" == "regress" || "${1:-}" == "obs" ]]; then
     mode="$1"
     shift
 fi
@@ -81,6 +87,15 @@ elif [[ "$mode" == "svc" ]]; then
     # pushes >=1000 mixed requests through the worker pool and checks
     # every response against a direct engine run.
     ctest_args=(-L 'svc' "${ctest_args[@]}")
+elif [[ "$mode" == "gen" ]]; then
+    # The design-space compiler gate (docs/synthesis.md): spec JSON
+    # round-trips and hash determinism, balancer convergence/budget
+    # accounting, the 500-spec generator differential (lint-clean,
+    # STA-gated, pulse vs functional at 1 and 4 threads) and the
+    # generated-netlist goldens.  Runs under UBSan as well -- the slot
+    # algebra and the padding arithmetic are integer-heavy code where
+    # silent UB would hide.
+    ctest_args=(-L 'gen' "${ctest_args[@]}")
 elif [[ "$mode" == "noc" ]]; then
     # The temporal-NoC gate (docs/noc.md): plan placement and router
     # units, the flit-for-flit fabric differential (sink counts AND
@@ -173,7 +188,7 @@ fi
 
 run_config default "$repo/build"
 run_config asan "$repo/build-asan" -DUSFQ_SANITIZE=address
-if [[ "$mode" == "batch" ]]; then
+if [[ "$mode" == "batch" || "$mode" == "gen" ]]; then
     run_config ubsan "$repo/build-ubsan" -DUSFQ_SANITIZE=undefined
     echo "==> all checks passed (default + asan + ubsan)"
 else

@@ -9,6 +9,9 @@
 #include "core/pe.hh"
 #include "func/components.hh"
 #include "func/noc.hh"
+#include "gen/balance.hh"
+#include "gen/datapath.hh"
+#include "gen/functional.hh"
 #include "noc/grid.hh"
 #include "obs/artifact.hh"
 #include "sfq/cells.hh"
@@ -525,6 +528,52 @@ runNocMesh(const NetlistSpec &spec, const RunParams &params)
         sweepOptions(params)));
 }
 
+/**
+ * Gen sweep: one drawEpochInputs() epoch per shard.  The functional
+ * leg walks the slot-set mirror (gen/functional.hh); the pulse leg
+ * rebuilds the balanced datapath per epoch (shard isolation).  The
+ * balancing pass runs once up front -- it is part of the design, not
+ * of any epoch.
+ */
+std::vector<long long>
+runGen(const NetlistSpec &spec, const RunParams &params)
+{
+    const gen::BalanceOutcome bo = gen::balanceDesign(spec.gen);
+    if (!bo.converged())
+        fatal("gen run: balancing %s: %s",
+              gen::balanceStatusName(bo.status), bo.detail.c_str());
+    const std::size_t epochs = static_cast<std::size_t>(params.epochs);
+    if (params.backend == Backend::Functional && params.batch > 1) {
+        return widen(runBatchedSweep(
+            epochs,
+            [&](const LaneGroupContext &ctx) {
+                const auto lanes =
+                    static_cast<std::size_t>(ctx.lanes);
+                std::vector<int> res(lanes);
+                for (std::size_t b = 0; b < lanes; ++b) {
+                    const gen::EpochInputs in =
+                        gen::drawEpochInputs(spec.gen, ctx.seeds[b]);
+                    res[b] = static_cast<int>(
+                        gen::evalEpoch(spec.gen, in).count);
+                }
+                return res;
+            },
+            sweepOptions(params)));
+    }
+    return widen(runSweep(
+        epochs,
+        [&](const ShardContext &ctx) {
+            const gen::EpochInputs in =
+                gen::drawEpochInputs(spec.gen, ctx.seed);
+            if (ctx.backend == Backend::Functional)
+                return static_cast<int>(
+                    gen::evalEpoch(spec.gen, in).count);
+            return static_cast<int>(
+                gen::runPulseEpoch(spec.gen, bo.plan, in));
+        },
+        sweepOptions(params)));
+}
+
 std::vector<long long>
 runInverter(const NetlistSpec &spec, const RunParams &params)
 {
@@ -726,11 +775,30 @@ buildNetlist(const NetlistSpec &spec, Netlist &nl, std::string *err)
                     static_cast<std::uint64_t>(spec.clockCount));
         break;
     }
+    case WorkloadKind::Gen: {
+        const gen::BalanceOutcome bo = gen::balanceDesign(spec.gen);
+        if (!bo.converged()) {
+            if (err != nullptr)
+                *err = std::string("gen: balancing ") +
+                       gen::balanceStatusName(bo.status) + ": " +
+                       bo.detail;
+            return false;
+        }
+        auto &dp = nl.create<gen::StreamDatapath>(spec.name, spec.gen,
+                                                  bo.plan);
+        // Representative stimulus at the densest epoch: the structural
+        // hash covers stimulus anchors, and per-run epoch draws must
+        // not move the cache key (same rationale as NocMesh).
+        dp.programEpoch({spec.gen.nmax(), {}});
+        break;
     }
-    // The inverter probe is self-driving and the NoC mesh is built
-    // fully wired; neither needs the area-study waivers.
+    }
+    // The inverter probe is self-driving, and the NoC mesh and the
+    // generated datapath are built fully wired; none of them needs the
+    // area-study waivers.
     if (spec.waiveUnwired && spec.kind != WorkloadKind::Inverter &&
-        spec.kind != WorkloadKind::NocMesh) {
+        spec.kind != WorkloadKind::NocMesh &&
+        spec.kind != WorkloadKind::Gen) {
         nl.waive(LintRule::DanglingInput,
                  "svc spec: stimulus-less device under test");
         nl.waive(LintRule::OpenOutput,
@@ -788,6 +856,9 @@ runWorkload(const NetlistSpec &spec, const RunParams &params)
         break;
     case WorkloadKind::NocMesh:
         out.counts = runNocMesh(spec, params);
+        break;
+    case WorkloadKind::Gen:
+        out.counts = runGen(spec, params);
         break;
     }
     out.checksum = countsChecksum(out.counts);
@@ -965,9 +1036,17 @@ Session::analyzeTiming()
     try {
         StaOptions opts;
         opts.anchorMode = sp.kind == WorkloadKind::Inverter ||
-                                  sp.kind == WorkloadKind::NocMesh
+                                  sp.kind == WorkloadKind::NocMesh ||
+                                  sp.kind == WorkloadKind::Gen
                               ? StaOptions::AnchorMode::Stimulus
                               : StaOptions::AnchorMode::Zero;
+        if (sp.kind == WorkloadKind::Gen) {
+            // Generated datapaths pass the balancing pass's gated STA
+            // before they ever reach a session (buildNetlist fails
+            // otherwise), so the session view uses the same waiver set
+            // the balancer certified (docs/synthesis.md).
+            opts.waivers = gen::genStaOptions(sp.gen).waivers;
+        }
         if (sp.kind == WorkloadKind::NocMesh) {
             // Same rationale as noc::analyzeFabric: tile counting
             // trees arbitrate same-stream pulses dynamically, and

@@ -90,6 +90,8 @@ workloadKindName(WorkloadKind kind)
         return "inverter";
     case WorkloadKind::NocMesh:
         return "noc";
+    case WorkloadKind::Gen:
+        return "gen";
     }
     return "?";
 }
@@ -107,6 +109,8 @@ parseWorkloadKind(const std::string &s, WorkloadKind &out)
         out = WorkloadKind::Inverter;
     else if (s == "noc")
         out = WorkloadKind::NocMesh;
+    else if (s == "gen")
+        out = WorkloadKind::Gen;
     else
         return false;
     return true;
@@ -143,6 +147,8 @@ NetlistSpec::validate(std::string *err) const
         if (clockCount < 1 || clockCount > 1 << 20)
             return fail(err, "spec: clock_count must be in [1, 2^20]");
     }
+    if (kind == WorkloadKind::Gen && !gen.validate(err))
+        return false;
     return true;
 }
 
@@ -196,6 +202,10 @@ specFromJson(const std::string &json, NetlistSpec &out,
         static_cast<int>(numberOr(doc, "grid_cols", s.gridCols));
     s.nocShareWindows =
         boolOr(doc, "noc_share_windows", s.nocShareWindows);
+    if (const JsonValue *g = doc.find("gen"); g != nullptr) {
+        if (!gen::designSpecFromJson(*g, s.gen, err))
+            return false;
+    }
 
     if (!s.validate(err))
         return false;
@@ -227,6 +237,10 @@ specToJson(const NetlistSpec &spec)
     w.kv("grid_rows", spec.gridRows);
     w.kv("grid_cols", spec.gridCols);
     w.kv("noc_share_windows", spec.nocShareWindows);
+    if (spec.kind == WorkloadKind::Gen) {
+        w.key("gen");
+        gen::designSpecToJson(spec.gen, w);
+    }
     w.endObject();
     return os.str();
 }
@@ -339,6 +353,10 @@ specHash(const NetlistSpec &spec)
     h = fnvU64(h, static_cast<std::uint64_t>(spec.gridRows));
     h = fnvU64(h, static_cast<std::uint64_t>(spec.gridCols));
     h = fnvU64(h, spec.nocShareWindows ? 1 : 0);
+    // Folded only for Gen specs so every pre-existing kind keeps its
+    // hash (bench baselines embed spec hashes).
+    if (spec.kind == WorkloadKind::Gen)
+        h = gen::designSpecHash(h, spec.gen);
     return h;
 }
 

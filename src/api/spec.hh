@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/encoding.hh"
+#include "gen/spec.hh"
 #include "sim/backend.hh"
 
 namespace usfq::api
@@ -34,6 +35,9 @@ enum class WorkloadKind
     Fir,      ///< U-SFQ FIR filter, `taps` taps (core/fir.hh)
     Inverter, ///< clocked inverter probe (the 111 GHz rate study)
     NocMesh,  ///< 2D temporal-NoC mesh of DPU tiles (noc/grid.hh)
+    Gen,      ///< auto-generated stream datapath (src/gen/,
+              ///< docs/synthesis.md): spec-driven synthesis with
+              ///< STA-guided delay balancing
 };
 
 /** Stable lower-case name of a workload kind. */
@@ -92,6 +96,14 @@ struct NetlistSpec
     int gridRows = 4;
     int gridCols = 4;
     bool nocShareWindows = false;
+
+    /**
+     * Gen only: the design-space generator spec (the `gen` JSON
+     * object).  buildNetlist() compiles it through the STA-guided
+     * balancing pass (gen/balance.hh) and fails with an StaError-class
+     * message when the spec is infeasible or over budget.
+     */
+    gen::DesignSpec gen;
 
     /** Range/consistency check; fills @p err on failure. */
     bool validate(std::string *err = nullptr) const;

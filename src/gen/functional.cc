@@ -1,0 +1,174 @@
+#include "gen/functional.hh"
+
+#include "util/random.hh"
+
+namespace usfq::gen
+{
+
+namespace
+{
+
+/**
+ * The paper balancer (case analysis of Fig. 6): a coincident pair
+ * leaves one pulse on each output with the routing state unchanged; a
+ * single pulse exits y1 when the quantizing loop is "0" and y2 when it
+ * is "1", toggling the loop.  Only y1 chains in the counting tree.
+ */
+std::vector<int>
+balancerY1(const std::vector<int> &a, const std::vector<int> &b)
+{
+    std::vector<int> y1;
+    y1.reserve((a.size() + b.size() + 1) / 2 + 1);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    bool state = false;
+    while (i < a.size() || j < b.size()) {
+        int slot = 0;
+        int mult = 1;
+        if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+            slot = a[i++];
+        } else if (i >= a.size() || b[j] < a[i]) {
+            slot = b[j++];
+        } else {
+            slot = a[i];
+            ++i;
+            ++j;
+            mult = 2;
+        }
+        if (mult == 2) {
+            y1.push_back(slot); // one pulse per output, state kept
+        } else {
+            if (!state)
+                y1.push_back(slot);
+            state = !state;
+        }
+    }
+    return y1;
+}
+
+/** Confluence buffer: set union; a coincident pair loses one pulse. */
+std::vector<int>
+mergerOut(const std::vector<int> &a, const std::vector<int> &b,
+          long long &lost)
+{
+    std::vector<int> out;
+    out.reserve(a.size() + b.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() || j < b.size()) {
+        if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+            out.push_back(a[i++]);
+        } else if (i >= a.size() || b[j] < a[i]) {
+            out.push_back(b[j++]);
+        } else {
+            out.push_back(a[i]);
+            ++i;
+            ++j;
+            ++lost;
+        }
+    }
+    return out;
+}
+
+/** Cheap balancer [31]: merger union, then the TFF2 demultiplexes the
+ *  survivors -- q1 takes the 1st, 3rd, 5th... pulse. */
+std::vector<int>
+cheapY1(const std::vector<int> &a, const std::vector<int> &b,
+        long long &lost)
+{
+    const std::vector<int> merged = mergerOut(a, b, lost);
+    std::vector<int> y1;
+    y1.reserve((merged.size() + 1) / 2);
+    for (std::size_t k = 0; k < merged.size(); k += 2)
+        y1.push_back(merged[k]);
+    return y1;
+}
+
+} // namespace
+
+std::vector<int>
+laneSlots(const DesignSpec &spec, int lane, int n, bool gate_on)
+{
+    const int k = spec.dividersOf(lane);
+    std::vector<int> data;
+    if (gate_on) {
+        const int step = 1 << k;
+        for (int m = step - 1; m < n; m += step)
+            data.push_back(m);
+    }
+    if (spec.encoding != StreamEncoding::Bipolar)
+        return data;
+    // Clocked inverter: emits at clock slot m iff no data pulse arrived
+    // since the previous clock, i.e. the complement within [0, n).
+    std::vector<int> comp;
+    comp.reserve(static_cast<std::size_t>(n) - data.size());
+    std::size_t next = 0;
+    for (int m = 0; m < n; ++m) {
+        if (next < data.size() && data[next] == m)
+            ++next;
+        else
+            comp.push_back(m);
+    }
+    return comp;
+}
+
+EpochInputs
+drawEpochInputs(const DesignSpec &spec, std::uint64_t seed)
+{
+    Rng rng(seed);
+    EpochInputs in;
+    in.n = static_cast<int>(rng.uniformInt(1, spec.nmax()));
+    in.gates.resize(static_cast<std::size_t>(spec.lanes));
+    for (int i = 0; i < spec.lanes; ++i)
+        in.gates[static_cast<std::size_t>(i)] =
+            rng.uniformInt(0, 3) != 0;
+    return in;
+}
+
+EpochEval
+evalEpoch(const DesignSpec &spec, const EpochInputs &in)
+{
+    EpochEval eval;
+    std::vector<std::vector<int>> level;
+    level.reserve(static_cast<std::size_t>(spec.lanes));
+    for (int i = 0; i < spec.lanes; ++i) {
+        const bool gate =
+            in.gates.empty() || in.gates[static_cast<std::size_t>(i)];
+        level.push_back(laneSlots(spec, i, in.n, gate));
+        eval.laneSum += static_cast<long long>(level.back().size());
+    }
+    while (level.size() > 1) {
+        std::vector<std::vector<int>> next;
+        next.reserve(level.size() / 2);
+        for (std::size_t i = 0; i < level.size(); i += 2) {
+            switch (spec.tree) {
+            case TreeKind::Balancer:
+                next.push_back(balancerY1(level[i], level[i + 1]));
+                break;
+            case TreeKind::Merger:
+                next.push_back(
+                    mergerOut(level[i], level[i + 1], eval.lost));
+                break;
+            case TreeKind::Tff2:
+                next.push_back(
+                    cheapY1(level[i], level[i + 1], eval.lost));
+                break;
+            }
+        }
+        level = std::move(next);
+    }
+    eval.count = static_cast<long long>(level.front().size());
+    return eval;
+}
+
+std::uint64_t
+hashFold(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffULL;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace usfq::gen

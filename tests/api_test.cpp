@@ -54,7 +54,8 @@ TEST(ApiSpec, WorkloadKindNamesRoundTrip)
 {
     for (const api::WorkloadKind kind :
          {api::WorkloadKind::Dpu, api::WorkloadKind::Pe,
-          api::WorkloadKind::Fir, api::WorkloadKind::Inverter}) {
+          api::WorkloadKind::Fir, api::WorkloadKind::Inverter,
+          api::WorkloadKind::Gen}) {
         api::WorkloadKind parsed;
         ASSERT_TRUE(
             api::parseWorkloadKind(api::workloadKindName(kind),
@@ -120,6 +121,31 @@ TEST(ApiSpec, SpecHashSeparatesParameters)
     EXPECT_EQ(api::specHash(a), api::specHash(b));
     b.taps = a.taps + 1;
     EXPECT_NE(api::specHash(a), api::specHash(b));
+}
+
+TEST(ApiSpec, GenSpecJsonRoundTrip)
+{
+    api::NetlistSpec spec;
+    spec.kind = api::WorkloadKind::Gen;
+    spec.name = "gen";
+    spec.gen.lanes = 16;
+    spec.gen.bits = 6;
+    spec.gen.clockPeriodPs = 20;
+    spec.gen.tree = gen::TreeKind::Merger;
+    spec.gen.shape = gen::LaneShape::Random;
+    spec.gen.balance = gen::BalanceStyle::Register;
+    spec.gen.shapeSeed = 42;
+
+    api::NetlistSpec back;
+    std::string err;
+    ASSERT_TRUE(api::specFromJson(api::specToJson(spec), back, &err))
+        << err;
+    EXPECT_EQ(back, spec);
+
+    // The generator parameters are part of the cache identity.
+    api::NetlistSpec moved = spec;
+    moved.gen.shapeSeed = 43;
+    EXPECT_NE(api::specHash(spec), api::specHash(moved));
 }
 
 // --- session pipeline ----------------------------------------------------
@@ -214,6 +240,53 @@ TEST(ApiSession, OverclockedInverterSurfacesAsStaError)
     EXPECT_EQ(session.analyzeTiming(), api::Status::StaError);
     ASSERT_NE(session.staReport(), nullptr);
     EXPECT_FALSE(session.lastError().empty());
+}
+
+TEST(ApiSession, GenWorkloadRunsOnBothEngines)
+{
+    api::NetlistSpec spec;
+    spec.kind = api::WorkloadKind::Gen;
+    spec.name = "gen";
+    spec.gen.lanes = 8;
+    spec.gen.bits = 4;
+    spec.gen.clockPeriodPs = 20;
+    spec.gen.tree = gen::TreeKind::Balancer;
+    spec.gen.shape = gen::LaneShape::Skewed;
+
+    api::Session session(spec);
+    ASSERT_EQ(session.build(), api::Status::Ok)
+        << session.lastError();
+    ASSERT_EQ(session.elaborate(), api::Status::Ok)
+        << session.lastError();
+    // The balancing pass already aligned the lanes, so the checked
+    // STA gate (with the by-design waivers) must hold.
+    ASSERT_EQ(session.analyzeTiming(), api::Status::Ok)
+        << session.lastError();
+
+    api::RunParams params = functionalParams(6);
+    const api::RunResult functional = api::runWorkload(spec, params);
+    params.backend = Backend::PulseLevel;
+    const api::RunResult pulse = api::runWorkload(spec, params);
+    EXPECT_EQ(functional.counts, pulse.counts);
+    EXPECT_EQ(functional.checksum, pulse.checksum);
+    EXPECT_EQ(functional.totalJJ, pulse.totalJJ);
+}
+
+TEST(ApiSession, GenInfeasibleSpecIsInvalidArg)
+{
+    api::NetlistSpec spec;
+    spec.kind = api::WorkloadKind::Gen;
+    spec.name = "gen";
+    spec.gen.lanes = 4;
+    spec.gen.bits = 4;
+    spec.gen.tree = gen::TreeKind::Balancer;
+    spec.gen.clockPeriodPs = 10; // below the 12 ps balancer dead time
+
+    api::Session session(spec);
+    EXPECT_EQ(session.build(), api::Status::InvalidArg);
+    EXPECT_NE(session.lastError().find("balancing"),
+              std::string::npos)
+        << session.lastError();
 }
 
 TEST(ApiSession, ContentHashSeparatesTopologies)

@@ -27,6 +27,10 @@
 #include "core/multiplier.hh"
 #include "core/pnm.hh"
 #include "func/components.hh"
+#include "gen/balance.hh"
+#include "gen/datapath.hh"
+#include "gen/functional.hh"
+#include "gen/spec.hh"
 #include "obs/stats.hh"
 #include "sim/netlist.hh"
 #include "sim/sweep.hh"
@@ -277,6 +281,110 @@ TEST(GoldenTrace, PnmStreams)
     for (auto &ch : runPnm<ClassicPnm>(6, 11, 1))
         channels.push_back({"classic11_" + ch.name, ch.times});
     checkGolden("pnm_streams", channels);
+}
+
+// --- generated-datapath goldens ---------------------------------------------
+//
+// Auto-generated designs (src/gen/, docs/synthesis.md) pinned pre- AND
+// post-balancing: the `pre` channel freezes the unbalanced datapath
+// (the raw lane skew the balancing pass must close), the `post` channel
+// freezes the compiled result.  Post-balancing pulses are additionally
+// checked against the STA arrival windows under genStaOptions(), so the
+// goldens tie the event kernel, the balancing pass and the timing
+// engine together.
+
+/** Trace one epoch of (spec, plan) on a fresh netlist. */
+std::vector<Tick>
+runGenEpoch(const gen::DesignSpec &spec, const gen::PaddingPlan &plan,
+            const gen::EpochInputs &in, bool check_sta)
+{
+    Netlist nl("gen");
+    auto &dp = nl.create<gen::StreamDatapath>("dp", spec, plan);
+    PulseTrace out("trace");
+    out.input().markObserver();
+    dp.out().connect(out.input());
+    dp.programEpoch(in);
+    nl.run();
+    if (check_sta) {
+        const StaReport sta = runStaChecked(nl, gen::genStaOptions(spec));
+        expectStaEnvelope(sta, dp.out(), out.times(),
+                          std::string("gen ") +
+                              gen::treeKindName(spec.tree));
+        // Functional mirror cross-check: the slot algebra only models
+        // the BALANCED design, so the post channel's pulse count must
+        // equal the mirror prediction (the pre channel need not).
+        EXPECT_EQ(static_cast<long long>(out.times().size()),
+                  gen::evalEpoch(spec, in).count);
+    }
+    return out.times();
+}
+
+/** Pre/post channel pair of one generated scenario: the densest epoch
+ *  (n = nmax) with every fourth lane gated off. */
+Channels
+genScenario(const gen::DesignSpec &spec)
+{
+    const gen::BalanceOutcome bo = gen::balanceDesign(spec);
+    EXPECT_TRUE(bo.converged()) << bo.detail;
+    gen::EpochInputs in;
+    in.n = spec.nmax();
+    for (int l = 0; l < spec.lanes; ++l)
+        in.gates.push_back(l % 4 != 3);
+    Channels channels;
+    channels.push_back(
+        {"pre", runGenEpoch(spec, {}, in, /*check_sta=*/false)});
+    channels.push_back(
+        {"post", runGenEpoch(spec, bo.plan, in, /*check_sta=*/true)});
+    return channels;
+}
+
+TEST(GoldenTrace, GenSkewedBalancer)
+{
+    gen::DesignSpec s;
+    s.tree = gen::TreeKind::Balancer;
+    s.shape = gen::LaneShape::Skewed;
+    s.skewStep = 2;
+    s.maxDividers = 2;
+    s.clockPeriodPs = 16;
+    s.bits = 4;
+    checkGolden("gen_skewed_balancer", genScenario(s));
+}
+
+TEST(GoldenTrace, GenRandomMerger)
+{
+    gen::DesignSpec s;
+    s.tree = gen::TreeKind::Merger;
+    s.shape = gen::LaneShape::Random;
+    s.shapeSeed = 99;
+    s.skewStep = 3;
+    s.maxDividers = 2;
+    s.clockPeriodPs = 10;
+    s.bits = 4;
+    checkGolden("gen_random_merger", genScenario(s));
+}
+
+TEST(GoldenTrace, GenBipolarTff2)
+{
+    gen::DesignSpec s;
+    s.tree = gen::TreeKind::Tff2;
+    s.encoding = gen::StreamEncoding::Bipolar;
+    s.shape = gen::LaneShape::Skewed;
+    s.skewStep = 1;
+    s.clockPeriodPs = 24;
+    s.bits = 3;
+    checkGolden("gen_bipolar_tff2", genScenario(s));
+}
+
+TEST(GoldenTrace, GenRegisterBalancer)
+{
+    gen::DesignSpec s;
+    s.tree = gen::TreeKind::Balancer;
+    s.balance = gen::BalanceStyle::Register;
+    s.shape = gen::LaneShape::Skewed;
+    s.skewStep = 2;
+    s.clockPeriodPs = 20;
+    s.bits = 4;
+    checkGolden("gen_register_balancer", genScenario(s));
 }
 
 // --- functional-backend goldens ---------------------------------------------
